@@ -1,0 +1,119 @@
+// Command experiments regenerates the paper's figures and claim
+// checks, plus the ablations DESIGN.md indexes.
+//
+//	experiments -fig all                 # figures 2-5 at paper scale
+//	experiments -fig 2 -cdf              # figure 2 with full CDF dump
+//	experiments -ablations               # the ablation suite
+//	experiments -scale quick -fig 5      # fast shrunken rig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all")
+		scaleName = flag.String("scale", "paper", "experiment scale: paper or quick")
+		duration  = flag.Duration("duration", 0, "override trace duration (e.g. 10m)")
+		seed      = flag.Int64("seed", 1996, "deterministic seed")
+		ablations = flag.Bool("ablations", false, "run the ablation suite instead of figures")
+		fullCDF   = flag.Bool("cdf", false, "dump the full CDF tables (plottable)")
+		intervals = flag.Bool("intervals", false, "print 15-minute interval reports")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "paper":
+		scale = experiments.PaperScale()
+	case "quick":
+		scale = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *duration > 0 {
+		scale.Duration = *duration
+	}
+
+	if *ablations {
+		runAblations(scale, *seed)
+		return
+	}
+
+	figTraces := map[string]string{"2": "1a", "3": "1b", "4": "5"}
+	start := time.Now()
+	switch *fig {
+	case "2", "3", "4":
+		tn := figTraces[*fig]
+		runs, err := experiments.RunTrace(scale, tn, *seed)
+		die(err)
+		fmt.Println(experiments.FigureCDF("Figure "+*fig, tn, runs))
+		if *fullCDF {
+			for _, r := range runs {
+				fmt.Printf("--- full CDF, policy %s ---\n%s\n", r.Policy, experiments.FullCDF(r.Report))
+			}
+		}
+		if *intervals {
+			for _, r := range runs {
+				fmt.Printf("--- intervals, policy %s ---\n%s", r.Policy, experiments.RenderIntervals(r.Report))
+			}
+		}
+	case "5":
+		rows, err := experiments.RunFigure5(scale, *seed, nil)
+		die(err)
+		fmt.Println(experiments.Figure5(rows))
+	case "all":
+		for _, f := range []string{"2", "3", "4"} {
+			tn := figTraces[f]
+			runs, err := experiments.RunTrace(scale, tn, *seed)
+			die(err)
+			fmt.Println(experiments.FigureCDF("Figure "+f, tn, runs))
+		}
+		rows, err := experiments.RunFigure5(scale, *seed, nil)
+		die(err)
+		fmt.Println(experiments.Figure5(rows))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Printf("(wall time %v, scale %s, trace duration %v)\n",
+		time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration)
+}
+
+func runAblations(scale experiments.Scale, seed int64) {
+	type ab struct {
+		name string
+		run  func() (string, error)
+	}
+	abs := []ab{
+		{"replacement", func() (string, error) { return experiments.AblateReplacement(scale, "1a", seed) }},
+		{"queue-sched", func() (string, error) { return experiments.AblateQueueSched(scale, "1a", seed) }},
+		{"layout", func() (string, error) { return experiments.AblateLayout(scale, "1a", seed) }},
+		{"disk-model", func() (string, error) { return experiments.AblateDiskModel(scale, "1a", seed) }},
+		{"cleaner", func() (string, error) { return experiments.AblateCleaner(scale, seed) }},
+		{"nvram-size", func() (string, error) { return experiments.AblateNVRAMSize(scale, seed) }},
+		{"sched-seeds", func() (string, error) { return experiments.AblateSchedulerPolicy(scale, "1a", seed) }},
+	}
+	for _, a := range abs {
+		out, err := a.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation %s: %v\n", a.name, err)
+			continue
+		}
+		fmt.Println(out)
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Command patsy runs one off-line file-system simulation: pick a
+// trace profile (or a recorded trace file), a flush policy and the
+// component configuration, replay, and print the measurements.
+//
+//	patsy -trace 1a -policy ups -duration 10m
+//	patsy -tracefile sprite.tr -policy writedelay -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/patsy"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "1a", "trace profile: 1a 1b 2a 2b 3 4 5")
+		traceFile = flag.String("tracefile", "", "replay a recorded trace file instead")
+		format    = flag.String("format", "sprite", "trace file format: sprite or coda")
+		policy    = flag.String("policy", "writedelay", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
+		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for the nvram policies")
+		scaleName = flag.String("scale", "paper", "topology scale: paper or quick")
+		duration  = flag.Duration("duration", 10*time.Minute, "trace duration")
+		seed      = flag.Int64("seed", 1996, "deterministic seed")
+		replace   = flag.String("replace", "lru", "cache replacement: lru random lfu slru lru2")
+		qsched    = flag.String("qsched", "clook", "disk queue scheduler")
+		layoutN   = flag.String("layout", "lfs", "storage layout: lfs or ffs")
+		diskModel = flag.String("disk", "hp97560", "disk model: hp97560 or naive")
+		showCDF   = flag.Bool("cdf", false, "print the full latency CDF")
+		showInt   = flag.Bool("intervals", false, "print 15-minute interval reports")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "paper":
+		scale = experiments.PaperScale()
+	case "quick":
+		scale = experiments.QuickScale()
+	default:
+		fatalf("unknown scale %q", *scaleName)
+	}
+	scale.Duration = *duration
+
+	nvBlocks := *nvramKB / 4
+	var fc cache.FlushConfig
+	switch *policy {
+	case "writedelay":
+		fc = cache.WriteDelay()
+	case "ups":
+		fc = cache.UPS()
+	case "nvram-whole":
+		fc = cache.NVRAMWhole(nvBlocks)
+	case "nvram-partial":
+		fc = cache.NVRAMPartial(nvBlocks)
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+
+	var recs []trace.Record
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatalf("open trace: %v", err)
+		}
+		codec, ok := trace.NewFormat(*format)
+		if !ok {
+			fatalf("unknown format %q", *format)
+		}
+		recs, err = codec.Read(f)
+		f.Close()
+		if err != nil {
+			fatalf("read trace: %v", err)
+		}
+	} else {
+		recs = scale.Trace(*traceName, *seed)
+	}
+
+	cfg := scale.Config(*seed, fc)
+	cfg.Replace = *replace
+	cfg.QueueSched = *qsched
+	cfg.Layout = *layoutN
+	cfg.DiskModel = *diskModel
+
+	start := time.Now()
+	rep, err := patsy.Run(cfg, *traceName, recs)
+	if err != nil {
+		fatalf("simulation: %v", err)
+	}
+	fmt.Printf("trace %s, policy %s: %d ops in %v simulated (%v wall)\n",
+		rep.TraceName, rep.Policy, rep.WallOps, rep.SimTime.Round(time.Second),
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("mean latency      %v\n", rep.MeanLatency().Round(time.Microsecond))
+	fmt.Printf("p50 / p90 / p99   %v / %v / %v\n",
+		rep.Result.Overall.Quantile(0.5).Round(time.Microsecond),
+		rep.Result.Overall.Quantile(0.9).Round(time.Microsecond),
+		rep.Result.Overall.Quantile(0.99).Round(time.Microsecond))
+	fmt.Printf("read hit rate     %.1f%%\n", 100*rep.ReadHit)
+	fmt.Printf("blocks flushed    %d\n", rep.Flushed)
+	fmt.Printf("writes saved      %d\n", rep.Saved)
+	fmt.Printf("nvram waits       %d\n", rep.NVRAMWaits)
+	fmt.Printf("dirty high water  %d blocks\n", rep.DirtyHW)
+	fmt.Printf("errors            %d\n", rep.Result.Errors)
+	if *showInt {
+		fmt.Println("\nintervals:")
+		for _, iv := range rep.Result.Intervals.Reports {
+			fmt.Printf("  %s\n", iv)
+		}
+	}
+	if *showCDF {
+		fmt.Println()
+		fmt.Println(rep.Result.Overall.Render())
+	}
+}
+
+func fatalf(f string, args ...any) {
+	fmt.Fprintf(os.Stderr, f+"\n", args...)
+	os.Exit(1)
+}

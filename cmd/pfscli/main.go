@@ -1,0 +1,217 @@
+// Command pfscli is the PFS network client: a small shell over the
+// NFS-like protocol.
+//
+//	pfscli -addr 127.0.0.1:20490 ls /
+//	pfscli put /docs/readme.txt < README.md
+//	pfscli cat /docs/readme.txt
+//	pfscli mkdir /docs ; pfscli rm /tmp/x ; pfscli mv /a /b
+//	pfscli stat /docs ; pfscli statfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsys"
+	"repro/internal/nfs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:20490", "server address")
+	vol := flag.Uint("vol", 1, "volume to mount")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cl, err := nfs.Dial(*addr)
+	die(err)
+	defer cl.Close()
+	root, _, err := cl.Mount(core.VolumeID(*vol))
+	die(err)
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ls":
+		path := "/"
+		if len(rest) > 0 {
+			path = rest[0]
+		}
+		fh, _, err := walk(cl, root, path)
+		die(err)
+		ents, err := cl.Readdir(fh)
+		die(err)
+		for _, e := range ents {
+			_, attr, err := cl.Lookup(fh, e.Name)
+			if err != nil {
+				fmt.Printf("?         %s\n", e.Name)
+				continue
+			}
+			fmt.Printf("%-10s %10d  %s\n", attr.Type, attr.Size, e.Name)
+		}
+	case "cat":
+		need(rest, 1)
+		fh, attr, err := walk(cl, root, rest[0])
+		die(err)
+		var off int64
+		for off < attr.Size {
+			data, err := cl.Read(fh, off, nfs.MaxIO)
+			die(err)
+			if len(data) == 0 {
+				break
+			}
+			os.Stdout.Write(data)
+			off += int64(len(data))
+		}
+	case "put":
+		need(rest, 1)
+		dir, name := split(rest[0])
+		dfh, _, err := walk(cl, root, dir)
+		die(err)
+		fh, _, err := cl.Create(dfh, name)
+		if err == core.ErrExists {
+			fh, _, err = cl.Lookup(dfh, name)
+			if err == nil {
+				_, err = cl.SetSize(fh, 0)
+			}
+		}
+		die(err)
+		var off int64
+		buf := make([]byte, nfs.MaxIO)
+		for {
+			n, rerr := io.ReadFull(os.Stdin, buf)
+			if n > 0 {
+				_, werr := cl.Write(fh, off, buf[:n])
+				die(werr)
+				off += int64(n)
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bytes\n", off)
+	case "mkdir":
+		need(rest, 1)
+		dir, name := split(rest[0])
+		dfh, _, err := walk(cl, root, dir)
+		die(err)
+		_, _, err = cl.Mkdir(dfh, name)
+		die(err)
+	case "rm":
+		need(rest, 1)
+		dir, name := split(rest[0])
+		dfh, _, err := walk(cl, root, dir)
+		die(err)
+		die(cl.Remove(dfh, name))
+	case "rmdir":
+		need(rest, 1)
+		dir, name := split(rest[0])
+		dfh, _, err := walk(cl, root, dir)
+		die(err)
+		die(cl.Rmdir(dfh, name))
+	case "mv":
+		need(rest, 2)
+		fd, fn := split(rest[0])
+		td, tn := split(rest[1])
+		ffh, _, err := walk(cl, root, fd)
+		die(err)
+		tfh, _, err := walk(cl, root, td)
+		die(err)
+		die(cl.Rename(ffh, fn, tfh, tn))
+	case "stat":
+		need(rest, 1)
+		_, attr, err := walk(cl, root, rest[0])
+		die(err)
+		printAttr(attr)
+	case "ln":
+		need(rest, 2)
+		dir, name := split(rest[0])
+		dfh, _, err := walk(cl, root, dir)
+		die(err)
+		_, _, err = cl.Symlink(dfh, name, rest[1])
+		die(err)
+	case "readlink":
+		need(rest, 1)
+		fh, _, err := walk(cl, root, rest[0])
+		die(err)
+		target, err := cl.Readlink(fh)
+		die(err)
+		fmt.Println(target)
+	case "statfs":
+		info, err := cl.StatFS(root)
+		die(err)
+		fmt.Printf("layout %s, block size %d, free %d blocks (%d MB)\n",
+			info.Layout, info.BlockSize, info.FreeBlocks,
+			info.FreeBlocks*int64(info.BlockSize)>>20)
+	default:
+		usage()
+	}
+}
+
+// walk resolves a /-separated path from the root handle.
+func walk(cl *nfs.Client, root nfs.FH, path string) (nfs.FH, fsys.FileAttr, error) {
+	fh := root
+	attr, err := cl.Getattr(root)
+	if err != nil {
+		return fh, attr, err
+	}
+	for _, comp := range strings.Split(path, "/") {
+		if comp == "" || comp == "." {
+			continue
+		}
+		fh, attr, err = cl.Lookup(fh, comp)
+		if err != nil {
+			return fh, attr, err
+		}
+	}
+	return fh, attr, nil
+}
+
+// split separates a path into (parent, leaf).
+func split(path string) (string, string) {
+	path = strings.TrimSuffix(path, "/")
+	i := strings.LastIndex(path, "/")
+	if i < 0 {
+		return "/", path
+	}
+	return path[:i], path[i+1:]
+}
+
+func printAttr(a fsys.FileAttr) {
+	fmt.Printf("inode %d  type %s  size %d  nlink %d  mtime %v\n",
+		a.ID, a.Type, a.Size, a.Nlink, time.Duration(a.MTime).Round(time.Millisecond))
+}
+
+func need(rest []string, n int) {
+	if len(rest) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pfscli [-addr host:port] <cmd> [args]
+  ls [path]        list a directory
+  cat path         print a file
+  put path         store stdin as a file
+  mkdir path       create a directory
+  rm path          remove a file
+  rmdir path       remove an empty directory
+  mv from to       rename
+  stat path        show attributes
+  ln path target   create a symlink
+  readlink path    show a symlink target
+  statfs           show volume info`)
+	os.Exit(2)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfscli:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Command pfsd runs the on-line Pegasus file system: a real cache,
+// a segmented LFS on a Unix file acting as the disk, and the
+// NFS-like network front-end.
+//
+//	pfsd -image /var/tmp/pfs.img -blocks 65536 -addr 127.0.0.1:2049
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/cache"
+	"repro/internal/pfs"
+)
+
+func main() {
+	var (
+		image    = flag.String("image", "pfs.img", "backing image file")
+		blocks   = flag.Int64("blocks", 16384, "volume size in 4KB blocks")
+		cacheB   = flag.Int("cache", 4096, "cache size in 4KB blocks")
+		addr     = flag.String("addr", "127.0.0.1:20490", "listen address")
+		policy   = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
+		nvramKB  = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
+		statsOut = flag.Bool("stats", false, "print statistics on shutdown")
+	)
+	flag.Parse()
+
+	var fc cache.FlushConfig
+	switch *policy {
+	case "writedelay":
+		fc = cache.WriteDelay()
+	case "ups":
+		fc = cache.UPS()
+	case "nvram-whole":
+		fc = cache.NVRAMWhole(*nvramKB / 4)
+	case "nvram-partial":
+		fc = cache.NVRAMPartial(*nvramKB / 4)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	srv, err := pfs.Open(pfs.Config{
+		Path:        *image,
+		Blocks:      *blocks,
+		CacheBlocks: *cacheB,
+		Flush:       fc,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bound, err := srv.ServeNFS(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("pfsd: serving volume 1 (%s, %d blocks, policy %s) on %s\n",
+		*image, *blocks, fc.Name, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("pfsd: syncing and shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if *statsOut {
+		fmt.Println(srv.Set.Render())
+	}
+}

@@ -1,0 +1,46 @@
+// Writesaving reruns the paper's central experiment at bench scale:
+// the same trace replayed under the Unix 30-second-update policy,
+// the UPS write-saving policy, and the two NVRAM policies, printing
+// a Figure-5 style comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := experiments.QuickScale()
+	scale.Duration = 3 * time.Minute
+	fmt.Printf("replaying trace 1a for %v under four flush policies...\n\n", scale.Duration)
+
+	runs, err := experiments.RunTrace(scale, "1a", 1996)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %12s %10s %10s %8s\n", "policy", "mean", "flushed", "saved", "readhit")
+	for _, r := range runs {
+		fmt.Printf("%-16s %12s %10d %10d %7.1f%%\n",
+			r.Policy,
+			r.Report.MeanLatency().Round(time.Microsecond),
+			r.Report.Flushed,
+			r.Report.Saved,
+			100*r.Report.ReadHit)
+	}
+	fmt.Println()
+
+	// The paper's conclusion, verified live.
+	byName := map[string]time.Duration{}
+	for _, r := range runs {
+		byName[r.Policy] = r.Report.MeanLatency()
+	}
+	if byName["ups"] < byName["writedelay"] {
+		fmt.Println("as in the paper: the UPS write-saving policy beats the 30-second-update policy —")
+		fmt.Println("delaying writes keeps disk queues short even though cache hit rates drop.")
+	} else {
+		fmt.Println("note: at this tiny scale the UPS advantage did not materialize; try a longer -duration.")
+	}
+}

@@ -1,0 +1,116 @@
+// Package cache implements the framework's file-system block cache:
+// LRU lists of dirty and non-dirty blocks, allocation with
+// flush-on-pressure, pluggable replacement policies (LRU, random,
+// LFU, SLRU, LRU-K) and pluggable flush policies — the Unix
+// 30-second-update write-delay policy, the UPS write-saving policy,
+// and the NVRAM policies with whole-file or partial-file flushing
+// that the paper's experiments compare.
+//
+// Flushing is asynchronous, performed by a dedicated flusher task:
+// one of the paper's "lessons learned" was that making the thread
+// that needs a block also perform the flush severely delays it.
+package cache
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Block is one cache frame. Data is nil when the cache is
+// instantiated for a simulator — the simulated mover charges copy
+// time instead; this is the only difference between the simulated
+// and the real cache.
+type Block struct {
+	Key   core.BlockKey
+	Data  []byte
+	Size  int // valid bytes, <= core.BlockSize (short tail blocks)
+	Valid bool
+	Dirty bool
+
+	// Pins holds the block in memory; pinned blocks are never
+	// chosen as replacement victims.
+	Pins int
+	// Busy marks a block whose contents are being read from disk;
+	// other tasks wait on the cache's filled condition.
+	Busy bool
+	// Flushing marks a block the flusher currently writes out;
+	// writers wait so the data stays stable during the I/O.
+	Flushing bool
+	// NoCache blocks (multimedia drop-behind) go to the free list
+	// as soon as they are released.
+	NoCache bool
+
+	// DirtySince is when the block last went clean→dirty; the
+	// flush policies age on it.
+	DirtySince sched.Time
+	// LastUsed and Freq feed the replacement policies.
+	LastUsed sched.Time
+	Freq     int64
+	// History holds recent reference times for LRU-K.
+	History []sched.Time
+
+	// Intrusive list links, owned by blockList.
+	prev, next *Block
+	owner      *blockList
+	// policyItem lets replacement policies attach their own state.
+	policyItem any
+	// touched records a hit while the block was pinned, delivered
+	// to the replacement policy when the block is released.
+	touched bool
+}
+
+// FileKey identifies a file for per-file dirty tracking.
+type FileKey struct {
+	Vol  core.VolumeID
+	File core.FileID
+}
+
+// blockList is an intrusive doubly-linked list of blocks.
+type blockList struct {
+	head, tail *Block
+	n          int
+}
+
+func (l *blockList) pushTail(b *Block) {
+	if b.owner != nil {
+		panic("cache: block already on a list")
+	}
+	b.owner = l
+	b.prev = l.tail
+	b.next = nil
+	if l.tail != nil {
+		l.tail.next = b
+	} else {
+		l.head = b
+	}
+	l.tail = b
+	l.n++
+}
+
+func (l *blockList) remove(b *Block) {
+	if b.owner != l {
+		panic("cache: removing block from wrong list")
+	}
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next, b.owner = nil, nil, nil
+	l.n--
+}
+
+func (l *blockList) popHead() *Block {
+	b := l.head
+	if b != nil {
+		l.remove(b)
+	}
+	return b
+}
+
+func (l *blockList) len() int { return l.n }

@@ -1,0 +1,599 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// BackingStore writes dirty blocks to stable storage. The storage
+// layout (or the volume glue above it) implements this; the flusher
+// task calls it with the cache lock released. A whole-file flush
+// passes every dirty block of the file in one call so a
+// log-structured layout can write them contiguously.
+type BackingStore interface {
+	FlushBlocks(t sched.Task, blocks []*Block) error
+}
+
+// FlushConfig selects the flush policy, the experiment variable of
+// the paper: when dirty data leaves memory, and at what granularity.
+type FlushConfig struct {
+	Name string
+	// ScanInterval > 0 runs an update daemon that wakes at this
+	// period and flushes files whose oldest dirty block is older
+	// than MaxAge (the Unix SVR4 30-second-update policy).
+	ScanInterval time.Duration
+	MaxAge       time.Duration
+	// WholeFile selects whole-file flushing: flushing a block takes
+	// every dirty block of its file along.
+	WholeFile bool
+	// MaxDirtyBlocks bounds how many blocks may be dirty at once; 0
+	// is unlimited. The NVRAM experiments set it to the NVRAM size,
+	// modeling "dirty data may only reside in NVRAM".
+	MaxDirtyBlocks int
+}
+
+// WriteDelay is the baseline policy: dirty data is written after 30
+// seconds by an update daemon that scans every few seconds, flushing
+// whole files, as SVR4 does.
+func WriteDelay() FlushConfig {
+	return FlushConfig{Name: "writedelay", ScanInterval: 5 * time.Second,
+		MaxAge: 30 * time.Second, WholeFile: true}
+}
+
+// UPS is the write-saving policy: with a UPS protecting the whole
+// memory, dirty data stays in the cache until block allocation runs
+// out of clean blocks; then the oldest dirty block is flushed (the
+// paper's "naive" flush).
+func UPS() FlushConfig {
+	return FlushConfig{Name: "ups"}
+}
+
+// NVRAMWhole allows nvblocks dirty blocks (the NVRAM buffer) and
+// flushes the whole file of the oldest dirty block when full.
+func NVRAMWhole(nvblocks int) FlushConfig {
+	return FlushConfig{Name: "nvram-whole", MaxDirtyBlocks: nvblocks, WholeFile: true}
+}
+
+// NVRAMPartial allows nvblocks dirty blocks and flushes only the
+// oldest dirty block when full.
+func NVRAMPartial(nvblocks int) FlushConfig {
+	return FlushConfig{Name: "nvram-partial", MaxDirtyBlocks: nvblocks}
+}
+
+// Config sizes and configures a cache.
+type Config struct {
+	// Blocks is the cache capacity in blocks.
+	Blocks int
+	// Replace names the replacement policy (see NewReplacePolicy).
+	Replace string
+	// Flush is the flush policy.
+	Flush FlushConfig
+	// Simulated caches carry no data arena.
+	Simulated bool
+}
+
+// Stats is the cache statistics plug-in.
+type Stats struct {
+	Lookups       *stats.Counter
+	Hits          *stats.Counter
+	Evictions     *stats.Counter
+	FlushedBlocks *stats.Counter
+	FlushJobs     *stats.Counter
+	SavedWrites   *stats.Counter // dirty blocks discarded before any flush
+	PressureWaits *stats.Counter // allocations that had to wait for the flusher
+	NVRAMWaits    *stats.Counter // writes that waited for NVRAM space
+	DirtyHW       *stats.Counter // high-water mark of dirty blocks
+}
+
+// HitRate returns hits/lookups.
+func (s *Stats) HitRate() float64 {
+	if s.Lookups.Value() == 0 {
+		return 0
+	}
+	return float64(s.Hits.Value()) / float64(s.Lookups.Value())
+}
+
+// Register adds the sources to set.
+func (s *Stats) Register(set *stats.Set) {
+	set.Add(s.Lookups)
+	set.Add(s.Hits)
+	set.Add(s.Evictions)
+	set.Add(s.FlushedBlocks)
+	set.Add(s.FlushJobs)
+	set.Add(s.SavedWrites)
+	set.Add(s.PressureWaits)
+	set.Add(s.NVRAMWaits)
+	set.Add(s.DirtyHW)
+}
+
+// Cache is the file-system block cache.
+type Cache struct {
+	k     sched.Kernel
+	cfg   Config
+	store BackingStore
+
+	mu      sched.Mutex
+	filled  sched.Cond // Busy blocks became Valid (or failed)
+	cleaned sched.Cond // flusher finished some blocks
+
+	index       map[core.BlockKey]*Block
+	free        blockList
+	dirty       blockList // clean→dirty transition order: oldest first
+	dirtyByFile map[FileKey]map[core.BlockNo]*Block
+	replace     ReplacePolicy
+	dirtyCount  int
+	flushing    int
+
+	flushQ    [][]*Block
+	flushWork sched.Event
+
+	arena []byte
+	st    *Stats
+}
+
+// New builds a cache on kernel k backed by store. Call Start to
+// spawn the flusher (and update daemon, if the policy has one).
+func New(k sched.Kernel, cfg Config, store BackingStore) *Cache {
+	if cfg.Blocks <= 0 {
+		panic("cache: Config.Blocks must be positive")
+	}
+	rp, ok := NewReplacePolicy(cfg.Replace, k.Rand())
+	if !ok {
+		panic(fmt.Sprintf("cache: unknown replacement policy %q", cfg.Replace))
+	}
+	if s, isSLRU := rp.(*SLRU); isSLRU {
+		s.SetProtectedLimit(cfg.Blocks * 2 / 3)
+	}
+	c := &Cache{
+		k:           k,
+		cfg:         cfg,
+		store:       store,
+		mu:          k.NewMutex("cache"),
+		index:       make(map[core.BlockKey]*Block),
+		dirtyByFile: make(map[FileKey]map[core.BlockNo]*Block),
+		replace:     rp,
+		flushWork:   k.NewEvent("cache.flushwork"),
+		st: &Stats{
+			Lookups:       stats.NewCounter("cache.lookups"),
+			Hits:          stats.NewCounter("cache.hits"),
+			Evictions:     stats.NewCounter("cache.evictions"),
+			FlushedBlocks: stats.NewCounter("cache.flushed_blocks"),
+			FlushJobs:     stats.NewCounter("cache.flush_jobs"),
+			SavedWrites:   stats.NewCounter("cache.saved_writes"),
+			PressureWaits: stats.NewCounter("cache.pressure_waits"),
+			NVRAMWaits:    stats.NewCounter("cache.nvram_waits"),
+			DirtyHW:       stats.NewCounter("cache.dirty_highwater"),
+		},
+	}
+	c.filled = k.NewCond("cache.filled")
+	c.cleaned = k.NewCond("cache.cleaned")
+	if !cfg.Simulated {
+		c.arena = make([]byte, cfg.Blocks*core.BlockSize)
+	}
+	for i := 0; i < cfg.Blocks; i++ {
+		b := &Block{}
+		if c.arena != nil {
+			b.Data = c.arena[i*core.BlockSize : (i+1)*core.BlockSize]
+		}
+		c.free.pushTail(b)
+	}
+	return c
+}
+
+// Start spawns the flusher task and, when the policy asks for one,
+// the update daemon.
+func (c *Cache) Start() {
+	c.k.Go("cache.flusher", c.flusherLoop)
+	if c.cfg.Flush.ScanInterval > 0 {
+		c.k.Go("cache.updated", c.updateDaemon)
+	}
+}
+
+// CacheStats returns the statistics plug-in.
+func (c *Cache) CacheStats() *Stats { return c.st }
+
+// Policy returns the flush configuration (for reports).
+func (c *Cache) Policy() FlushConfig { return c.cfg.Flush }
+
+// DirtyCount returns the number of dirty blocks.
+func (c *Cache) DirtyCount() int { return c.dirtyCount }
+
+// GetBlock returns the pinned block for key. hit reports whether the
+// block already held valid contents; on a miss the caller must fill
+// the block (read it from the layout, or zero it for a fresh block)
+// and then call Filled — or FillFailed to abandon it. Concurrent
+// requests for a missing block wait for the first filler.
+func (c *Cache) GetBlock(t sched.Task, key core.BlockKey) (b *Block, hit bool) {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	c.st.Lookups.Inc()
+	for {
+		b = c.index[key]
+		if b == nil {
+			nb := c.allocLocked(t)
+			nb.Key = key
+			nb.Busy = true
+			nb.Valid = false
+			nb.Dirty = false
+			nb.NoCache = false
+			nb.Size = 0
+			nb.Freq = 1
+			nb.History = append(nb.History[:0], c.k.Now())
+			nb.LastUsed = c.k.Now()
+			nb.Pins = 1
+			c.index[key] = nb
+			return nb, false
+		}
+		if b.Busy {
+			c.filled.Wait(t, c.mu)
+			continue // may have failed and vanished; recheck
+		}
+		c.pinLocked(b)
+		b.Freq++
+		b.LastUsed = c.k.Now()
+		b.History = append(b.History, c.k.Now())
+		b.touched = true
+		c.st.Hits.Inc()
+		return b, true
+	}
+}
+
+// pinLocked pins b, withdrawing it from the replacement candidates.
+func (c *Cache) pinLocked(b *Block) {
+	if b.Pins == 0 && b.Valid && !b.Dirty && !b.Flushing && !b.Busy {
+		c.replace.Remove(b)
+	}
+	b.Pins++
+}
+
+// Peek reports whether key is cached and valid, without pinning.
+func (c *Cache) Peek(t sched.Task, key core.BlockKey) bool {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	b := c.index[key]
+	return b != nil && b.Valid && !b.Busy
+}
+
+// Filled marks a miss block as valid with size valid bytes. The
+// block stays pinned; Release it when done.
+func (c *Cache) Filled(t sched.Task, b *Block, size int) {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	if !b.Busy {
+		panic("cache: Filled on non-busy block " + b.Key.String())
+	}
+	b.Busy = false
+	b.Valid = true
+	b.Size = size
+	c.filled.Broadcast()
+}
+
+// FillFailed abandons a miss block: it returns to the free list and
+// waiters retry.
+func (c *Cache) FillFailed(t sched.Task, b *Block) {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	if !b.Busy {
+		panic("cache: FillFailed on non-busy block")
+	}
+	delete(c.index, b.Key)
+	b.Busy = false
+	b.Valid = false
+	b.Pins = 0
+	c.free.pushTail(b)
+	c.filled.Broadcast()
+}
+
+// Release unpins b; fully released clean blocks become replacement
+// candidates (or go straight to the free list for NoCache blocks).
+func (c *Cache) Release(t sched.Task, b *Block) {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	if b.Pins <= 0 {
+		panic("cache: Release of unpinned block " + b.Key.String())
+	}
+	b.Pins--
+	if b.Pins > 0 {
+		return
+	}
+	if b.Dirty || b.Flushing || !b.Valid {
+		return
+	}
+	if b.NoCache {
+		delete(c.index, b.Key)
+		b.Valid = false
+		c.free.pushTail(b)
+		c.filled.Broadcast()
+		return
+	}
+	c.replace.Add(b)
+	if b.touched {
+		// A hit happened while the block was pinned; let the
+		// policy see it now that the block is a candidate again
+		// (this is what promotes SLRU blocks to protected).
+		c.replace.Touched(b)
+		b.touched = false
+	}
+}
+
+// MarkDirty moves a pinned block to the dirty set, honoring the
+// policy's dirty-block bound: when the NVRAM buffer is full the
+// caller waits here until the flusher drains it — the paper's
+// "writes are waiting for the NVRAM to drain" bottleneck.
+func (c *Cache) MarkDirty(t sched.Task, b *Block) {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	if b.Pins <= 0 {
+		panic("cache: MarkDirty on unpinned block")
+	}
+	for b.Flushing {
+		// Data must stay stable while the flusher writes it.
+		c.cleaned.Wait(t, c.mu)
+	}
+	if b.Dirty {
+		return // overwrite in place: this is the write-saving win
+	}
+	limit := c.cfg.Flush.MaxDirtyBlocks
+	for limit > 0 && c.dirtyCount >= limit {
+		c.st.NVRAMWaits.Inc()
+		c.flushOldestLocked()
+		c.cleaned.Wait(t, c.mu)
+	}
+	b.Dirty = true
+	b.DirtySince = c.k.Now()
+	c.dirty.pushTail(b)
+	fk := FileKey{b.Key.Vol, b.Key.File}
+	m := c.dirtyByFile[fk]
+	if m == nil {
+		m = make(map[core.BlockNo]*Block)
+		c.dirtyByFile[fk] = m
+	}
+	m[b.Key.Blk] = b
+	c.dirtyCount++
+	if int64(c.dirtyCount) > c.st.DirtyHW.Value() {
+		c.st.DirtyHW.Add(int64(c.dirtyCount) - c.st.DirtyHW.Value())
+	}
+}
+
+// allocLocked produces a free frame: from the free list, by evicting
+// a replacement victim, or — under pressure — by triggering a flush
+// of the oldest dirty block and waiting for the flusher.
+func (c *Cache) allocLocked(t sched.Task) *Block {
+	for {
+		if b := c.free.popHead(); b != nil {
+			return b
+		}
+		if v := c.replace.Victim(); v != nil {
+			delete(c.index, v.Key)
+			v.Valid = false
+			c.st.Evictions.Inc()
+			return v
+		}
+		// No clean blocks: initiate a flush through the oldest
+		// dirty block, as the base cache component does.
+		c.st.PressureWaits.Inc()
+		if c.dirtyCount == 0 && c.flushing == 0 {
+			panic("cache: exhausted — every block pinned or busy; cache too small for the working set")
+		}
+		c.flushOldestLocked()
+		c.cleaned.Wait(t, c.mu)
+	}
+}
+
+// flushOldestLocked enqueues the oldest dirty, not-yet-flushing
+// block (whole file or single block per policy).
+func (c *Cache) flushOldestLocked() {
+	for b := c.dirty.head; b != nil; b = b.next {
+		if !b.Flushing {
+			c.enqueueFlushLocked(b)
+			return
+		}
+	}
+}
+
+// enqueueFlushLocked builds a flush job from b per the granularity
+// policy and hands it to the flusher. Whole-file jobs are sorted by
+// block number so log-structured layouts write them contiguously —
+// and so simulation runs stay deterministic despite map iteration.
+func (c *Cache) enqueueFlushLocked(b *Block) {
+	var job []*Block
+	if c.cfg.Flush.WholeFile {
+		for _, fb := range c.dirtyByFile[FileKey{b.Key.Vol, b.Key.File}] {
+			if !fb.Flushing {
+				fb.Flushing = true
+				c.flushing++
+				job = append(job, fb)
+			}
+		}
+		sort.Slice(job, func(i, j int) bool { return job[i].Key.Blk < job[j].Key.Blk })
+	} else {
+		b.Flushing = true
+		c.flushing++
+		job = []*Block{b}
+	}
+	if len(job) == 0 {
+		return
+	}
+	c.flushQ = append(c.flushQ, job)
+	c.st.FlushJobs.Inc()
+	c.flushWork.Signal()
+}
+
+// flusherLoop is the asynchronous flusher task.
+func (c *Cache) flusherLoop(t sched.Task) {
+	for {
+		c.flushWork.Wait(t)
+		c.mu.Lock(t)
+		if len(c.flushQ) == 0 {
+			c.mu.Unlock(t)
+			continue
+		}
+		job := c.flushQ[0]
+		c.flushQ = c.flushQ[1:]
+		c.mu.Unlock(t)
+
+		err := c.store.FlushBlocks(t, job)
+
+		c.mu.Lock(t)
+		for _, b := range job {
+			b.Flushing = false
+			c.flushing--
+			if err != nil {
+				continue // stays dirty; retried on next trigger
+			}
+			b.Dirty = false
+			c.dirty.remove(b)
+			c.removeDirtyIndexLocked(b)
+			c.dirtyCount--
+			c.st.FlushedBlocks.Inc()
+			if b.Pins == 0 && b.Valid {
+				if b.NoCache {
+					delete(c.index, b.Key)
+					b.Valid = false
+					c.free.pushTail(b)
+				} else {
+					c.replace.Add(b)
+				}
+			}
+		}
+		c.cleaned.Broadcast()
+		c.mu.Unlock(t)
+	}
+}
+
+func (c *Cache) removeDirtyIndexLocked(b *Block) {
+	fk := FileKey{b.Key.Vol, b.Key.File}
+	if m := c.dirtyByFile[fk]; m != nil {
+		delete(m, b.Key.Blk)
+		if len(m) == 0 {
+			delete(c.dirtyByFile, fk)
+		}
+	}
+}
+
+// updateDaemon is the SVR4-style scanner: every ScanInterval it
+// flushes files whose oldest dirty block has aged past MaxAge.
+func (c *Cache) updateDaemon(t sched.Task) {
+	for {
+		t.Sleep(c.cfg.Flush.ScanInterval)
+		c.mu.Lock(t)
+		now := c.k.Now()
+		for b := c.dirty.head; b != nil; b = b.next {
+			if now.Sub(b.DirtySince) < c.cfg.Flush.MaxAge {
+				break // list is ordered by DirtySince
+			}
+			if !b.Flushing {
+				c.enqueueFlushLocked(b)
+			}
+		}
+		c.mu.Unlock(t)
+	}
+}
+
+// FlushFile synchronously writes every dirty block of (vol, file).
+func (c *Cache) FlushFile(t sched.Task, vol core.VolumeID, file core.FileID) {
+	fk := FileKey{vol, file}
+	c.mu.Lock(t)
+	for {
+		m := c.dirtyByFile[fk]
+		if len(m) == 0 && !c.fileFlushingLocked(fk) {
+			c.mu.Unlock(t)
+			return
+		}
+		// Enqueue the lowest not-yet-flushing block (deterministic
+		// despite map iteration); whole-file policies grab the
+		// rest of the file with it.
+		var pick *Block
+		for _, b := range m {
+			if !b.Flushing && (pick == nil || b.Key.Blk < pick.Key.Blk) {
+				pick = b
+			}
+		}
+		if pick != nil {
+			c.enqueueFlushLocked(pick)
+		}
+		c.cleaned.Wait(t, c.mu)
+	}
+}
+
+func (c *Cache) fileFlushingLocked(fk FileKey) bool {
+	for b := c.dirty.head; b != nil; b = b.next {
+		if b.Flushing && b.Key.Vol == fk.Vol && b.Key.File == fk.File {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll synchronously writes every dirty block (shutdown,
+// checkpoint).
+func (c *Cache) FlushAll(t sched.Task) {
+	c.mu.Lock(t)
+	for c.dirtyCount > 0 || c.flushing > 0 {
+		c.flushOldestLocked()
+		c.cleaned.Wait(t, c.mu)
+	}
+	c.mu.Unlock(t)
+}
+
+// DiscardFile drops every cached block of (vol, file) numbered from
+// fromBlk up. Dirty blocks are dropped without being written — the
+// write-saving effect of truncates and deletes — and counted as
+// saved writes. The caller must hold the file quiescent (no other
+// task pinning its blocks); blocks mid-flush are waited for. It
+// returns the number of dirty blocks dropped.
+func (c *Cache) DiscardFile(t sched.Task, vol core.VolumeID, file core.FileID, fromBlk core.BlockNo) int {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	saved := 0
+	for {
+		var victims []*Block
+		waiting := false
+		for key, b := range c.index {
+			if key.Vol != vol || key.File != file || key.Blk < fromBlk {
+				continue
+			}
+			if b.Flushing || b.Busy || b.Pins > 0 {
+				waiting = true
+				continue
+			}
+			victims = append(victims, b)
+		}
+		// Deterministic processing order despite map iteration.
+		sort.Slice(victims, func(i, j int) bool { return victims[i].Key.Blk < victims[j].Key.Blk })
+		for _, b := range victims {
+			if b.Dirty {
+				b.Dirty = false
+				c.dirty.remove(b)
+				c.removeDirtyIndexLocked(b)
+				c.dirtyCount--
+				saved++
+				c.st.SavedWrites.Inc()
+			} else {
+				c.replace.Remove(b)
+			}
+			delete(c.index, b.Key)
+			b.Valid = false
+			c.free.pushTail(b)
+		}
+		if !waiting {
+			break
+		}
+		c.cleaned.Wait(t, c.mu)
+	}
+	c.cleaned.Broadcast()
+	return saved
+}
+
+// Stats registers the cache statistics plug-in.
+func (c *Cache) Stats(set *stats.Set) { c.st.Register(set) }
+
+func (c *Cache) String() string {
+	return fmt.Sprintf("cache: %d blocks, replace=%s, flush=%s",
+		c.cfg.Blocks, c.replace.Name(), c.cfg.Flush.Name)
+}

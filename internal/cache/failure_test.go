@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// flakyStore fails the first N flush attempts, then recovers —
+// modeling a disk path that comes back (or a layout that briefly has
+// no space while the cleaner runs).
+type flakyStore struct {
+	failures int
+	attempts int
+	flushed  []core.BlockKey
+}
+
+var errInjected = errors.New("injected flush failure")
+
+func (s *flakyStore) FlushBlocks(t sched.Task, blocks []*Block) error {
+	s.attempts++
+	if s.attempts <= s.failures {
+		return errInjected
+	}
+	for _, b := range blocks {
+		s.flushed = append(s.flushed, b.Key)
+	}
+	return nil
+}
+
+func TestFlushFailureKeepsBlocksDirty(t *testing.T) {
+	k := sched.NewVirtual(41)
+	store := &flakyStore{failures: 1000000} // never succeeds
+	c := New(k, Config{Blocks: 8, Flush: WriteDelay(), Simulated: true}, store)
+	c.Start()
+	k.Go("w", func(tk sched.Task) {
+		fill(tk, c, 1, 3)
+		tk.Sleep(2 * time.Minute) // several update-daemon cycles
+		if c.DirtyCount() != 3 {
+			t.Errorf("dirty = %d after failed flushes, want 3 (nothing lost)", c.DirtyCount())
+		}
+		if store.attempts < 2 {
+			t.Errorf("only %d flush attempts; failures not retried", store.attempts)
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.flushed) != 0 {
+		t.Fatal("failed flushes recorded blocks")
+	}
+}
+
+func TestFlushRecoversAfterTransientFailure(t *testing.T) {
+	k := sched.NewVirtual(42)
+	store := &flakyStore{failures: 2}
+	c := New(k, Config{Blocks: 8, Flush: WriteDelay(), Simulated: true}, store)
+	c.Start()
+	k.Go("w", func(tk sched.Task) {
+		fill(tk, c, 1, 2)
+		tk.Sleep(3 * time.Minute)
+		if c.DirtyCount() != 0 {
+			t.Errorf("dirty = %d; transient failure never recovered", c.DirtyCount())
+		}
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.flushed) != 2 {
+		t.Fatalf("flushed %d blocks after recovery, want 2", len(store.flushed))
+	}
+}
+
+func TestPressureSurvivesFlushFailures(t *testing.T) {
+	// Allocation pressure with a store that fails a few times: the
+	// waiting allocator must not wedge and must proceed once a
+	// flush lands.
+	k := sched.NewVirtual(43)
+	store := &flakyStore{failures: 3}
+	c := New(k, Config{Blocks: 4, Flush: UPS(), Simulated: true}, store)
+	c.Start()
+	done := false
+	k.Go("w", func(tk sched.Task) {
+		fill(tk, c, 1, 4) // cache entirely dirty
+		// Fifth block needs a successful flush to proceed.
+		b, _ := c.GetBlock(tk, key(2, 0))
+		c.Filled(tk, b, core.BlockSize)
+		c.Release(tk, b)
+		done = true
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("allocation wedged behind flush failures")
+	}
+	if store.attempts < 4 {
+		t.Fatalf("attempts = %d, want >= 4 (3 failures + success)", store.attempts)
+	}
+}

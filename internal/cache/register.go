@@ -1,0 +1,17 @@
+package cache
+
+import "repro/internal/core"
+
+// The cut-and-paste catalogue: every policy this package implements,
+// discoverable by name for assemblies and tooling.
+func init() {
+	r := core.Components()
+	for _, name := range []string{"lru", "random", "lfu", "slru", "lru2"} {
+		n := name
+		r.Register(core.KindReplacePolicy, n, func() any { return n })
+	}
+	r.Register(core.KindFlushPolicy, "writedelay", func() FlushConfig { return WriteDelay() })
+	r.Register(core.KindFlushPolicy, "ups", func() FlushConfig { return UPS() })
+	r.Register(core.KindFlushPolicy, "nvram-whole", func(nv int) FlushConfig { return NVRAMWhole(nv) })
+	r.Register(core.KindFlushPolicy, "nvram-partial", func(nv int) FlushConfig { return NVRAMPartial(nv) })
+}

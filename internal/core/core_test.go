@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiskAddrNil(t *testing.T) {
+	if !NilAddr.IsNil() {
+		t.Fatal("NilAddr not nil")
+	}
+	a := DiskAddr{Disk: 2, LBA: 100}
+	if a.IsNil() {
+		t.Fatal("valid addr reads as nil")
+	}
+	if !strings.Contains(a.String(), "d2:100") {
+		t.Fatalf("addr render %q", a.String())
+	}
+	if NilAddr.String() != "addr(nil)" {
+		t.Fatalf("nil render %q", NilAddr.String())
+	}
+}
+
+func TestBlockKeyString(t *testing.T) {
+	k := BlockKey{Vol: 3, File: 7, Blk: 11}
+	if k.String() != "v3/f7/b11" {
+		t.Fatalf("key render %q", k.String())
+	}
+}
+
+func TestFileTypeNames(t *testing.T) {
+	for ft, want := range map[FileType]string{
+		TypeFree: "free", TypeRegular: "regular", TypeDirectory: "directory",
+		TypeSymlink: "symlink", TypeMultimedia: "multimedia",
+	} {
+		if ft.String() != want {
+			t.Fatalf("%d renders %q, want %q", ft, ft.String(), want)
+		}
+	}
+	if !strings.Contains(FileType(99).String(), "99") {
+		t.Fatal("unknown type render")
+	}
+}
+
+func TestRealMoverCopies(t *testing.T) {
+	m := RealMover{}
+	src := []byte{1, 2, 3, 4}
+	dst := make([]byte, 4)
+	if n := m.Move(dst, src, 4); n != 4 || dst[3] != 4 {
+		t.Fatalf("move n=%d dst=%v", n, dst)
+	}
+	// Bounded by both slices.
+	if n := m.Move(dst[:2], src, 4); n != 2 {
+		t.Fatalf("short dst n=%d", n)
+	}
+	if n := m.Move(dst, src[:1], 4); n != 1 {
+		t.Fatalf("short src n=%d", n)
+	}
+	if n := m.Move(dst, src, -1); n != 0 {
+		t.Fatalf("negative n=%d", n)
+	}
+	if m.CopyCost(1<<20) != 0 || m.Simulated() {
+		t.Fatal("real mover claims simulation properties")
+	}
+}
+
+func TestSimMoverCharges(t *testing.T) {
+	m := DefaultSimMover()
+	if !m.Simulated() {
+		t.Fatal("not simulated")
+	}
+	if m.Move(nil, nil, 100) != 100 {
+		t.Fatal("sim move should report full count")
+	}
+	c1 := m.CopyCost(4096)
+	c2 := m.CopyCost(8192)
+	if c1 <= 0 || c2 <= c1 {
+		t.Fatalf("copy cost not increasing: %d, %d", c1, c2)
+	}
+	if m.CopyCost(0) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+	// Zero-bandwidth config falls back to the default.
+	z := &SimMover{}
+	if z.CopyCost(1<<20) <= 0 {
+		t.Fatal("fallback bandwidth missing")
+	}
+}
+
+func TestSimMoverCostMonotone(t *testing.T) {
+	m := DefaultSimMover()
+	prop := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.CopyCost(x) <= m.CopyCost(y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Register("flush", "ups", 42)
+	r.Register("flush", "writedelay", 43)
+	r.Register("layout", "lfs", 44)
+
+	v, err := r.Lookup("flush", "ups")
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("lookup: %v %v", v, err)
+	}
+	if _, err := r.Lookup("flush", "nope"); err == nil {
+		t.Fatal("missing name accepted")
+	}
+	if _, err := r.Lookup("nokind", "x"); err == nil {
+		t.Fatal("missing kind accepted")
+	}
+	names := r.Names("flush")
+	if len(names) != 2 || names[0] != "ups" || names[1] != "writedelay" {
+		t.Fatalf("names %v", names)
+	}
+	kinds := r.Kinds()
+	if len(kinds) != 2 || kinds[0] != "flush" {
+		t.Fatalf("kinds %v", kinds)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("k", "n", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	r.Register("k", "n", 2)
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	if Components() == nil || Components() != Components() {
+		t.Fatal("default registry not a singleton")
+	}
+}

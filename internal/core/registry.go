@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the cut-and-paste component catalogue. Each policy
+// point in the framework (flush policy, replacement policy, queue
+// scheduler, storage layout, cleaner, disk model, trace codec)
+// registers named constructors here; system assembly looks them up
+// by name from a configuration. This is the Go rendition of the
+// paper's "components are instantiated from their classes and bound
+// to global variables when a system starts" — except nothing is
+// global: a Registry is a value owned by the assembly.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	kinds map[string]map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{kinds: make(map[string]map[string]any)}
+}
+
+// Register records constructor ctor for the (kind, name) pair.
+// Registering the same pair twice panics: duplicate registrations
+// are programming errors in component libraries.
+func (r *Registry) Register(kind, name string, ctor any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.kinds[kind]
+	if m == nil {
+		m = make(map[string]any)
+		r.kinds[kind] = m
+	}
+	if _, dup := m[name]; dup {
+		panic(fmt.Sprintf("core: duplicate registration %s/%s", kind, name))
+	}
+	m[name] = ctor
+}
+
+// Lookup returns the constructor registered under (kind, name).
+func (r *Registry) Lookup(kind, name string) (any, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := r.kinds[kind]
+	if m == nil {
+		return nil, fmt.Errorf("core: unknown component kind %q", kind)
+	}
+	c, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no %s component named %q (have %v)", kind, name, keysLocked(m))
+	}
+	return c, nil
+}
+
+// Names lists the registered component names of one kind, sorted.
+func (r *Registry) Names(kind string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return keysLocked(r.kinds[kind])
+}
+
+// Kinds lists the registered component kinds, sorted.
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.kinds))
+	for k := range r.kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysLocked(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Components returns the default registry shared by the framework's
+// packages. Packages register their implementations in init();
+// assemblies may also build private registries for tests.
+func Components() *Registry { return defaultRegistry }
+
+var defaultRegistry = NewRegistry()
+
+// Well-known component kinds.
+const (
+	KindFlushPolicy   = "flush-policy"
+	KindReplacePolicy = "replacement-policy"
+	KindQueueSched    = "queue-scheduler"
+	KindLayout        = "storage-layout"
+	KindCleaner       = "lfs-cleaner"
+	KindDiskModel     = "disk-model"
+	KindTraceFormat   = "trace-format"
+	KindWorkload      = "workload-profile"
+)

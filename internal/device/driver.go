@@ -1,0 +1,222 @@
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Driver is the file system's view of a disk: submit block requests
+// and wait for completion. The simulated and real drivers implement
+// exactly the same interface — the system itself does not know it is
+// communicating with a "fake" disk.
+type Driver interface {
+	Name() string
+	// Submit queues r; completion is signaled through Wait.
+	Submit(t sched.Task, r *Request)
+	// Wait blocks until r completes.
+	Wait(t sched.Task, r *Request)
+	// Do submits r and waits, returning r.Err.
+	Do(t sched.Task, r *Request) error
+	// QueueLen is the current number of queued (unstarted) requests.
+	QueueLen() int
+	// CapacityBlocks is the disk size in file-system blocks.
+	CapacityBlocks() int64
+	// DriverStats exposes the driver's statistics plug-in.
+	DriverStats() *DriverStats
+}
+
+// DriverStats is the per-driver statistics plug-in: I/O counts,
+// queue-size histogram (sampled at each arrival, as the paper's
+// disk-queue statistics object does), and wait/service times.
+type DriverStats struct {
+	Reads, Writes *stats.Counter
+	BlocksRead    *stats.Counter
+	BlocksWritten *stats.Counter
+	QueueHist     *stats.Histogram
+	WaitMS        *stats.Moments
+	ServiceMS     *stats.Moments
+	DiskCacheHits *stats.Counter
+}
+
+func newDriverStats(name string) *DriverStats {
+	return &DriverStats{
+		Reads:         stats.NewCounter(name + ".reads"),
+		Writes:        stats.NewCounter(name + ".writes"),
+		BlocksRead:    stats.NewCounter(name + ".blocks_read"),
+		BlocksWritten: stats.NewCounter(name + ".blocks_written"),
+		QueueHist:     stats.NewHistogram(name+".queue_len", 0, 1, 2, 4, 8, 16, 32, 64),
+		WaitMS:        stats.NewMoments(name + ".wait_ms"),
+		ServiceMS:     stats.NewMoments(name + ".service_ms"),
+		DiskCacheHits: stats.NewCounter(name + ".disk_cache_hits"),
+	}
+}
+
+// Register adds all sources to set.
+func (s *DriverStats) Register(set *stats.Set) {
+	set.Add(s.Reads)
+	set.Add(s.Writes)
+	set.Add(s.BlocksRead)
+	set.Add(s.BlocksWritten)
+	set.Add(s.QueueHist)
+	set.Add(s.WaitMS)
+	set.Add(s.ServiceMS)
+	set.Add(s.DiskCacheHits)
+}
+
+// backend performs one request synchronously; the generic driver
+// engine supplies queueing, scheduling and statistics around it.
+type backend interface {
+	capacityBlocks() int64
+	perform(t sched.Task, r *Request)
+}
+
+// driver is the engine shared by the simulated and real drivers.
+type driver struct {
+	name    string
+	k       sched.Kernel
+	queue   Scheduler
+	be      backend
+	mu      sched.Mutex
+	work    sched.Event
+	headLBA int64
+	st      *DriverStats
+	closed  bool
+}
+
+func newDriver(k sched.Kernel, name string, q Scheduler, be backend) *driver {
+	d := &driver{
+		name:  name,
+		k:     k,
+		queue: q,
+		be:    be,
+		mu:    k.NewMutex(name + ".q"),
+		work:  k.NewEvent(name + ".work"),
+		st:    newDriverStats(name),
+	}
+	k.Go(name+".worker", d.workerLoop)
+	return d
+}
+
+// Name returns the driver name.
+func (d *driver) Name() string { return d.name }
+
+// DriverStats returns the statistics plug-in.
+func (d *driver) DriverStats() *DriverStats { return d.st }
+
+// CapacityBlocks returns the backing capacity.
+func (d *driver) CapacityBlocks() int64 { return d.be.capacityBlocks() }
+
+// Submit queues r for the worker.
+func (d *driver) Submit(t sched.Task, r *Request) {
+	if r.Blocks <= 0 {
+		panic(fmt.Sprintf("device %s: request with %d blocks", d.name, r.Blocks))
+	}
+	r.Enqueued = d.k.Now()
+	if r.done == nil {
+		r.done = d.k.NewEvent("req.done")
+	}
+	d.mu.Lock(t)
+	d.st.QueueHist.Observe(int64(d.queue.Len()))
+	d.queue.Push(r)
+	d.mu.Unlock(t)
+	d.work.Signal()
+}
+
+// Wait blocks until r completes.
+func (d *driver) Wait(t sched.Task, r *Request) {
+	if r.done == nil {
+		panic("device: Wait before Submit")
+	}
+	r.done.Wait(t)
+}
+
+// Do submits and waits.
+func (d *driver) Do(t sched.Task, r *Request) error {
+	d.Submit(t, r)
+	d.Wait(t, r)
+	return r.Err
+}
+
+// QueueLen returns the number of requests not yet dispatched.
+func (d *driver) QueueLen() int { return d.queue.Len() }
+
+func (d *driver) workerLoop(t sched.Task) {
+	for {
+		d.work.Wait(t)
+		d.mu.Lock(t)
+		r := d.queue.Pop(d.headLBA)
+		d.mu.Unlock(t)
+		if r == nil {
+			continue
+		}
+		r.Started = d.k.Now()
+		d.headLBA = r.Addr.LBA
+		d.st.WaitMS.Observe(float64(r.Started.Sub(r.Enqueued)) / 1e6)
+		d.be.perform(t, r)
+		r.Completed = d.k.Now()
+		d.st.ServiceMS.Observe(float64(r.Completed.Sub(r.Started)) / 1e6)
+		if r.Op == OpRead {
+			d.st.Reads.Inc()
+			d.st.BlocksRead.Add(int64(r.Blocks))
+		} else {
+			d.st.Writes.Inc()
+			d.st.BlocksWritten.Add(int64(r.Blocks))
+		}
+		if r.CacheHit {
+			d.st.DiskCacheHits.Inc()
+		}
+		r.done.Signal()
+	}
+}
+
+// Conn is the driver's view of the host/disk connection.
+type Conn interface {
+	Send(t sched.Task, n int64) time.Duration
+}
+
+// simBackend talks to a simulated disk over a simulated connection:
+// acquire the connection, transfer the request (with data for
+// writes), let the drive work, and receive the completion the drive
+// sends back.
+type simBackend struct {
+	k    sched.Kernel
+	conn Conn
+	dsk  *disk.Disk
+}
+
+func (b *simBackend) capacityBlocks() int64 { return b.dsk.CapacityBlocks() }
+
+func (b *simBackend) perform(t sched.Task, r *Request) {
+	bytes := int64(r.Blocks) * core.BlockSize
+	req := int64(32)
+	if r.Op == OpWrite {
+		req += bytes // data travels with the request
+	}
+	b.conn.Send(t, req)
+	io := &disk.IOReq{
+		Op:      disk.Read,
+		LBA:     r.Addr.LBA * core.SectorsPerBlock,
+		Sectors: r.Blocks * core.SectorsPerBlock,
+		Done:    b.k.NewEvent("io.done"),
+	}
+	if r.Op == OpWrite {
+		io.Op = disk.Write
+	}
+	b.dsk.Submit(t, io)
+	io.Done.Wait(t)
+	r.CacheHit = io.CacheHit
+}
+
+// NewSimDriver creates the simulated driver for dsk reached over
+// conn, using queue scheduler q (C-LOOK when q is nil).
+func NewSimDriver(k sched.Kernel, name string, dsk *disk.Disk, conn Conn, q Scheduler) Driver {
+	if q == nil {
+		q = &CLOOK{}
+	}
+	return newDriver(k, name, q, &simBackend{k: k, conn: conn, dsk: dsk})
+}

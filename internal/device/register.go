@@ -1,0 +1,11 @@
+package device
+
+import "repro/internal/core"
+
+func init() {
+	r := core.Components()
+	for _, name := range []string{"fcfs", "sstf", "look", "clook", "cscan", "scan-edf"} {
+		n := name
+		r.Register(core.KindQueueSched, n, func() (Scheduler, bool) { return NewScheduler(n) })
+	}
+}

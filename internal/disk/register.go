@@ -1,0 +1,9 @@
+package disk
+
+import "repro/internal/core"
+
+func init() {
+	r := core.Components()
+	r.Register(core.KindDiskModel, "hp97560", HP97560)
+	r.Register(core.KindDiskModel, "naive", Naive)
+}

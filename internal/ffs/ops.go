@@ -1,0 +1,420 @@
+package ffs
+
+import (
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// AllocInode creates an inode, spreading directories across groups
+// and clustering files with their parents in the FFS manner (the
+// parent affinity arrives through allocHintGroup set by callers;
+// absent a hint, the least-loaded group wins).
+func (f *FFS) AllocInode(t sched.Task, typ core.FileType) (*layout.Inode, error) {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	g, idx := -1, -1
+	if typ == core.TypeDirectory && !f.inoBits[0].get(int(core.RootFile)) {
+		// The volume's first directory is its root, which lives at
+		// the conventional fixed inode number.
+		g, idx = 0, int(core.RootFile)
+	} else {
+		g = f.pickInodeGroup(typ)
+		if g < 0 {
+			return nil, core.ErrNoSpace
+		}
+		for i := 0; i < f.cfg.InodesPerGroup; i++ {
+			if !f.inoBits[g].get(i) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, core.ErrNoSpace
+		}
+	}
+	f.inoBits[g].set(idx)
+	f.bitsDirty = true
+	id := core.FileID(g*f.cfg.InodesPerGroup + idx)
+	ino := &layout.Inode{
+		ID:    id,
+		Type:  typ,
+		Nlink: 1,
+		MTime: int64(f.k.Now()),
+		CTime: int64(f.k.Now()),
+	}
+	f.inodes[id] = ino
+	if err := f.writeInode(t, ino); err != nil {
+		return nil, err
+	}
+	return ino, nil
+}
+
+// pickInodeGroup returns the group for a new inode: directories go
+// to the emptiest group, files to the fullest non-full one (keeping
+// them near existing data), -1 when everything is full.
+func (f *FFS) pickInodeGroup(typ core.FileType) int {
+	best, bestFree := -1, -1
+	for g := 0; g < f.ngroups; g++ {
+		free := 0
+		for i := 0; i < f.cfg.InodesPerGroup; i++ {
+			if !f.inoBits[g].get(i) {
+				free++
+			}
+		}
+		if free == 0 {
+			continue
+		}
+		if typ == core.TypeDirectory {
+			if free > bestFree {
+				best, bestFree = g, free
+			}
+		} else {
+			if best < 0 || free < bestFree {
+				best, bestFree = g, free
+			}
+		}
+	}
+	return best
+}
+
+// GetInode fetches an inode from memory or the inode table.
+func (f *FFS) GetInode(t sched.Task, id core.FileID) (*layout.Inode, error) {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	return f.getInodeLocked(t, id)
+}
+
+func (f *FFS) getInodeLocked(t sched.Task, id core.FileID) (*layout.Inode, error) {
+	if ino := f.inodes[id]; ino != nil {
+		return ino, nil
+	}
+	g := int(id) / f.cfg.InodesPerGroup
+	if g >= f.ngroups || !f.inoBits[g].get(int(id)%f.cfg.InodesPerGroup) {
+		return nil, core.ErrNotFound
+	}
+	if f.part.Simulated {
+		return nil, core.ErrNotFound
+	}
+	_, blk, slot := f.inodeLoc(id)
+	buf := make([]byte, core.BlockSize)
+	if err := f.part.Read(t, blk, 1, buf); err != nil {
+		return nil, err
+	}
+	di, err := layout.DecodeInode(buf[slot*layout.InodeSize:])
+	if err != nil {
+		return nil, err
+	}
+	ino := &di.Ino
+	if err := f.loadBlockMap(t, ino, di); err != nil {
+		return nil, err
+	}
+	f.inodes[id] = ino
+	return ino, nil
+}
+
+// loadBlockMap rebuilds the flat block map from the pointer tree.
+func (f *FFS) loadBlockMap(t sched.Task, ino *layout.Inode, di *layout.DiskInode) error {
+	nblocks := layout.BlocksForSize(ino.Size)
+	ino.Blocks = ino.Blocks[:0]
+	for i := 0; i < layout.NDirect && int64(len(ino.Blocks)) < nblocks; i++ {
+		ino.Blocks = append(ino.Blocks, di.Direct[i])
+	}
+	if int64(len(ino.Blocks)) < nblocks && di.Ind >= 0 {
+		ino.IndAddrs = append(ino.IndAddrs, di.Ind)
+		buf := make([]byte, core.BlockSize)
+		if err := f.part.Read(t, di.Ind, 1, buf); err != nil {
+			return err
+		}
+		n := int(nblocks) - len(ino.Blocks)
+		if n > layout.AddrsPerBlock {
+			n = layout.AddrsPerBlock
+		}
+		ino.Blocks = append(ino.Blocks, layout.DecodeAddrs(buf, n)...)
+	}
+	if int64(len(ino.Blocks)) < nblocks && di.DInd >= 0 {
+		dbuf := make([]byte, core.BlockSize)
+		if err := f.part.Read(t, di.DInd, 1, dbuf); err != nil {
+			return err
+		}
+		remaining := int(nblocks) - len(ino.Blocks)
+		nleaves := (remaining + layout.AddrsPerBlock - 1) / layout.AddrsPerBlock
+		buf := make([]byte, core.BlockSize)
+		for _, leaf := range layout.DecodeAddrs(dbuf, nleaves) {
+			ino.IndAddrs = append(ino.IndAddrs, leaf)
+			if err := f.part.Read(t, leaf, 1, buf); err != nil {
+				return err
+			}
+			n := int(nblocks) - len(ino.Blocks)
+			if n > layout.AddrsPerBlock {
+				n = layout.AddrsPerBlock
+			}
+			ino.Blocks = append(ino.Blocks, layout.DecodeAddrs(buf, n)...)
+		}
+		ino.IndAddrs = append(ino.IndAddrs, di.DInd)
+	}
+	return nil
+}
+
+// writeInode writes an inode record in place (synchronous metadata,
+// as FFS does), including its indirect map blocks.
+func (f *FFS) writeInode(t sched.Task, ino *layout.Inode) error {
+	// (Re)write indirect blocks first so the record points at them.
+	if err := f.writeIndirects(t, ino); err != nil {
+		return err
+	}
+	_, blk, slot := f.inodeLoc(ino.ID)
+	var buf []byte
+	if !f.part.Simulated {
+		buf = make([]byte, core.BlockSize)
+		if err := f.part.Read(t, blk, 1, buf); err != nil {
+			return err
+		}
+		di := &layout.DiskInode{Ino: *ino, Ind: -1, DInd: -1}
+		di.Ino.Blocks = nil
+		di.Ino.IndAddrs = nil
+		direct, groups, err := layout.SplitBlockMap(ino.Blocks)
+		if err != nil {
+			return err
+		}
+		di.Direct = direct
+		if len(groups) >= 1 {
+			di.Ind = ino.IndAddrs[0]
+		}
+		if len(groups) > 1 {
+			di.DInd = ino.IndAddrs[len(ino.IndAddrs)-1]
+		}
+		layout.EncodeInode(di, buf[slot*layout.InodeSize:])
+	}
+	f.inoWrites.Inc()
+	return f.part.Write(t, blk, 1, buf)
+}
+
+// writeIndirects allocates (once) and writes the file's indirect map
+// blocks in place.
+func (f *FFS) writeIndirects(t sched.Task, ino *layout.Inode) error {
+	_, groups, err := layout.SplitBlockMap(ino.Blocks)
+	if err != nil {
+		return err
+	}
+	need := len(groups)
+	if need > 1 {
+		need++ // double-indirect root
+	}
+	// Allocate missing map blocks near the file's first block.
+	hint := int64(-1)
+	if len(ino.Blocks) > 0 {
+		hint = ino.Blocks[0]
+	}
+	for len(ino.IndAddrs) < need {
+		a, err := f.allocDataLocked(hint)
+		if err != nil {
+			return err
+		}
+		ino.IndAddrs = append(ino.IndAddrs, a)
+	}
+	for len(ino.IndAddrs) > need {
+		last := ino.IndAddrs[len(ino.IndAddrs)-1]
+		f.freeDataLocked(last)
+		ino.IndAddrs = ino.IndAddrs[:len(ino.IndAddrs)-1]
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	var buf []byte
+	if !f.part.Simulated {
+		buf = make([]byte, core.BlockSize)
+	}
+	for gi, g := range groups {
+		if buf != nil {
+			layout.EncodeAddrs(g, buf)
+		}
+		if err := f.part.Write(t, ino.IndAddrs[gi], 1, buf); err != nil {
+			return err
+		}
+	}
+	if len(groups) > 1 {
+		if buf != nil {
+			layout.EncodeAddrs(ino.IndAddrs[1:len(groups)], buf)
+		}
+		if err := f.part.Write(t, ino.IndAddrs[len(ino.IndAddrs)-1], 1, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateInode persists inode meta-data synchronously.
+func (f *FFS) UpdateInode(t sched.Task, ino *layout.Inode) error {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	f.inodes[ino.ID] = ino
+	return f.writeInode(t, ino)
+}
+
+// FreeInode releases the inode and all its blocks.
+func (f *FFS) FreeInode(t sched.Task, id core.FileID) error {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	ino, err := f.getInodeLocked(t, id)
+	if err != nil {
+		return err
+	}
+	for _, a := range ino.Blocks {
+		if a >= 0 {
+			f.freeDataLocked(a)
+		}
+	}
+	for _, a := range ino.IndAddrs {
+		f.freeDataLocked(a)
+	}
+	g := int(id) / f.cfg.InodesPerGroup
+	f.inoBits[g].clear(int(id) % f.cfg.InodesPerGroup)
+	f.bitsDirty = true
+	delete(f.inodes, id)
+	return nil
+}
+
+// allocDataLocked finds a free data block, preferring the group of
+// the hint address.
+func (f *FFS) allocDataLocked(hint int64) (int64, error) {
+	order := make([]int, 0, f.ngroups)
+	if hint >= 0 {
+		order = append(order, int((hint-1))/f.cfg.BlocksPerGroup)
+	}
+	for g := 0; g < f.ngroups; g++ {
+		order = append(order, g)
+	}
+	for _, g := range order {
+		if g < 0 || g >= f.ngroups {
+			continue
+		}
+		for i := f.dataStart; i < f.cfg.BlocksPerGroup; i++ {
+			if !f.dataBits[g].get(i) {
+				f.dataBits[g].set(i)
+				f.bitsDirty = true
+				f.freeData--
+				return f.groupBase(g) + int64(i), nil
+			}
+		}
+	}
+	return -1, core.ErrNoSpace
+}
+
+func (f *FFS) freeDataLocked(addr int64) {
+	if addr < 1 {
+		return
+	}
+	g := int((addr - 1)) / f.cfg.BlocksPerGroup
+	i := int(addr - f.groupBase(g))
+	if g < 0 || g >= f.ngroups || i < f.dataStart || i >= f.cfg.BlocksPerGroup {
+		return
+	}
+	if f.dataBits[g].get(i) {
+		f.dataBits[g].clear(i)
+		f.bitsDirty = true
+		f.freeData++
+	}
+}
+
+// ReadBlock reads one file block in place.
+func (f *FFS) ReadBlock(t sched.Task, ino *layout.Inode, blk core.BlockNo, data []byte) error {
+	f.mu.Lock(t)
+	addr := ino.BlockAddr(blk)
+	f.mu.Unlock(t)
+	if addr < 0 {
+		if data != nil {
+			for i := range data {
+				data[i] = 0
+			}
+		}
+		return nil
+	}
+	f.reads.Inc()
+	return f.part.Read(t, addr, 1, data)
+}
+
+// WriteBlocks writes each dirty block in place, allocating on first
+// write, then writes the inode synchronously.
+func (f *FFS) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.BlockWrite) error {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	for _, w := range writes {
+		addr := ino.BlockAddr(w.Blk)
+		if addr < 0 {
+			var err error
+			hint := int64(-1)
+			if len(ino.Blocks) > 0 && ino.Blocks[0] >= 0 {
+				hint = ino.Blocks[0]
+			}
+			addr, err = f.allocDataLocked(hint)
+			if err != nil {
+				return err
+			}
+			ino.SetBlockAddr(w.Blk, addr)
+		}
+		f.writes.Inc()
+		if err := f.part.Write(t, addr, 1, w.Data); err != nil {
+			return err
+		}
+	}
+	ino.MTime = int64(f.k.Now())
+	return f.writeInode(t, ino)
+}
+
+// Truncate frees blocks beyond newSize and rewrites the inode.
+func (f *FFS) Truncate(t sched.Task, ino *layout.Inode, newSize int64) error {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	keep := layout.BlocksForSize(newSize)
+	for i := keep; i < int64(len(ino.Blocks)); i++ {
+		if ino.Blocks[i] >= 0 {
+			f.freeDataLocked(ino.Blocks[i])
+		}
+	}
+	if keep < int64(len(ino.Blocks)) {
+		ino.Blocks = ino.Blocks[:keep]
+	}
+	ino.Size = newSize
+	ino.MTime = int64(f.k.Now())
+	return f.writeInode(t, ino)
+}
+
+// PlaceExisting assigns sticky random free blocks to a pre-existing
+// simulated file.
+func (f *FFS) PlaceExisting(t sched.Task, ino *layout.Inode, size int64) error {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	if !f.part.Simulated {
+		return layout.ErrNoPlaceExisting
+	}
+	need := layout.BlocksForSize(size)
+	rng := f.k.Rand()
+	for n := int64(0); n < need; n++ {
+		g := rng.Intn(f.ngroups)
+		placed := false
+		for tries := 0; tries < f.ngroups; tries++ {
+			gg := (g + tries) % f.ngroups
+			start := f.dataStart + rng.Intn(f.cfg.BlocksPerGroup-f.dataStart)
+			for i := 0; i < f.cfg.BlocksPerGroup-f.dataStart; i++ {
+				idx := f.dataStart + (start-f.dataStart+i)%(f.cfg.BlocksPerGroup-f.dataStart)
+				if !f.dataBits[gg].get(idx) {
+					f.dataBits[gg].set(idx)
+					f.freeData--
+					ino.SetBlockAddr(core.BlockNo(len(ino.Blocks)), f.groupBase(gg)+int64(idx))
+					placed = true
+					break
+				}
+			}
+			if placed {
+				break
+			}
+		}
+		if !placed {
+			return core.ErrNoSpace
+		}
+	}
+	ino.Size = size
+	f.inodes[ino.ID] = ino
+	return nil
+}

@@ -1,0 +1,7 @@
+package ffs
+
+import "repro/internal/core"
+
+func init() {
+	core.Components().Register(core.KindLayout, "ffs", New)
+}

@@ -1,0 +1,147 @@
+package fsys
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// readData moves n bytes at offset off from file f into buf (nil in
+// the simulator) through the block cache. It returns the byte count
+// actually read (bounded by EOF). Caller holds f's data lock or is
+// the only user.
+func (v *Volume) readData(t sched.Task, f *File, off int64, buf []byte, n int64) (int64, error) {
+	fs := v.fs
+	if off >= f.ino.Size {
+		return 0, nil
+	}
+	if off+n > f.ino.Size {
+		n = f.ino.Size - off
+	}
+	var done int64
+	for done < n {
+		pos := off + done
+		blk := core.BlockNo(pos / core.BlockSize)
+		bo := pos % core.BlockSize
+		chunk := int64(core.BlockSize) - bo
+		if chunk > n-done {
+			chunk = n - done
+		}
+		key := core.BlockKey{Vol: v.ID, File: f.ino.ID, Blk: blk}
+		fs.st.ReadLookups.Inc()
+		b, hit := fs.cache.GetBlock(t, key)
+		if hit {
+			fs.st.ReadHits.Inc()
+		} else {
+			if err := v.lay.ReadBlock(t, f.ino, blk, b.Data); err != nil {
+				fs.cache.FillFailed(t, b)
+				return done, err
+			}
+			size := core.BlockSize
+			if rem := f.ino.Size - int64(blk)*core.BlockSize; rem < int64(size) {
+				size = int(rem)
+			}
+			fs.cache.Filled(t, b, size)
+		}
+		b.NoCache = f.behavior.dropBehind()
+		// Move the bytes to the caller.
+		if buf != nil && b.Data != nil {
+			fs.mover.Move(buf[done:], b.Data[bo:], int(chunk))
+		} else if c := fs.mover.CopyCost(int(chunk)); c > 0 {
+			t.Sleep(time.Duration(c))
+		}
+		fs.cache.Release(t, b)
+		done += chunk
+	}
+	fs.st.BytesRead.Add(done)
+	return done, nil
+}
+
+// writeData moves n bytes into file f at offset off through the
+// cache, dirtying blocks under the flush policy's dirty-block bound.
+// data may be nil in the simulator.
+func (v *Volume) writeData(t sched.Task, f *File, off int64, data []byte, n int64) error {
+	fs := v.fs
+	var done int64
+	for done < n {
+		pos := off + done
+		blk := core.BlockNo(pos / core.BlockSize)
+		bo := pos % core.BlockSize
+		chunk := int64(core.BlockSize) - bo
+		if chunk > n-done {
+			chunk = n - done
+		}
+		key := core.BlockKey{Vol: v.ID, File: f.ino.ID, Blk: blk}
+		b, hit := fs.cache.GetBlock(t, key)
+		if !hit {
+			partial := bo != 0 || chunk < core.BlockSize
+			within := int64(blk)*core.BlockSize < f.ino.Size
+			if partial && within {
+				// Read-modify-write of an existing block.
+				if err := v.lay.ReadBlock(t, f.ino, blk, b.Data); err != nil {
+					fs.cache.FillFailed(t, b)
+					return err
+				}
+			} else if b.Data != nil {
+				for i := range b.Data {
+					b.Data[i] = 0
+				}
+			}
+			fs.cache.Filled(t, b, core.BlockSize)
+		}
+		if data != nil && b.Data != nil {
+			fs.mover.Move(b.Data[bo:], data[done:], int(chunk))
+		} else if c := fs.mover.CopyCost(int(chunk)); c > 0 {
+			t.Sleep(time.Duration(c))
+		}
+		if sz := int(bo + chunk); sz > b.Size {
+			b.Size = sz
+		}
+		b.NoCache = f.behavior.dropBehind()
+		fs.cache.MarkDirty(t, b)
+		fs.cache.Release(t, b)
+		done += chunk
+	}
+	if off+n > f.ino.Size {
+		f.ino.Size = off + n
+	}
+	fs.st.BytesWritten.Add(n)
+	return nil
+}
+
+// prefetchBlock pulls one block into the cache (multimedia active
+// files use it from their thread of control).
+func (v *Volume) prefetchBlock(t sched.Task, f *File, blk core.BlockNo) {
+	key := core.BlockKey{Vol: v.ID, File: f.ino.ID, Blk: blk}
+	b, hit := v.fs.cache.GetBlock(t, key)
+	if !hit {
+		if err := v.lay.ReadBlock(t, f.ino, blk, b.Data); err != nil {
+			v.fs.cache.FillFailed(t, b)
+			return
+		}
+		v.fs.cache.Filled(t, b, core.BlockSize)
+	}
+	v.fs.cache.Release(t, b)
+}
+
+// truncateLocked shrinks file data: cached blocks past the boundary
+// are discarded (dirty ones count as saved writes) and the layout
+// frees the storage. Caller holds v.mu or f.mu appropriately.
+func (v *Volume) truncateLocked(t sched.Task, f *File, size int64) error {
+	from := core.BlockNo(layout.BlocksForSize(size))
+	v.fs.cache.DiscardFile(t, v.ID, f.ino.ID, from)
+	if err := v.lay.Truncate(t, f.ino, size); err != nil {
+		return err
+	}
+	return v.lay.UpdateInode(t, f.ino)
+}
+
+// destroyLocked releases a removed file's storage once the last
+// reference is gone. Caller holds v.mu.
+func (v *Volume) destroyLocked(t sched.Task, f *File) error {
+	v.fs.cache.DiscardFile(t, v.ID, f.ino.ID, 0)
+	delete(v.files, f.ino.ID)
+	return v.lay.FreeInode(t, f.ino.ID)
+}

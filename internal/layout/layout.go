@@ -1,0 +1,117 @@
+// Package layout defines the framework's storage-layout component:
+// the object that knows where file-system data and meta-data live on
+// a raw disk and is consulted whenever something must be done with
+// one. The base component is deliberately interface-only — "for all
+// layout and policy decisions there exists a virtual method" — and
+// concrete layouts (the segmented log-structured layout in
+// internal/lfs, the FFS-like layout in internal/ffs) implement it.
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Inode is the in-memory representative of a file's meta-data. The
+// block map is kept flat in memory (authoritative during a run) and
+// serialized to the layout's on-disk form (direct/indirect pointers
+// for the LFS and FFS layouts) when written.
+type Inode struct {
+	ID      core.FileID
+	Type    core.FileType
+	Size    int64
+	Nlink   uint32
+	Mode    uint32
+	Version uint64
+	MTime   int64 // ns since volume epoch
+	CTime   int64
+	ATime   int64
+
+	// Blocks maps file block numbers to partition-relative block
+	// addresses; -1 marks a hole.
+	Blocks []int64
+
+	// IndAddrs records where this file's indirect map blocks live,
+	// so log cleaners can judge their liveness.
+	IndAddrs []int64
+}
+
+// NBlocks returns the number of mapped file blocks.
+func (ino *Inode) NBlocks() int { return len(ino.Blocks) }
+
+// BlockAddr returns the address of file block b, or -1.
+func (ino *Inode) BlockAddr(b core.BlockNo) int64 {
+	if int(b) >= len(ino.Blocks) || b < 0 {
+		return -1
+	}
+	return ino.Blocks[b]
+}
+
+// SetBlockAddr grows the map as needed and sets block b's address.
+func (ino *Inode) SetBlockAddr(b core.BlockNo, addr int64) {
+	for int(b) >= len(ino.Blocks) {
+		ino.Blocks = append(ino.Blocks, -1)
+	}
+	ino.Blocks[b] = addr
+}
+
+// BlocksForSize returns how many blocks a file of n bytes spans.
+func BlocksForSize(n int64) int64 {
+	return (n + core.BlockSize - 1) / core.BlockSize
+}
+
+// BlockWrite is one dirty block handed to the layout for placement.
+type BlockWrite struct {
+	Blk  core.BlockNo
+	Data []byte // nil when simulated
+	Size int    // valid bytes
+}
+
+// Layout is the abstract storage-layout component.
+type Layout interface {
+	Name() string
+
+	// Format initializes an empty file system on the partition.
+	Format(t sched.Task) error
+	// Mount loads the layout's persistent state (superblock,
+	// checkpoint, allocation maps).
+	Mount(t sched.Task) error
+	// Sync makes all accepted writes durable (checkpoint / flush
+	// partial segment / write back allocation maps).
+	Sync(t sched.Task) error
+
+	// AllocInode creates a fresh inode of the given type.
+	AllocInode(t sched.Task, typ core.FileType) (*Inode, error)
+	// GetInode fetches an inode by number.
+	GetInode(t sched.Task, id core.FileID) (*Inode, error)
+	// UpdateInode records changed inode meta-data.
+	UpdateInode(t sched.Task, ino *Inode) error
+	// FreeInode removes the file: blocks and inode are freed.
+	FreeInode(t sched.Task, id core.FileID) error
+
+	// ReadBlock reads file block blk into data (data nil when
+	// simulated; the I/O still costs time).
+	ReadBlock(t sched.Task, ino *Inode, blk core.BlockNo, data []byte) error
+	// WriteBlocks places and writes the given dirty blocks of one
+	// file. A log-structured layout writes them contiguously.
+	WriteBlocks(t sched.Task, ino *Inode, writes []BlockWrite) error
+	// Truncate releases blocks beyond newSize.
+	Truncate(t sched.Task, ino *Inode, newSize int64) error
+
+	// PlaceExisting assigns addresses to a file that "already
+	// existed" before a simulation began — the simulator's educated
+	// guess: a random location, sticky once chosen. Real layouts
+	// may reject it.
+	PlaceExisting(t sched.Task, ino *Inode, size int64) error
+
+	// FreeBlocks reports remaining allocatable capacity in blocks.
+	FreeBlocks() int64
+	// Stats registers the layout's statistics plug-ins.
+	Stats(set *stats.Set)
+}
+
+// ErrNoPlaceExisting is returned by real layouts for PlaceExisting.
+var ErrNoPlaceExisting = fmt.Errorf("layout: PlaceExisting is a simulator-only operation")

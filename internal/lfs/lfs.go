@@ -1,0 +1,299 @@
+// Package lfs implements the framework's segmented log-structured
+// storage layout, the layout the paper runs on every volume of the
+// Sprite replay: file-system updates are appended to the end of a
+// log divided into fixed-size segments, files are found through an
+// inode map (the IFILE), and a pluggable log-cleaner reclaims
+// segments. The same component instantiates for the on-line system
+// (real bytes through the driver) and the simulator (timing only).
+//
+// On-disk layout, in file-system blocks, all partition-relative:
+//
+//	0                  superblock
+//	1 .. cp            checkpoint region A (header + segment-usage table)
+//	1+cp .. 2cp        checkpoint region B (alternate)
+//	seg0 ...           segments: [summary block][data blocks...]
+//
+// The inode map is chunked (256 inodes of 16 bytes per chunk); dirty
+// chunks are written into the log like data and their addresses are
+// recorded in the checkpoint header, which is what makes them — and
+// everything else — findable after a crash.
+package lfs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Config tunes the layout.
+type Config struct {
+	// SegBlocks is the segment size in blocks (summary included).
+	SegBlocks int
+	// MinFreeSegs triggers the cleaner; CleanTargetSegs is where it
+	// stops.
+	MinFreeSegs     int
+	CleanTargetSegs int
+	// Cleaner names the victim-selection policy: "greedy" or
+	// "cost-benefit" (default).
+	Cleaner string
+	// MaxInodes bounds the inode map.
+	MaxInodes int
+}
+
+// DefaultConfig returns the configuration used by the experiments:
+// 512 KB segments, cost-benefit cleaning.
+func DefaultConfig() Config {
+	return Config{
+		SegBlocks:       128,
+		MinFreeSegs:     4,
+		CleanTargetSegs: 8,
+		Cleaner:         "cost-benefit",
+		MaxInodes:       1 << 16,
+	}
+}
+
+// entry kinds recorded in segment summaries.
+const (
+	kindData uint8 = iota + 1
+	kindIndirect
+	kindInode
+	kindImap
+)
+
+// sumEntry describes one block of a segment.
+type sumEntry struct {
+	Kind uint8
+	File core.FileID
+	Blk  int64 // block-in-file (data), group index (indirect), chunk (imap)
+}
+
+// imapEnt is one inode-map slot.
+type imapEnt struct {
+	addr    int64 // block holding the inode record, -1 if free
+	slot    uint8 // record index within the block
+	version uint32
+}
+
+// segInfo is one segment-usage-table entry.
+type segInfo struct {
+	live  int32  // live blocks (excluding summary)
+	seq   uint32 // log sequence when last written (age proxy)
+	state uint8  // segFree, segInUse, segCurrent
+}
+
+const (
+	segFree uint8 = iota
+	segInUse
+	segCurrent
+)
+
+// segBuf is the in-memory open segment.
+type segBuf struct {
+	seg     int
+	entries []sumEntry
+	data    []byte // real mode: (SegBlocks)*BlockSize, block 0 = summary
+	used    int    // data slots filled (slot i lives at segment block 1+i)
+}
+
+// LFS is the segmented log-structured layout.
+type LFS struct {
+	name string
+	k    sched.Kernel
+	part *layout.Partition
+	cfg  Config
+	mu   sched.Mutex
+
+	// Geometry (from the superblock).
+	cpSize    int64
+	seg0      int64
+	nsegs     int
+	dataSlots int // per segment
+
+	seq       uint64
+	cpNext    int // which checkpoint region to write next
+	nextIno   core.FileID
+	imap      map[core.FileID]*imapEnt
+	imapAddr  []int64 // chunk index → log address (-1 unwritten)
+	imapDirty map[int]bool
+
+	sut      []segInfo
+	freeSegs []int // FIFO of free segment indexes
+	cur      *segBuf
+
+	// In-memory mirrors (authoritative during a run; rebuilt from
+	// disk on a real mount).
+	inodes        map[core.FileID]*layout.Inode
+	dirtyInodes   map[core.FileID]bool
+	summaries     map[int][]sumEntry
+	inodeBlockIDs map[int64][]core.FileID // inode-block addr → packed ids
+	pending       map[int64][]byte        // unflushed log addr → bytes (real)
+
+	cleaner  CleanerPolicy
+	cleaning bool
+	mounted  bool
+
+	segsWritten *stats.Counter
+	partialSegs *stats.Counter
+	segsCleaned *stats.Counter
+	liveCopied  *stats.Counter
+	blocksOut   *stats.Counter
+	cleanerUtil *stats.Moments
+}
+
+// New builds an LFS over part. Call Format (fresh partition) or
+// Mount (existing) before use.
+func New(k sched.Kernel, name string, part *layout.Partition, cfg Config) *LFS {
+	if cfg.SegBlocks < 8 {
+		cfg.SegBlocks = DefaultConfig().SegBlocks
+	}
+	if cfg.MinFreeSegs <= 0 {
+		cfg.MinFreeSegs = 4
+	}
+	if cfg.CleanTargetSegs <= cfg.MinFreeSegs {
+		cfg.CleanTargetSegs = cfg.MinFreeSegs + 4
+	}
+	if cfg.MaxInodes <= 0 {
+		cfg.MaxInodes = 1 << 16
+	}
+	cl, ok := NewCleanerPolicy(cfg.Cleaner)
+	if !ok {
+		panic(fmt.Sprintf("lfs: unknown cleaner policy %q", cfg.Cleaner))
+	}
+	return &LFS{
+		name:          name,
+		k:             k,
+		part:          part,
+		cfg:           cfg,
+		mu:            k.NewMutex(name + ".lfs"),
+		imap:          make(map[core.FileID]*imapEnt),
+		imapDirty:     make(map[int]bool),
+		inodes:        make(map[core.FileID]*layout.Inode),
+		dirtyInodes:   make(map[core.FileID]bool),
+		summaries:     make(map[int][]sumEntry),
+		inodeBlockIDs: make(map[int64][]core.FileID),
+		pending:       make(map[int64][]byte),
+		cleaner:       cl,
+		segsWritten:   stats.NewCounter(name + ".segs_written"),
+		partialSegs:   stats.NewCounter(name + ".partial_segs"),
+		segsCleaned:   stats.NewCounter(name + ".segs_cleaned"),
+		liveCopied:    stats.NewCounter(name + ".live_blocks_copied"),
+		blocksOut:     stats.NewCounter(name + ".log_blocks_written"),
+		cleanerUtil:   stats.NewMoments(name + ".cleaned_utilization"),
+	}
+}
+
+// Name returns "lfs".
+func (l *LFS) Name() string { return "lfs" }
+
+// geometry computes the reserved-area sizes for the partition.
+func (l *LFS) geometry() {
+	blocks := l.part.Blocks
+	sb := int64(1)
+	// Fixpoint on checkpoint size (depends on nsegs).
+	nsegs := int((blocks - sb) / int64(l.cfg.SegBlocks))
+	for i := 0; i < 3; i++ {
+		sutBlocks := (int64(nsegs)*sutEntSize + core.BlockSize - 1) / core.BlockSize
+		l.cpSize = 1 + sutBlocks
+		l.seg0 = sb + 2*l.cpSize
+		nsegs = int((blocks - l.seg0) / int64(l.cfg.SegBlocks))
+	}
+	l.nsegs = nsegs
+	l.dataSlots = l.cfg.SegBlocks - 1
+	if maxSum := (core.BlockSize - 8) / sumEntSize; l.dataSlots > maxSum {
+		panic(fmt.Sprintf("lfs %s: SegBlocks %d needs %d summary entries, block holds %d",
+			l.name, l.cfg.SegBlocks, l.dataSlots, maxSum))
+	}
+	if l.nsegs < l.cfg.CleanTargetSegs+2 {
+		panic(fmt.Sprintf("lfs %s: partition of %d blocks too small for %d-block segments",
+			l.name, blocks, l.cfg.SegBlocks))
+	}
+	chunks := (l.cfg.MaxInodes + imapPerChunk - 1) / imapPerChunk
+	if maxChunks := int((core.BlockSize - cpHeaderSize) / 8); chunks > maxChunks {
+		panic(fmt.Sprintf("lfs %s: MaxInodes %d needs %d imap chunks, checkpoint holds %d",
+			l.name, l.cfg.MaxInodes, chunks, maxChunks))
+	}
+	l.imapAddr = make([]int64, chunks)
+	for i := range l.imapAddr {
+		l.imapAddr[i] = -1
+	}
+}
+
+// Format initializes an empty log on the partition.
+func (l *LFS) Format(t sched.Task) error {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	l.geometry()
+	l.sut = make([]segInfo, l.nsegs)
+	l.freeSegs = l.freeSegs[:0]
+	for i := 0; i < l.nsegs; i++ {
+		l.freeSegs = append(l.freeSegs, i)
+	}
+	l.seq = 1
+	l.nextIno = core.RootFile
+	l.cur = nil
+	if err := l.writeSuper(t); err != nil {
+		return err
+	}
+	return l.checkpointLocked(t)
+}
+
+// Mount loads the most recent checkpoint. Simulated partitions may
+// call Mount right after Format; real partitions may Mount a volume
+// written by an earlier incarnation.
+func (l *LFS) Mount(t sched.Task) error {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	if l.part.Simulated {
+		if l.sut == nil {
+			return fmt.Errorf("lfs %s: simulated mount requires Format first", l.name)
+		}
+		l.mounted = true
+		return nil
+	}
+	if err := l.readSuper(t); err != nil {
+		return err
+	}
+	if err := l.readCheckpoint(t); err != nil {
+		return err
+	}
+	l.mounted = true
+	return nil
+}
+
+// FreeBlocks reports allocatable capacity: free segments plus the
+// open segment's remaining slots.
+func (l *LFS) FreeBlocks() int64 {
+	free := int64(len(l.freeSegs)) * int64(l.dataSlots)
+	if l.cur != nil {
+		free += int64(l.dataSlots - l.cur.used)
+	}
+	return free
+}
+
+// Stats registers the layout's statistics plug-ins.
+func (l *LFS) Stats(set *stats.Set) {
+	set.Add(l.segsWritten)
+	set.Add(l.partialSegs)
+	set.Add(l.segsCleaned)
+	set.Add(l.liveCopied)
+	set.Add(l.blocksOut)
+	set.Add(l.cleanerUtil)
+}
+
+// segStart returns the first block (the summary) of segment s.
+func (l *LFS) segStart(s int) int64 {
+	return l.seg0 + int64(s)*int64(l.cfg.SegBlocks)
+}
+
+// segOf maps a log address to its segment index.
+func (l *LFS) segOf(addr int64) int {
+	return int((addr - l.seg0) / int64(l.cfg.SegBlocks))
+}
+
+func (l *LFS) String() string {
+	return fmt.Sprintf("lfs %s: %d segments × %d blocks, cleaner=%s",
+		l.name, l.nsegs, l.cfg.SegBlocks, l.cleaner.Name())
+}

@@ -1,0 +1,289 @@
+package lfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+const (
+	superMagic = 0x4C465331 // "LFS1"
+	cpMagic    = 0x4C465343 // "LFSC"
+
+	cpHeaderSize = 64
+	// imap entries are 16 bytes: addr+1 (8), version (4), slot (1),
+	// pad (3); 256 per 4 KB chunk.
+	imapEntSize  = 16
+	imapPerChunk = core.BlockSize / imapEntSize
+	// SUT entries are 16 bytes: live (4), seq (4), state (1), pad.
+	sutEntSize = 16
+	// Summary entries are 24 bytes: kind (1), pad (7), file (8),
+	// blk (8).
+	sumEntSize = 24
+)
+
+// writeSuper writes the superblock (block 0).
+func (l *LFS) writeSuper(t sched.Task) error {
+	var buf []byte
+	if !l.part.Simulated {
+		buf = make([]byte, core.BlockSize)
+		le := binary.LittleEndian
+		le.PutUint32(buf[0:], superMagic)
+		le.PutUint32(buf[4:], uint32(l.cfg.SegBlocks))
+		le.PutUint64(buf[8:], uint64(l.nsegs))
+		le.PutUint64(buf[16:], uint64(l.cpSize))
+		le.PutUint64(buf[24:], uint64(l.seg0))
+		le.PutUint64(buf[32:], uint64(l.cfg.MaxInodes))
+	}
+	return l.part.Write(t, 0, 1, buf)
+}
+
+// readSuper loads geometry from the superblock.
+func (l *LFS) readSuper(t sched.Task) error {
+	buf := make([]byte, core.BlockSize)
+	if err := l.part.Read(t, 0, 1, buf); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != superMagic {
+		return fmt.Errorf("lfs %s: bad superblock magic %#x", l.name, le.Uint32(buf[0:]))
+	}
+	l.cfg.SegBlocks = int(le.Uint32(buf[4:]))
+	l.nsegs = int(le.Uint64(buf[8:]))
+	l.cpSize = int64(le.Uint64(buf[16:]))
+	l.seg0 = int64(le.Uint64(buf[24:]))
+	l.cfg.MaxInodes = int(le.Uint64(buf[32:]))
+	l.dataSlots = l.cfg.SegBlocks - 1
+	chunks := (l.cfg.MaxInodes + imapPerChunk - 1) / imapPerChunk
+	l.imapAddr = make([]int64, chunks)
+	for i := range l.imapAddr {
+		l.imapAddr[i] = -1
+	}
+	return nil
+}
+
+// cpBase returns the first block of checkpoint region r (0 or 1).
+func (l *LFS) cpBase(r int) int64 { return 1 + int64(r)*l.cpSize }
+
+// checkpointLocked flushes dirty imap chunks into the log and writes
+// a checkpoint region: header (seq, next inode, imap chunk table)
+// followed by the segment usage table. Regions alternate so a crash
+// during the write leaves the previous checkpoint intact.
+func (l *LFS) checkpointLocked(t sched.Task) error {
+	// 1. Dirty imap chunks go into the log.
+	if len(l.imapDirty) > 0 {
+		chunks := make([]int, 0, len(l.imapDirty))
+		for c := range l.imapDirty {
+			chunks = append(chunks, c)
+		}
+		sort.Ints(chunks)
+		var buf []byte
+		if !l.part.Simulated {
+			buf = make([]byte, core.BlockSize)
+		}
+		for _, c := range chunks {
+			if buf != nil {
+				l.encodeImapChunk(c, buf)
+			}
+			if old := l.imapAddr[c]; old >= 0 {
+				l.deadBlock(old)
+			}
+			addr, err := l.appendBlock(t, kindImap, 0, int64(c), buf)
+			if err != nil {
+				return err
+			}
+			l.imapAddr[c] = addr
+		}
+		l.imapDirty = make(map[int]bool)
+		// The chunks must be on disk before the checkpoint points
+		// at them.
+		if err := l.flushSegBuf(t); err != nil {
+			return err
+		}
+	}
+
+	// 2. Header + SUT into the alternate region.
+	region := l.cpNext
+	l.cpNext ^= 1
+	var data []byte
+	if !l.part.Simulated {
+		data = make([]byte, l.cpSize*core.BlockSize)
+		le := binary.LittleEndian
+		le.PutUint32(data[0:], cpMagic)
+		le.PutUint64(data[8:], l.seq)
+		le.PutUint64(data[16:], uint64(l.nextIno))
+		le.PutUint32(data[24:], uint32(len(l.imapAddr)))
+		off := cpHeaderSize
+		for _, a := range l.imapAddr {
+			le.PutUint64(data[off:], uint64(a+1))
+			off += 8
+		}
+		sutOff := core.BlockSize
+		for i, s := range l.sut {
+			o := sutOff + i*sutEntSize
+			le.PutUint32(data[o:], uint32(s.live))
+			le.PutUint32(data[o+4:], s.seq)
+			data[o+8] = s.state
+		}
+	}
+	if err := l.part.Write(t, l.cpBase(region), int(l.cpSize), data); err != nil {
+		return err
+	}
+	l.seq++
+	return nil
+}
+
+// readCheckpoint loads the newer of the two checkpoint regions and
+// rebuilds the inode map and usage table.
+func (l *LFS) readCheckpoint(t sched.Task) error {
+	best := -1
+	var bestSeq uint64
+	var bestData []byte
+	for r := 0; r < 2; r++ {
+		data := make([]byte, l.cpSize*core.BlockSize)
+		if err := l.part.Read(t, l.cpBase(r), int(l.cpSize), data); err != nil {
+			continue
+		}
+		le := binary.LittleEndian
+		if le.Uint32(data[0:]) != cpMagic {
+			continue
+		}
+		if seq := le.Uint64(data[8:]); best < 0 || seq > bestSeq {
+			best, bestSeq, bestData = r, seq, data
+		}
+	}
+	if best < 0 {
+		return fmt.Errorf("lfs %s: no valid checkpoint", l.name)
+	}
+	le := binary.LittleEndian
+	l.seq = bestSeq + 1
+	l.cpNext = best ^ 1
+	l.nextIno = core.FileID(le.Uint64(bestData[16:]))
+	nchunks := int(le.Uint32(bestData[24:]))
+	if nchunks > len(l.imapAddr) {
+		nchunks = len(l.imapAddr)
+	}
+	off := cpHeaderSize
+	for i := 0; i < nchunks; i++ {
+		l.imapAddr[i] = int64(le.Uint64(bestData[off:])) - 1
+		off += 8
+	}
+	// Usage table.
+	l.sut = make([]segInfo, l.nsegs)
+	l.freeSegs = l.freeSegs[:0]
+	sutOff := core.BlockSize
+	for i := range l.sut {
+		o := sutOff + i*sutEntSize
+		l.sut[i] = segInfo{
+			live:  int32(le.Uint32(bestData[o:])),
+			seq:   le.Uint32(bestData[o+4:]),
+			state: bestData[o+8],
+		}
+		if l.sut[i].state == segFree || l.sut[i].state == segCurrent {
+			// A segment open at checkpoint time was lost with the
+			// crash; its blocks were not yet referenced.
+			l.sut[i] = segInfo{state: segFree}
+			l.freeSegs = append(l.freeSegs, i)
+		}
+	}
+	// Inode map chunks.
+	l.imap = make(map[core.FileID]*imapEnt)
+	buf := make([]byte, core.BlockSize)
+	for c, addr := range l.imapAddr {
+		if addr < 0 {
+			continue
+		}
+		if err := l.part.Read(t, addr, 1, buf); err != nil {
+			return err
+		}
+		l.decodeImapChunk(c, buf)
+	}
+	return nil
+}
+
+// encodeImapChunk serializes chunk c of the inode map.
+func (l *LFS) encodeImapChunk(c int, buf []byte) {
+	le := binary.LittleEndian
+	for i := range buf[:core.BlockSize] {
+		buf[i] = 0
+	}
+	base := core.FileID(c * imapPerChunk)
+	for i := 0; i < imapPerChunk; i++ {
+		ent := l.imap[base+core.FileID(i)]
+		if ent == nil {
+			continue
+		}
+		o := i * imapEntSize
+		le.PutUint64(buf[o:], uint64(ent.addr+1))
+		le.PutUint32(buf[o+8:], ent.version)
+		buf[o+12] = ent.slot
+	}
+}
+
+// decodeImapChunk loads chunk c of the inode map.
+func (l *LFS) decodeImapChunk(c int, buf []byte) {
+	le := binary.LittleEndian
+	base := core.FileID(c * imapPerChunk)
+	for i := 0; i < imapPerChunk; i++ {
+		o := i * imapEntSize
+		raw := le.Uint64(buf[o:])
+		version := le.Uint32(buf[o+8:])
+		if raw == 0 && version == 0 {
+			continue
+		}
+		l.imap[base+core.FileID(i)] = &imapEnt{
+			addr:    int64(raw) - 1,
+			version: version,
+			slot:    buf[o+12],
+		}
+	}
+}
+
+// encodeSummary serializes the open segment's summary into its
+// first block.
+func (l *LFS) encodeSummary(s *segBuf) {
+	buf := s.data[:core.BlockSize]
+	for i := range buf {
+		buf[i] = 0
+	}
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], superMagic)
+	le.PutUint32(buf[4:], uint32(len(s.entries)))
+	for i, e := range s.entries {
+		o := 8 + i*sumEntSize
+		buf[o] = e.Kind
+		le.PutUint64(buf[o+8:], uint64(e.File))
+		le.PutUint64(buf[o+16:], uint64(e.Blk))
+	}
+}
+
+// readSummary reads a segment summary from disk (real remounts).
+func (l *LFS) readSummary(t sched.Task, seg int) ([]sumEntry, error) {
+	buf := make([]byte, core.BlockSize)
+	if err := l.part.Read(t, l.segStart(seg), 1, buf); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != superMagic {
+		return nil, fmt.Errorf("lfs %s: segment %d has no summary", l.name, seg)
+	}
+	n := int(le.Uint32(buf[4:]))
+	max := (core.BlockSize - 8) / sumEntSize
+	if n > max {
+		return nil, fmt.Errorf("lfs %s: summary of %d entries exceeds block", l.name, n)
+	}
+	out := make([]sumEntry, n)
+	for i := range out {
+		o := 8 + i*sumEntSize
+		out[i] = sumEntry{
+			Kind: buf[o],
+			File: core.FileID(le.Uint64(buf[o+8:])),
+			Blk:  int64(le.Uint64(buf[o+16:])),
+		}
+	}
+	l.summaries[seg] = out
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package lfs
+
+import "repro/internal/core"
+
+func init() {
+	r := core.Components()
+	r.Register(core.KindLayout, "lfs", New)
+	for _, name := range []string{"greedy", "cost-benefit"} {
+		n := name
+		r.Register(core.KindCleaner, n, func() (CleanerPolicy, bool) { return NewCleanerPolicy(n) })
+	}
+}

@@ -1,0 +1,286 @@
+package nfs
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fsys"
+	"repro/internal/xdr"
+)
+
+// Client speaks the PFS protocol to a server. It is safe for
+// concurrent use; calls are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	xid  uint32
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one RPC; args encodes after the header, and the
+// returned decoder is positioned at the results.
+func (c *Client) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xid++
+	e := xdr.NewEncoder()
+	e.Uint32(c.xid)
+	e.Uint32(MsgCall)
+	e.Uint32(proc)
+	if args != nil {
+		args(e)
+	}
+	if err := writeFrame(c.conn, e.Bytes()); err != nil {
+		return nil, err
+	}
+	frame, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(frame)
+	xid, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if xid != c.xid {
+		return nil, fmt.Errorf("nfs: reply xid %d, want %d", xid, c.xid)
+	}
+	if dir, err := d.Uint32(); err != nil || dir != MsgReply {
+		return nil, fmt.Errorf("nfs: bad reply direction")
+	}
+	status, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if status != OK {
+		return nil, ErrorOf(status)
+	}
+	return d, nil
+}
+
+// Null pings the server.
+func (c *Client) Null() error {
+	_, err := c.call(ProcNull, nil)
+	return err
+}
+
+// Mount returns the root handle and attributes of a volume.
+func (c *Client) Mount(vol core.VolumeID) (FH, fsys.FileAttr, error) {
+	d, err := c.call(ProcMount, func(e *xdr.Encoder) { e.Uint32(uint32(vol)) })
+	if err != nil {
+		return FH{}, fsys.FileAttr{}, err
+	}
+	return decodeFHAttr(d)
+}
+
+// Getattr fetches attributes.
+func (c *Client) Getattr(fh FH) (fsys.FileAttr, error) {
+	d, err := c.call(ProcGetattr, func(e *xdr.Encoder) { encodeFH(e, fh) })
+	if err != nil {
+		return fsys.FileAttr{}, err
+	}
+	return decodeAttr(d)
+}
+
+// SetSize truncates or extends a file.
+func (c *Client) SetSize(fh FH, size int64) (fsys.FileAttr, error) {
+	d, err := c.call(ProcSetattr, func(e *xdr.Encoder) {
+		encodeFH(e, fh)
+		e.Int64(size)
+	})
+	if err != nil {
+		return fsys.FileAttr{}, err
+	}
+	return decodeAttr(d)
+}
+
+// Lookup resolves name in directory dir.
+func (c *Client) Lookup(dir FH, name string) (FH, fsys.FileAttr, error) {
+	d, err := c.call(ProcLookup, func(e *xdr.Encoder) {
+		encodeFH(e, dir)
+		e.String(name)
+	})
+	if err != nil {
+		return FH{}, fsys.FileAttr{}, err
+	}
+	return decodeFHAttr(d)
+}
+
+// Read fetches up to count bytes at off.
+func (c *Client) Read(fh FH, off int64, count int) ([]byte, error) {
+	d, err := c.call(ProcRead, func(e *xdr.Encoder) {
+		encodeFH(e, fh)
+		e.Int64(off)
+		e.Uint32(uint32(count))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d.Opaque()
+}
+
+// Write stores data at off and returns the new attributes.
+func (c *Client) Write(fh FH, off int64, data []byte) (fsys.FileAttr, error) {
+	d, err := c.call(ProcWrite, func(e *xdr.Encoder) {
+		encodeFH(e, fh)
+		e.Int64(off)
+		e.Opaque(data)
+	})
+	if err != nil {
+		return fsys.FileAttr{}, err
+	}
+	return decodeAttr(d)
+}
+
+// Create makes a regular file in dir.
+func (c *Client) Create(dir FH, name string) (FH, fsys.FileAttr, error) {
+	return c.makeNode(ProcCreate, dir, name)
+}
+
+// Mkdir makes a directory in dir.
+func (c *Client) Mkdir(dir FH, name string) (FH, fsys.FileAttr, error) {
+	return c.makeNode(ProcMkdir, dir, name)
+}
+
+func (c *Client) makeNode(proc uint32, dir FH, name string) (FH, fsys.FileAttr, error) {
+	d, err := c.call(proc, func(e *xdr.Encoder) {
+		encodeFH(e, dir)
+		e.String(name)
+	})
+	if err != nil {
+		return FH{}, fsys.FileAttr{}, err
+	}
+	return decodeFHAttr(d)
+}
+
+// Remove unlinks a file from dir.
+func (c *Client) Remove(dir FH, name string) error {
+	_, err := c.call(ProcRemove, func(e *xdr.Encoder) {
+		encodeFH(e, dir)
+		e.String(name)
+	})
+	return err
+}
+
+// Rmdir removes an empty directory from dir.
+func (c *Client) Rmdir(dir FH, name string) error {
+	_, err := c.call(ProcRmdir, func(e *xdr.Encoder) {
+		encodeFH(e, dir)
+		e.String(name)
+	})
+	return err
+}
+
+// Rename moves fromName in fromDir to toName in toDir.
+func (c *Client) Rename(fromDir FH, fromName string, toDir FH, toName string) error {
+	_, err := c.call(ProcRename, func(e *xdr.Encoder) {
+		encodeFH(e, fromDir)
+		e.String(fromName)
+		encodeFH(e, toDir)
+		e.String(toName)
+	})
+	return err
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name string
+	ID   core.FileID
+}
+
+// Readdir lists dir.
+func (c *Client) Readdir(dir FH) ([]DirEntry, error) {
+	d, err := c.call(ProcReaddir, func(e *xdr.Encoder) { encodeFH(e, dir) })
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		id, err := d.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DirEntry{Name: name, ID: core.FileID(id)})
+	}
+	return out, nil
+}
+
+// Symlink creates a symbolic link in dir.
+func (c *Client) Symlink(dir FH, name, target string) (FH, fsys.FileAttr, error) {
+	d, err := c.call(ProcSymlink, func(e *xdr.Encoder) {
+		encodeFH(e, dir)
+		e.String(name)
+		e.String(target)
+	})
+	if err != nil {
+		return FH{}, fsys.FileAttr{}, err
+	}
+	return decodeFHAttr(d)
+}
+
+// Readlink fetches a symlink's target.
+func (c *Client) Readlink(fh FH) (string, error) {
+	d, err := c.call(ProcReadlink, func(e *xdr.Encoder) { encodeFH(e, fh) })
+	if err != nil {
+		return "", err
+	}
+	return d.String()
+}
+
+// FSInfo is the statfs result.
+type FSInfo struct {
+	BlockSize  uint32
+	FreeBlocks int64
+	Layout     string
+}
+
+// StatFS reports volume capacity.
+func (c *Client) StatFS(fh FH) (FSInfo, error) {
+	d, err := c.call(ProcStatFS, func(e *xdr.Encoder) { encodeFH(e, fh) })
+	if err != nil {
+		return FSInfo{}, err
+	}
+	bs, err := d.Uint32()
+	if err != nil {
+		return FSInfo{}, err
+	}
+	free, err := d.Int64()
+	if err != nil {
+		return FSInfo{}, err
+	}
+	lay, err := d.String()
+	if err != nil {
+		return FSInfo{}, err
+	}
+	return FSInfo{BlockSize: bs, FreeBlocks: free, Layout: lay}, nil
+}
+
+func decodeFHAttr(d *xdr.Decoder) (FH, fsys.FileAttr, error) {
+	fh, err := decodeFH(d)
+	if err != nil {
+		return FH{}, fsys.FileAttr{}, err
+	}
+	attr, err := decodeAttr(d)
+	return fh, attr, err
+}

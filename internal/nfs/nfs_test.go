@@ -1,0 +1,236 @@
+package nfs_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nfs"
+	"repro/internal/pfs"
+)
+
+// startServer boots a PFS and its network front-end on loopback.
+func startServer(t *testing.T) (*pfs.Server, *nfs.Client) {
+	srv, cl, _ := startServerAddr(t)
+	return srv, cl
+}
+
+func startServerAddr(t *testing.T) (*pfs.Server, *nfs.Client, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pfs.img")
+	srv, err := pfs.Open(pfs.Config{Path: path, Blocks: 2048, CacheBlocks: 128})
+	if err != nil {
+		t.Fatalf("pfs.Open: %v", err)
+	}
+	addr, err := srv.ServeNFS("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeNFS: %v", err)
+	}
+	cl, err := nfs.Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return srv, cl, addr
+}
+
+func TestNullAndMount(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Null(); err != nil {
+		t.Fatalf("Null: %v", err)
+	}
+	root, attr, err := cl.Mount(1)
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	if attr.Type != core.TypeDirectory || root.File != core.RootFile {
+		t.Fatalf("root attr %+v handle %+v", attr, root)
+	}
+	if _, _, err := cl.Mount(99); err != core.ErrNotFound {
+		t.Fatalf("mount of missing volume: %v", err)
+	}
+}
+
+func TestCreateWriteReadOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	fh, _, err := cl.Create(root, "wire.txt")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := bytes.Repeat([]byte("abcd"), 3000) // 12 KB, 3 blocks
+	attr, err := cl.Write(fh, 0, payload)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if attr.Size != int64(len(payload)) {
+		t.Fatalf("size after write %d", attr.Size)
+	}
+	got, err := cl.Read(fh, 0, len(payload))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("wire round trip mismatch")
+	}
+	// Offset read.
+	part, err := cl.Read(fh, 4096, 100)
+	if err != nil || !bytes.Equal(part, payload[4096:4196]) {
+		t.Fatalf("offset read: %v", err)
+	}
+}
+
+func TestLookupAndGetattr(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	fh, _, _ := cl.Create(root, "f")
+	got, attr, err := cl.Lookup(root, "f")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if got != fh {
+		t.Fatalf("lookup handle %+v, want %+v", got, fh)
+	}
+	attr2, err := cl.Getattr(fh)
+	if err != nil || attr2.ID != attr.ID {
+		t.Fatalf("Getattr: %+v %v", attr2, err)
+	}
+	if _, _, err := cl.Lookup(root, "missing"); err != core.ErrNotFound {
+		t.Fatalf("missing lookup: %v", err)
+	}
+}
+
+func TestMkdirReaddirRemove(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	dir, _, err := cl.Mkdir(root, "sub")
+	if err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	cl.Create(dir, "x")
+	cl.Create(dir, "y")
+	ents, err := cl.Readdir(dir)
+	if err != nil || len(ents) != 2 || ents[0].Name != "x" || ents[1].Name != "y" {
+		t.Fatalf("Readdir: %v %v", ents, err)
+	}
+	if err := cl.Rmdir(root, "sub"); err != core.ErrNotEmpty {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	cl.Remove(dir, "x")
+	cl.Remove(dir, "y")
+	if err := cl.Rmdir(root, "sub"); err != nil {
+		t.Fatalf("rmdir empty: %v", err)
+	}
+}
+
+func TestRenameOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	cl.Create(root, "old")
+	if err := cl.Rename(root, "old", root, "new"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, _, err := cl.Lookup(root, "old"); err != core.ErrNotFound {
+		t.Fatal("old name survived")
+	}
+	if _, _, err := cl.Lookup(root, "new"); err != nil {
+		t.Fatalf("new name missing: %v", err)
+	}
+}
+
+func TestSymlinkOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	fh, attr, err := cl.Symlink(root, "ln", "/target/path")
+	if err != nil || attr.Type != core.TypeSymlink {
+		t.Fatalf("Symlink: %+v %v", attr, err)
+	}
+	target, err := cl.Readlink(fh)
+	if err != nil || target != "/target/path" {
+		t.Fatalf("Readlink: %q %v", target, err)
+	}
+}
+
+func TestSetSizeTruncates(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	fh, _, _ := cl.Create(root, "t")
+	cl.Write(fh, 0, bytes.Repeat([]byte{1}, 8192))
+	attr, err := cl.SetSize(fh, 100)
+	if err != nil || attr.Size != 100 {
+		t.Fatalf("SetSize: %+v %v", attr, err)
+	}
+	data, _ := cl.Read(fh, 0, 8192)
+	if len(data) != 100 {
+		t.Fatalf("read after truncate: %d bytes", len(data))
+	}
+}
+
+func TestStatFS(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	info, err := cl.StatFS(root)
+	if err != nil {
+		t.Fatalf("StatFS: %v", err)
+	}
+	if info.BlockSize != core.BlockSize || info.Layout != "lfs" || info.FreeBlocks <= 0 {
+		t.Fatalf("FSInfo %+v", info)
+	}
+}
+
+func TestStaleHandle(t *testing.T) {
+	_, cl := startServer(t)
+	root, _, _ := cl.Mount(1)
+	bad := nfs.FH{Vol: 42, File: 7}
+	if _, err := cl.Getattr(bad); err != core.ErrStale {
+		t.Fatalf("stale volume: %v", err)
+	}
+	gone := nfs.FH{Vol: root.Vol, File: 9999}
+	if _, err := cl.Getattr(gone); err != core.ErrNotFound {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, cl, addr := startServerAddr(t)
+	root, _, _ := cl.Mount(1)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		go func() {
+			c2, err := nfs.Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c2.Close()
+			fh, _, err := c2.Create(root, name)
+			if err != nil {
+				done <- err
+				return
+			}
+			if _, err := c2.Write(fh, 0, []byte(name)); err != nil {
+				done <- err
+				return
+			}
+			got, err := c2.Read(fh, 0, 10)
+			if err == nil && string(got) != name {
+				err = core.ErrInval
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent client: %v", err)
+		}
+	}
+	ents, _ := cl.Readdir(root)
+	if len(ents) != 4 {
+		t.Fatalf("entries %v", ents)
+	}
+}

@@ -1,0 +1,240 @@
+// Package nfs implements PFS's client interface: an NFS-v2-like
+// stateless file protocol over TCP with XDR encoding. It substitutes
+// for the paper's SunRPC/UDP NFS plumbing while preserving what the
+// framework cares about — stateless file handles, a thread-per-
+// request server dispatching onto the abstract client interface, and
+// idempotent procedures.
+//
+// Wire format: each message is a record-marked frame (big-endian
+// uint32 length, then payload). Calls carry (xid, MsgCall, proc,
+// args); replies carry (xid, MsgReply, status, results).
+package nfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fsys"
+	"repro/internal/xdr"
+)
+
+// Procedures.
+const (
+	ProcNull uint32 = iota
+	ProcMount
+	ProcGetattr
+	ProcSetattr
+	ProcLookup
+	ProcRead
+	ProcWrite
+	ProcCreate
+	ProcRemove
+	ProcRename
+	ProcMkdir
+	ProcRmdir
+	ProcReaddir
+	ProcSymlink
+	ProcReadlink
+	ProcStatFS
+)
+
+// Message directions.
+const (
+	MsgCall  uint32 = 0
+	MsgReply uint32 = 1
+)
+
+// Status codes, NFSERR-style.
+const (
+	OK uint32 = iota
+	ErrNoent
+	ErrExist
+	ErrNotdir
+	ErrIsdir
+	ErrNotempty
+	ErrNospc
+	ErrStale
+	ErrInval
+	ErrNameTooLong
+	ErrRofs
+	ErrIO
+)
+
+// StatusOf maps framework errors onto wire status codes.
+func StatusOf(err error) uint32 {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, core.ErrNotFound):
+		return ErrNoent
+	case errors.Is(err, core.ErrExists):
+		return ErrExist
+	case errors.Is(err, core.ErrNotDir):
+		return ErrNotdir
+	case errors.Is(err, core.ErrIsDir):
+		return ErrIsdir
+	case errors.Is(err, core.ErrNotEmpty):
+		return ErrNotempty
+	case errors.Is(err, core.ErrNoSpace):
+		return ErrNospc
+	case errors.Is(err, core.ErrStale):
+		return ErrStale
+	case errors.Is(err, core.ErrNameTooLon):
+		return ErrNameTooLong
+	case errors.Is(err, core.ErrInval):
+		return ErrInval
+	case errors.Is(err, core.ErrRofs):
+		return ErrRofs
+	default:
+		return ErrIO
+	}
+}
+
+// ErrorOf inverts StatusOf for the client side.
+func ErrorOf(status uint32) error {
+	switch status {
+	case OK:
+		return nil
+	case ErrNoent:
+		return core.ErrNotFound
+	case ErrExist:
+		return core.ErrExists
+	case ErrNotdir:
+		return core.ErrNotDir
+	case ErrIsdir:
+		return core.ErrIsDir
+	case ErrNotempty:
+		return core.ErrNotEmpty
+	case ErrNospc:
+		return core.ErrNoSpace
+	case ErrStale:
+		return core.ErrStale
+	case ErrNameTooLong:
+		return core.ErrNameTooLon
+	case ErrInval:
+		return core.ErrInval
+	case ErrRofs:
+		return core.ErrRofs
+	default:
+		return fmt.Errorf("nfs: server error (status %d)", status)
+	}
+}
+
+// FH is the stateless file handle: volume plus inode number.
+type FH struct {
+	Vol  core.VolumeID
+	File core.FileID
+}
+
+// encodeFH appends the handle.
+func encodeFH(e *xdr.Encoder, h FH) {
+	e.Uint32(uint32(h.Vol))
+	e.Uint64(uint64(h.File))
+}
+
+// decodeFH reads a handle.
+func decodeFH(d *xdr.Decoder) (FH, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return FH{}, err
+	}
+	f, err := d.Uint64()
+	if err != nil {
+		return FH{}, err
+	}
+	return FH{Vol: core.VolumeID(v), File: core.FileID(f)}, nil
+}
+
+// encodeAttr appends file attributes.
+func encodeAttr(e *xdr.Encoder, a fsys.FileAttr) {
+	e.Uint64(uint64(a.ID))
+	e.Uint32(uint32(a.Type))
+	e.Int64(a.Size)
+	e.Uint32(a.Nlink)
+	e.Uint32(a.Mode)
+	e.Int64(a.MTime)
+	e.Int64(a.CTime)
+}
+
+// decodeAttr reads file attributes.
+func decodeAttr(d *xdr.Decoder) (fsys.FileAttr, error) {
+	var a fsys.FileAttr
+	id, err := d.Uint64()
+	if err != nil {
+		return a, err
+	}
+	typ, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	size, err := d.Int64()
+	if err != nil {
+		return a, err
+	}
+	nlink, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	mode, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	mtime, err := d.Int64()
+	if err != nil {
+		return a, err
+	}
+	ctime, err := d.Int64()
+	if err != nil {
+		return a, err
+	}
+	a.ID = core.FileID(id)
+	a.Type = core.FileType(typ)
+	a.Size = size
+	a.Nlink = nlink
+	a.Mode = mode
+	a.MTime = mtime
+	a.CTime = ctime
+	return a, nil
+}
+
+// MaxFrame bounds a single message (64 KB data plus headroom).
+const MaxFrame = 1 << 20
+
+// MaxIO is the largest read or write payload per call.
+const MaxIO = 64 << 10
+
+// writeFrame sends one record-marked message.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("nfs: frame of %d bytes exceeds maximum", len(payload))
+	}
+	var hdr [4]byte
+	hdr[0] = byte(len(payload) >> 24)
+	hdr[1] = byte(len(payload) >> 16)
+	hdr[2] = byte(len(payload) >> 8)
+	hdr[3] = byte(len(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one record-marked message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("nfs: frame of %d bytes exceeds maximum", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

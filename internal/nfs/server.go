@@ -1,0 +1,410 @@
+package nfs
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fsys"
+	"repro/internal/sched"
+	"repro/internal/xdr"
+)
+
+// Server is the PFS client interface: it listens on TCP, spawns a
+// framework thread per connection, and dispatches each call onto the
+// abstract client interface — the derived-class structure of the
+// paper's NFS component.
+type Server struct {
+	fs *fsys.FS
+	k  sched.Kernel
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") over the given
+// front-end. It returns once the listener is ready.
+func Serve(k sched.Kernel, fs *fsys.FS, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{fs: fs, k: k, ln: ln, conns: make(map[net.Conn]struct{})}
+	k.Go("nfs.accept", s.acceptLoop)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop(t sched.Task) {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		c := conn
+		s.k.Go("nfs.conn", func(ct sched.Task) {
+			defer func() {
+				c.Close()
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+			}()
+			s.serveConn(ct, c)
+		})
+	}
+}
+
+// serveConn handles one connection's calls in order; each call acts
+// as a client representative inside the file system while the
+// request is in progress.
+func (s *Server) serveConn(t sched.Task, conn net.Conn) {
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		d := xdr.NewDecoder(frame)
+		xid, err := d.Uint32()
+		if err != nil {
+			return
+		}
+		dir, err := d.Uint32()
+		if err != nil || dir != MsgCall {
+			return
+		}
+		proc, err := d.Uint32()
+		if err != nil {
+			return
+		}
+		e := xdr.NewEncoder()
+		e.Uint32(xid)
+		e.Uint32(MsgReply)
+		status := s.dispatch(t, proc, d, e)
+		// Splice the status in after (xid, MsgReply): rebuild with
+		// the final status word.
+		out := xdr.NewEncoder()
+		out.Uint32(xid)
+		out.Uint32(MsgReply)
+		out.Uint32(status)
+		outBytes := append(out.Bytes(), e.Bytes()[8:]...)
+		if err := writeFrame(conn, outBytes); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes args from d, performs the procedure, encodes
+// results into e (after an 8-byte placeholder the caller strips),
+// and returns the status.
+func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Encoder) uint32 {
+	switch proc {
+	case ProcNull:
+		return OK
+
+	case ProcMount:
+		volID, err := d.Uint32()
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(core.VolumeID(volID))
+		if v == nil {
+			return ErrNoent
+		}
+		root := v.Root()
+		attr, err := v.StatByID(t, root)
+		if err != nil {
+			return StatusOf(err)
+		}
+		encodeFH(e, FH{Vol: core.VolumeID(volID), File: root})
+		encodeAttr(e, attr)
+		return OK
+
+	case ProcGetattr:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		attr, err := v.StatByID(t, fh.File)
+		if err != nil {
+			return StatusOf(err)
+		}
+		encodeAttr(e, attr)
+		return OK
+
+	case ProcSetattr:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		size, err := d.Int64()
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		attr, err := v.SetSizeByID(t, fh.File, size)
+		if err != nil {
+			return StatusOf(err)
+		}
+		encodeAttr(e, attr)
+		return OK
+
+	case ProcLookup:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		name, err := d.String()
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		attr, err := v.LookupIn(t, fh.File, name)
+		if err != nil {
+			return StatusOf(err)
+		}
+		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID})
+		encodeAttr(e, attr)
+		return OK
+
+	case ProcRead:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		off, err := d.Int64()
+		if err != nil {
+			return ErrInval
+		}
+		count, err := d.Uint32()
+		if err != nil {
+			return ErrInval
+		}
+		if count > MaxIO {
+			count = MaxIO
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		h, err := v.OpenByID(t, fh.File)
+		if err != nil {
+			return StatusOf(err)
+		}
+		buf := make([]byte, count)
+		n, err := v.ReadAt(t, h, off, buf, int64(count))
+		v.Close(t, h)
+		if err != nil {
+			return StatusOf(err)
+		}
+		e.Opaque(buf[:n])
+		return OK
+
+	case ProcWrite:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		off, err := d.Int64()
+		if err != nil {
+			return ErrInval
+		}
+		data, err := d.Opaque()
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		h, err := v.OpenByID(t, fh.File)
+		if err != nil {
+			return StatusOf(err)
+		}
+		err = v.WriteAt(t, h, off, data, int64(len(data)))
+		if err == nil {
+			attr := v.StatHandle(t, h)
+			encodeAttr(e, attr)
+		}
+		v.Close(t, h)
+		return StatusOf(err)
+
+	case ProcCreate, ProcMkdir:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		name, err := d.String()
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		typ := core.TypeRegular
+		if proc == ProcMkdir {
+			typ = core.TypeDirectory
+		}
+		attr, err := v.CreateIn(t, fh.File, name, typ)
+		if err != nil {
+			return StatusOf(err)
+		}
+		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID})
+		encodeAttr(e, attr)
+		return OK
+
+	case ProcRemove, ProcRmdir:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		name, err := d.String()
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		return StatusOf(v.RemoveIn(t, fh.File, name))
+
+	case ProcRename:
+		from, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		fromName, err := d.String()
+		if err != nil {
+			return ErrInval
+		}
+		to, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		toName, err := d.String()
+		if err != nil {
+			return ErrInval
+		}
+		if from.Vol != to.Vol {
+			return ErrInval
+		}
+		v := s.fs.Vol(from.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		return StatusOf(v.RenameIn(t, from.File, fromName, to.File, toName))
+
+	case ProcReaddir:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		ents, err := v.ReaddirByID(t, fh.File)
+		if err != nil {
+			return StatusOf(err)
+		}
+		e.Uint32(uint32(len(ents)))
+		for _, ent := range ents {
+			e.String(ent.Name)
+			e.Uint64(uint64(ent.ID))
+		}
+		return OK
+
+	case ProcSymlink:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		name, err := d.String()
+		if err != nil {
+			return ErrInval
+		}
+		target, err := d.String()
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		attr, err := v.SymlinkIn(t, fh.File, name, target)
+		if err != nil {
+			return StatusOf(err)
+		}
+		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID})
+		encodeAttr(e, attr)
+		return OK
+
+	case ProcReadlink:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		target, err := v.ReadlinkByID(t, fh.File)
+		if err != nil {
+			return StatusOf(err)
+		}
+		e.String(target)
+		return OK
+
+	case ProcStatFS:
+		fh, err := decodeFH(d)
+		if err != nil {
+			return ErrInval
+		}
+		v := s.fs.Vol(fh.Vol)
+		if v == nil {
+			return ErrStale
+		}
+		e.Uint32(core.BlockSize)
+		e.Int64(v.FreeBlocks())
+		e.String(v.LayoutName())
+		return OK
+	}
+	return ErrInval // unknown procedure
+}

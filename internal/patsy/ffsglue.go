@@ -1,0 +1,12 @@
+package patsy
+
+import (
+	"repro/internal/ffs"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// ffsNew builds the FFS baseline layout for the layout ablation.
+func ffsNew(k sched.Kernel, name string, part *layout.Partition) layout.Layout {
+	return ffs.New(k, name, part, ffs.DefaultConfig())
+}

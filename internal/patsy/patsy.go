@@ -1,0 +1,304 @@
+// Package patsy instantiates the cut-and-paste component library
+// into the trace-driven file-system simulator: a virtual-time kernel
+// drives simulated SCSI-2 buses, HP 97560 disks, C-LOOK drivers, the
+// shared block cache under the flush policy being studied, a
+// segmented LFS per volume, and the trace replayer on top of the
+// abstract client interface.
+//
+// The default configuration reproduces the paper's replay of the
+// Sprite traces: a Sun 4/280-class server with three SCSI buses
+// connecting ten disks carrying fourteen file systems, two of them
+// hot.
+package patsy
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/disk"
+	"repro/internal/fsys"
+	"repro/internal/layout"
+	"repro/internal/lfs"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config selects the components of one simulation, every field a
+// cut-and-paste policy point.
+type Config struct {
+	Seed int64
+
+	// Topology.
+	Buses       int
+	DisksPerBus []int // len == Buses
+	Volumes     int
+
+	// Disk model: "hp97560" (default) or "naive".
+	DiskModel   string
+	NaiveAccess time.Duration
+	// ImmediateReport can disable the disks' write caches.
+	NoImmediateReport bool
+
+	// Driver queue scheduler: fcfs, sstf, look, clook (default),
+	// cscan, scan-edf.
+	QueueSched string
+
+	// Cache.
+	CacheBlocks int
+	Replace     string
+	Flush       cache.FlushConfig
+
+	// Layout.
+	SegBlocks int
+	Cleaner   string
+	// Layout kind: "lfs" (default) or "ffs".
+	Layout string
+	// MaxVolBlocks caps each volume's partition (0 = share the
+	// whole disk). Small volumes make the log wrap, exercising the
+	// cleaner within short traces.
+	MaxVolBlocks int64
+
+	// Host memory model.
+	CopyBytesPerSec int64
+
+	// Horizon bounds runaway simulations (0 = none).
+	Horizon time.Duration
+}
+
+// DefaultConfig is the paper's Sprite replay setup with the flush
+// policy left to the experiment: 3 SCSI-2 buses, 10 HP 97560 disks
+// (4+3+3), 14 LFS volumes, a 64 MB cache (16384 4 KB blocks).
+func DefaultConfig(seed int64, flush cache.FlushConfig) Config {
+	return Config{
+		Seed:        seed,
+		Buses:       3,
+		DisksPerBus: []int{4, 3, 3},
+		Volumes:     14,
+		DiskModel:   "hp97560",
+		QueueSched:  "clook",
+		CacheBlocks: 16384,
+		Replace:     "lru",
+		Flush:       flush,
+		SegBlocks:   128,
+		Cleaner:     "cost-benefit",
+		Layout:      "lfs",
+	}
+}
+
+// NVRAMBlocks4MB is the paper's 4 MB NVRAM in cache blocks.
+const NVRAMBlocks4MB = (4 << 20) / core.BlockSize
+
+// System is an assembled simulator.
+type System struct {
+	Cfg     Config
+	K       *sched.VKernel
+	FS      *fsys.FS
+	Cache   *cache.Cache
+	Buses   []*bus.Bus
+	Disks   []*disk.Disk
+	Drivers []device.Driver
+	Layouts []layout.Layout
+	Set     *stats.Set
+}
+
+// Build assembles the components. Volumes are formatted and mounted
+// by Init, which must run inside a kernel task (Run does both).
+func Build(cfg Config) (*System, error) {
+	if cfg.Buses <= 0 || len(cfg.DisksPerBus) != cfg.Buses {
+		return nil, fmt.Errorf("patsy: bad bus topology: %d buses, %v disks", cfg.Buses, cfg.DisksPerBus)
+	}
+	if cfg.Volumes <= 0 {
+		return nil, fmt.Errorf("patsy: need at least one volume")
+	}
+	k := sched.NewVirtual(cfg.Seed)
+	if cfg.Horizon > 0 {
+		k.SetHorizon(sched.Time(cfg.Horizon))
+	}
+	sys := &System{Cfg: cfg, K: k, Set: stats.NewSet()}
+
+	// Buses and disks.
+	for b := 0; b < cfg.Buses; b++ {
+		bb := bus.New(k, bus.SCSI2(fmt.Sprintf("scsi%d", b)))
+		bb.Stats(sys.Set)
+		sys.Buses = append(sys.Buses, bb)
+		for d := 0; d < cfg.DisksPerBus[b]; d++ {
+			name := fmt.Sprintf("disk%d", len(sys.Disks))
+			var p disk.Params
+			switch cfg.DiskModel {
+			case "", "hp97560":
+				p = disk.HP97560(name)
+			case "naive":
+				acc := cfg.NaiveAccess
+				if acc <= 0 {
+					acc = 15 * time.Millisecond
+				}
+				p = disk.Naive(name, acc)
+			default:
+				return nil, fmt.Errorf("patsy: unknown disk model %q", cfg.DiskModel)
+			}
+			if cfg.NoImmediateReport {
+				p.ImmediateReport = false
+			}
+			dd := disk.New(k, p, bb)
+			dd.Stats(sys.Set)
+			dd.Start()
+			sys.Disks = append(sys.Disks, dd)
+			q, ok := device.NewScheduler(orDefault(cfg.QueueSched, "clook"))
+			if !ok {
+				return nil, fmt.Errorf("patsy: unknown queue scheduler %q", cfg.QueueSched)
+			}
+			drv := device.NewSimDriver(k, name+".drv", dd, bb, q)
+			drv.DriverStats().Register(sys.Set)
+			sys.Drivers = append(sys.Drivers, drv)
+		}
+	}
+	if len(sys.Disks) == 0 {
+		return nil, fmt.Errorf("patsy: no disks configured")
+	}
+
+	// Cache and front-end.
+	store := fsys.NewStore()
+	c := cache.New(k, cache.Config{
+		Blocks:    cfg.CacheBlocks,
+		Replace:   cfg.Replace,
+		Flush:     cfg.Flush,
+		Simulated: true,
+	}, store)
+	c.Stats(sys.Set)
+	mover := &core.SimMover{BytesPerSec: orDefault64(cfg.CopyBytesPerSec, 80<<20), FixedNS: 2000}
+	fs := fsys.New(k, c, mover)
+	fs.Stats(sys.Set)
+	store.Bind(fs)
+	c.Start()
+	sys.Cache = c
+	sys.FS = fs
+	return sys, nil
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+func orDefault64(v, d int64) int64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// Init formats and mounts the volumes, spreading them round-robin
+// over the disks and splitting each disk evenly among its volumes.
+// It must run inside a kernel task.
+func (s *System) Init(t sched.Task) error {
+	cfg := s.Cfg
+	perDisk := make([][]int, len(s.Disks))
+	for v := 0; v < cfg.Volumes; v++ {
+		d := v % len(s.Disks)
+		perDisk[d] = append(perDisk[d], v)
+	}
+	for d, vols := range perDisk {
+		if len(vols) == 0 {
+			continue
+		}
+		capacity := s.Drivers[d].CapacityBlocks()
+		share := capacity / int64(len(vols))
+		size := share
+		if cfg.MaxVolBlocks > 0 && size > cfg.MaxVolBlocks {
+			size = cfg.MaxVolBlocks
+		}
+		for i, v := range vols {
+			start := int64(i) * share
+			part := layout.NewPartition(s.Drivers[d], d, start, size, true)
+			var lay layout.Layout
+			switch orDefault(cfg.Layout, "lfs") {
+			case "lfs":
+				lcfg := lfs.DefaultConfig()
+				if cfg.SegBlocks > 0 {
+					lcfg.SegBlocks = cfg.SegBlocks
+				}
+				lcfg.Cleaner = orDefault(cfg.Cleaner, "cost-benefit")
+				lay = lfs.New(s.K, fmt.Sprintf("vol%d", v+1), part, lcfg)
+			case "ffs":
+				lay = ffsNew(s.K, fmt.Sprintf("vol%d", v+1), part)
+			default:
+				return fmt.Errorf("patsy: unknown layout %q", cfg.Layout)
+			}
+			if err := lay.Format(t); err != nil {
+				return fmt.Errorf("patsy: format vol%d: %w", v+1, err)
+			}
+			if err := lay.Mount(t); err != nil {
+				return fmt.Errorf("patsy: mount vol%d: %w", v+1, err)
+			}
+			lay.Stats(s.Set)
+			if _, err := s.FS.AddVolume(t, core.VolumeID(v+1), lay, true); err != nil {
+				return err
+			}
+			s.Layouts = append(s.Layouts, lay)
+		}
+	}
+	return nil
+}
+
+// Report is one simulation's results.
+type Report struct {
+	Policy     string
+	TraceName  string
+	Result     *trace.Result
+	ReadHit    float64
+	Flushed    int64
+	Saved      int64
+	NVRAMWaits int64
+	DirtyHW    int64
+	WallOps    int
+	SimTime    time.Duration
+}
+
+// MeanLatency is the headline number of Figure 5.
+func (r *Report) MeanLatency() time.Duration { return r.Result.Overall.Mean() }
+
+// Run builds the system, replays recs and collects the report. This
+// is the one-call experiment entry point.
+func Run(cfg Config, traceName string, recs []trace.Record) (*Report, error) {
+	sys, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := trace.NewReplayer(sys.FS, recs)
+	var runErr error
+	sys.K.Go("patsy.main", func(t sched.Task) {
+		if err := sys.Init(t); err != nil {
+			runErr = err
+			sys.K.Stop()
+			return
+		}
+		rep.Run(t)
+		sys.K.Stop()
+	})
+	if err := sys.K.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	cs := sys.Cache.CacheStats()
+	return &Report{
+		Policy:     cfg.Flush.Name,
+		TraceName:  traceName,
+		Result:     rep.Result(),
+		ReadHit:    sys.FS.FSStats().ReadHitRate(),
+		Flushed:    cs.FlushedBlocks.Value(),
+		Saved:      cs.SavedWrites.Value(),
+		NVRAMWaits: cs.NVRAMWaits.Value(),
+		DirtyHW:    cs.DirtyHW.Value(),
+		WallOps:    rep.Result().Ops,
+		SimTime:    time.Duration(sys.K.Now()),
+	}, nil
+}

@@ -1,0 +1,35 @@
+package patsy
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestComponentCatalogue verifies every cut-and-paste component is
+// discoverable in the shared registry once the assembly's packages
+// are linked in.
+func TestComponentCatalogue(t *testing.T) {
+	r := core.Components()
+	want := map[string][]string{
+		core.KindFlushPolicy:   {"nvram-partial", "nvram-whole", "ups", "writedelay"},
+		core.KindReplacePolicy: {"lfu", "lru", "lru2", "random", "slru"},
+		core.KindQueueSched:    {"cscan", "fcfs", "look", "scan-edf", "sstf", "clook"},
+		core.KindLayout:        {"ffs", "lfs"},
+		core.KindCleaner:       {"cost-benefit", "greedy"},
+		core.KindDiskModel:     {"hp97560", "naive"},
+		core.KindTraceFormat:   {"coda", "sprite"},
+		core.KindWorkload:      {"1a", "1b", "2a", "2b", "3", "4", "5"},
+	}
+	for kind, names := range want {
+		have := map[string]bool{}
+		for _, n := range r.Names(kind) {
+			have[n] = true
+		}
+		for _, n := range names {
+			if !have[n] {
+				t.Errorf("kind %s missing component %q (have %v)", kind, n, r.Names(kind))
+			}
+		}
+	}
+}

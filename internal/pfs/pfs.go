@@ -1,0 +1,183 @@
+// Package pfs instantiates the cut-and-paste component library into
+// the on-line Pegasus file system: the same cache, layout and
+// abstract-client components the simulator runs, bound to the
+// real-time kernel, a real memory arena, a Unix file (or raw device)
+// as the disk back-end, and the NFS-like network front-end. This is
+// the paper's point: nothing here is a reimplementation — only the
+// helper components differ from Patsy.
+package pfs
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fsys"
+	"repro/internal/layout"
+	"repro/internal/lfs"
+	"repro/internal/nfs"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Config describes one PFS instance.
+type Config struct {
+	// Path is the backing Unix file (created and sized if absent).
+	Path string
+	// Blocks is the volume size in 4 KB blocks.
+	Blocks int64
+	// CacheBlocks sizes the block cache (default 4096 = 16 MB).
+	CacheBlocks int
+	// Flush selects the write policy (default: the UPS write-saving
+	// policy the paper's experiments recommend).
+	Flush cache.FlushConfig
+	// Replace names the cache replacement policy.
+	Replace string
+	// SegBlocks sizes LFS segments.
+	SegBlocks int
+	// QueueSched names the disk-queue scheduler (default clook).
+	QueueSched string
+	// Seed drives policy randomness.
+	Seed int64
+}
+
+// Server is a running PFS.
+type Server struct {
+	K     *sched.RKernel
+	FS    *fsys.FS
+	Vol   *fsys.Volume
+	Cache *cache.Cache
+	Set   *stats.Set
+	net   *nfs.Server
+}
+
+// Open creates or reopens a PFS on cfg.Path. A fresh image is
+// formatted; an existing one is mounted and recovered from its
+// checkpoint.
+func Open(cfg Config) (*Server, error) {
+	if cfg.Blocks <= 0 {
+		cfg.Blocks = 16384 // 64 MB
+	}
+	if cfg.CacheBlocks <= 0 {
+		cfg.CacheBlocks = 4096
+	}
+	if cfg.Flush.Name == "" {
+		cfg.Flush = cache.UPS()
+	}
+	k := sched.NewReal(cfg.Seed)
+	q, ok := device.NewScheduler(orDefault(cfg.QueueSched, "clook"))
+	if !ok {
+		return nil, fmt.Errorf("pfs: unknown queue scheduler %q", cfg.QueueSched)
+	}
+	fresh, err := isFresh(cfg.Path)
+	if err != nil {
+		return nil, err
+	}
+	drv, err := device.NewFileDriver(k, "pfsdisk", cfg.Path, cfg.Blocks, q)
+	if err != nil {
+		return nil, err
+	}
+	part := layout.NewPartition(drv, 0, 0, cfg.Blocks, false)
+	lcfg := lfs.DefaultConfig()
+	if cfg.SegBlocks > 0 {
+		lcfg.SegBlocks = cfg.SegBlocks
+	}
+	lay := lfs.New(k, "pfs", part, lcfg)
+
+	store := fsys.NewStore()
+	c := cache.New(k, cache.Config{
+		Blocks:  cfg.CacheBlocks,
+		Replace: cfg.Replace,
+		Flush:   cfg.Flush,
+	}, store)
+	fs := fsys.New(k, c, core.RealMover{})
+	store.Bind(fs)
+	c.Start()
+
+	srv := &Server{K: k, FS: fs, Cache: c, Set: stats.NewSet()}
+	c.Stats(srv.Set)
+	fs.Stats(srv.Set)
+	lay.Stats(srv.Set)
+	drv.DriverStats().Register(srv.Set)
+
+	// Mount on a kernel task and wait.
+	errc := make(chan error, 1)
+	k.Go("pfs.mount", func(t sched.Task) {
+		if fresh {
+			if err := lay.Format(t); err != nil {
+				errc <- err
+				return
+			}
+		}
+		if err := lay.Mount(t); err != nil {
+			errc <- err
+			return
+		}
+		v, err := fs.AddVolume(t, 1, lay, false)
+		if err != nil {
+			errc <- err
+			return
+		}
+		srv.Vol = v
+		errc <- nil
+	})
+	if err := <-errc; err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// isFresh reports whether path is missing or empty (needs Format).
+func isFresh(path string) (bool, error) {
+	fi, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return fi.Size() == 0, nil
+}
+
+// ServeNFS exposes the volume over the network protocol; addr
+// "127.0.0.1:0" picks a free port. Returns the bound address.
+func (s *Server) ServeNFS(addr string) (string, error) {
+	srv, err := nfs.Serve(s.K, s.FS, addr)
+	if err != nil {
+		return "", err
+	}
+	s.net = srv
+	return srv.Addr(), nil
+}
+
+// Do runs fn on a kernel task and waits — the local (in-process)
+// client interface.
+func (s *Server) Do(fn func(t sched.Task) error) error {
+	errc := make(chan error, 1)
+	s.K.Go("pfs.client", func(t sched.Task) { errc <- fn(t) })
+	return <-errc
+}
+
+// Sync flushes everything to the image.
+func (s *Server) Sync() error {
+	return s.Do(func(t sched.Task) error { return s.FS.SyncAll(t) })
+}
+
+// Close syncs, stops the network front-end and the kernel.
+func (s *Server) Close() error {
+	err := s.Sync()
+	if s.net != nil {
+		s.net.Close()
+	}
+	s.K.Stop()
+	return err
+}

@@ -1,0 +1,115 @@
+package pfs
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func TestOpenWriteReadClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pfs.img")
+	srv, err := Open(Config{Path: path, Blocks: 2048, CacheBlocks: 128})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	msg := []byte("the real thing")
+	err = srv.Do(func(tk sched.Task) error {
+		h, err := srv.Vol.Create(tk, "/greeting", core.TypeRegular)
+		if err != nil {
+			return err
+		}
+		if err := srv.Vol.Write(tk, h, msg, int64(len(msg))); err != nil {
+			return err
+		}
+		h.SetPos(0)
+		buf := make([]byte, len(msg))
+		if _, err := srv.Vol.Read(tk, h, buf, int64(len(msg))); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, msg) {
+			t.Error("read-back mismatch")
+		}
+		return srv.Vol.Close(tk, h)
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRestartRecoversData(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pfs.img")
+	msg := bytes.Repeat([]byte{0xE7}, 3*core.BlockSize)
+	{
+		srv, err := Open(Config{Path: path, Blocks: 2048, CacheBlocks: 128})
+		if err != nil {
+			t.Fatalf("first open: %v", err)
+		}
+		err = srv.Do(func(tk sched.Task) error {
+			h, err := srv.Vol.Create(tk, "/persist.bin", core.TypeRegular)
+			if err != nil {
+				return err
+			}
+			if err := srv.Vol.Write(tk, h, msg, int64(len(msg))); err != nil {
+				return err
+			}
+			return srv.Vol.Close(tk, h)
+		})
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	// Reopen: the file must come back from the image.
+	srv, err := Open(Config{Path: path, Blocks: 2048, CacheBlocks: 128})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer srv.Close()
+	err = srv.Do(func(tk sched.Task) error {
+		h, err := srv.Vol.Open(tk, "/persist.bin")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, len(msg))
+		n, err := srv.Vol.Read(tk, h, buf, int64(len(msg)))
+		if err != nil {
+			return err
+		}
+		if int(n) != len(msg) || !bytes.Equal(buf, msg) {
+			t.Error("data lost across restart")
+		}
+		return srv.Vol.Close(tk, h)
+	})
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+}
+
+func TestFlushPolicySelectable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pfs.img")
+	srv, err := Open(Config{Path: path, Blocks: 2048, CacheBlocks: 128,
+		Flush: cache.WriteDelay()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if srv.Cache.Policy().Name != "writedelay" {
+		t.Fatalf("policy %q", srv.Cache.Policy().Name)
+	}
+	srv.Close()
+}
+
+func TestBadSchedulerRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pfs.img")
+	if _, err := Open(Config{Path: path, Blocks: 2048, QueueSched: "nope"}); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+}

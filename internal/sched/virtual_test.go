@@ -1,0 +1,480 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// runKernel runs k and fails the test on error.
+func runKernel(t *testing.T, k *VKernel) {
+	t.Helper()
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestVirtualClockStartsAtZero(t *testing.T) {
+	k := NewVirtual(1)
+	if k.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", k.Now())
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewVirtual(1)
+	var woke Time
+	k.Go("sleeper", func(tk Task) {
+		tk.Sleep(250 * time.Millisecond)
+		woke = k.Now()
+	})
+	runKernel(t, k)
+	if woke != Time(250*time.Millisecond) {
+		t.Fatalf("woke at %v, want 250ms", woke)
+	}
+}
+
+func TestSleepersWakeInOrder(t *testing.T) {
+	k := NewVirtual(42)
+	var order []int
+	for i := 5; i >= 1; i-- {
+		d := time.Duration(i) * time.Second
+		id := i
+		k.Go(fmt.Sprintf("s%d", i), func(tk Task) {
+			tk.Sleep(d)
+			order = append(order, id)
+		})
+	}
+	runKernel(t, k)
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("wake order %v, want ascending", order)
+	}
+	if k.Now() != Time(5*time.Second) {
+		t.Fatalf("final time %v, want 5s", k.Now())
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	k := NewVirtual(1)
+	n := 0
+	k.Go("z", func(tk Task) {
+		tk.Sleep(0)
+		n++
+		tk.Sleep(-time.Second)
+		n++
+	})
+	runKernel(t, k)
+	if n != 2 {
+		t.Fatalf("task did not complete, n=%d", n)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("time advanced to %v on zero sleeps", k.Now())
+	}
+}
+
+func TestSleepUntilPast(t *testing.T) {
+	k := NewVirtual(1)
+	done := false
+	k.Go("p", func(tk Task) {
+		tk.Sleep(time.Second)
+		tk.SleepUntil(0) // in the past: returns after a yield
+		done = true
+	})
+	runKernel(t, k)
+	if !done || k.Now() != Time(time.Second) {
+		t.Fatalf("done=%v now=%v", done, k.Now())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func(seed int64) []string {
+		k := NewVirtual(seed)
+		var log []string
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("t%d", i)
+			k.Go(name, func(tk Task) {
+				for j := 0; j < 3; j++ {
+					log = append(log, fmt.Sprintf("%s.%d", name, j))
+					tk.Yield()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+	a := run(7)
+	b := run(7)
+	c := run(8)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed differed:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical interleaving (suspicious): %v", a)
+	}
+}
+
+func TestEventHandoff(t *testing.T) {
+	k := NewVirtual(1)
+	ev := k.NewEvent("io-done")
+	var got Time
+	k.Go("waiter", func(tk Task) {
+		ev.Wait(tk)
+		got = k.Now()
+	})
+	k.Go("io", func(tk Task) {
+		tk.Sleep(17 * time.Millisecond)
+		ev.Signal()
+	})
+	runKernel(t, k)
+	if got != Time(17*time.Millisecond) {
+		t.Fatalf("waiter released at %v, want 17ms", got)
+	}
+}
+
+func TestEventSignalBeforeWaitIsNotLost(t *testing.T) {
+	k := NewVirtual(1)
+	ev := k.NewEvent("pre")
+	ok := false
+	k.Go("sig", func(tk Task) { ev.Signal() })
+	k.Go("wait", func(tk Task) {
+		tk.Sleep(time.Second) // guarantee the signal happens first
+		ev.Wait(tk)
+		ok = true
+	})
+	runKernel(t, k)
+	if !ok {
+		t.Fatal("banked signal was lost")
+	}
+}
+
+func TestEventCountsMultipleSignals(t *testing.T) {
+	k := NewVirtual(1)
+	ev := k.NewEvent("n")
+	served := 0
+	k.Go("producer", func(tk Task) {
+		for i := 0; i < 5; i++ {
+			ev.Signal()
+		}
+	})
+	k.Go("consumer", func(tk Task) {
+		tk.Sleep(time.Millisecond)
+		for i := 0; i < 5; i++ {
+			ev.Wait(tk)
+			served++
+		}
+	})
+	runKernel(t, k)
+	if served != 5 {
+		t.Fatalf("served %d, want 5", served)
+	}
+}
+
+func TestEventWaitTimeoutExpires(t *testing.T) {
+	k := NewVirtual(1)
+	ev := k.NewEvent("never")
+	var ok bool
+	var at Time
+	k.Go("w", func(tk Task) {
+		ok = ev.WaitTimeout(tk, 300*time.Millisecond)
+		at = k.Now()
+	})
+	runKernel(t, k)
+	if ok {
+		t.Fatal("WaitTimeout reported success with no signal")
+	}
+	if at != Time(300*time.Millisecond) {
+		t.Fatalf("timed out at %v, want 300ms", at)
+	}
+}
+
+func TestEventWaitTimeoutSignaled(t *testing.T) {
+	k := NewVirtual(1)
+	ev := k.NewEvent("soon")
+	var ok bool
+	var at Time
+	k.Go("w", func(tk Task) {
+		ok = ev.WaitTimeout(tk, time.Hour)
+		at = k.Now()
+	})
+	k.Go("s", func(tk Task) {
+		tk.Sleep(50 * time.Millisecond)
+		ev.Signal()
+	})
+	runKernel(t, k)
+	if !ok || at != Time(50*time.Millisecond) {
+		t.Fatalf("ok=%v at=%v, want signal at 50ms", ok, at)
+	}
+}
+
+func TestEventBroadcastWakesAll(t *testing.T) {
+	k := NewVirtual(3)
+	ev := k.NewEvent("gate")
+	woke := 0
+	for i := 0; i < 7; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(tk Task) {
+			ev.Wait(tk)
+			woke++
+		})
+	}
+	k.Go("b", func(tk Task) {
+		tk.Sleep(time.Millisecond)
+		ev.Broadcast()
+	})
+	runKernel(t, k)
+	if woke != 7 {
+		t.Fatalf("broadcast woke %d of 7", woke)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := NewVirtual(11)
+	m := k.NewMutex("m")
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		k.Go(fmt.Sprintf("t%d", i), func(tk Task) {
+			for j := 0; j < 4; j++ {
+				m.Lock(tk)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				tk.Sleep(time.Millisecond) // block while holding
+				inside--
+				m.Unlock(tk)
+			}
+		})
+	}
+	runKernel(t, k)
+	if maxInside != 1 {
+		t.Fatalf("max concurrent critical sections = %d, want 1", maxInside)
+	}
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	k := NewVirtual(1)
+	m := k.NewMutex("m")
+	paniced := false
+	k.Go("a", func(tk Task) { m.Lock(tk) })
+	k.Go("b", func(tk Task) {
+		tk.Sleep(time.Millisecond)
+		defer func() {
+			if recover() != nil {
+				paniced = true
+			}
+		}()
+		m.Unlock(tk)
+	})
+	_ = k.Run() // task a still holds the lock at exit; ignore
+	if !paniced {
+		t.Fatal("unlock by non-owner did not panic")
+	}
+}
+
+func TestCondWaitSignal(t *testing.T) {
+	k := NewVirtual(5)
+	m := k.NewMutex("m")
+	c := k.NewCond("c")
+	queue := 0
+	consumed := 0
+	k.Go("consumer", func(tk Task) {
+		m.Lock(tk)
+		for consumed < 3 {
+			for queue == 0 {
+				c.Wait(tk, m)
+			}
+			queue--
+			consumed++
+		}
+		m.Unlock(tk)
+	})
+	k.Go("producer", func(tk Task) {
+		for i := 0; i < 3; i++ {
+			tk.Sleep(10 * time.Millisecond)
+			m.Lock(tk)
+			queue++
+			c.Signal()
+			m.Unlock(tk)
+		}
+	})
+	runKernel(t, k)
+	if consumed != 3 {
+		t.Fatalf("consumed %d, want 3", consumed)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewVirtual(1)
+	ev := k.NewEvent("never-signaled")
+	k.Go("stuck", func(tk Task) { ev.Wait(tk) })
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 {
+		t.Fatalf("blocked list %v, want 1 entry", de.Blocked)
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	k := NewVirtual(1)
+	k.SetHorizon(Time(time.Second))
+	ticks := 0
+	k.Go("ticker", func(tk Task) {
+		for {
+			tk.Sleep(100 * time.Millisecond)
+			ticks++
+		}
+	})
+	runKernel(t, k)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if k.Now() != Time(time.Second) {
+		t.Fatalf("now = %v, want horizon 1s", k.Now())
+	}
+}
+
+func TestSpawnFromRunningTask(t *testing.T) {
+	k := NewVirtual(1)
+	total := 0
+	k.Go("parent", func(tk Task) {
+		for i := 0; i < 3; i++ {
+			k.Go("child", func(tk Task) {
+				tk.Sleep(time.Millisecond)
+				total++
+			})
+		}
+	})
+	runKernel(t, k)
+	if total != 3 {
+		t.Fatalf("children completed %d, want 3", total)
+	}
+}
+
+func TestStopUnwindsTasks(t *testing.T) {
+	k := NewVirtual(1)
+	ev := k.NewEvent("e")
+	k.Go("blocked", func(tk Task) { ev.Wait(tk) })
+	k.Go("stopper", func(tk Task) {
+		tk.Sleep(time.Millisecond)
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run after Stop: %v", err)
+	}
+	if !k.Stopped() {
+		t.Fatal("kernel not stopped")
+	}
+}
+
+func TestPolicyFIFOAndLIFO(t *testing.T) {
+	for _, tc := range []struct {
+		policy Policy
+		want   string
+	}{
+		{FIFOPolicy{}, "[a b c]"},
+		{LIFOPolicy{}, "[c b a]"},
+	} {
+		k := NewVirtualPolicy(1, tc.policy)
+		var order []string
+		for _, n := range []string{"a", "b", "c"} {
+			name := n
+			k.Go(name, func(tk Task) { order = append(order, name) })
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("%s: %v", tc.policy.Name(), err)
+		}
+		if fmt.Sprint(order) != tc.want {
+			t.Errorf("%s order = %v, want %v", tc.policy.Name(), order, tc.want)
+		}
+	}
+}
+
+func TestBlockingFromWrongTaskPanics(t *testing.T) {
+	k := NewVirtual(1)
+	var taskA Task
+	caught := false
+	taskA = k.Go("a", func(tk Task) { tk.Sleep(time.Hour) })
+	k.Go("b", func(tk Task) {
+		defer func() {
+			if recover() != nil {
+				caught = true
+				k.Stop()
+			}
+		}()
+		taskA.Sleep(time.Second) // using someone else's task handle
+	})
+	_ = k.Run()
+	if !caught {
+		t.Fatal("cross-task blocking call did not panic")
+	}
+}
+
+// TestTimerHeapProperty checks, for arbitrary wake times, that the
+// kernel releases sleepers in nondecreasing wake-time order.
+func TestTimerHeapProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 64 {
+			delays = delays[:64]
+		}
+		k := NewVirtual(99)
+		var wakes []Time
+		for i, d := range delays {
+			dd := time.Duration(d) * time.Microsecond
+			k.Go(fmt.Sprintf("s%d", i), func(tk Task) {
+				tk.Sleep(dd)
+				wakes = append(wakes, k.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(wakes); i++ {
+			if wakes[i] < wakes[i-1] {
+				return false
+			}
+		}
+		return len(wakes) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyTasksStress runs a few hundred interacting tasks to shake
+// out hand-off bugs.
+func TestManyTasksStress(t *testing.T) {
+	k := NewVirtual(123)
+	ev := k.NewEvent("work")
+	produced, consumed := 0, 0
+	for i := 0; i < 50; i++ {
+		k.Go("prod", func(tk Task) {
+			for j := 0; j < 20; j++ {
+				tk.Sleep(time.Duration(1+j) * time.Millisecond)
+				produced++
+				ev.Signal()
+			}
+		})
+	}
+	for i := 0; i < 25; i++ {
+		k.Go("cons", func(tk Task) {
+			for j := 0; j < 40; j++ {
+				ev.Wait(tk)
+				consumed++
+			}
+		})
+	}
+	runKernel(t, k)
+	if produced != 1000 || consumed != 1000 {
+		t.Fatalf("produced %d consumed %d, want 1000/1000", produced, consumed)
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencyDist records every sample of an operation latency so that
+// exact cumulative distributions — the paper's Figures 2-4 — can be
+// produced. Samples are durations in nanoseconds.
+type LatencyDist struct {
+	name    string
+	samples []int64
+	sorted  bool
+	sum     int64
+}
+
+// NewLatencyDist returns a named latency distribution.
+func NewLatencyDist(name string) *LatencyDist {
+	return &LatencyDist{name: name}
+}
+
+// Observe records one latency.
+func (d *LatencyDist) Observe(lat time.Duration) {
+	d.samples = append(d.samples, int64(lat))
+	d.sum += int64(lat)
+	d.sorted = false
+}
+
+// N returns the sample count.
+func (d *LatencyDist) N() int { return len(d.samples) }
+
+// Name returns the distribution's name.
+func (d *LatencyDist) Name() string { return d.name }
+
+// Mean returns the mean latency.
+func (d *LatencyDist) Mean() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return time.Duration(d.sum / int64(len(d.samples)))
+}
+
+func (d *LatencyDist) sortSamples() {
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile latency (0 <= q <= 1).
+func (d *LatencyDist) Quantile(q float64) time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sortSamples()
+	i := int(q * float64(len(d.samples)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.samples) {
+		i = len(d.samples) - 1
+	}
+	return time.Duration(d.samples[i])
+}
+
+// FracBelow returns the fraction of operations that completed within
+// lat — one point of the cumulative distribution.
+func (d *LatencyDist) FracBelow(lat time.Duration) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sortSamples()
+	i := sort.Search(len(d.samples), func(i int) bool { return d.samples[i] > int64(lat) })
+	return float64(i) / float64(len(d.samples))
+}
+
+// CDFPoint is one (latency, cumulative fraction) pair.
+type CDFPoint struct {
+	Lat  time.Duration
+	Frac float64
+}
+
+// CDF evaluates the cumulative distribution at each given latency.
+func (d *LatencyDist) CDF(at []time.Duration) []CDFPoint {
+	out := make([]CDFPoint, len(at))
+	for i, lat := range at {
+		out[i] = CDFPoint{lat, d.FracBelow(lat)}
+	}
+	return out
+}
+
+// DefaultCDFGrid is the latency grid the figure harness evaluates
+// CDFs on: fine resolution through the rotational region (the paper
+// discusses the 2 ms cache floor and the 17 ms full-rotation bump),
+// then coarser out to the queueing tail.
+func DefaultCDFGrid() []time.Duration {
+	var grid []time.Duration
+	for ms := 1; ms <= 30; ms++ { // 1..30ms at 1ms
+		grid = append(grid, time.Duration(ms)*time.Millisecond)
+	}
+	for ms := 35; ms <= 100; ms += 5 {
+		grid = append(grid, time.Duration(ms)*time.Millisecond)
+	}
+	for ms := 125; ms <= 500; ms += 25 {
+		grid = append(grid, time.Duration(ms)*time.Millisecond)
+	}
+	for ms := 600; ms <= 2000; ms += 100 {
+		grid = append(grid, time.Duration(ms)*time.Millisecond)
+	}
+	return grid
+}
+
+// Render prints the CDF as a two-column table followed by mean and
+// selected quantiles, the plotted form of Figures 2-4.
+func (d *LatencyDist) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%v p50=%v p90=%v p99=%v\n",
+		d.name, d.N(), d.Mean().Round(time.Microsecond),
+		d.Quantile(0.50).Round(time.Microsecond),
+		d.Quantile(0.90).Round(time.Microsecond),
+		d.Quantile(0.99).Round(time.Microsecond))
+	for _, p := range d.CDF(DefaultCDFGrid()) {
+		if p.Frac >= 0.9999 && p.Lat > d.Quantile(1.0) {
+			break
+		}
+		fmt.Fprintf(&b, "  %8s %7.4f %s\n", p.Lat, p.Frac, strings.Repeat("*", int(60*p.Frac)))
+	}
+	return b.String()
+}
+
+// Merge folds other's samples into d.
+func (d *LatencyDist) Merge(other *LatencyDist) {
+	d.samples = append(d.samples, other.samples...)
+	d.sum += other.sum
+	d.sorted = false
+}
+
+// Reset discards all samples.
+func (d *LatencyDist) Reset() {
+	d.samples = d.samples[:0]
+	d.sum = 0
+	d.sorted = true
+}

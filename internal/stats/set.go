@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Source is anything that can summarize itself for the periodic
+// report: counters, histograms, distributions, component stats.
+type Source interface {
+	Name() string
+	String() string
+}
+
+// Set is a collection of plug-in statistics objects. Simulator
+// components register their sources with the assembly's Set; the
+// reporter renders them at each interval and at the end of a run.
+type Set struct {
+	sources []Source
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{} }
+
+// Add registers src; it returns src's concrete value through the
+// given pointer pattern at call sites (callers keep their own
+// typed reference).
+func (s *Set) Add(src Source) { s.sources = append(s.sources, src) }
+
+// Render prints every source, sorted by name for stable output.
+func (s *Set) Render() string {
+	srcs := append([]Source(nil), s.sources...)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Name() < srcs[j].Name() })
+	var b strings.Builder
+	for _, src := range srcs {
+		line := src.String()
+		b.WriteString(line)
+		if !strings.HasSuffix(line, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Len returns the number of registered sources.
+func (s *Set) Len() int { return len(s.sources) }
+
+// IntervalReport is one periodic report line: how many operations
+// completed in the interval and their mean latency, printed every 15
+// minutes of simulation time as in the paper.
+type IntervalReport struct {
+	Start, End time.Duration
+	Ops        int
+	MeanLat    time.Duration
+}
+
+func (r IntervalReport) String() string {
+	return fmt.Sprintf("[%8s - %8s] ops=%-8d mean=%v",
+		r.Start.Round(time.Second), r.End.Round(time.Second), r.Ops,
+		r.MeanLat.Round(time.Microsecond))
+}
+
+// IntervalTracker accumulates per-interval operation statistics.
+// The replayer observes each completed operation; Cut closes the
+// current interval and returns its report.
+type IntervalTracker struct {
+	start   time.Duration
+	ops     int
+	latSum  time.Duration
+	Reports []IntervalReport
+}
+
+// NewIntervalTracker returns a tracker starting at time zero.
+func NewIntervalTracker() *IntervalTracker { return &IntervalTracker{} }
+
+// Observe records one completed operation.
+func (t *IntervalTracker) Observe(lat time.Duration) {
+	t.ops++
+	t.latSum += lat
+}
+
+// Cut closes the interval ending at end and starts the next one.
+func (t *IntervalTracker) Cut(end time.Duration) IntervalReport {
+	r := IntervalReport{Start: t.start, End: end, Ops: t.ops}
+	if t.ops > 0 {
+		r.MeanLat = t.latSum / time.Duration(t.ops)
+	}
+	t.Reports = append(t.Reports, r)
+	t.start = end
+	t.ops = 0
+	t.latSum = 0
+	return r
+}

@@ -1,0 +1,430 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Profile parameterizes the probabilistic work-load generator — the
+// "component that hand crafts work loads using probabilistic means"
+// the paper proposes. Each of the seven Sprite replay traces gets a
+// profile tuned to its published character: trace 1b has many large
+// parallel writes, trace 5 mixes large writes with a fair amount of
+// stat and read traffic, and all Unix-style traces share the high
+// overwrite factor early in file lifetimes.
+type Profile struct {
+	Name     string
+	Clients  int
+	Duration time.Duration
+	// ThinkMean is the mean idle time between a client's sessions.
+	ThinkMean time.Duration
+	// Session mixture.
+	PWrite float64 // write session probability (else read)
+	PStat  float64 // probability an "op" is a lone stat
+	// Overwrite behaviour: written files are deleted or truncated
+	// after an exponential delay with the given mean.
+	PDeleteAfter    float64
+	PTruncate       float64 // fraction of those that truncate instead
+	DeleteDelayMean time.Duration
+	// File population and sizes (blocks of 4 KB).
+	FileBlocksMean   int
+	FileBlocksMax    int
+	IOChunkBlocks    int
+	PreexistingFiles int // initial population per volume
+	// Volume topology: traffic skews toward the first HotVolumes.
+	Volumes    int
+	HotVolumes int
+	HotWeight  float64
+	// Large writers model trace 1b/5: clients that continuously
+	// create files of LargeWriteBlocks.
+	LargeWriters     int
+	LargeWriteBlocks int
+}
+
+// Profiles returns the seven replay profiles (1a, 1b, 2a, 2b, 3, 4,
+// 5), 2 hours each at full scale.
+func Profiles() map[string]Profile {
+	// Calibration: Unix files die young (Baker/Ousterhout), so most
+	// written bytes are deleted or truncated before long — that is
+	// the overwrite factor write-saving exploits. The two hot
+	// volumes concentrate traffic, as in the replayed server.
+	base := Profile{
+		Clients:          60,
+		Duration:         2 * time.Hour,
+		ThinkMean:        3500 * time.Millisecond,
+		PWrite:           0.30,
+		PStat:            0.20,
+		PDeleteAfter:     0.80,
+		PTruncate:        0.15,
+		DeleteDelayMean:  45 * time.Second,
+		FileBlocksMean:   5,
+		FileBlocksMax:    64,
+		IOChunkBlocks:    2,
+		PreexistingFiles: 200,
+		Volumes:          14,
+		HotVolumes:       2,
+		HotWeight:        0.65,
+	}
+	p := map[string]Profile{}
+
+	t1a := base
+	t1a.Name = "1a"
+	p["1a"] = t1a
+
+	// 1b: many large parallel writes in bursts that dwarf a 4 MB
+	// NVRAM, but whose bytes mostly die young, so a big volatile
+	// cache absorbs them.
+	t1b := base
+	t1b.Name = "1b"
+	t1b.Clients = 40
+	t1b.LargeWriters = 6
+	t1b.LargeWriteBlocks = 192 // 768 KB files; 6 in parallel swamp 4 MB NVRAM
+	t1b.PDeleteAfter = 0.90
+	t1b.DeleteDelayMean = 30 * time.Second
+	p["1b"] = t1b
+
+	t2a := base
+	t2a.Name = "2a"
+	t2a.Clients = 70
+	t2a.PWrite = 0.15
+	t2a.ThinkMean = 3 * time.Second
+	p["2a"] = t2a
+
+	t2b := base
+	t2b.Name = "2b"
+	t2b.Clients = 70
+	t2b.PWrite = 0.20
+	t2b.ThinkMean = 3 * time.Second
+	p["2b"] = t2b
+
+	// 3: compile-like churn — many small short-lived files.
+	t3 := base
+	t3.Name = "3"
+	t3.Clients = 30
+	t3.ThinkMean = 1500 * time.Millisecond
+	t3.PWrite = 0.45
+	t3.PStat = 0.35
+	t3.PDeleteAfter = 0.85
+	t3.DeleteDelayMean = 20 * time.Second
+	t3.FileBlocksMean = 2
+	t3.FileBlocksMax = 16
+	p["3"] = t3
+
+	t4 := base
+	t4.Name = "4"
+	t4.ThinkMean = 4 * time.Second
+	t4.FileBlocksMean = 8
+	p["4"] = t4
+
+	// 5: large streams that mostly stay, plus a fair amount of stat
+	// and read traffic — the cache-clutter pathology.
+	t5 := base
+	t5.Name = "5"
+	t5.Clients = 30
+	t5.PWrite = 0.25
+	t5.PStat = 0.30
+	t5.LargeWriters = 3
+	t5.LargeWriteBlocks = 384 // 1.5 MB streams
+	t5.ThinkMean = 4 * time.Second
+	t5.PDeleteAfter = 0.40 // most of the stream data survives
+	t5.DeleteDelayMean = 60 * time.Second
+	p["5"] = t5
+
+	return p
+}
+
+// ProfileNames lists the profiles in order.
+func ProfileNames() []string { return []string{"1a", "1b", "2a", "2b", "3", "4", "5"} }
+
+// genFile is a generator-side file.
+type genFile struct {
+	path   string
+	vol    core.VolumeID
+	blocks int
+	fresh  bool // created during the trace (not preexisting)
+}
+
+// pendingDelete schedules the overwrite/delete behaviour.
+type pendingDelete struct {
+	at       time.Duration
+	f        *genFile
+	truncate bool
+}
+
+// Generate builds the record stream for a profile, deterministic in
+// seed. The duration overrides the profile's when positive.
+func Generate(p Profile, seed int64, duration time.Duration) []Record {
+	if duration <= 0 {
+		duration = p.Duration
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &generator{p: p, rng: rng, horizon: duration}
+	g.buildPopulation()
+	var all []Record
+	totalClients := p.Clients + p.LargeWriters
+	for c := 0; c < totalClients; c++ {
+		all = append(all, g.clientStream(uint16(c), c >= p.Clients)...)
+	}
+	return all
+}
+
+type generator struct {
+	p       Profile
+	rng     *rand.Rand
+	horizon time.Duration
+	files   []*genFile // population across volumes
+	zipf    *rand.Zipf
+	nextID  int
+}
+
+func (g *generator) buildPopulation() {
+	vols := g.p.Volumes
+	if vols <= 0 {
+		vols = 1
+	}
+	for v := 0; v < vols; v++ {
+		for i := 0; i < g.p.PreexistingFiles; i++ {
+			g.files = append(g.files, &genFile{
+				path:   fmt.Sprintf("/u%d/f%04d", v, i),
+				vol:    core.VolumeID(v + 1),
+				blocks: g.fileSize(),
+			})
+		}
+	}
+	if len(g.files) > 1 {
+		g.zipf = rand.NewZipf(g.rng, 1.2, 1, uint64(len(g.files)-1))
+	}
+}
+
+// fileSize draws an exponential-ish size in blocks.
+func (g *generator) fileSize() int {
+	mean := g.p.FileBlocksMean
+	if mean <= 0 {
+		mean = 4
+	}
+	n := int(g.rng.ExpFloat64()*float64(mean)) + 1
+	if g.p.FileBlocksMax > 0 && n > g.p.FileBlocksMax {
+		n = g.p.FileBlocksMax
+	}
+	return n
+}
+
+// pickVol draws a volume with hot-spot skew.
+func (g *generator) pickVol() core.VolumeID {
+	vols := g.p.Volumes
+	if vols <= 0 {
+		vols = 1
+	}
+	if g.p.HotVolumes > 0 && g.rng.Float64() < g.p.HotWeight {
+		return core.VolumeID(1 + g.rng.Intn(g.p.HotVolumes))
+	}
+	return core.VolumeID(1 + g.rng.Intn(vols))
+}
+
+// pickFile draws a population file, zipf-skewed toward the front.
+func (g *generator) pickFile() *genFile {
+	if len(g.files) == 0 {
+		return nil
+	}
+	if g.zipf == nil {
+		return g.files[0]
+	}
+	return g.files[int(g.zipf.Uint64())%len(g.files)]
+}
+
+func (g *generator) exp(mean time.Duration) time.Duration {
+	return time.Duration(g.rng.ExpFloat64() * float64(mean))
+}
+
+// clientStream generates one client's time-ordered records.
+func (g *generator) clientStream(client uint16, largeWriter bool) []Record {
+	var recs []Record
+	var pend []pendingDelete
+	now := g.exp(g.p.ThinkMean) // stagger start
+	emit := func(r Record) { recs = append(recs, r) }
+
+	flushPending := func() {
+		// Emit due deletes in time order.
+		sort.Slice(pend, func(i, j int) bool { return pend[i].at < pend[j].at })
+		for len(pend) > 0 && pend[0].at <= now {
+			d := pend[0]
+			pend = pend[1:]
+			if d.truncate {
+				emit(Record{T: d.at, Client: client, Vol: d.f.vol, Op: OpTruncate,
+					Path: d.f.path, Size: 0})
+			} else {
+				emit(Record{T: d.at, Client: client, Vol: d.f.vol, Op: OpDelete,
+					Path: d.f.path})
+			}
+		}
+	}
+
+	for now < g.horizon {
+		flushPending()
+		switch {
+		case largeWriter:
+			now = g.largeWriteSession(client, now, emit, &pend)
+		case g.rng.Float64() < g.p.PStat:
+			f := g.pickFile()
+			if f != nil {
+				emit(Record{T: now, Client: client, Vol: f.vol, Op: OpStat,
+					Path: f.path, Flags: preFlag(f)})
+			}
+			now += g.exp(g.p.ThinkMean / 4)
+		case g.rng.Float64() < g.p.PWrite:
+			now = g.writeSession(client, now, emit, &pend)
+		default:
+			now = g.readSession(client, now, emit)
+		}
+		now += g.exp(g.p.ThinkMean)
+	}
+	// Trailing deletes still due before the horizon.
+	sort.Slice(pend, func(i, j int) bool { return pend[i].at < pend[j].at })
+	for _, d := range pend {
+		if d.at >= g.horizon {
+			break
+		}
+		if d.truncate {
+			emit(Record{T: d.at, Client: client, Vol: d.f.vol, Op: OpTruncate, Path: d.f.path})
+		} else {
+			emit(Record{T: d.at, Client: client, Vol: d.f.vol, Op: OpDelete, Path: d.f.path})
+		}
+	}
+	return recs
+}
+
+func preFlag(f *genFile) uint16 {
+	if f.fresh {
+		return 0
+	}
+	return FlagPreexisting
+}
+
+// readSession opens a file, reads it in chunks (times synthesized at
+// replay), and closes it.
+func (g *generator) readSession(client uint16, now time.Duration, emit func(Record)) time.Duration {
+	f := g.pickFile()
+	if f == nil {
+		return now
+	}
+	size := int64(f.blocks) * core.BlockSize
+	emit(Record{T: now, Client: client, Vol: f.vol, Op: OpOpen, Path: f.path,
+		Size: size, Flags: preFlag(f)})
+	chunk := g.p.IOChunkBlocks
+	if chunk <= 0 {
+		chunk = 1
+	}
+	n := 0
+	for off := int64(0); off < size; off += int64(chunk) * core.BlockSize {
+		l := int64(chunk) * core.BlockSize
+		if off+l > size {
+			l = size - off
+		}
+		emit(Record{Client: client, Vol: f.vol, Op: OpRead, Path: f.path, Off: off, Len: l})
+		n++
+	}
+	dur := time.Duration(n+1) * 10 * time.Millisecond
+	emit(Record{T: now + dur, Client: client, Vol: f.vol, Op: OpClose, Path: f.path})
+	return now + dur
+}
+
+// writeSession creates or rewrites a file in chunks and may schedule
+// its deletion — the overwrite factor that write-saving exploits.
+func (g *generator) writeSession(client uint16, now time.Duration, emit func(Record), pend *[]pendingDelete) time.Duration {
+	// Half the write sessions overwrite an existing file, half make
+	// a new one.
+	var f *genFile
+	if g.rng.Float64() < 0.5 {
+		f = g.pickFile()
+	}
+	if f == nil {
+		vol := g.pickVol()
+		f = &genFile{
+			path:   fmt.Sprintf("/u%d/n%d-%06d", int(vol)-1, client, g.nextID),
+			vol:    vol,
+			blocks: g.fileSize(),
+			fresh:  true,
+		}
+		g.nextID++
+		g.files = append(g.files, f)
+		emit(Record{T: now, Client: client, Vol: f.vol, Op: OpCreate, Path: f.path})
+	} else {
+		emit(Record{T: now, Client: client, Vol: f.vol, Op: OpOpen, Path: f.path,
+			Size: int64(f.blocks) * core.BlockSize, Flags: preFlag(f)})
+	}
+	size := int64(f.blocks) * core.BlockSize
+	chunk := g.p.IOChunkBlocks
+	if chunk <= 0 {
+		chunk = 1
+	}
+	n := 0
+	for off := int64(0); off < size; off += int64(chunk) * core.BlockSize {
+		l := int64(chunk) * core.BlockSize
+		if off+l > size {
+			l = size - off
+		}
+		emit(Record{Client: client, Vol: f.vol, Op: OpWrite, Path: f.path, Off: off, Len: l})
+		n++
+	}
+	dur := time.Duration(n+1) * 12 * time.Millisecond
+	emit(Record{T: now + dur, Client: client, Vol: f.vol, Op: OpClose, Path: f.path})
+	if g.rng.Float64() < g.p.PDeleteAfter {
+		*pend = append(*pend, pendingDelete{
+			at:       now + dur + g.exp(g.p.DeleteDelayMean),
+			f:        f,
+			truncate: g.rng.Float64() < g.p.PTruncate,
+		})
+	}
+	return now + dur
+}
+
+// largeWriteSession is the trace-1b/5 pattern: stream a large new
+// file.
+func (g *generator) largeWriteSession(client uint16, now time.Duration, emit func(Record), pend *[]pendingDelete) time.Duration {
+	vol := g.pickVol()
+	blocks := g.p.LargeWriteBlocks
+	if blocks <= 0 {
+		blocks = 256
+	}
+	f := &genFile{
+		path:   fmt.Sprintf("/u%d/big%d-%06d", int(vol)-1, client, g.nextID),
+		vol:    vol,
+		blocks: blocks,
+		fresh:  true,
+	}
+	g.nextID++
+	g.files = append(g.files, f)
+	emit(Record{T: now, Client: client, Vol: vol, Op: OpCreate, Path: f.path})
+	size := int64(blocks) * core.BlockSize
+	chunkB := int64(8 * core.BlockSize) // 32 KB writes
+	n := 0
+	for off := int64(0); off < size; off += chunkB {
+		l := chunkB
+		if off+l > size {
+			l = size - off
+		}
+		emit(Record{Client: client, Vol: vol, Op: OpWrite, Path: f.path, Off: off, Len: l})
+		n++
+	}
+	dur := time.Duration(n) * 15 * time.Millisecond
+	emit(Record{T: now + dur, Client: client, Vol: vol, Op: OpClose, Path: f.path})
+	if g.rng.Float64() < g.p.PDeleteAfter {
+		*pend = append(*pend, pendingDelete{
+			at: now + dur + g.exp(g.p.DeleteDelayMean), f: f,
+		})
+	}
+	return now + dur
+}
+
+// Summary counts records per op, for reports and tests.
+func Summary(recs []Record) map[Op]int {
+	out := map[Op]int{}
+	for _, r := range recs {
+		out[r.Op]++
+	}
+	return out
+}

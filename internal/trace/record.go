@@ -1,0 +1,267 @@
+// Package trace implements the simulator's work-load side: the
+// file-system trace record model, codecs in the style of the Sprite
+// (binary) and Coda (text) trace distributions, a probabilistic
+// work-load generator with per-trace profiles calibrated to the
+// published characterizations of the Sprite traces, and the replayer
+// that maps records onto the abstract client interface.
+//
+// Real trace files omit detail (recording everything would perturb
+// the traced system), so the replayer synthesizes what is missing,
+// exactly as the paper describes: read and write times are placed
+// equidistant between their open and close, and files that predate
+// the trace get sticky random disk locations via the layout's
+// educated guess.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Op is a traced file-system operation.
+type Op uint8
+
+const (
+	OpOpen Op = iota + 1
+	OpClose
+	OpRead
+	OpWrite
+	OpCreate
+	OpDelete
+	OpTruncate
+	OpStat
+	OpMkdir
+	OpRmdir
+	OpRename
+)
+
+var opNames = map[Op]string{
+	OpOpen: "open", OpClose: "close", OpRead: "read", OpWrite: "write",
+	OpCreate: "create", OpDelete: "delete", OpTruncate: "truncate",
+	OpStat: "stat", OpMkdir: "mkdir", OpRmdir: "rmdir", OpRename: "rename",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// opFromName inverts String for the text codec.
+func opFromName(s string) (Op, bool) {
+	for o, n := range opNames {
+		if n == s {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// Flags on a record.
+const (
+	// FlagPreexisting marks a file assumed to exist before the
+	// trace started; the simulator synthesizes its initial layout.
+	FlagPreexisting uint16 = 1 << iota
+)
+
+// Record is one traced operation. T is the offset from trace start;
+// zero T on a read or write means "unknown, synthesize at replay",
+// as real traces record session boundaries more reliably than the
+// I/O within them.
+type Record struct {
+	T      time.Duration
+	Client uint16
+	Vol    core.VolumeID
+	Op     Op
+	Path   string
+	Path2  string // rename target
+	Off    int64
+	Len    int64
+	Size   int64 // file size at open (drives preexisting placement)
+	Flags  uint16
+}
+
+// Format encodes and decodes record streams.
+type Format interface {
+	Name() string
+	Write(w io.Writer, recs []Record) error
+	Read(r io.Reader) ([]Record, error)
+}
+
+// NewFormat returns the named codec: "sprite" (binary) or "coda"
+// (text).
+func NewFormat(name string) (Format, bool) {
+	switch name {
+	case "", "sprite":
+		return SpriteFormat{}, true
+	case "coda":
+		return CodaFormat{}, true
+	}
+	return nil, false
+}
+
+// SpriteFormat is the compact binary codec, in the spirit of the
+// Sprite trace distribution.
+type SpriteFormat struct{}
+
+// Name returns "sprite".
+func (SpriteFormat) Name() string { return "sprite" }
+
+const spriteMagic = 0x53545231 // "STR1"
+
+// Write encodes recs.
+func (SpriteFormat) Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], spriteMagic)
+	le.PutUint64(hdr[4:], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [44]byte
+	for _, r := range recs {
+		le.PutUint64(buf[0:], uint64(r.T))
+		le.PutUint16(buf[8:], r.Client)
+		le.PutUint16(buf[10:], uint16(r.Vol))
+		buf[12] = byte(r.Op)
+		le.PutUint16(buf[14:], r.Flags)
+		le.PutUint64(buf[16:], uint64(r.Off))
+		le.PutUint64(buf[24:], uint64(r.Len))
+		le.PutUint64(buf[32:], uint64(r.Size))
+		le.PutUint16(buf[40:], uint16(len(r.Path)))
+		le.PutUint16(buf[42:], uint16(len(r.Path2)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.Path); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.Path2); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a stream written by Write.
+func (SpriteFormat) Read(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != spriteMagic {
+		return nil, fmt.Errorf("trace: bad sprite magic %#x", le.Uint32(hdr[0:]))
+	}
+	n := int(le.Uint64(hdr[4:]))
+	recs := make([]Record, 0, n)
+	var buf [44]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		rec := Record{
+			T:      time.Duration(le.Uint64(buf[0:])),
+			Client: le.Uint16(buf[8:]),
+			Vol:    core.VolumeID(le.Uint16(buf[10:])),
+			Op:     Op(buf[12]),
+			Flags:  le.Uint16(buf[14:]),
+			Off:    int64(le.Uint64(buf[16:])),
+			Len:    int64(le.Uint64(buf[24:])),
+			Size:   int64(le.Uint64(buf[32:])),
+		}
+		pl := int(le.Uint16(buf[40:]))
+		p2l := int(le.Uint16(buf[42:]))
+		pb := make([]byte, pl+p2l)
+		if _, err := io.ReadFull(br, pb); err != nil {
+			return nil, err
+		}
+		rec.Path = string(pb[:pl])
+		rec.Path2 = string(pb[pl:])
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// CodaFormat is a line-oriented text codec in the style of the Coda
+// trace tools: one op per line,
+//
+//	<usec> <client> <vol> <op> <path> [<off> <len> <size> <flags> [<path2>]]
+type CodaFormat struct{}
+
+// Name returns "coda".
+func (CodaFormat) Name() string { return "coda" }
+
+// Write encodes recs as text.
+func (CodaFormat) Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		fmt.Fprintf(bw, "%d %d %d %s %s %d %d %d %d",
+			r.T.Microseconds(), r.Client, r.Vol, r.Op, r.Path,
+			r.Off, r.Len, r.Size, r.Flags)
+		if r.Path2 != "" {
+			fmt.Fprintf(bw, " %s", r.Path2)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses the text form.
+func (CodaFormat) Read(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 9 {
+			return nil, fmt.Errorf("trace: coda line %d: %d fields", line, len(f))
+		}
+		usec, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: coda line %d: %v", line, err)
+		}
+		client, _ := strconv.ParseUint(f[1], 10, 16)
+		vol, _ := strconv.ParseUint(f[2], 10, 16)
+		op, ok := opFromName(f[3])
+		if !ok {
+			return nil, fmt.Errorf("trace: coda line %d: unknown op %q", line, f[3])
+		}
+		off, _ := strconv.ParseInt(f[5], 10, 64)
+		ln, _ := strconv.ParseInt(f[6], 10, 64)
+		size, _ := strconv.ParseInt(f[7], 10, 64)
+		flags, _ := strconv.ParseUint(f[8], 10, 16)
+		rec := Record{
+			T:      time.Duration(usec) * time.Microsecond,
+			Client: uint16(client),
+			Vol:    core.VolumeID(vol),
+			Op:     op,
+			Path:   f[4],
+			Off:    off,
+			Len:    ln,
+			Size:   size,
+			Flags:  uint16(flags),
+		}
+		if len(f) > 9 {
+			rec.Path2 = f[9]
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}

@@ -1,0 +1,13 @@
+package trace
+
+import "repro/internal/core"
+
+func init() {
+	r := core.Components()
+	r.Register(core.KindTraceFormat, "sprite", SpriteFormat{})
+	r.Register(core.KindTraceFormat, "coda", CodaFormat{})
+	for _, name := range ProfileNames() {
+		n := name
+		r.Register(core.KindWorkload, n, func() Profile { return Profiles()[n] })
+	}
+}

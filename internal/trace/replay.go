@@ -1,0 +1,331 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsys"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Result collects replay measurements: the cumulative latency
+// distributions behind the paper's Figures 2-4, the per-15-minute
+// interval reports, and error counts.
+type Result struct {
+	Overall   *stats.LatencyDist
+	PerOp     map[Op]*stats.LatencyDist
+	Intervals *stats.IntervalTracker
+	Ops       int
+	Errors    int
+}
+
+// NewResult returns an empty result.
+func NewResult() *Result {
+	return &Result{
+		Overall:   stats.NewLatencyDist("ops"),
+		PerOp:     make(map[Op]*stats.LatencyDist),
+		Intervals: stats.NewIntervalTracker(),
+	}
+}
+
+func (r *Result) observe(op Op, lat time.Duration) {
+	r.Overall.Observe(lat)
+	d := r.PerOp[op]
+	if d == nil {
+		d = stats.NewLatencyDist("op." + op.String())
+		r.PerOp[op] = d
+	}
+	d.Observe(lat)
+	r.Intervals.Observe(lat)
+	r.Ops++
+}
+
+// Replayer maps trace records onto the abstract client interface.
+// Clients are modeled by separate threads of control; each reads its
+// part of the trace, groups operations that belong together (an
+// open ... close sequence), and dispatches them at their recorded —
+// or synthesized — times.
+type Replayer struct {
+	fs  *fsys.FS
+	k   sched.Kernel
+	mu  sched.Mutex
+	res *Result
+	// ReportEvery cuts interval reports (the paper prints every 15
+	// minutes of simulation time).
+	ReportEvery time.Duration
+	// Quiet suppresses interval printing (results still recorded).
+	Quiet   bool
+	clients map[uint16][]Record
+	horizon time.Duration
+	done    int
+	total   int
+	finish  sched.Event
+}
+
+// NewReplayer prepares recs for replay against fs.
+func NewReplayer(fs *fsys.FS, recs []Record) *Replayer {
+	r := &Replayer{
+		fs:          fs,
+		k:           fs.Kernel(),
+		res:         NewResult(),
+		ReportEvery: 15 * time.Minute,
+		Quiet:       true,
+		clients:     make(map[uint16][]Record),
+	}
+	r.mu = r.k.NewMutex("replay")
+	r.finish = r.k.NewEvent("replay.finish")
+	for _, rec := range recs {
+		r.clients[rec.Client] = append(r.clients[rec.Client], rec)
+		if rec.T > r.horizon {
+			r.horizon = rec.T
+		}
+	}
+	return r
+}
+
+// Result returns the measurements (valid after Run).
+func (r *Replayer) Result() *Result { return r.res }
+
+// Run spawns one task per traced client plus the interval reporter
+// and returns when every client has drained its stream. It must be
+// called from a kernel task.
+func (r *Replayer) Run(t sched.Task) {
+	ids := make([]int, 0, len(r.clients))
+	for id := range r.clients {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	r.total = len(ids)
+	if r.total == 0 {
+		return
+	}
+	for _, id := range ids {
+		recs := synthesizeTimes(r.clients[uint16(id)])
+		r.k.Go(fmt.Sprintf("client%d", id), func(ct sched.Task) {
+			r.runClient(ct, recs)
+			r.mu.Lock(ct)
+			r.done++
+			last := r.done == r.total
+			r.mu.Unlock(ct)
+			if last {
+				r.finish.Signal()
+			}
+		})
+	}
+	if r.ReportEvery > 0 {
+		r.k.Go("replay.reporter", r.reporterLoop)
+	}
+	r.finish.Wait(t)
+	r.res.Intervals.Cut(time.Duration(r.k.Now()))
+}
+
+// reporterLoop cuts an interval report every ReportEvery of
+// simulation time until the replay completes.
+func (r *Replayer) reporterLoop(t sched.Task) {
+	for {
+		t.Sleep(r.ReportEvery)
+		r.mu.Lock(t)
+		finished := r.done == r.total
+		r.mu.Unlock(t)
+		if finished {
+			return
+		}
+		rep := r.res.Intervals.Cut(time.Duration(r.k.Now()))
+		if !r.Quiet {
+			fmt.Println(rep)
+		}
+	}
+}
+
+// synthesizeTimes fills in the missing read/write times: operations
+// with zero T inside an open...close group are positioned
+// equidistant between the open and the close, as the paper does for
+// the Sprite traces.
+func synthesizeTimes(recs []Record) []Record {
+	out := append([]Record(nil), recs...)
+	for i := 0; i < len(out); i++ {
+		if out[i].Op != OpOpen && out[i].Op != OpCreate {
+			continue
+		}
+		// Find the matching close for this path.
+		closeIdx := -1
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Op == OpClose && out[j].Path == out[i].Path {
+				closeIdx = j
+				break
+			}
+		}
+		if closeIdx < 0 {
+			continue
+		}
+		inner := closeIdx - i - 1
+		if inner <= 0 {
+			continue
+		}
+		t0, t1 := out[i].T, out[closeIdx].T
+		if t1 <= t0 {
+			t1 = t0 + time.Duration(inner)*time.Millisecond
+		}
+		step := (t1 - t0) / time.Duration(inner+1)
+		for n := 1; n <= inner; n++ {
+			if out[i+n].T == 0 {
+				out[i+n].T = t0 + time.Duration(n)*step
+			}
+		}
+	}
+	return out
+}
+
+// runClient executes one client's stream.
+func (r *Replayer) runClient(t sched.Task, recs []Record) {
+	handles := make(map[string]*fsys.Handle)
+	for _, rec := range recs {
+		t.SleepUntil(sched.Time(rec.T))
+		v := r.fs.Vol(rec.Vol)
+		if v == nil {
+			r.countError(t)
+			continue
+		}
+		start := r.k.Now()
+		err := r.execute(t, v, rec, handles)
+		lat := r.k.Now().Sub(start)
+		r.mu.Lock(t)
+		if err != nil {
+			r.res.Errors++
+		} else {
+			r.res.observe(rec.Op, lat)
+		}
+		r.mu.Unlock(t)
+	}
+	// Close anything the trace left open.
+	for path, h := range handles {
+		v := r.fs.Vol(h.File().VolID())
+		if v != nil {
+			v.Close(t, h)
+		}
+		delete(handles, path)
+	}
+}
+
+func (r *Replayer) countError(t sched.Task) {
+	r.mu.Lock(t)
+	r.res.Errors++
+	r.mu.Unlock(t)
+}
+
+// execute performs one record against the abstract client interface.
+func (r *Replayer) execute(t sched.Task, v *fsys.Volume, rec Record, handles map[string]*fsys.Handle) error {
+	pre := rec.Flags&FlagPreexisting != 0
+	switch rec.Op {
+	case OpOpen:
+		h, err := v.EnsureFile(t, rec.Path, rec.Size, pre)
+		if err != nil {
+			return err
+		}
+		handles[rec.Path] = h
+		return nil
+
+	case OpCreate:
+		h, err := v.EnsureFile(t, rec.Path, 0, false)
+		if err != nil {
+			return err
+		}
+		handles[rec.Path] = h
+		return nil
+
+	case OpClose:
+		h := handles[rec.Path]
+		if h == nil {
+			return nil
+		}
+		delete(handles, rec.Path)
+		return v.Close(t, h)
+
+	case OpRead:
+		h := handles[rec.Path]
+		if h == nil {
+			var err error
+			h, err = v.EnsureFile(t, rec.Path, rec.Off+rec.Len, pre)
+			if err != nil {
+				return err
+			}
+			defer v.Close(t, h)
+		}
+		_, err := v.ReadAt(t, h, rec.Off, nil, rec.Len)
+		return err
+
+	case OpWrite:
+		h := handles[rec.Path]
+		if h == nil {
+			var err error
+			h, err = v.EnsureFile(t, rec.Path, 0, false)
+			if err != nil {
+				return err
+			}
+			defer v.Close(t, h)
+		}
+		return v.WriteAt(t, h, rec.Off, nil, rec.Len)
+
+	case OpDelete:
+		err := v.Remove(t, rec.Path)
+		if err == core.ErrNotFound {
+			return nil // deleted before it was materialized; fine
+		}
+		return err
+
+	case OpTruncate:
+		h := handles[rec.Path]
+		transient := false
+		if h == nil {
+			var err error
+			h, err = v.EnsureFile(t, rec.Path, rec.Size, pre)
+			if err != nil {
+				return err
+			}
+			transient = true
+		}
+		err := v.Truncate(t, h, rec.Size)
+		if transient {
+			v.Close(t, h)
+		}
+		return err
+
+	case OpStat:
+		_, err := v.Stat(t, rec.Path)
+		if err == core.ErrNotFound && pre {
+			// The traced system had it; synthesize and retry.
+			h, cerr := v.EnsureFile(t, rec.Path, rec.Size, true)
+			if cerr != nil {
+				return cerr
+			}
+			v.Close(t, h)
+			_, err = v.Stat(t, rec.Path)
+		}
+		return err
+
+	case OpMkdir:
+		err := v.Mkdir(t, rec.Path)
+		if err == core.ErrExists {
+			return nil
+		}
+		return err
+
+	case OpRmdir:
+		err := v.Rmdir(t, rec.Path)
+		if err == core.ErrNotFound {
+			return nil
+		}
+		return err
+
+	case OpRename:
+		err := v.Rename(t, rec.Path, rec.Path2)
+		if err == core.ErrNotFound {
+			return nil
+		}
+		return err
+	}
+	return core.ErrInval
+}

@@ -1,0 +1,156 @@
+// Package xdr implements the XDR (RFC 1014-style) encoding the
+// NFS-like front-end speaks: big-endian 32-bit words, lengths
+// followed by payloads, everything padded to 4-byte alignment.
+package xdr
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encoder appends XDR-encoded values to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded size so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Uint64 encodes a 64-bit unsigned integer (XDR hyper).
+func (e *Encoder) Uint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Int64 encodes a signed hyper.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes an XDR boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Opaque encodes variable-length opaque data: length then bytes,
+// padded to a 4-byte boundary.
+func (e *Encoder) Opaque(p []byte) {
+	e.Uint32(uint32(len(p)))
+	e.buf = append(e.buf, p...)
+	for len(e.buf)%4 != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// FixedOpaque encodes fixed-length opaque data (length known to both
+// sides), padded.
+func (e *Encoder) FixedOpaque(p []byte) {
+	e.buf = append(e.buf, p...)
+	for len(e.buf)%4 != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// String encodes an XDR string.
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Decoder consumes XDR-encoded values from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) need(n int) error {
+	if d.off+n > len(d.buf) {
+		return fmt.Errorf("xdr: truncated: need %d bytes at %d of %d", n, d.off, len(d.buf))
+	}
+	return nil
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Uint64 decodes an unsigned hyper.
+func (d *Decoder) Uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Int64 decodes a signed hyper.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Bool decodes an XDR boolean.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	return v != 0, err
+}
+
+// Opaque decodes variable-length opaque data.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	padded := (int(n) + 3) &^ 3
+	if err := d.need(padded); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += padded
+	return out, nil
+}
+
+// FixedOpaque decodes n fixed bytes plus padding.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	padded := (n + 3) &^ 3
+	if err := d.need(padded); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += padded
+	return out, nil
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}

@@ -1,0 +1,99 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(0xDEADBEEF)
+	e.Uint64(0x0123456789ABCDEF)
+	e.Int64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 0xDEADBEEF {
+		t.Fatalf("uint32 %#x", v)
+	}
+	if v, _ := d.Uint64(); v != 0x0123456789ABCDEF {
+		t.Fatalf("uint64 %#x", v)
+	}
+	if v, _ := d.Int64(); v != -42 {
+		t.Fatalf("int64 %d", v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Fatal("bool true")
+	}
+	if v, _ := d.Bool(); v {
+		t.Fatal("bool false")
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining %d", d.Remaining())
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		e := NewEncoder()
+		payload := bytes.Repeat([]byte{7}, n)
+		e.Opaque(payload)
+		e.Uint32(99) // must land on aligned boundary
+		if e.Len()%4 != 0 {
+			t.Fatalf("n=%d: unaligned length %d", n, e.Len())
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: opaque %v %v", n, got, err)
+		}
+		if v, _ := d.Uint32(); v != 99 {
+			t.Fatalf("n=%d: trailer %d", n, v)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	prop := func(s string) bool {
+		e := NewEncoder()
+		e.String(s)
+		e.String("sentinel")
+		d := NewDecoder(e.Bytes())
+		got, err := d.String()
+		if err != nil || got != s {
+			return false
+		}
+		tail, err := d.String()
+		return err == nil && tail == "sentinel"
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedOpaque(t *testing.T) {
+	e := NewEncoder()
+	e.FixedOpaque([]byte{1, 2, 3})
+	if e.Len() != 4 {
+		t.Fatalf("fixed(3) length %d", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	got, err := d.FixedOpaque(3)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("fixed round trip: %v %v", got, err)
+	}
+}
+
+func TestTruncatedDecodeErrors(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); err == nil {
+		t.Fatal("short uint32 accepted")
+	}
+	e := NewEncoder()
+	e.Uint32(1000) // claims 1000 bytes follow
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Opaque(); err == nil {
+		t.Fatal("lying opaque length accepted")
+	}
+}
