@@ -2,7 +2,10 @@
 // the evaluation section has bench targets here; custom metrics
 // carry the simulation results (mean latency, blocks flushed) and
 // ns/op carries the simulator's own cost — the paper's "slowness of
-// the simulator" lesson made measurable.
+// the simulator" lesson made measurable. The figure and ablation
+// targets run through the parallel experiment engine (one simulation
+// per CPU); the *Sequential variants keep the pre-engine path for
+// A/B wall-clock comparison.
 //
 //	go test -bench=Fig2 -benchmem .
 //	go test -bench=. -benchmem .
@@ -90,6 +93,8 @@ func BenchmarkFig4Trace5NVRAMPartial(b *testing.B) {
 
 // --- Figure 5: mean latency, every trace × every policy ---
 
+// BenchmarkFig5AllTraces regenerates the full figure through the
+// parallel experiment engine (one worker per CPU).
 func BenchmarkFig5AllTraces(b *testing.B) {
 	s := benchScale()
 	s.Duration = 45 * time.Second
@@ -123,6 +128,36 @@ func BenchmarkFig5AllTraces(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5AllTracesSequential is the pre-engine reference path,
+// the A side of the parallel engine's wall-clock comparison.
+func BenchmarkFig5AllTracesSequential(b *testing.B) {
+	s := benchScale()
+	s.Duration = 45 * time.Second
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure5Sequential(s, benchSeed, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineFullQuickMatrix runs the complete quick evaluation
+// matrix — every trace × every policy — as one engine batch, the
+// engine's end-to-end cost per full evaluation.
+func BenchmarkEngineFullQuickMatrix(b *testing.B) {
+	s := benchScale()
+	s.Duration = 45 * time.Second
+	m := experiments.Matrix{Scale: s, Seeds: []int64{benchSeed}}
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Parallel().RunMatrix(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(results)), "sims")
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md index) ---
 
 func benchAblation(b *testing.B, run func(experiments.Scale) (string, error)) {
@@ -138,37 +173,37 @@ func benchAblation(b *testing.B, run func(experiments.Scale) (string, error)) {
 
 func BenchmarkAblationReplacement(b *testing.B) {
 	benchAblation(b, func(s experiments.Scale) (string, error) {
-		return experiments.AblateReplacement(s, "1a", benchSeed)
+		return experiments.AblateReplacement(nil, s, "1a", benchSeed)
 	})
 }
 
 func BenchmarkAblationQueueSched(b *testing.B) {
 	benchAblation(b, func(s experiments.Scale) (string, error) {
-		return experiments.AblateQueueSched(s, "1a", benchSeed)
+		return experiments.AblateQueueSched(nil, s, "1a", benchSeed)
 	})
 }
 
 func BenchmarkAblationLayoutLFSvsFFS(b *testing.B) {
 	benchAblation(b, func(s experiments.Scale) (string, error) {
-		return experiments.AblateLayout(s, "1a", benchSeed)
+		return experiments.AblateLayout(nil, s, "1a", benchSeed)
 	})
 }
 
 func BenchmarkAblationDiskModel(b *testing.B) {
 	benchAblation(b, func(s experiments.Scale) (string, error) {
-		return experiments.AblateDiskModel(s, "1a", benchSeed)
+		return experiments.AblateDiskModel(nil, s, "1a", benchSeed)
 	})
 }
 
 func BenchmarkAblationCleaner(b *testing.B) {
 	benchAblation(b, func(s experiments.Scale) (string, error) {
-		return experiments.AblateCleaner(s, benchSeed)
+		return experiments.AblateCleaner(nil, s, benchSeed)
 	})
 }
 
 func BenchmarkAblationNVRAMSize(b *testing.B) {
 	benchAblation(b, func(s experiments.Scale) (string, error) {
-		return experiments.AblateNVRAMSize(s, benchSeed)
+		return experiments.AblateNVRAMSize(nil, s, benchSeed)
 	})
 }
 

@@ -1,16 +1,22 @@
 // Command experiments regenerates the paper's figures and claim
-// checks, plus the ablations DESIGN.md indexes.
+// checks, plus the ablations DESIGN.md indexes. The evaluation is a
+// matrix of independent simulations, so it runs on the parallel job
+// engine by default — one worker per CPU, deterministically merged,
+// byte-identical to a sequential run at the same seeds.
 //
 //	experiments -fig all                 # figures 2-5 at paper scale
 //	experiments -fig 2 -cdf              # figure 2 with full CDF dump
 //	experiments -ablations               # the ablation suite
 //	experiments -scale quick -fig 5      # fast shrunken rig
+//	experiments -fig 5 -seeds 5          # figure 5 as mean ± stderr over 5 seeds
+//	experiments -workers 1               # sequential engine (timing baseline)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -21,7 +27,10 @@ func main() {
 		fig       = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all")
 		scaleName = flag.String("scale", "paper", "experiment scale: paper or quick")
 		duration  = flag.Duration("duration", 0, "override trace duration (e.g. 10m)")
-		seed      = flag.Int64("seed", 1996, "deterministic seed")
+		seed      = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
+		seeds     = flag.Int("seeds", 1, "replication: run every cell at this many seeds and report mean ± stderr")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+		seq       = flag.Bool("seq", false, "use the pre-engine sequential path (reference for A/B timing)")
 		ablations = flag.Bool("ablations", false, "run the ablation suite instead of figures")
 		fullCDF   = flag.Bool("cdf", false, "dump the full CDF tables (plottable)")
 		intervals = flag.Bool("intervals", false, "print 15-minute interval reports")
@@ -41,10 +50,49 @@ func main() {
 	if *duration > 0 {
 		scale.Duration = *duration
 	}
+	engine := &experiments.Engine{Workers: *workers}
 
 	if *ablations {
-		runAblations(scale, *seed)
+		ablEngine := engine
+		if *seq {
+			ablEngine = experiments.Sequential()
+		}
+		runAblations(ablEngine, scale, *seed)
 		return
+	}
+
+	runTrace := func(tn string, sd int64) ([]experiments.PolicyRun, error) {
+		if *seq {
+			return experiments.RunTraceSequential(scale, tn, sd)
+		}
+		return experiments.RunTraceWith(engine, scale, tn, sd)
+	}
+	runFig5 := func(sd int64) ([]experiments.Fig5Row, error) {
+		if *seq {
+			return experiments.RunFigure5Sequential(scale, sd, nil)
+		}
+		return experiments.RunFigure5With(engine, scale, sd, nil)
+	}
+	fig5 := func() {
+		if *seeds > 1 {
+			// Replication has no pre-engine path; -seq degrades to a
+			// one-worker engine, which runs the jobs in matrix order.
+			repEngine := engine
+			if *seq {
+				repEngine = experiments.Sequential()
+			}
+			sds := experiments.ReplicateSeeds(*seed, *seeds)
+			rows, err := repEngine.RunReplicated(scale, nil, sds)
+			die(err)
+			fmt.Println(experiments.Figure5Replicated(rows, sds))
+			return
+		}
+		rows, err := runFig5(*seed)
+		die(err)
+		fmt.Println(experiments.Figure5(rows))
+	}
+	if *seeds > 1 && *fig != "5" {
+		fmt.Fprintf(os.Stderr, "note: -seeds replication applies to figure 5 only; figures 2-4 run at seed %d\n", *seed)
 	}
 
 	figTraces := map[string]string{"2": "1a", "3": "1b", "4": "5"}
@@ -52,7 +100,7 @@ func main() {
 	switch *fig {
 	case "2", "3", "4":
 		tn := figTraces[*fig]
-		runs, err := experiments.RunTrace(scale, tn, *seed)
+		runs, err := runTrace(tn, *seed)
 		die(err)
 		fmt.Println(experiments.FigureCDF("Figure "+*fig, tn, runs))
 		if *fullCDF {
@@ -66,40 +114,47 @@ func main() {
 			}
 		}
 	case "5":
-		rows, err := experiments.RunFigure5(scale, *seed, nil)
-		die(err)
-		fmt.Println(experiments.Figure5(rows))
+		fig5()
 	case "all":
 		for _, f := range []string{"2", "3", "4"} {
 			tn := figTraces[f]
-			runs, err := experiments.RunTrace(scale, tn, *seed)
+			runs, err := runTrace(tn, *seed)
 			die(err)
 			fmt.Println(experiments.FigureCDF("Figure "+f, tn, runs))
 		}
-		rows, err := experiments.RunFigure5(scale, *seed, nil)
-		die(err)
-		fmt.Println(experiments.Figure5(rows))
+		fig5()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
-	fmt.Printf("(wall time %v, scale %s, trace duration %v)\n",
-		time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration)
+	mode := fmt.Sprintf("engine, %d workers", engineWorkers(*workers))
+	if *seq {
+		mode = "sequential"
+	}
+	fmt.Printf("(wall time %v, scale %s, trace duration %v, %s)\n",
+		time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration, mode)
 }
 
-func runAblations(scale experiments.Scale, seed int64) {
+func engineWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func runAblations(e *experiments.Engine, scale experiments.Scale, seed int64) {
 	type ab struct {
 		name string
 		run  func() (string, error)
 	}
 	abs := []ab{
-		{"replacement", func() (string, error) { return experiments.AblateReplacement(scale, "1a", seed) }},
-		{"queue-sched", func() (string, error) { return experiments.AblateQueueSched(scale, "1a", seed) }},
-		{"layout", func() (string, error) { return experiments.AblateLayout(scale, "1a", seed) }},
-		{"disk-model", func() (string, error) { return experiments.AblateDiskModel(scale, "1a", seed) }},
-		{"cleaner", func() (string, error) { return experiments.AblateCleaner(scale, seed) }},
-		{"nvram-size", func() (string, error) { return experiments.AblateNVRAMSize(scale, seed) }},
-		{"sched-seeds", func() (string, error) { return experiments.AblateSchedulerPolicy(scale, "1a", seed) }},
+		{"replacement", func() (string, error) { return experiments.AblateReplacement(e, scale, "1a", seed) }},
+		{"queue-sched", func() (string, error) { return experiments.AblateQueueSched(e, scale, "1a", seed) }},
+		{"layout", func() (string, error) { return experiments.AblateLayout(e, scale, "1a", seed) }},
+		{"disk-model", func() (string, error) { return experiments.AblateDiskModel(e, scale, "1a", seed) }},
+		{"cleaner", func() (string, error) { return experiments.AblateCleaner(e, scale, seed) }},
+		{"nvram-size", func() (string, error) { return experiments.AblateNVRAMSize(e, scale, seed) }},
+		{"sched-seeds", func() (string, error) { return experiments.AblateSchedulerPolicy(e, scale, "1a", seed) }},
 	}
 	for _, a := range abs {
 		out, err := a.run()

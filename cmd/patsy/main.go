@@ -1,8 +1,11 @@
-// Command patsy runs one off-line file-system simulation: pick a
-// trace profile (or a recorded trace file), a flush policy and the
-// component configuration, replay, and print the measurements.
+// Command patsy runs off-line file-system simulations: pick a trace
+// profile (or a recorded trace file), a flush policy — or "all" to
+// compare the paper's four concurrently on the experiment engine —
+// and the component configuration, replay, and print the
+// measurements.
 //
 //	patsy -trace 1a -policy ups -duration 10m
+//	patsy -trace 1b -policy all
 //	patsy -tracefile sprite.tr -policy writedelay -stats
 package main
 
@@ -14,7 +17,6 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
-	"repro/internal/patsy"
 	"repro/internal/trace"
 )
 
@@ -23,11 +25,12 @@ func main() {
 		traceName = flag.String("trace", "1a", "trace profile: 1a 1b 2a 2b 3 4 5")
 		traceFile = flag.String("tracefile", "", "replay a recorded trace file instead")
 		format    = flag.String("format", "sprite", "trace file format: sprite or coda")
-		policy    = flag.String("policy", "writedelay", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
+		policy    = flag.String("policy", "writedelay", "flush policy: writedelay, ups, nvram-whole, nvram-partial, or all")
 		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for the nvram policies")
 		scaleName = flag.String("scale", "paper", "topology scale: paper or quick")
 		duration  = flag.Duration("duration", 10*time.Minute, "trace duration")
-		seed      = flag.Int64("seed", 1996, "deterministic seed")
+		seed      = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
+		workers   = flag.Int("workers", 0, "concurrent simulations for -policy all (0 = one per CPU)")
 		replace   = flag.String("replace", "lru", "cache replacement: lru random lfu slru lru2")
 		qsched    = flag.String("qsched", "clook", "disk queue scheduler")
 		layoutN   = flag.String("layout", "lfs", "storage layout: lfs or ffs")
@@ -49,16 +52,21 @@ func main() {
 	scale.Duration = *duration
 
 	nvBlocks := *nvramKB / 4
-	var fc cache.FlushConfig
+	var policies []cache.FlushConfig
 	switch *policy {
 	case "writedelay":
-		fc = cache.WriteDelay()
+		policies = []cache.FlushConfig{cache.WriteDelay()}
 	case "ups":
-		fc = cache.UPS()
+		policies = []cache.FlushConfig{cache.UPS()}
 	case "nvram-whole":
-		fc = cache.NVRAMWhole(nvBlocks)
+		policies = []cache.FlushConfig{cache.NVRAMWhole(nvBlocks)}
 	case "nvram-partial":
-		fc = cache.NVRAMPartial(nvBlocks)
+		policies = []cache.FlushConfig{cache.NVRAMPartial(nvBlocks)}
+	case "all":
+		policies = []cache.FlushConfig{
+			cache.WriteDelay(), cache.UPS(),
+			cache.NVRAMWhole(nvBlocks), cache.NVRAMPartial(nvBlocks),
+		}
 	default:
 		fatalf("unknown policy %q", *policy)
 	}
@@ -82,41 +90,58 @@ func main() {
 		recs = scale.Trace(*traceName, *seed)
 	}
 
-	cfg := scale.Config(*seed, fc)
-	cfg.Replace = *replace
-	cfg.QueueSched = *qsched
-	cfg.Layout = *layoutN
-	cfg.DiskModel = *diskModel
-
+	// Every run — single policy or comparison — is a job matrix on
+	// the experiment engine; one job per policy, shared records.
+	jobs := make([]experiments.Job, len(policies))
+	for i, fc := range policies {
+		cfg := scale.Config(*seed, fc)
+		cfg.Replace = *replace
+		cfg.QueueSched = *qsched
+		cfg.Layout = *layoutN
+		cfg.DiskModel = *diskModel
+		jobs[i] = experiments.Job{
+			Cell: experiments.Cell{Trace: *traceName, Policy: fc.Name, Seed: *seed},
+			Cfg:  cfg,
+			Recs: recs,
+		}
+	}
 	start := time.Now()
-	rep, err := patsy.Run(cfg, *traceName, recs)
+	results, err := (&experiments.Engine{Workers: *workers}).Run(jobs)
 	if err != nil {
 		fatalf("simulation: %v", err)
 	}
-	fmt.Printf("trace %s, policy %s: %d ops in %v simulated (%v wall)\n",
-		rep.TraceName, rep.Policy, rep.WallOps, rep.SimTime.Round(time.Second),
-		time.Since(start).Round(time.Millisecond))
-	fmt.Printf("mean latency      %v\n", rep.MeanLatency().Round(time.Microsecond))
-	fmt.Printf("p50 / p90 / p99   %v / %v / %v\n",
-		rep.Result.Overall.Quantile(0.5).Round(time.Microsecond),
-		rep.Result.Overall.Quantile(0.9).Round(time.Microsecond),
-		rep.Result.Overall.Quantile(0.99).Round(time.Microsecond))
-	fmt.Printf("read hit rate     %.1f%%\n", 100*rep.ReadHit)
-	fmt.Printf("blocks flushed    %d\n", rep.Flushed)
-	fmt.Printf("writes saved      %d\n", rep.Saved)
-	fmt.Printf("nvram waits       %d\n", rep.NVRAMWaits)
-	fmt.Printf("dirty high water  %d blocks\n", rep.DirtyHW)
-	fmt.Printf("errors            %d\n", rep.Result.Errors)
-	if *showInt {
-		fmt.Println("\nintervals:")
-		for _, iv := range rep.Result.Intervals.Reports {
-			fmt.Printf("  %s\n", iv)
+	wall := time.Since(start).Round(time.Millisecond)
+
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		rep := res.Report
+		fmt.Printf("trace %s, policy %s: %d ops in %v simulated\n",
+			rep.TraceName, rep.Policy, rep.WallOps, rep.SimTime.Round(time.Second))
+		fmt.Printf("mean latency      %v\n", rep.MeanLatency().Round(time.Microsecond))
+		fmt.Printf("p50 / p90 / p99   %v / %v / %v\n",
+			rep.Result.Overall.Quantile(0.5).Round(time.Microsecond),
+			rep.Result.Overall.Quantile(0.9).Round(time.Microsecond),
+			rep.Result.Overall.Quantile(0.99).Round(time.Microsecond))
+		fmt.Printf("read hit rate     %.1f%%\n", 100*rep.ReadHit)
+		fmt.Printf("blocks flushed    %d\n", rep.Flushed)
+		fmt.Printf("writes saved      %d\n", rep.Saved)
+		fmt.Printf("nvram waits       %d\n", rep.NVRAMWaits)
+		fmt.Printf("dirty high water  %d blocks\n", rep.DirtyHW)
+		fmt.Printf("errors            %d\n", rep.Result.Errors)
+		if *showInt {
+			fmt.Println("\nintervals:")
+			for _, iv := range rep.Result.Intervals.Reports {
+				fmt.Printf("  %s\n", iv)
+			}
+		}
+		if *showCDF {
+			fmt.Println()
+			fmt.Println(rep.Result.Overall.Render())
 		}
 	}
-	if *showCDF {
-		fmt.Println()
-		fmt.Println(rep.Result.Overall.Render())
-	}
+	fmt.Printf("\n(%d simulation(s), %v wall)\n", len(results), wall)
 }
 
 func fatalf(f string, args ...any) {

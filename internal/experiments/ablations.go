@@ -31,26 +31,50 @@ func renderAblation(title string, rows []AblationRow, extra func(*patsy.Report) 
 	return b.String()
 }
 
+// runVariants replays one trace under write-delay across the given
+// config variants on e (nil = the machine-wide parallel engine) and
+// returns the rows in variant order.
+func runVariants(e *Engine, s Scale, traceName string, seed int64, variants []Variant) ([]AblationRow, error) {
+	if e == nil {
+		e = Parallel()
+	}
+	results, err := e.RunMatrix(Matrix{
+		Scale:    s,
+		Traces:   []string{traceName},
+		Policies: []cache.FlushConfig{cache.WriteDelay()},
+		Variants: variants,
+		Seeds:    []int64{seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(results))
+	for i, r := range results {
+		rows[i] = AblationRow{Variant: r.Cell.Variant, Report: r.Report}
+	}
+	return rows, nil
+}
+
 // AblateReplacement compares cache replacement policies on one
 // trace (the paper's RR/LFU/SLRU/LRU-K policy point). The cache is
 // shrunk so replacement actually happens: policies only differ
 // under eviction pressure.
-func AblateReplacement(s Scale, traceName string, seed int64) (string, error) {
-	recs := s.Trace(traceName, seed)
+func AblateReplacement(e *Engine, s Scale, traceName string, seed int64) (string, error) {
 	small := s.CacheBlocks / 16
 	if small < 128 {
 		small = 128
 	}
-	var rows []AblationRow
+	var variants []Variant
 	for _, rp := range []string{"lru", "random", "lfu", "slru", "lru2"} {
-		cfg := s.Config(seed, cache.WriteDelay())
-		cfg.CacheBlocks = small
-		cfg.Replace = rp
-		rep, err := patsy.Run(cfg, traceName, recs)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, AblationRow{Variant: rp, Report: rep})
+		rp := rp
+		variants = append(variants, Variant{Name: rp, Mutate: func(cfg *patsy.Config) {
+			cfg.CacheBlocks = small
+			cfg.Replace = rp
+		}})
+	}
+	rows, err := runVariants(e, s, traceName, seed, variants)
+	if err != nil {
+		return "", err
 	}
 	return renderAblation(
 		fmt.Sprintf("Ablation: cache replacement policy (trace %s, write-delay, %d-block cache)", traceName, small),
@@ -61,20 +85,20 @@ func AblateReplacement(s Scale, traceName string, seed int64) (string, error) {
 
 // AblateQueueSched compares disk-queue schedulers on the write-heavy
 // trace 5, where disk queues actually build depth.
-func AblateQueueSched(s Scale, traceName string, seed int64) (string, error) {
+func AblateQueueSched(e *Engine, s Scale, traceName string, seed int64) (string, error) {
 	if traceName == "" || traceName == "1a" {
 		traceName = "5"
 	}
-	recs := s.Trace(traceName, seed)
-	var rows []AblationRow
+	var variants []Variant
 	for _, qs := range []string{"fcfs", "sstf", "look", "clook", "cscan", "scan-edf"} {
-		cfg := s.Config(seed, cache.WriteDelay())
-		cfg.QueueSched = qs
-		rep, err := patsy.Run(cfg, traceName, recs)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, AblationRow{Variant: qs, Report: rep})
+		qs := qs
+		variants = append(variants, Variant{Name: qs, Mutate: func(cfg *patsy.Config) {
+			cfg.QueueSched = qs
+		}})
+	}
+	rows, err := runVariants(e, s, traceName, seed, variants)
+	if err != nil {
+		return "", err
 	}
 	return renderAblation(
 		fmt.Sprintf("Ablation: disk queue scheduler (trace %s, write-delay)", traceName),
@@ -83,17 +107,17 @@ func AblateQueueSched(s Scale, traceName string, seed int64) (string, error) {
 
 // AblateLayout compares the segmented LFS against the FFS-like
 // in-place layout.
-func AblateLayout(s Scale, traceName string, seed int64) (string, error) {
-	recs := s.Trace(traceName, seed)
-	var rows []AblationRow
+func AblateLayout(e *Engine, s Scale, traceName string, seed int64) (string, error) {
+	var variants []Variant
 	for _, lay := range []string{"lfs", "ffs"} {
-		cfg := s.Config(seed, cache.WriteDelay())
-		cfg.Layout = lay
-		rep, err := patsy.Run(cfg, traceName, recs)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, AblationRow{Variant: lay, Report: rep})
+		lay := lay
+		variants = append(variants, Variant{Name: lay, Mutate: func(cfg *patsy.Config) {
+			cfg.Layout = lay
+		}})
+	}
+	rows, err := runVariants(e, s, traceName, seed, variants)
+	if err != nil {
+		return "", err
 	}
 	return renderAblation(
 		fmt.Sprintf("Ablation: storage layout (trace %s, write-delay)", traceName),
@@ -103,17 +127,17 @@ func AblateLayout(s Scale, traceName string, seed int64) (string, error) {
 // AblateDiskModel reproduces the paper's motivation: a naive
 // fixed-latency disk model versus the detailed HP 97560 model
 // (Ruemmler reported errors up to 112% from simple models).
-func AblateDiskModel(s Scale, traceName string, seed int64) (string, error) {
-	recs := s.Trace(traceName, seed)
-	var rows []AblationRow
+func AblateDiskModel(e *Engine, s Scale, traceName string, seed int64) (string, error) {
+	var variants []Variant
 	for _, dm := range []string{"hp97560", "naive"} {
-		cfg := s.Config(seed, cache.WriteDelay())
-		cfg.DiskModel = dm
-		rep, err := patsy.Run(cfg, traceName, recs)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, AblationRow{Variant: dm, Report: rep})
+		dm := dm
+		variants = append(variants, Variant{Name: dm, Mutate: func(cfg *patsy.Config) {
+			cfg.DiskModel = dm
+		}})
+	}
+	rows, err := runVariants(e, s, traceName, seed, variants)
+	if err != nil {
+		return "", err
 	}
 	out := renderAblation(
 		fmt.Sprintf("Ablation: disk model fidelity (trace %s, write-delay)", traceName),
@@ -135,41 +159,42 @@ func AblateDiskModel(s Scale, traceName string, seed int64) (string, error) {
 // AblateCleaner compares log-cleaner policies on the churn-heavy
 // compile trace, with volumes capped small enough that the log
 // wraps within the trace.
-func AblateCleaner(s Scale, seed int64) (string, error) {
-	recs := s.Trace("3", seed)
-	var rows []AblationRow
+func AblateCleaner(e *Engine, s Scale, seed int64) (string, error) {
+	var variants []Variant
 	for _, cl := range []string{"greedy", "cost-benefit"} {
-		cfg := s.Config(seed, cache.WriteDelay())
-		cfg.Cleaner = cl
-		cfg.MaxVolBlocks = 2048 // 8 MB volumes force cleaning
-		rep, err := patsy.Run(cfg, "3", recs)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, AblationRow{Variant: cl, Report: rep})
+		cl := cl
+		variants = append(variants, Variant{Name: cl, Mutate: func(cfg *patsy.Config) {
+			cfg.Cleaner = cl
+			cfg.MaxVolBlocks = 2048 // 8 MB volumes force cleaning
+		}})
+	}
+	rows, err := runVariants(e, s, "3", seed, variants)
+	if err != nil {
+		return "", err
 	}
 	return renderAblation("Ablation: LFS cleaner policy (trace 3, write-delay, 8 MB volumes)", rows, nil), nil
 }
 
 // AblateNVRAMSize sweeps the NVRAM buffer on the write-heavy trace
 // 1b, the question Baker et al. left open.
-func AblateNVRAMSize(s Scale, seed int64) (string, error) {
-	recs := s.Trace("1b", seed)
+func AblateNVRAMSize(e *Engine, s Scale, seed int64) (string, error) {
 	sizes := []int{s.NVRAMBlocks / 4, s.NVRAMBlocks / 2, s.NVRAMBlocks, s.NVRAMBlocks * 2}
-	var rows []AblationRow
+	var variants []Variant
 	for _, n := range sizes {
 		if n < 8 {
 			continue
 		}
-		cfg := s.Config(seed, cache.NVRAMWhole(n))
-		rep, err := patsy.Run(cfg, "1b", recs)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, AblationRow{
-			Variant: fmt.Sprintf("%dKB", n*4),
-			Report:  rep,
+		n := n
+		variants = append(variants, Variant{
+			Name: fmt.Sprintf("%dKB", n*4),
+			Mutate: func(cfg *patsy.Config) {
+				cfg.Flush = cache.NVRAMWhole(n)
+			},
 		})
+	}
+	rows, err := runVariants(e, s, "1b", seed, variants)
+	if err != nil {
+		return "", err
 	}
 	return renderAblation("Ablation: NVRAM size (trace 1b, whole-file flush)", rows,
 		func(r *patsy.Report) string {
@@ -179,19 +204,22 @@ func AblateNVRAMSize(s Scale, seed int64) (string, error) {
 
 // AblateSchedulerPolicy compares thread-scheduler policies — the
 // paper's derived-scheduler-class point (random is the default).
-func AblateSchedulerPolicy(s Scale, traceName string, seed int64) (string, error) {
+func AblateSchedulerPolicy(e *Engine, s Scale, traceName string, seed int64) (string, error) {
 	// The policy lives in the kernel; patsy seeds random dispatch.
-	// Two seeds stand in for distinct random schedules; identical
+	// Distinct seeds stand in for distinct random schedules; identical
 	// results would reveal a determinism bug, wildly different ones
 	// an instability.
-	recs := s.Trace(traceName, seed)
-	var rows []AblationRow
+	var variants []Variant
 	for i, sd := range []int64{seed, seed + 1, seed + 2} {
-		rep, err := patsy.Run(s.Config(sd, cache.WriteDelay()), traceName, recs)
-		if err != nil {
-			return "", err
-		}
-		rows = append(rows, AblationRow{Variant: fmt.Sprintf("seed%d", i), Report: rep})
+		sd := sd
+		variants = append(variants, Variant{
+			Name:   fmt.Sprintf("seed%d", i),
+			Mutate: func(cfg *patsy.Config) { cfg.Seed = sd },
+		})
+	}
+	rows, err := runVariants(e, s, traceName, seed, variants)
+	if err != nil {
+		return "", err
 	}
 	return renderAblation(
 		fmt.Sprintf("Ablation: scheduler randomness sensitivity (trace %s)", traceName),

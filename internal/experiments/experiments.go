@@ -115,8 +115,34 @@ type PolicyRun struct {
 	Report *patsy.Report
 }
 
-// RunTrace replays one trace under every policy.
+// RunTrace replays one trace under every policy, one concurrent
+// simulation per policy. Results come back in policy order, so the
+// rendered figures match RunTraceSequential byte for byte.
 func RunTrace(s Scale, traceName string, seed int64) ([]PolicyRun, error) {
+	return RunTraceWith(Parallel(), s, traceName, seed)
+}
+
+// RunTraceWith is RunTrace on an explicit engine.
+func RunTraceWith(e *Engine, s Scale, traceName string, seed int64) ([]PolicyRun, error) {
+	results, err := e.RunMatrix(Matrix{
+		Scale:  s,
+		Traces: []string{traceName},
+		Seeds:  []int64{seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PolicyRun, len(results))
+	for i, r := range results {
+		out[i] = PolicyRun{Policy: r.Cell.Policy, Report: r.Report}
+	}
+	return out, nil
+}
+
+// RunTraceSequential is the pre-engine reference path: a plain loop
+// over the policies on the caller's goroutine. The integration tests
+// assert the parallel engine reproduces its output exactly.
+func RunTraceSequential(s Scale, traceName string, seed int64) ([]PolicyRun, error) {
 	recs := s.Trace(traceName, seed)
 	var out []PolicyRun
 	for _, fc := range s.Policies() {
@@ -169,14 +195,48 @@ type Fig5Row struct {
 	Runs  []PolicyRun
 }
 
-// RunFigure5 replays every trace under every policy.
+// RunFigure5 replays every trace under every policy as one flat
+// parallel batch — the whole figure is a single matrix of
+// independent simulations.
 func RunFigure5(s Scale, seed int64, traces []string) ([]Fig5Row, error) {
+	return RunFigure5With(Parallel(), s, seed, traces)
+}
+
+// RunFigure5With is RunFigure5 on an explicit engine.
+func RunFigure5With(e *Engine, s Scale, seed int64, traces []string) ([]Fig5Row, error) {
+	if len(traces) == 0 {
+		traces = trace.ProfileNames()
+	}
+	results, err := e.RunMatrix(Matrix{
+		Scale:  s,
+		Traces: traces,
+		Seeds:  []int64{seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Jobs expand trace-major, so the flat results regroup into rows
+	// by consecutive runs of the trace name.
+	var rows []Fig5Row
+	for _, r := range results {
+		if len(rows) == 0 || rows[len(rows)-1].Trace != r.Cell.Trace {
+			rows = append(rows, Fig5Row{Trace: r.Cell.Trace})
+		}
+		row := &rows[len(rows)-1]
+		row.Runs = append(row.Runs, PolicyRun{Policy: r.Cell.Policy, Report: r.Report})
+	}
+	return rows, nil
+}
+
+// RunFigure5Sequential is the pre-engine reference path for the full
+// figure, one trace after another on the caller's goroutine.
+func RunFigure5Sequential(s Scale, seed int64, traces []string) ([]Fig5Row, error) {
 	if len(traces) == 0 {
 		traces = trace.ProfileNames()
 	}
 	var rows []Fig5Row
 	for _, tn := range traces {
-		runs, err := RunTrace(s, tn, seed)
+		runs, err := RunTraceSequential(s, tn, seed)
 		if err != nil {
 			return nil, err
 		}

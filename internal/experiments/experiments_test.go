@@ -77,13 +77,13 @@ func TestAblationsRun(t *testing.T) {
 	}
 	s := tinyScale()
 	s.Duration = 30 * time.Second
-	if out, err := AblateLayout(s, "2a", 11); err != nil || !strings.Contains(out, "lfs") {
+	if out, err := AblateLayout(nil, s, "2a", 11); err != nil || !strings.Contains(out, "lfs") {
 		t.Fatalf("layout ablation: %v\n%s", err, out)
 	}
-	if out, err := AblateDiskModel(s, "1a", 11); err != nil || !strings.Contains(out, "naive") {
+	if out, err := AblateDiskModel(nil, s, "1a", 11); err != nil || !strings.Contains(out, "naive") {
 		t.Fatalf("disk-model ablation: %v\n%s", err, out)
 	}
-	if out, err := AblateQueueSched(s, "1a", 11); err != nil || !strings.Contains(out, "clook") {
+	if out, err := AblateQueueSched(nil, s, "1a", 11); err != nil || !strings.Contains(out, "clook") {
 		t.Fatalf("queue ablation: %v\n%s", err, out)
 	}
 }

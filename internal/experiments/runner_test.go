@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/patsy"
+	"repro/internal/trace"
+)
+
+func TestParallelDoCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 37
+		counts := make([]atomic.Int32, n)
+		parallelDo(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	parallelDo(4, 0, func(int) { t.Fatal("ran f with n=0") })
+}
+
+func TestMatrixExpansionOrderAndSharing(t *testing.T) {
+	s := tinyScale()
+	m := Matrix{
+		Scale:  s,
+		Traces: []string{"1a", "1b"},
+		Seeds:  []int64{7, 8},
+	}
+	jobs := m.Jobs()
+	// trace-major, then variant (identity), then the 4 policies, then
+	// the 2 seeds: 2*4*2 = 16 jobs.
+	if len(jobs) != 16 {
+		t.Fatalf("%d jobs, want 16", len(jobs))
+	}
+	want := []Cell{
+		{"1a", "writedelay", "", 7}, {"1a", "writedelay", "", 8},
+		{"1a", "ups", "", 7}, {"1a", "ups", "", 8},
+		{"1a", "nvram-whole", "", 7}, {"1a", "nvram-whole", "", 8},
+		{"1a", "nvram-partial", "", 7}, {"1a", "nvram-partial", "", 8},
+		{"1b", "writedelay", "", 7}, {"1b", "writedelay", "", 8},
+		{"1b", "ups", "", 7}, {"1b", "ups", "", 8},
+		{"1b", "nvram-whole", "", 7}, {"1b", "nvram-whole", "", 8},
+		{"1b", "nvram-partial", "", 7}, {"1b", "nvram-partial", "", 8},
+	}
+	for i, j := range jobs {
+		if j.Cell != want[i] {
+			t.Fatalf("job %d cell %+v, want %+v", i, j.Cell, want[i])
+		}
+		if j.Cfg.Seed != j.Cell.Seed {
+			t.Fatalf("job %d config seed %d, cell seed %d", i, j.Cfg.Seed, j.Cell.Seed)
+		}
+	}
+	// One record stream per (trace, seed), shared across policies.
+	if &jobs[0].Recs[0] != &jobs[2].Recs[0] {
+		t.Fatal("policies of one (trace, seed) do not share the record stream")
+	}
+	if &jobs[0].Recs[0] == &jobs[1].Recs[0] {
+		t.Fatal("different seeds share a record stream")
+	}
+	if &jobs[0].Recs[0] == &jobs[8].Recs[0] {
+		t.Fatal("different traces share a record stream")
+	}
+}
+
+func TestMatrixDefaults(t *testing.T) {
+	jobs := Matrix{Scale: tinyScale()}.Jobs()
+	wantJobs := len(trace.ProfileNames()) * 4
+	if len(jobs) != wantJobs {
+		t.Fatalf("%d default jobs, want %d", len(jobs), wantJobs)
+	}
+	for _, j := range jobs {
+		if j.Cell.Seed != DefaultSeed {
+			t.Fatalf("default seed %d, want %d", j.Cell.Seed, DefaultSeed)
+		}
+	}
+}
+
+// TestEngineMatchesSequential is the engine's core contract: the
+// parallel path renders byte-identical figures to the plain
+// sequential loop at the same seeds.
+func TestEngineMatchesSequential(t *testing.T) {
+	s := tinyScale()
+	seq, err := RunTraceSequential(s, "1a", 7)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := RunTraceWith(&Engine{Workers: 8}, s, "1a", 7)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	seqOut := FigureCDF("Figure 2", "1a", seq)
+	parOut := FigureCDF("Figure 2", "1a", par)
+	if seqOut != parOut {
+		t.Fatalf("parallel output diverges from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+	}
+}
+
+// TestEngineFullQuickMatrixRace drives the whole quick matrix —
+// every trace × every policy — through a wide worker pool. Run under
+// -race this is the engine's data-race certificate.
+func TestEngineFullQuickMatrixRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix in -short mode")
+	}
+	s := QuickScale()
+	s.Duration = 30 * time.Second
+	results, err := (&Engine{Workers: 8}).RunMatrix(Matrix{Scale: s})
+	if err != nil {
+		t.Fatalf("matrix: %v", err)
+	}
+	wantJobs := len(trace.ProfileNames()) * 4
+	if len(results) != wantJobs {
+		t.Fatalf("%d results, want %d", len(results), wantJobs)
+	}
+	for _, r := range results {
+		if r.Report == nil || r.Report.WallOps == 0 {
+			t.Fatalf("%s: empty report", r.Cell)
+		}
+	}
+}
+
+func TestEngineErrorPropagation(t *testing.T) {
+	s := tinyScale()
+	variants := []Variant{
+		{Name: "good"},
+		{Name: "bad", Mutate: func(cfg *patsy.Config) { cfg.QueueSched = "no-such-sched" }},
+	}
+	results, err := Parallel().RunMatrix(Matrix{
+		Scale:    s,
+		Traces:   []string{"1a"},
+		Policies: []cache.FlushConfig{cache.WriteDelay()},
+		Variants: variants,
+	})
+	if err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if !strings.Contains(err.Error(), "variant bad") {
+		t.Fatalf("error does not name the failing cell: %v", err)
+	}
+	// Sibling jobs still completed.
+	if len(results) != 2 || results[0].Err != nil || results[0].Report == nil {
+		t.Fatalf("good sibling did not complete: %+v", results)
+	}
+}
+
+func TestReplicateSeeds(t *testing.T) {
+	got := ReplicateSeeds(100, 3)
+	if len(got) != 3 || got[0] != 100 || got[1] != 101 || got[2] != 102 {
+		t.Fatalf("seeds %v", got)
+	}
+	if got := ReplicateSeeds(5, 0); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate seeds %v", got)
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated run in -short mode")
+	}
+	s := tinyScale()
+	seeds := ReplicateSeeds(7, 3)
+	rows, err := Parallel().RunReplicated(s, []string{"1a"}, seeds)
+	if err != nil {
+		t.Fatalf("replicated: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Trace != "1a" || len(rows[0].Cells) != 4 {
+		t.Fatalf("rows %+v", rows)
+	}
+	for _, c := range rows[0].Cells {
+		if len(c.Reports) != 3 || len(c.Seeds) != 3 {
+			t.Fatalf("cell %s has %d reports over seeds %v", c.Policy, len(c.Reports), c.Seeds)
+		}
+		if c.MeanLatency() <= 0 {
+			t.Fatalf("cell %s mean %v", c.Policy, c.MeanLatency())
+		}
+		if c.StderrLatency() < 0 {
+			t.Fatalf("cell %s stderr %v", c.Policy, c.StderrLatency())
+		}
+	}
+	out := Figure5Replicated(rows, seeds)
+	for _, want := range []string{"replicated over 3 seeds", "1a", "writedelay", "±"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("replicated figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplicateStatsDegenerate(t *testing.T) {
+	r := &Replicate{}
+	if r.MeanLatency() != 0 || r.StderrLatency() != 0 {
+		t.Fatal("empty replicate has nonzero stats")
+	}
+}

@@ -2,6 +2,7 @@ package nfs_test
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -192,6 +193,111 @@ func TestStaleHandle(t *testing.T) {
 	gone := nfs.FH{Vol: root.Vol, File: 9999}
 	if _, err := cl.Getattr(gone); err != core.ErrNotFound {
 		t.Fatalf("missing file: %v", err)
+	}
+}
+
+// TestHammerConcurrentClients drives the server hard from many
+// connections at once — each client churns creates, multi-block
+// writes, reads, renames and removes in its own directory while
+// sharing the volume — and then verifies every surviving file's
+// contents. Run under -race this is the server path's concurrency
+// certificate.
+func TestHammerConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test in -short mode")
+	}
+	_, cl, addr := startServerAddr(t)
+	root, _, err := cl.Mount(1)
+	if err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	const (
+		clients = 8
+		rounds  = 12
+	)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		id := i
+		go func() {
+			errs <- func() error {
+				c, err := nfs.Dial(addr)
+				if err != nil {
+					return fmt.Errorf("client %d: dial: %w", id, err)
+				}
+				defer c.Close()
+				dir, _, err := c.Mkdir(root, fmt.Sprintf("c%d", id))
+				if err != nil {
+					return fmt.Errorf("client %d: mkdir: %w", id, err)
+				}
+				payload := bytes.Repeat([]byte{byte('A' + id)}, 3*core.BlockSize/2)
+				for r := 0; r < rounds; r++ {
+					name := fmt.Sprintf("f%d", r)
+					fh, _, err := c.Create(dir, name)
+					if err != nil {
+						return fmt.Errorf("client %d round %d: create: %w", id, r, err)
+					}
+					if _, err := c.Write(fh, 0, payload); err != nil {
+						return fmt.Errorf("client %d round %d: write: %w", id, r, err)
+					}
+					got, err := c.Read(fh, 0, len(payload))
+					if err != nil {
+						return fmt.Errorf("client %d round %d: read: %w", id, r, err)
+					}
+					if !bytes.Equal(got, payload) {
+						return fmt.Errorf("client %d round %d: read-back mismatch", id, r)
+					}
+					switch r % 3 {
+					case 0: // keep under a new name
+						if err := c.Rename(dir, name, dir, name+".kept"); err != nil {
+							return fmt.Errorf("client %d round %d: rename: %w", id, r, err)
+						}
+					case 1: // delete
+						if err := c.Remove(dir, name); err != nil {
+							return fmt.Errorf("client %d round %d: remove: %w", id, r, err)
+						}
+					case 2: // truncate and keep
+						if _, err := c.SetSize(fh, int64(core.BlockSize)); err != nil {
+							return fmt.Errorf("client %d round %d: setsize: %w", id, r, err)
+						}
+					}
+					if _, err := c.Readdir(dir); err != nil {
+						return fmt.Errorf("client %d round %d: readdir: %w", id, r, err)
+					}
+				}
+				// Verify the survivors.
+				ents, err := c.Readdir(dir)
+				if err != nil {
+					return fmt.Errorf("client %d: final readdir: %w", id, err)
+				}
+				if want := rounds - rounds/3; len(ents) != want {
+					return fmt.Errorf("client %d: %d files survived, want %d", id, len(ents), want)
+				}
+				for _, ent := range ents {
+					fh, attr, err := c.Lookup(dir, ent.Name)
+					if err != nil {
+						return fmt.Errorf("client %d: lookup %s: %w", id, ent.Name, err)
+					}
+					got, err := c.Read(fh, 0, len(payload))
+					if err != nil {
+						return fmt.Errorf("client %d: read %s: %w", id, ent.Name, err)
+					}
+					if !bytes.Equal(got, payload[:attr.Size]) {
+						return fmt.Errorf("client %d: %s corrupted", id, ent.Name)
+					}
+				}
+				return nil
+			}()
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shared root holds exactly the per-client directories.
+	ents, err := cl.Readdir(root)
+	if err != nil || len(ents) != clients {
+		t.Fatalf("root entries %v (err %v), want %d dirs", ents, err, clients)
 	}
 }
 

@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -91,6 +92,87 @@ func TestRestartRecoversData(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("read back: %v", err)
+	}
+}
+
+// TestConcurrentLocalClients hammers one PFS through the in-process
+// client interface from many goroutines at once: each Do call is a
+// kernel task acting as one client representative, so this exercises
+// the same cache/layout paths the simulator runs — under real
+// concurrency. Run with -race it certifies the on-line instantiation.
+func TestConcurrentLocalClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "pfs.img")
+	srv, err := Open(Config{Path: path, Blocks: 4096, CacheBlocks: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer srv.Close()
+	const (
+		clients = 8
+		rounds  = 10
+	)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		id := i
+		go func() {
+			errs <- func() error {
+				dir := fmt.Sprintf("/c%d", id)
+				if err := srv.Do(func(tk sched.Task) error {
+					return srv.Vol.Mkdir(tk, dir)
+				}); err != nil {
+					return fmt.Errorf("client %d: mkdir: %w", id, err)
+				}
+				payload := bytes.Repeat([]byte{byte('a' + id)}, core.BlockSize+512)
+				for r := 0; r < rounds; r++ {
+					name := fmt.Sprintf("%s/f%d", dir, r)
+					err := srv.Do(func(tk sched.Task) error {
+						h, err := srv.Vol.Create(tk, name, core.TypeRegular)
+						if err != nil {
+							return err
+						}
+						if err := srv.Vol.Write(tk, h, payload, int64(len(payload))); err != nil {
+							return err
+						}
+						h.SetPos(0)
+						buf := make([]byte, len(payload))
+						if _, err := srv.Vol.Read(tk, h, buf, int64(len(payload))); err != nil {
+							return err
+						}
+						if !bytes.Equal(buf, payload) {
+							return fmt.Errorf("read-back mismatch")
+						}
+						if err := srv.Vol.Close(tk, h); err != nil {
+							return err
+						}
+						if r%2 == 1 {
+							return srv.Vol.Remove(tk, name)
+						}
+						return nil
+					})
+					if err != nil {
+						return fmt.Errorf("client %d round %d: %w", id, r, err)
+					}
+				}
+				return srv.Do(func(tk sched.Task) error {
+					names, err := srv.Vol.Readdir(tk, dir)
+					if err != nil {
+						return fmt.Errorf("client %d: readdir: %w", id, err)
+					}
+					if want := rounds - rounds/2; len(names) != want {
+						return fmt.Errorf("client %d: %d files survived, want %d", id, len(names), want)
+					}
+					return nil
+				})
+			}()
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

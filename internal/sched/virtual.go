@@ -89,6 +89,11 @@ type vtask struct {
 	timerI   int  // heap index, -1 when not queued
 	waitOn   string
 	signaled bool // event wake-up reason
+	// unwound is set by the task's own goroutine when Stop aborts it
+	// mid-park. Unwinding tasks run concurrently with each other and
+	// with the scheduler's caller, so their exit path must not touch
+	// kernel state or the yielded channel.
+	unwound bool
 }
 
 // Name returns the task name.
@@ -117,8 +122,18 @@ func (k *VKernel) Go(name string, fn func(Task)) Task {
 	k.live++
 	k.runnable = append(k.runnable, t)
 	go func() {
-		<-t.resume // wait for first dispatch
+		select {
+		case <-t.resume: // wait for first dispatch
+		case <-k.aborted: // stopped before ever running
+			return
+		}
 		defer func() {
+			if t.unwound {
+				// Aborted by Stop: the scheduler loop has exited and
+				// sibling tasks unwind concurrently, so shared kernel
+				// state is off limits and nobody receives yielded.
+				return
+			}
 			t.state = vDead
 			k.live--
 			k.yielded <- t
@@ -137,6 +152,7 @@ func (t *vtask) park() {
 	case <-t.resume:
 		t.k.current = t
 	case <-t.k.aborted:
+		t.unwound = true
 		runtime.Goexit()
 	}
 }

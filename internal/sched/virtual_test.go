@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -370,6 +371,40 @@ func TestStopUnwindsTasks(t *testing.T) {
 	}
 	if !k.Stopped() {
 		t.Fatal("kernel not stopped")
+	}
+}
+
+// TestStopDoesNotLeakGoroutines pins the abort-path fix: unwound
+// tasks must exit instead of blocking forever on the scheduler
+// hand-off, or every stopped simulation leaks its parked tasks.
+func TestStopDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		k := NewVirtual(int64(i))
+		ev := k.NewEvent("never")
+		for j := 0; j < 10; j++ {
+			k.Go("blocked", func(tk Task) { ev.Wait(tk) })
+		}
+		k.Go("stopper", func(tk Task) {
+			tk.Sleep(time.Millisecond)
+			k.Stop()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run %d: %v", i, err)
+		}
+	}
+	// Unwinding goroutines exit asynchronously; give them a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 20 stopped runs",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

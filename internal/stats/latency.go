@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -12,6 +13,7 @@ import (
 // produced. Samples are durations in nanoseconds.
 type LatencyDist struct {
 	name    string
+	mu      sync.Mutex
 	samples []int64
 	sorted  bool
 	sum     int64
@@ -24,26 +26,38 @@ func NewLatencyDist(name string) *LatencyDist {
 
 // Observe records one latency.
 func (d *LatencyDist) Observe(lat time.Duration) {
+	d.mu.Lock()
 	d.samples = append(d.samples, int64(lat))
 	d.sum += int64(lat)
 	d.sorted = false
+	d.mu.Unlock()
 }
 
 // N returns the sample count.
-func (d *LatencyDist) N() int { return len(d.samples) }
+func (d *LatencyDist) N() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.samples)
+}
 
 // Name returns the distribution's name.
 func (d *LatencyDist) Name() string { return d.name }
 
 // Mean returns the mean latency.
 func (d *LatencyDist) Mean() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.meanLocked()
+}
+
+func (d *LatencyDist) meanLocked() time.Duration {
 	if len(d.samples) == 0 {
 		return 0
 	}
 	return time.Duration(d.sum / int64(len(d.samples)))
 }
 
-func (d *LatencyDist) sortSamples() {
+func (d *LatencyDist) sortLocked() {
 	if !d.sorted {
 		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
 		d.sorted = true
@@ -52,10 +66,16 @@ func (d *LatencyDist) sortSamples() {
 
 // Quantile returns the q-quantile latency (0 <= q <= 1).
 func (d *LatencyDist) Quantile(q float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.quantileLocked(q)
+}
+
+func (d *LatencyDist) quantileLocked(q float64) time.Duration {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	d.sortSamples()
+	d.sortLocked()
 	i := int(q * float64(len(d.samples)-1))
 	if i < 0 {
 		i = 0
@@ -69,10 +89,16 @@ func (d *LatencyDist) Quantile(q float64) time.Duration {
 // FracBelow returns the fraction of operations that completed within
 // lat — one point of the cumulative distribution.
 func (d *LatencyDist) FracBelow(lat time.Duration) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fracBelowLocked(lat)
+}
+
+func (d *LatencyDist) fracBelowLocked(lat time.Duration) float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	d.sortSamples()
+	d.sortLocked()
 	i := sort.Search(len(d.samples), func(i int) bool { return d.samples[i] > int64(lat) })
 	return float64(i) / float64(len(d.samples))
 }
@@ -85,9 +111,11 @@ type CDFPoint struct {
 
 // CDF evaluates the cumulative distribution at each given latency.
 func (d *LatencyDist) CDF(at []time.Duration) []CDFPoint {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]CDFPoint, len(at))
 	for i, lat := range at {
-		out[i] = CDFPoint{lat, d.FracBelow(lat)}
+		out[i] = CDFPoint{lat, d.fracBelowLocked(lat)}
 	}
 	return out
 }
@@ -116,31 +144,41 @@ func DefaultCDFGrid() []time.Duration {
 // Render prints the CDF as a two-column table followed by mean and
 // selected quantiles, the plotted form of Figures 2-4.
 func (d *LatencyDist) Render() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: n=%d mean=%v p50=%v p90=%v p99=%v\n",
-		d.name, d.N(), d.Mean().Round(time.Microsecond),
-		d.Quantile(0.50).Round(time.Microsecond),
-		d.Quantile(0.90).Round(time.Microsecond),
-		d.Quantile(0.99).Round(time.Microsecond))
-	for _, p := range d.CDF(DefaultCDFGrid()) {
-		if p.Frac >= 0.9999 && p.Lat > d.Quantile(1.0) {
+		d.name, len(d.samples), d.meanLocked().Round(time.Microsecond),
+		d.quantileLocked(0.50).Round(time.Microsecond),
+		d.quantileLocked(0.90).Round(time.Microsecond),
+		d.quantileLocked(0.99).Round(time.Microsecond))
+	for _, lat := range DefaultCDFGrid() {
+		frac := d.fracBelowLocked(lat)
+		if frac >= 0.9999 && lat > d.quantileLocked(1.0) {
 			break
 		}
-		fmt.Fprintf(&b, "  %8s %7.4f %s\n", p.Lat, p.Frac, strings.Repeat("*", int(60*p.Frac)))
+		fmt.Fprintf(&b, "  %8s %7.4f %s\n", lat, frac, strings.Repeat("*", int(60*frac)))
 	}
 	return b.String()
 }
 
 // Merge folds other's samples into d.
 func (d *LatencyDist) Merge(other *LatencyDist) {
-	d.samples = append(d.samples, other.samples...)
-	d.sum += other.sum
+	other.mu.Lock()
+	samples, sum := append([]int64(nil), other.samples...), other.sum
+	other.mu.Unlock()
+	d.mu.Lock()
+	d.samples = append(d.samples, samples...)
+	d.sum += sum
 	d.sorted = false
+	d.mu.Unlock()
 }
 
 // Reset discards all samples.
 func (d *LatencyDist) Reset() {
+	d.mu.Lock()
 	d.samples = d.samples[:0]
 	d.sum = 0
 	d.sorted = true
+	d.mu.Unlock()
 }

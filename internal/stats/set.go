@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -17,7 +18,9 @@ type Source interface {
 // Set is a collection of plug-in statistics objects. Simulator
 // components register their sources with the assembly's Set; the
 // reporter renders them at each interval and at the end of a run.
+// A Set is safe for concurrent use.
 type Set struct {
+	mu      sync.Mutex
 	sources []Source
 }
 
@@ -27,11 +30,17 @@ func NewSet() *Set { return &Set{} }
 // Add registers src; it returns src's concrete value through the
 // given pointer pattern at call sites (callers keep their own
 // typed reference).
-func (s *Set) Add(src Source) { s.sources = append(s.sources, src) }
+func (s *Set) Add(src Source) {
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
 
 // Render prints every source, sorted by name for stable output.
 func (s *Set) Render() string {
+	s.mu.Lock()
 	srcs := append([]Source(nil), s.sources...)
+	s.mu.Unlock()
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Name() < srcs[j].Name() })
 	var b strings.Builder
 	for _, src := range srcs {
@@ -45,7 +54,11 @@ func (s *Set) Render() string {
 }
 
 // Len returns the number of registered sources.
-func (s *Set) Len() int { return len(s.sources) }
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sources)
+}
 
 // IntervalReport is one periodic report line: how many operations
 // completed in the interval and their mean latency, printed every 15
@@ -64,8 +77,10 @@ func (r IntervalReport) String() string {
 
 // IntervalTracker accumulates per-interval operation statistics.
 // The replayer observes each completed operation; Cut closes the
-// current interval and returns its report.
+// current interval and returns its report. Reports may be read
+// directly once observation has stopped.
 type IntervalTracker struct {
+	mu      sync.Mutex
 	start   time.Duration
 	ops     int
 	latSum  time.Duration
@@ -77,12 +92,16 @@ func NewIntervalTracker() *IntervalTracker { return &IntervalTracker{} }
 
 // Observe records one completed operation.
 func (t *IntervalTracker) Observe(lat time.Duration) {
+	t.mu.Lock()
 	t.ops++
 	t.latSum += lat
+	t.mu.Unlock()
 }
 
 // Cut closes the interval ending at end and starts the next one.
 func (t *IntervalTracker) Cut(end time.Duration) IntervalReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	r := IntervalReport{Start: t.start, End: end, Ops: t.ops}
 	if t.ops > 0 {
 		r.MeanLat = t.latSum / time.Duration(t.ops)

@@ -3,6 +3,11 @@
 // distributions with CDF output, and the periodic reporter that
 // prints results every 15 minutes of simulation time, as the paper's
 // general simulation class does.
+//
+// Every statistics object is safe for concurrent use. The simulator
+// never needs that (exactly one virtual-kernel task runs at a time),
+// but the same components instantiated on-line — PFS under the real
+// kernel — observe from truly concurrent tasks.
 package stats
 
 import (
@@ -10,35 +15,38 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing event count.
 type Counter struct {
 	name string
-	n    int64
+	n    atomic.Int64
 }
 
 // NewCounter returns a named counter.
 func NewCounter(name string) *Counter { return &Counter{name: name} }
 
 // Add increments the counter by d.
-func (c *Counter) Add(d int64) { c.n += d }
+func (c *Counter) Add(d int64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Name returns the counter's name.
 func (c *Counter) Name() string { return c.name }
 
-func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.n) }
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.Value()) }
 
 // Moments accumulates mean and variance online (Welford's method),
 // plus min and max.
 type Moments struct {
 	name     string
+	mu       sync.Mutex
 	n        int64
 	mean, m2 float64
 	min, max float64
@@ -51,6 +59,8 @@ func NewMoments(name string) *Moments {
 
 // Observe records one sample.
 func (m *Moments) Observe(x float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.n++
 	d := x - m.mean
 	m.mean += d / float64(m.n)
@@ -64,10 +74,20 @@ func (m *Moments) Observe(x float64) {
 }
 
 // N returns the number of samples.
-func (m *Moments) N() int64 { return m.n }
+func (m *Moments) N() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
 
 // Mean returns the sample mean, or 0 with no samples.
 func (m *Moments) Mean() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.meanLocked()
+}
+
+func (m *Moments) meanLocked() float64 {
 	if m.n == 0 {
 		return 0
 	}
@@ -76,6 +96,12 @@ func (m *Moments) Mean() float64 {
 
 // Var returns the sample variance.
 func (m *Moments) Var() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.varLocked()
+}
+
+func (m *Moments) varLocked() float64 {
 	if m.n < 2 {
 		return 0
 	}
@@ -87,6 +113,12 @@ func (m *Moments) Stddev() float64 { return math.Sqrt(m.Var()) }
 
 // Min returns the smallest sample, or 0 with no samples.
 func (m *Moments) Min() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.minLocked()
+}
+
+func (m *Moments) minLocked() float64 {
 	if m.n == 0 {
 		return 0
 	}
@@ -95,6 +127,12 @@ func (m *Moments) Min() float64 {
 
 // Max returns the largest sample, or 0 with no samples.
 func (m *Moments) Max() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxLocked()
+}
+
+func (m *Moments) maxLocked() float64 {
 	if m.n == 0 {
 		return 0
 	}
@@ -105,8 +143,10 @@ func (m *Moments) Max() float64 {
 func (m *Moments) Name() string { return m.name }
 
 func (m *Moments) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return fmt.Sprintf("%s: n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
-		m.name, m.n, m.Mean(), m.Stddev(), m.Min(), m.Max())
+		m.name, m.n, m.meanLocked(), math.Sqrt(m.varLocked()), m.minLocked(), m.maxLocked())
 }
 
 // Histogram is a fixed-bucket histogram over int64 values (the
@@ -116,6 +156,7 @@ func (m *Moments) String() string {
 type Histogram struct {
 	name   string
 	bounds []int64
+	mu     sync.Mutex
 	counts []int64
 	total  int64
 	sum    int64
@@ -143,16 +184,28 @@ func NewLinearHistogram(name string, width int64, n int) *Histogram {
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.mu.Lock()
 	h.counts[i]++
 	h.total++
 	h.sum += v
+	h.mu.Unlock()
 }
 
 // Total returns the number of observations.
-func (h *Histogram) Total() int64 { return h.total }
+func (h *Histogram) Total() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
 
 // Mean returns the mean observation.
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meanLocked()
+}
+
+func (h *Histogram) meanLocked() float64 {
 	if h.total == 0 {
 		return 0
 	}
@@ -160,7 +213,11 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Bucket returns the count in bucket i (len(bounds)+1 buckets).
-func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+func (h *Histogram) Bucket(i int) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts[i]
+}
 
 // Name returns the histogram's name.
 func (h *Histogram) Name() string { return h.name }
@@ -169,8 +226,10 @@ func (h *Histogram) Name() string { return h.name }
 // per bucket, the style of the paper's "standard statistics output
 // with histograms".
 func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: n=%d mean=%.2f\n", h.name, h.total, h.Mean())
+	fmt.Fprintf(&b, "%s: n=%d mean=%.2f\n", h.name, h.total, h.meanLocked())
 	if h.total == 0 {
 		return b.String()
 	}

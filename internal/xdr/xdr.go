@@ -121,14 +121,18 @@ func (d *Decoder) Bool() (bool, error) {
 	return v != 0, err
 }
 
-// Opaque decodes variable-length opaque data.
+// Opaque decodes variable-length opaque data. A failed decode
+// consumes nothing: the cursor stays on the length header, so a
+// caller can report the error against the unconsumed stream.
 func (d *Decoder) Opaque() ([]byte, error) {
+	start := d.off
 	n, err := d.Uint32()
 	if err != nil {
 		return nil, err
 	}
 	padded := (int(n) + 3) &^ 3
 	if err := d.need(padded); err != nil {
+		d.off = start
 		return nil, err
 	}
 	out := make([]byte, n)
