@@ -10,6 +10,7 @@
 //	experiments -scale quick -fig 5      # fast shrunken rig
 //	experiments -fig 5 -seeds 5          # figure 5 as mean ± stderr over 5 seeds
 //	experiments -workers 1               # sequential engine (timing baseline)
+//	experiments -disks 1,2,4,8           # array-scaling study on the volume manager
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -34,6 +37,10 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the ablation suite instead of figures")
 		fullCDF   = flag.Bool("cdf", false, "dump the full CDF tables (plottable)")
 		intervals = flag.Bool("intervals", false, "print 15-minute interval reports")
+		disks     = flag.String("disks", "", "array-scaling study: comma-separated array widths (e.g. 1,2,4,8) to replay -scaletrace on, under all four write policies")
+		scTrace   = flag.String("scaletrace", "1a", "trace for the array-scaling study")
+		placement = flag.String("placement", "striped", "array placement for the scaling study: striped or affinity")
+		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for the scaling study")
 	)
 	flag.Parse()
 
@@ -51,6 +58,25 @@ func main() {
 		scale.Duration = *duration
 	}
 	engine := &experiments.Engine{Workers: *workers}
+
+	if *disks != "" {
+		widths, err := parseWidths(*disks)
+		die(err)
+		if *seeds > 1 {
+			fmt.Fprintf(os.Stderr, "note: -seeds replication applies to figure 5 only; the scaling study runs at seed %d\n", *seed)
+		}
+		scEngine := engine
+		if *seq {
+			scEngine = experiments.Sequential()
+		}
+		start := time.Now()
+		rows, err := experiments.RunArrayScaling(scEngine, scale, *scTrace, *seed, widths, *placement, *stripe)
+		die(err)
+		fmt.Println(experiments.ArrayScalingTable(rows, *scTrace, *placement, *stripe))
+		fmt.Printf("(wall time %v, scale %s, trace duration %v)\n",
+			time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration)
+		return
+	}
 
 	if *ablations {
 		ablEngine := engine
@@ -133,6 +159,25 @@ func main() {
 	}
 	fmt.Printf("(wall time %v, scale %s, trace duration %v, %s)\n",
 		time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration, mode)
+}
+
+func parseWidths(s string) ([]int, error) {
+	var widths []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -disks entry %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		widths = append(widths, w)
+	}
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("-disks given but empty")
+	}
+	return widths, nil
 }
 
 func engineWorkers(w int) int {

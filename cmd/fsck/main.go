@@ -1,12 +1,17 @@
-// Command fsck checks a PFS image for consistency: it mounts the
-// segmented log read-only-in-effect (nothing is written), loads
-// every live inode, and verifies the log invariants — address
-// ranges, double claims, segment usage counts and the free list.
+// Command fsck checks a PFS image — or a multi-volume array image
+// set — for consistency: each volume's segmented log is mounted
+// read-only-in-effect (nothing is written), every live inode is
+// loaded, and the log invariants are verified — address ranges,
+// double claims, segment usage counts and the free list. For arrays
+// it also reads the geometry label off member 0 and cross-checks the
+// width it was formatted with.
 //
 //	fsck -image /var/tmp/pfs.img
+//	fsck -image /var/tmp/pfs.img -volumes 4 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,54 +21,151 @@ import (
 	"repro/internal/layout"
 	"repro/internal/lfs"
 	"repro/internal/sched"
+	"repro/internal/volume"
 )
 
+// volReport is one volume image's result.
+type volReport struct {
+	Image      string   `json:"image"`
+	Blocks     int64    `json:"blocks"`
+	FreeBlocks int64    `json:"free_blocks"`
+	Layout     string   `json:"layout"`
+	Errors     []string `json:"errors"`
+}
+
+// report is the machine-readable summary.
+type report struct {
+	Image     string      `json:"image"`
+	Volumes   []volReport `json:"volumes"`
+	Label     *labelInfo  `json:"label,omitempty"`
+	Clean     bool        `json:"clean"`
+	ErrorText string      `json:"error,omitempty"`
+}
+
+// labelInfo is the array geometry read off member 0.
+type labelInfo struct {
+	Volumes      int    `json:"volumes"`
+	Placement    string `json:"placement"`
+	StripeBlocks int    `json:"stripe_blocks"`
+}
+
 func main() {
-	image := flag.String("image", "pfs.img", "backing image file")
-	verbose := flag.Bool("v", false, "print volume summary")
+	image := flag.String("image", "pfs.img", "backing image file (base name with -volumes > 1)")
+	volumes := flag.Int("volumes", 1, "array width: check images <image>.v0 .. <image>.v(N-1)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary")
+	verbose := flag.Bool("v", false, "print volume summaries")
 	flag.Parse()
 
-	fi, err := os.Stat(*image)
+	rep := report{Image: *image, Clean: true}
+	k := sched.NewReal(0)
+	fatal := false // could not even check an image (vs. checked and dirty)
+	for i := 0; i < *volumes; i++ {
+		path := *image
+		if *volumes > 1 {
+			path = fmt.Sprintf("%s.v%d", *image, i)
+		}
+		vr, f := checkVolume(k, path, i == 0 && *volumes > 1, &rep)
+		fatal = fatal || f
+		rep.Volumes = append(rep.Volumes, vr)
+		if len(vr.Errors) > 0 {
+			rep.Clean = false
+		}
+	}
+	emit(&rep, *jsonOut, *verbose, fatal)
+}
+
+// checkVolume mounts and checks one image; on the first member of an
+// array it also reads the geometry label into rep. The second result
+// reports whether the image could not be checked at all.
+func checkVolume(k *sched.RKernel, path string, wantLabel bool, rep *report) (volReport, bool) {
+	vr := volReport{Image: path, Layout: "lfs", Errors: []string{}}
+	fatal := false
+	fail := func(f string, args ...any) (volReport, bool) {
+		vr.Errors = append(vr.Errors, fmt.Sprintf(f, args...))
+		return vr, true
+	}
+	fi, err := os.Stat(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fsck:", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	blocks := fi.Size() / core.BlockSize
+	vr.Blocks = blocks
 	if blocks < 16 {
-		fmt.Fprintf(os.Stderr, "fsck: %s too small to hold a file system\n", *image)
-		os.Exit(1)
+		return fail("%s too small to hold a file system", path)
 	}
-
-	k := sched.NewReal(0)
-	drv, err := device.NewFileDriver(k, "fsck", *image, blocks, nil)
+	drv, err := device.NewFileDriver(k, "fsck:"+path, path, blocks, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fsck:", err)
-		os.Exit(1)
+		return fail("%v", err)
 	}
 	part := layout.NewPartition(drv, 0, 0, blocks, false)
 	l := lfs.New(k, "fsck", part, lfs.Config{})
 
-	errc := make(chan int, 1)
+	done := make(chan struct{})
 	k.Go("fsck", func(t sched.Task) {
+		defer close(done)
 		if err := l.Mount(t); err != nil {
-			fmt.Fprintf(os.Stderr, "fsck: mount: %v\n", err)
-			errc <- 2
+			vr.Errors = append(vr.Errors, fmt.Sprintf("mount: %v", err))
+			fatal = true
 			return
 		}
-		if *verbose {
-			fmt.Printf("%s: %s, %d free blocks\n", *image, l, l.FreeBlocks())
+		vr.FreeBlocks = l.FreeBlocks()
+		for _, e := range l.Check(t) {
+			vr.Errors = append(vr.Errors, e.Error())
 		}
-		errs := l.Check(t)
-		for _, e := range errs {
-			fmt.Println(e)
+		if wantLabel {
+			n, pl, sw, found, err := volume.ReadLabel(t, l)
+			if err != nil {
+				vr.Errors = append(vr.Errors, fmt.Sprintf("array label: %v", err))
+			} else if found {
+				rep.Label = &labelInfo{Volumes: n, Placement: pl, StripeBlocks: sw}
+			}
 		}
-		if len(errs) > 0 {
-			fmt.Printf("%s: %d inconsistencies\n", *image, len(errs))
-			errc <- 1
-			return
-		}
-		fmt.Printf("%s: clean\n", *image)
-		errc <- 0
 	})
-	os.Exit(<-errc)
+	<-done
+	return vr, fatal
+}
+
+// emit prints the report and exits: 0 clean, 1 inconsistencies
+// found, 2 an image could not be checked at all.
+func emit(rep *report, jsonOut, verbose, fatal bool) {
+	if rep.Label != nil && rep.Label.Volumes != len(rep.Volumes) {
+		rep.Clean = false
+		rep.ErrorText = fmt.Sprintf("array label says %d volumes, checked %d",
+			rep.Label.Volumes, len(rep.Volumes))
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "fsck:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, v := range rep.Volumes {
+			if verbose {
+				fmt.Printf("%s: %d blocks, %d free\n", v.Image, v.Blocks, v.FreeBlocks)
+			}
+			for _, e := range v.Errors {
+				fmt.Println(e)
+			}
+			if len(v.Errors) > 0 {
+				fmt.Printf("%s: %d inconsistencies\n", v.Image, len(v.Errors))
+			} else {
+				fmt.Printf("%s: clean\n", v.Image)
+			}
+		}
+		if rep.Label != nil {
+			fmt.Printf("array label: %d volumes, %s placement, stripe %d blocks\n",
+				rep.Label.Volumes, rep.Label.Placement, rep.Label.StripeBlocks)
+		}
+		if rep.ErrorText != "" {
+			fmt.Println("fsck:", rep.ErrorText)
+		}
+	}
+	if fatal {
+		os.Exit(2)
+	}
+	if !rep.Clean {
+		os.Exit(1)
+	}
 }

@@ -19,6 +19,7 @@ func main() {
 		profile  = flag.String("profile", "1a", "work-load profile: 1a 1b 2a 2b 3 4 5")
 		duration = flag.Duration("duration", 10*time.Minute, "trace duration")
 		seed     = flag.Int64("seed", 1996, "deterministic seed")
+		zipf     = flag.Float64("zipf", 0, "Zipf exponent of file popularity (> 1; 0 keeps the profile default 1.2); larger values concentrate traffic on fewer hot files, exercising hot/cold placement across volume arrays")
 		format   = flag.String("format", "sprite", "output format: sprite (binary) or coda (text)")
 		out      = flag.String("o", "", "output path (default stdout)")
 		summary  = flag.Bool("summary", false, "print an op-count summary to stderr")
@@ -29,6 +30,13 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown profile %q (have %v)\n", *profile, trace.ProfileNames())
 		os.Exit(2)
+	}
+	if *zipf != 0 {
+		if *zipf <= 1 {
+			fmt.Fprintf(os.Stderr, "-zipf must be > 1 (got %v)\n", *zipf)
+			os.Exit(2)
+		}
+		p.ZipfS = *zipf
 	}
 	recs := trace.Generate(p, *seed, *duration)
 

@@ -7,6 +7,7 @@
 //	patsy -trace 1a -policy ups -duration 10m
 //	patsy -trace 1b -policy all
 //	patsy -tracefile sprite.tr -policy writedelay -stats
+//	patsy -trace 1a -volumes 4 -placement striped -stripe 8
 package main
 
 import (
@@ -35,6 +36,9 @@ func main() {
 		qsched    = flag.String("qsched", "clook", "disk queue scheduler")
 		layoutN   = flag.String("layout", "lfs", "storage layout: lfs or ffs")
 		diskModel = flag.String("disk", "hp97560", "disk model: hp97560 or naive")
+		volumes   = flag.Int("volumes", 0, "volume-array width: build this many bus+disk+layout stacks behind one volume manager (0 = classic multi-volume topology)")
+		placement = flag.String("placement", "affinity", "array placement policy: affinity or striped")
+		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for -placement striped")
 		showCDF   = flag.Bool("cdf", false, "print the full latency CDF")
 		showInt   = flag.Bool("intervals", false, "print 15-minute interval reports")
 	)
@@ -50,6 +54,11 @@ func main() {
 		fatalf("unknown scale %q", *scaleName)
 	}
 	scale.Duration = *duration
+	if *volumes > 0 {
+		// Array mode: one front-end volume over a -volumes wide
+		// array; the trace targets that single volume.
+		scale = experiments.ArrayScale(scale)
+	}
 
 	nvBlocks := *nvramKB / 4
 	var policies []cache.FlushConfig
@@ -99,6 +108,11 @@ func main() {
 		cfg.QueueSched = *qsched
 		cfg.Layout = *layoutN
 		cfg.DiskModel = *diskModel
+		if *volumes > 0 {
+			cfg.ArrayVolumes = *volumes
+			cfg.Placement = *placement
+			cfg.StripeBlocks = *stripe
+		}
 		jobs[i] = experiments.Job{
 			Cell: experiments.Cell{Trace: *traceName, Policy: fc.Name, Seed: *seed},
 			Cfg:  cfg,
@@ -130,6 +144,16 @@ func main() {
 		fmt.Printf("nvram waits       %d\n", rep.NVRAMWaits)
 		fmt.Printf("dirty high water  %d blocks\n", rep.DirtyHW)
 		fmt.Printf("errors            %d\n", rep.Result.Errors)
+		if *volumes > 1 {
+			fmt.Printf("per-volume blocks ")
+			for i, v := range rep.PerVolume {
+				if i > 0 {
+					fmt.Printf("  ")
+				}
+				fmt.Printf("%s r%d/w%d", v.Name, v.BlocksRead, v.BlocksWritten)
+			}
+			fmt.Println()
+		}
 		if *showInt {
 			fmt.Println("\nintervals:")
 			for _, iv := range rep.Result.Intervals.Reports {

@@ -1,8 +1,17 @@
 // Command pfsd runs the on-line Pegasus file system: a real cache,
-// a segmented LFS on a Unix file acting as the disk, and the
-// NFS-like network front-end.
+// a segmented LFS on a Unix file acting as the disk (or a striped
+// array of them), and the NFS-like network front-end.
 //
 //	pfsd -image /var/tmp/pfs.img -blocks 65536 -addr 127.0.0.1:2049
+//	pfsd -image /var/tmp/pfs.img -volumes 4 -placement striped
+//
+// With -volumes N the server runs on an N-wide volume array backed
+// by images <image>.v0 .. <image>.v(N-1); the on-image label makes a
+// reopen with different -volumes/-placement/-stripe fail loudly.
+//
+// On SIGINT/SIGTERM the server drains: it stops accepting calls,
+// lets in-flight NFS requests complete, syncs every volume, and only
+// then exits. A second signal forces an immediate shutdown.
 package main
 
 import (
@@ -10,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/cache"
 	"repro/internal/pfs"
@@ -17,13 +27,16 @@ import (
 
 func main() {
 	var (
-		image    = flag.String("image", "pfs.img", "backing image file")
-		blocks   = flag.Int64("blocks", 16384, "volume size in 4KB blocks")
-		cacheB   = flag.Int("cache", 4096, "cache size in 4KB blocks")
-		addr     = flag.String("addr", "127.0.0.1:20490", "listen address")
-		policy   = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
-		nvramKB  = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
-		statsOut = flag.Bool("stats", false, "print statistics on shutdown")
+		image     = flag.String("image", "pfs.img", "backing image file (base name with -volumes > 1)")
+		blocks    = flag.Int64("blocks", 16384, "per-volume size in 4KB blocks")
+		volumes   = flag.Int("volumes", 1, "volume-array width: one image+driver+LFS stack per member")
+		placement = flag.String("placement", "affinity", "array placement policy: affinity or striped")
+		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for -placement striped")
+		cacheB    = flag.Int("cache", 4096, "cache size in 4KB blocks")
+		addr      = flag.String("addr", "127.0.0.1:20490", "listen address")
+		policy    = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
+		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
+		statsOut  = flag.Bool("stats", false, "print statistics on shutdown")
 	)
 	flag.Parse()
 
@@ -43,10 +56,13 @@ func main() {
 	}
 
 	srv, err := pfs.Open(pfs.Config{
-		Path:        *image,
-		Blocks:      *blocks,
-		CacheBlocks: *cacheB,
-		Flush:       fc,
+		Path:         *image,
+		Blocks:       *blocks,
+		Volumes:      *volumes,
+		Placement:    *placement,
+		StripeBlocks: *stripe,
+		CacheBlocks:  *cacheB,
+		Flush:        fc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -57,15 +73,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("pfsd: serving volume 1 (%s, %d blocks, policy %s) on %s\n",
-		*image, *blocks, fc.Name, bound)
+	layoutName := srv.Vol.LayoutName()
+	fmt.Printf("pfsd: serving volume 1 (%s, %d×%d blocks, layout %s, policy %s) on %s\n",
+		*image, *volumes, *blocks, layoutName, fc.Name, bound)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("pfsd: syncing and shutting down")
-	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	fmt.Println("pfsd: draining in-flight requests and syncing all volumes")
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "pfsd: second signal, forcing shutdown")
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 	}
 	if *statsOut {
 		fmt.Println(srv.Set.Render())

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/patsy"
+)
+
+// This file is the array-scaling study the volume manager opens up:
+// replay one trace on a striped (or affinity) disk array of growing
+// width — every width under all four write policies — and render a
+// Figure-5-style table of mean latencies plus the aggregate disk
+// throughput and the per-volume balance. The whole study is one job
+// matrix on the parallel engine (widths are the variant axis), so it
+// is deterministic and byte-identical at any worker count.
+
+// ScaleRow is one array width's row: the four policy runs.
+type ScaleRow struct {
+	Width int
+	Runs  []PolicyRun
+}
+
+// ArrayScale derives the single-front-end-volume scale the scaling
+// study replays: the base scale's cache and duration, all traffic on
+// one mounted volume (the array).
+func ArrayScale(s Scale) Scale {
+	as := s
+	as.Name = s.Name + "-array"
+	as.Buses = 1
+	as.DisksPerBus = []int{1}
+	as.Volumes = 1
+	return as
+}
+
+// ArrayVariants builds the width axis of the scaling matrix.
+func ArrayVariants(widths []int, placement string, stripe int) []Variant {
+	vars := make([]Variant, len(widths))
+	for i, w := range widths {
+		w := w
+		vars[i] = Variant{
+			Name: fmt.Sprintf("%dvol", w),
+			Mutate: func(cfg *patsy.Config) {
+				cfg.ArrayVolumes = w
+				cfg.Placement = placement
+				cfg.StripeBlocks = stripe
+			},
+		}
+	}
+	return vars
+}
+
+// RunArrayScaling replays traceName on arrays of every given width
+// under the scale's four write policies, one engine matrix.
+func RunArrayScaling(e *Engine, s Scale, traceName string, seed int64, widths []int, placement string, stripe int) ([]ScaleRow, error) {
+	if len(widths) == 0 {
+		widths = []int{1, 2, 4, 8}
+	}
+	as := ArrayScale(s)
+	results, err := e.RunMatrix(Matrix{
+		Scale:    as,
+		Traces:   []string{traceName},
+		Variants: ArrayVariants(widths, placement, stripe),
+		Seeds:    []int64{seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Jobs expand variant-major within the single trace, so the flat
+	// results regroup into one row per width.
+	perRow := len(as.Policies())
+	rows := make([]ScaleRow, 0, len(widths))
+	for i, r := range results {
+		if i%perRow == 0 {
+			rows = append(rows, ScaleRow{Width: widths[len(rows)]})
+		}
+		row := &rows[len(rows)-1]
+		row.Runs = append(row.Runs, PolicyRun{Policy: r.Cell.Policy, Report: r.Report})
+	}
+	return rows, nil
+}
+
+// mbPerSec renders a block count over a duration as MB/s of disk
+// traffic.
+func mbPerSec(blocks int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(blocks) * core.BlockSize / (1 << 20) / d.Seconds()
+}
+
+// ArrayScalingTable renders the study: mean latency and aggregate
+// disk throughput per width × policy, plus the per-volume write
+// balance of each width's UPS run.
+func ArrayScalingTable(rows []ScaleRow, traceName, placement string, stripe int) string {
+	var b strings.Builder
+	head := fmt.Sprintf("Array scaling: trace %s on a %s disk array", traceName, placement)
+	if placement == "striped" {
+		head += fmt.Sprintf(" (stripe %d blocks)", stripe)
+	}
+	fmt.Fprintf(&b, "%s\n\n", head)
+	if len(rows) == 0 {
+		return b.String()
+	}
+
+	fmt.Fprintf(&b, "mean file-system latency:\n%-8s", "volumes")
+	for _, r := range rows[0].Runs {
+		fmt.Fprintf(&b, "%16s", r.Policy)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8d", row.Width)
+		for _, r := range row.Runs {
+			fmt.Fprintf(&b, "%16s", r.Report.MeanLatency().Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	fmt.Fprintf(&b, "\naggregate disk throughput (MB/s):\n%-8s", "volumes")
+	for _, r := range rows[0].Runs {
+		fmt.Fprintf(&b, "%16s", r.Policy)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8d", row.Width)
+		for _, r := range row.Runs {
+			fmt.Fprintf(&b, "%16.3f", mbPerSec(r.Report.DiskBlocks(), r.Report.SimTime))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	fmt.Fprintf(&b, "\nper-volume write balance (ups): blocks written per disk stack\n")
+	for _, row := range rows {
+		rep := pickPolicy(row.Runs, "ups")
+		if rep == nil {
+			continue
+		}
+		min, max := int64(-1), int64(-1)
+		parts := make([]string, 0, len(rep.PerVolume))
+		for _, v := range rep.PerVolume {
+			if min < 0 || v.BlocksWritten < min {
+				min = v.BlocksWritten
+			}
+			if v.BlocksWritten > max {
+				max = v.BlocksWritten
+			}
+			parts = append(parts, fmt.Sprintf("%d", v.BlocksWritten))
+		}
+		fmt.Fprintf(&b, "  %d vol: [%s]  min=%d max=%d\n", row.Width, strings.Join(parts, " "), min, max)
+	}
+	return b.String()
+}
+
+func pickPolicy(runs []PolicyRun, policy string) *patsy.Report {
+	for _, r := range runs {
+		if r.Policy == policy {
+			return r.Report
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/patsy"
+)
+
+// scalingScale is a small rig for the scaling tests.
+func scalingScale() Scale {
+	s := QuickScale()
+	s.Duration = 45 * time.Second
+	return s
+}
+
+// TestArrayScalingDeterministic runs the striped scaling study on
+// the parallel engine at several worker counts and demands the
+// rendered table be byte-identical — the array code must draw
+// nothing from outside its virtual kernel.
+func TestArrayScalingDeterministic(t *testing.T) {
+	s := scalingScale()
+	widths := []int{1, 2, 4}
+	var want string
+	for _, workers := range []int{1, 2, 4} {
+		rows, err := RunArrayScaling(&Engine{Workers: workers}, s, "1a", DefaultSeed, widths, "striped", 8)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := ArrayScalingTable(rows, "1a", "striped", 8)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("scaling table differs at %d workers:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestArrayWidth1MatchesDirect runs the same trace once through a
+// width-1 array and once through the classic single-stack topology
+// and compares the full reports: the volume manager must be a
+// transparent passthrough at width 1.
+func TestArrayWidth1MatchesDirect(t *testing.T) {
+	s := ArrayScale(scalingScale())
+	recs := s.Trace("1a", DefaultSeed)
+	fc := cache.UPS()
+
+	arrayCfg := s.Config(DefaultSeed, fc)
+	arrayCfg.ArrayVolumes = 1
+	arrayCfg.Placement = "striped"
+	arrayCfg.StripeBlocks = 8
+	arrayRep, err := patsy.Run(arrayCfg, "1a", recs)
+	if err != nil {
+		t.Fatalf("array run: %v", err)
+	}
+
+	directCfg := s.Config(DefaultSeed, fc)
+	directRep, err := patsy.Run(directCfg, "1a", recs)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	if a, d := arrayRep.MeanLatency(), directRep.MeanLatency(); a != d {
+		t.Errorf("mean latency: array %v, direct %v", a, d)
+	}
+	if a, d := arrayRep.Result.Overall.Render(), directRep.Result.Overall.Render(); a != d {
+		t.Errorf("latency CDF differs between width-1 array and direct run")
+	}
+	if a, d := arrayRep.Flushed, directRep.Flushed; a != d {
+		t.Errorf("flushed blocks: array %d, direct %d", a, d)
+	}
+	if a, d := arrayRep.SimTime, directRep.SimTime; a != d {
+		t.Errorf("simulated time: array %v, direct %v", a, d)
+	}
+	if len(arrayRep.PerVolume) != 1 || len(directRep.PerVolume) != 1 {
+		t.Fatalf("per-volume arity: %d vs %d", len(arrayRep.PerVolume), len(directRep.PerVolume))
+	}
+	if a, d := arrayRep.PerVolume[0], directRep.PerVolume[0]; a != d {
+		t.Errorf("disk traffic: array %+v, direct %+v", a, d)
+	}
+}
+
+// TestArrayScalingSpreadsWrites checks the striped study actually
+// uses the array: at width 4 every disk stack sees write traffic.
+func TestArrayScalingSpreadsWrites(t *testing.T) {
+	s := scalingScale()
+	rows, err := RunArrayScaling(Parallel(), s, "1b", DefaultSeed, []int{4}, "striped", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pickPolicy(rows[0].Runs, "ups")
+	if rep == nil {
+		t.Fatal("no ups run")
+	}
+	if len(rep.PerVolume) != 4 {
+		t.Fatalf("want 4 disk stacks, got %d", len(rep.PerVolume))
+	}
+	for i, v := range rep.PerVolume {
+		if v.BlocksWritten == 0 {
+			t.Errorf("disk stack %d (%s) saw no writes", i, v.Name)
+		}
+	}
+}

@@ -141,6 +141,12 @@ func (f *FFS) loadBlockMap(t sched.Task, ino *layout.Inode, di *layout.DiskInode
 		nleaves := (remaining + layout.AddrsPerBlock - 1) / layout.AddrsPerBlock
 		buf := make([]byte, core.BlockSize)
 		for _, leaf := range layout.DecodeAddrs(dbuf, nleaves) {
+			if leaf < 0 {
+				// The size over-covers the map (a volume-manager
+				// shadow carries the array-global size): a nil leaf
+				// ends the tree, it is never a legal address.
+				break
+			}
 			ino.IndAddrs = append(ino.IndAddrs, leaf)
 			if err := f.part.Read(t, leaf, 1, buf); err != nil {
 				return err

@@ -102,6 +102,12 @@ func (l *LFS) readInodeFromLog(t sched.Task, ent *imapEnt) (*layout.Inode, error
 		leaves := layout.DecodeAddrs(dbuf, nleaves)
 		ibuf := make([]byte, core.BlockSize)
 		for _, leaf := range leaves {
+			if leaf < 0 {
+				// The size over-covers the map (a volume-manager
+				// shadow carries the array-global size): a nil leaf
+				// ends the tree, it is never a legal address.
+				break
+			}
 			ino.IndAddrs = append(ino.IndAddrs, leaf)
 			if err := l.readLogBlock(t, leaf, ibuf); err != nil {
 				return nil, err

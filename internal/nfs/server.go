@@ -19,9 +19,18 @@ type Server struct {
 	k  sched.Kernel
 	ln net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]*connState
+	inflight sync.WaitGroup
+}
+
+// connState tracks whether a connection is mid-dispatch, so a drain
+// can cut idle connections immediately and let busy ones finish
+// their current call.
+type connState struct {
+	busy bool
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") over the given
@@ -31,7 +40,7 @@ func Serve(k sched.Kernel, fs *fsys.FS, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{fs: fs, k: k, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{fs: fs, k: k, ln: ln, conns: make(map[net.Conn]*connState)}
 	k.Go("nfs.accept", s.acceptLoop)
 	return s, nil
 }
@@ -39,7 +48,8 @@ func Serve(k sched.Kernel, fs *fsys.FS, addr string) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and all connections.
+// Close stops the listener and all connections immediately,
+// dropping whatever is in flight.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -54,6 +64,33 @@ func (s *Server) Close() error {
 	return s.ln.Close()
 }
 
+// Drain is the graceful half of shutdown: it stops accepting new
+// connections and new calls, closes idle connections, and blocks
+// until every in-flight call has completed and its reply has been
+// written. Busy connections close themselves right after that reply.
+// The file system is quiescent (from the network's point of view)
+// when Drain returns.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	var idle []net.Conn
+	for c, st := range s.conns {
+		if !st.busy {
+			idle = append(idle, c)
+		}
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range idle {
+		c.Close() // unblocks the conn task parked in readFrame
+	}
+	s.inflight.Wait()
+}
+
 func (s *Server) acceptLoop(t sched.Task) {
 	for {
 		conn, err := s.ln.Accept()
@@ -61,12 +98,12 @@ func (s *Server) acceptLoop(t sched.Task) {
 			return // listener closed
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		c := conn
 		s.k.Go("nfs.conn", func(ct sched.Task) {
@@ -90,32 +127,60 @@ func (s *Server) serveConn(t sched.Task, conn net.Conn) {
 		if err != nil {
 			return
 		}
+		// A drained server serves what is already in flight but
+		// starts nothing new; the busy window also keeps Drain's
+		// in-flight accounting exact.
+		s.mu.Lock()
+		st := s.conns[conn]
+		if s.draining || s.closed || st == nil {
+			s.mu.Unlock()
+			return
+		}
+		st.busy = true
+		s.inflight.Add(1)
+		s.mu.Unlock()
+
 		d := xdr.NewDecoder(frame)
-		xid, err := d.Uint32()
-		if err != nil {
+		ok := func() bool {
+			defer func() {
+				s.mu.Lock()
+				st.busy = false
+				s.mu.Unlock()
+				s.inflight.Done()
+			}()
+			xid, err := d.Uint32()
+			if err != nil {
+				return false
+			}
+			dir, err := d.Uint32()
+			if err != nil || dir != MsgCall {
+				return false
+			}
+			proc, err := d.Uint32()
+			if err != nil {
+				return false
+			}
+			e := xdr.NewEncoder()
+			e.Uint32(xid)
+			e.Uint32(MsgReply)
+			status := s.dispatch(t, proc, d, e)
+			// Splice the status in after (xid, MsgReply): rebuild
+			// with the final status word.
+			out := xdr.NewEncoder()
+			out.Uint32(xid)
+			out.Uint32(MsgReply)
+			out.Uint32(status)
+			outBytes := append(out.Bytes(), e.Bytes()[8:]...)
+			return writeFrame(conn, outBytes) == nil
+		}()
+		if !ok {
 			return
 		}
-		dir, err := d.Uint32()
-		if err != nil || dir != MsgCall {
-			return
-		}
-		proc, err := d.Uint32()
-		if err != nil {
-			return
-		}
-		e := xdr.NewEncoder()
-		e.Uint32(xid)
-		e.Uint32(MsgReply)
-		status := s.dispatch(t, proc, d, e)
-		// Splice the status in after (xid, MsgReply): rebuild with
-		// the final status word.
-		out := xdr.NewEncoder()
-		out.Uint32(xid)
-		out.Uint32(MsgReply)
-		out.Uint32(status)
-		outBytes := append(out.Bytes(), e.Bytes()[8:]...)
-		if err := writeFrame(conn, outBytes); err != nil {
-			return
+		s.mu.Lock()
+		draining := s.draining || s.closed
+		s.mu.Unlock()
+		if draining {
+			return // reply delivered; the server is going away
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/volume"
 )
 
 // Config selects the components of one simulation, every field a
@@ -68,6 +69,19 @@ type Config struct {
 
 	// Horizon bounds runaway simulations (0 = none).
 	Horizon time.Duration
+
+	// Volume-array mode: when ArrayVolumes >= 1 the simulator builds
+	// that many independent bus + disk + driver + layout stacks and
+	// mounts a single volume.Array over them as volume 1; the
+	// Buses/DisksPerBus/Volumes topology fields are ignored. Width 1
+	// is a transparent passthrough, byte-identical to the equivalent
+	// single-stack system.
+	ArrayVolumes int
+	// Placement routes file data across the array: "affinity"
+	// (default) or "striped".
+	Placement string
+	// StripeBlocks is the striped placement's chunk width.
+	StripeBlocks int
 }
 
 // DefaultConfig is the paper's Sprite replay setup with the flush
@@ -103,12 +117,24 @@ type System struct {
 	Disks   []*disk.Disk
 	Drivers []device.Driver
 	Layouts []layout.Layout
+	Array   *volume.Array // non-nil in array mode
 	Set     *stats.Set
 }
 
 // Build assembles the components. Volumes are formatted and mounted
 // by Init, which must run inside a kernel task (Run does both).
 func Build(cfg Config) (*System, error) {
+	if cfg.ArrayVolumes >= 1 {
+		// Array mode: one bus + disk + driver stack per array
+		// member, assembled in the same order the classic topology
+		// uses so a width-1 array matches it exactly.
+		cfg.Buses = cfg.ArrayVolumes
+		cfg.DisksPerBus = make([]int, cfg.ArrayVolumes)
+		for i := range cfg.DisksPerBus {
+			cfg.DisksPerBus[i] = 1
+		}
+		cfg.Volumes = 1
+	}
 	if cfg.Buses <= 0 || len(cfg.DisksPerBus) != cfg.Buses {
 		return nil, fmt.Errorf("patsy: bad bus topology: %d buses, %v disks", cfg.Buses, cfg.DisksPerBus)
 	}
@@ -196,9 +222,14 @@ func orDefault64(v, d int64) int64 {
 
 // Init formats and mounts the volumes, spreading them round-robin
 // over the disks and splitting each disk evenly among its volumes.
-// It must run inside a kernel task.
+// In array mode it instead builds one sub-layout per disk stack and
+// mounts a single volume.Array over them. It must run inside a
+// kernel task.
 func (s *System) Init(t sched.Task) error {
 	cfg := s.Cfg
+	if cfg.ArrayVolumes >= 1 {
+		return s.initArray(t)
+	}
 	perDisk := make([][]int, len(s.Disks))
 	for v := 0; v < cfg.Volumes; v++ {
 		d := v % len(s.Disks)
@@ -217,19 +248,9 @@ func (s *System) Init(t sched.Task) error {
 		for i, v := range vols {
 			start := int64(i) * share
 			part := layout.NewPartition(s.Drivers[d], d, start, size, true)
-			var lay layout.Layout
-			switch orDefault(cfg.Layout, "lfs") {
-			case "lfs":
-				lcfg := lfs.DefaultConfig()
-				if cfg.SegBlocks > 0 {
-					lcfg.SegBlocks = cfg.SegBlocks
-				}
-				lcfg.Cleaner = orDefault(cfg.Cleaner, "cost-benefit")
-				lay = lfs.New(s.K, fmt.Sprintf("vol%d", v+1), part, lcfg)
-			case "ffs":
-				lay = ffsNew(s.K, fmt.Sprintf("vol%d", v+1), part)
-			default:
-				return fmt.Errorf("patsy: unknown layout %q", cfg.Layout)
+			lay, err := s.newLayout(fmt.Sprintf("vol%d", v+1), part)
+			if err != nil {
+				return err
 			}
 			if err := lay.Format(t); err != nil {
 				return fmt.Errorf("patsy: format vol%d: %w", v+1, err)
@@ -247,6 +268,70 @@ func (s *System) Init(t sched.Task) error {
 	return nil
 }
 
+// newLayout builds one concrete sub-layout on a partition.
+func (s *System) newLayout(name string, part *layout.Partition) (layout.Layout, error) {
+	cfg := s.Cfg
+	switch orDefault(cfg.Layout, "lfs") {
+	case "lfs":
+		lcfg := lfs.DefaultConfig()
+		if cfg.SegBlocks > 0 {
+			lcfg.SegBlocks = cfg.SegBlocks
+		}
+		lcfg.Cleaner = orDefault(cfg.Cleaner, "cost-benefit")
+		return lfs.New(s.K, name, part, lcfg), nil
+	case "ffs":
+		return ffsNew(s.K, name, part), nil
+	default:
+		return nil, fmt.Errorf("patsy: unknown layout %q", cfg.Layout)
+	}
+}
+
+// initArray formats and mounts a volume array: one full-disk
+// partition and sub-layout per stack, a volume.Array over them,
+// mounted as volume 1.
+func (s *System) initArray(t sched.Task) error {
+	cfg := s.Cfg
+	w := cfg.ArrayVolumes
+	subs := make([]layout.Layout, w)
+	for i := 0; i < w; i++ {
+		size := s.Drivers[i].CapacityBlocks()
+		if cfg.MaxVolBlocks > 0 && size > cfg.MaxVolBlocks {
+			size = cfg.MaxVolBlocks
+		}
+		part := layout.NewPartition(s.Drivers[i], i, 0, size, true)
+		name := "vol1"
+		if w > 1 {
+			name = fmt.Sprintf("vol1.d%d", i)
+		}
+		sub, err := s.newLayout(name, part)
+		if err != nil {
+			return err
+		}
+		subs[i] = sub
+	}
+	arr, err := volume.New(s.K, "vol1", subs, volume.Config{
+		Placement:    cfg.Placement,
+		StripeBlocks: cfg.StripeBlocks,
+		Simulated:    true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := arr.Format(t); err != nil {
+		return fmt.Errorf("patsy: format array: %w", err)
+	}
+	if err := arr.Mount(t); err != nil {
+		return fmt.Errorf("patsy: mount array: %w", err)
+	}
+	arr.Stats(s.Set)
+	if _, err := s.FS.AddVolume(t, core.VolumeID(1), arr, true); err != nil {
+		return err
+	}
+	s.Array = arr
+	s.Layouts = append(s.Layouts, arr)
+	return nil
+}
+
 // Report is one simulation's results.
 type Report struct {
 	Policy     string
@@ -259,6 +344,29 @@ type Report struct {
 	DirtyHW    int64
 	WallOps    int
 	SimTime    time.Duration
+
+	// Front-end byte totals, for aggregate-throughput reporting.
+	BytesRead    int64
+	BytesWritten int64
+	// PerVolume is the per-disk-stack I/O split (driver truth,
+	// cleaner traffic included) — the array-level balance report.
+	PerVolume []VolIO
+}
+
+// VolIO is one disk stack's block I/O totals.
+type VolIO struct {
+	Name          string
+	BlocksRead    int64
+	BlocksWritten int64
+}
+
+// DiskBlocks sums the report's per-volume disk traffic.
+func (r *Report) DiskBlocks() int64 {
+	var sum int64
+	for _, v := range r.PerVolume {
+		sum += v.BlocksRead + v.BlocksWritten
+	}
+	return sum
 }
 
 // MeanLatency is the headline number of Figure 5.
@@ -289,16 +397,29 @@ func Run(cfg Config, traceName string, recs []trace.Record) (*Report, error) {
 		return nil, runErr
 	}
 	cs := sys.Cache.CacheStats()
+	fss := sys.FS.FSStats()
+	perVol := make([]VolIO, len(sys.Drivers))
+	for i, drv := range sys.Drivers {
+		ds := drv.DriverStats()
+		perVol[i] = VolIO{
+			Name:          drv.Name(),
+			BlocksRead:    ds.BlocksRead.Value(),
+			BlocksWritten: ds.BlocksWritten.Value(),
+		}
+	}
 	return &Report{
-		Policy:     cfg.Flush.Name,
-		TraceName:  traceName,
-		Result:     rep.Result(),
-		ReadHit:    sys.FS.FSStats().ReadHitRate(),
-		Flushed:    cs.FlushedBlocks.Value(),
-		Saved:      cs.SavedWrites.Value(),
-		NVRAMWaits: cs.NVRAMWaits.Value(),
-		DirtyHW:    cs.DirtyHW.Value(),
-		WallOps:    rep.Result().Ops,
-		SimTime:    time.Duration(sys.K.Now()),
+		Policy:       cfg.Flush.Name,
+		TraceName:    traceName,
+		Result:       rep.Result(),
+		ReadHit:      fss.ReadHitRate(),
+		Flushed:      cs.FlushedBlocks.Value(),
+		Saved:        cs.SavedWrites.Value(),
+		NVRAMWaits:   cs.NVRAMWaits.Value(),
+		DirtyHW:      cs.DirtyHW.Value(),
+		WallOps:      rep.Result().Ops,
+		SimTime:      time.Duration(sys.K.Now()),
+		BytesRead:    fss.BytesRead.Value(),
+		BytesWritten: fss.BytesWritten.Value(),
+		PerVolume:    perVol,
 	}, nil
 }

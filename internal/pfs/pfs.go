@@ -20,14 +20,26 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/volume"
 )
 
 // Config describes one PFS instance.
 type Config struct {
 	// Path is the backing Unix file (created and sized if absent).
+	// With Volumes > 1 it is the base name: member i backs onto
+	// "<Path>.v<i>".
 	Path string
-	// Blocks is the volume size in 4 KB blocks.
+	// Blocks is the per-volume size in 4 KB blocks.
 	Blocks int64
+	// Volumes is the disk-array width: that many independent image +
+	// driver + LFS stacks behind one volume.Array (default 1, the
+	// classic single-volume server).
+	Volumes int
+	// Placement routes file data across the array: "affinity"
+	// (default) or "striped".
+	Placement string
+	// StripeBlocks is the striped placement's chunk width.
+	StripeBlocks int
 	// CacheBlocks sizes the block cache (default 4096 = 16 MB).
 	CacheBlocks int
 	// Flush selects the write policy (default: the UPS write-saving
@@ -49,13 +61,16 @@ type Server struct {
 	FS    *fsys.FS
 	Vol   *fsys.Volume
 	Cache *cache.Cache
+	Array *volume.Array
 	Set   *stats.Set
 	net   *nfs.Server
 }
 
-// Open creates or reopens a PFS on cfg.Path. A fresh image is
+// Open creates or reopens a PFS on cfg.Path. A fresh image (set) is
 // formatted; an existing one is mounted and recovered from its
-// checkpoint.
+// checkpoint. With Volumes > 1 the server runs on a disk array: one
+// image, driver and LFS per member behind a volume.Array, whose
+// on-image label guards against reopening with the wrong geometry.
 func Open(cfg Config) (*Server, error) {
 	if cfg.Blocks <= 0 {
 		cfg.Blocks = 16384 // 64 MB
@@ -66,25 +81,55 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.Flush.Name == "" {
 		cfg.Flush = cache.UPS()
 	}
+	if cfg.Volumes <= 0 {
+		cfg.Volumes = 1
+	}
 	k := sched.NewReal(cfg.Seed)
-	q, ok := device.NewScheduler(orDefault(cfg.QueueSched, "clook"))
-	if !ok {
-		return nil, fmt.Errorf("pfs: unknown queue scheduler %q", cfg.QueueSched)
-	}
-	fresh, err := isFresh(cfg.Path)
-	if err != nil {
-		return nil, err
-	}
-	drv, err := device.NewFileDriver(k, "pfsdisk", cfg.Path, cfg.Blocks, q)
-	if err != nil {
-		return nil, err
-	}
-	part := layout.NewPartition(drv, 0, 0, cfg.Blocks, false)
 	lcfg := lfs.DefaultConfig()
 	if cfg.SegBlocks > 0 {
 		lcfg.SegBlocks = cfg.SegBlocks
 	}
-	lay := lfs.New(k, "pfs", part, lcfg)
+
+	subs := make([]layout.Layout, cfg.Volumes)
+	drvs := make([]device.Driver, cfg.Volumes)
+	freshCount := 0
+	for i := 0; i < cfg.Volumes; i++ {
+		path, name := cfg.Path, "pfs"
+		if cfg.Volumes > 1 {
+			path = fmt.Sprintf("%s.v%d", cfg.Path, i)
+			name = fmt.Sprintf("pfs.d%d", i)
+		}
+		f, err := isFresh(path)
+		if err != nil {
+			return nil, err
+		}
+		if f {
+			freshCount++
+		}
+		q, ok := device.NewScheduler(orDefault(cfg.QueueSched, "clook"))
+		if !ok {
+			return nil, fmt.Errorf("pfs: unknown queue scheduler %q", cfg.QueueSched)
+		}
+		drv, err := device.NewFileDriver(k, name+"disk", path, cfg.Blocks, q)
+		if err != nil {
+			return nil, err
+		}
+		drvs[i] = drv
+		part := layout.NewPartition(drv, i, 0, cfg.Blocks, false)
+		subs[i] = lfs.New(k, name, part, lcfg)
+	}
+	if freshCount != 0 && freshCount != cfg.Volumes {
+		return nil, fmt.Errorf("pfs: inconsistent array image set under %s: %d of %d members are fresh",
+			cfg.Path, freshCount, cfg.Volumes)
+	}
+	fresh := freshCount == cfg.Volumes
+	lay, err := volume.New(k, "pfs", subs, volume.Config{
+		Placement:    cfg.Placement,
+		StripeBlocks: cfg.StripeBlocks,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	store := fsys.NewStore()
 	c := cache.New(k, cache.Config{
@@ -96,11 +141,13 @@ func Open(cfg Config) (*Server, error) {
 	store.Bind(fs)
 	c.Start()
 
-	srv := &Server{K: k, FS: fs, Cache: c, Set: stats.NewSet()}
+	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet()}
 	c.Stats(srv.Set)
 	fs.Stats(srv.Set)
 	lay.Stats(srv.Set)
-	drv.DriverStats().Register(srv.Set)
+	for _, drv := range drvs {
+		drv.DriverStats().Register(srv.Set)
+	}
 
 	// Mount on a kernel task and wait.
 	errc := make(chan error, 1)
@@ -172,8 +219,25 @@ func (s *Server) Sync() error {
 	return s.Do(func(t sched.Task) error { return s.FS.SyncAll(t) })
 }
 
-// Close syncs, stops the network front-end and the kernel.
+// Close syncs, stops the network front-end and the kernel. Open
+// connections are cut; use Shutdown for a graceful exit.
 func (s *Server) Close() error {
+	err := s.Sync()
+	if s.net != nil {
+		s.net.Close()
+	}
+	s.K.Stop()
+	return err
+}
+
+// Shutdown is the graceful exit: stop accepting network calls, let
+// every in-flight request complete and its reply reach the wire,
+// then sync all volumes (the array fans the final flush out over its
+// members concurrently) and stop the kernel.
+func (s *Server) Shutdown() error {
+	if s.net != nil {
+		s.net.Drain()
+	}
 	err := s.Sync()
 	if s.net != nil {
 		s.net.Close()

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Group merges a family of per-member counters — one per volume of a
+// storage array, one per shard, one per worker — into a single
+// array-level source: the rendered line carries the total plus the
+// per-member split, so a multi-volume report reads as one statistic.
+// Members are ordinary Counters; Add is safe for concurrent use.
+type Group struct {
+	name string
+
+	mu      sync.Mutex
+	labels  []string
+	members []*Counter
+}
+
+// NewGroup returns an empty group named name.
+func NewGroup(name string) *Group { return &Group{name: name} }
+
+// Member appends a member counter labelled label and returns it. The
+// member's index is its position in creation order.
+func (g *Group) Member(label string) *Counter {
+	c := NewCounter(g.name + "." + label)
+	g.mu.Lock()
+	g.labels = append(g.labels, label)
+	g.members = append(g.members, c)
+	g.mu.Unlock()
+	return c
+}
+
+// Add increments member i by n.
+func (g *Group) Add(i int, n int64) {
+	g.mu.Lock()
+	c := g.members[i]
+	g.mu.Unlock()
+	c.Add(n)
+}
+
+// Len returns the number of members.
+func (g *Group) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.members)
+}
+
+// Total returns the sum over all members.
+func (g *Group) Total() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var sum int64
+	for _, c := range g.members {
+		sum += c.Value()
+	}
+	return sum
+}
+
+// Values snapshots the member values in creation order.
+func (g *Group) Values() []int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int64, len(g.members))
+	for i, c := range g.members {
+		out[i] = c.Value()
+	}
+	return out
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// String renders the merged line: total plus per-member split.
+func (g *Group) String() string {
+	g.mu.Lock()
+	labels := append([]string(nil), g.labels...)
+	vals := make([]int64, len(g.members))
+	for i, c := range g.members {
+		vals[i] = c.Value()
+	}
+	g.mu.Unlock()
+	var sum int64
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		sum += v
+		parts[i] = fmt.Sprintf("%s=%d", labels[i], v)
+	}
+	return fmt.Sprintf("%s: total=%d (%s)", g.name, sum, strings.Join(parts, " "))
+}

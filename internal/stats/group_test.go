@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGroupTotalsAndRender(t *testing.T) {
+	g := NewGroup("vol.blocks")
+	d0 := g.Member("d0")
+	g.Member("d1")
+	g.Member("d2")
+	d0.Add(5)
+	g.Add(1, 7)
+	g.Add(2, 1)
+	if g.Total() != 13 {
+		t.Fatalf("total %d, want 13", g.Total())
+	}
+	vals := g.Values()
+	if len(vals) != 3 || vals[0] != 5 || vals[1] != 7 || vals[2] != 1 {
+		t.Fatalf("values %v", vals)
+	}
+	want := "vol.blocks: total=13 (d0=5 d1=7 d2=1)"
+	if got := g.String(); got != want {
+		t.Fatalf("render %q, want %q", got, want)
+	}
+	if g.Name() != "vol.blocks" {
+		t.Fatalf("name %q", g.Name())
+	}
+}
+
+func TestGroupInSet(t *testing.T) {
+	s := NewSet()
+	g := NewGroup("arr.reads")
+	g.Member("d0")
+	s.Add(g)
+	if !strings.Contains(s.Render(), "arr.reads: total=0 (d0=0)") {
+		t.Fatalf("set render missing group line:\n%s", s.Render())
+	}
+}
+
+// TestGroupConcurrent certifies Add/Total/Values under -race.
+func TestGroupConcurrent(t *testing.T) {
+	g := NewGroup("c")
+	for i := 0; i < 4; i++ {
+		g.Member("m")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(w%4, 1)
+				_ = g.Total()
+				_ = g.Values()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Total() != 8000 {
+		t.Fatalf("total %d, want 8000", g.Total())
+	}
+}

@@ -39,6 +39,11 @@ type Profile struct {
 	Volumes    int
 	HotVolumes int
 	HotWeight  float64
+	// ZipfS is the Zipf exponent of file popularity (> 1; 0 means
+	// the default 1.2). Larger values concentrate traffic on fewer
+	// hot files — the knob that stresses hot/cold placement across
+	// a volume array.
+	ZipfS float64
 	// Large writers model trace 1b/5: clients that continuously
 	// create files of LargeWriteBlocks.
 	LargeWriters     int
@@ -196,7 +201,11 @@ func (g *generator) buildPopulation() {
 		}
 	}
 	if len(g.files) > 1 {
-		g.zipf = rand.NewZipf(g.rng, 1.2, 1, uint64(len(g.files)-1))
+		s := g.p.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		g.zipf = rand.NewZipf(g.rng, s, 1, uint64(len(g.files)-1))
 	}
 }
 

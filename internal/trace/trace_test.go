@@ -136,6 +136,44 @@ func TestNewFormatNames(t *testing.T) {
 	}
 }
 
+// TestZipfExponentSkew checks the configurable Zipf popularity: a
+// steeper exponent concentrates operations on fewer distinct paths,
+// and the knob stays deterministic in the seed.
+func TestZipfExponentSkew(t *testing.T) {
+	distinct := func(s float64) int {
+		p := Profiles()["1a"]
+		p.ZipfS = s
+		recs := Generate(p, 42, 5*time.Minute)
+		if len(recs) == 0 {
+			t.Fatal("empty trace")
+		}
+		paths := map[string]bool{}
+		for _, r := range recs {
+			if r.Op == OpOpen || r.Op == OpStat {
+				paths[r.Path] = true
+			}
+		}
+		return len(paths)
+	}
+	flat, steep := distinct(1.05), distinct(3.5)
+	if steep >= flat {
+		t.Fatalf("zipf 3.5 touches %d distinct files, zipf 1.05 %d: steeper should concentrate", steep, flat)
+	}
+	// Deterministic: same seed, same stream.
+	p := Profiles()["1a"]
+	p.ZipfS = 2.0
+	a := Generate(p, 7, 2*time.Minute)
+	b := Generate(p, 7, 2*time.Minute)
+	if len(a) != len(b) {
+		t.Fatalf("zipf trace not deterministic: %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zipf trace record %d differs", i)
+		}
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	p := Profiles()["1a"]
 	a := Generate(p, 42, 5*time.Minute)

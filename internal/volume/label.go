@@ -1,0 +1,142 @@
+package volume
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// The array label is one block on sub-volume 0, held by the reserved
+// label file: magic, version and the geometry the array was built
+// with. A real array validates it at mount, so reopening a 4-wide
+// striped array as, say, a 2-wide affinity one fails loudly instead
+// of silently serving the wrong blocks.
+const (
+	labelMagic   = 0x50564131 // "PVA1"
+	labelVersion = 1
+	labelBytes   = 24
+)
+
+const (
+	placementCodeAffinity = 0
+	placementCodeStriped  = 1
+)
+
+func (a *Array) placementCode() uint32 {
+	if a.cfg.Placement == PlacementStriped {
+		return placementCodeStriped
+	}
+	return placementCodeAffinity
+}
+
+// writeLabel persists the geometry label through sub-volume 0.
+func (a *Array) writeLabel(t sched.Task) error {
+	buf := make([]byte, core.BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], labelMagic)
+	le.PutUint32(buf[4:], labelVersion)
+	le.PutUint32(buf[8:], uint32(len(a.subs)))
+	le.PutUint32(buf[12:], a.placementCode())
+	le.PutUint32(buf[16:], uint32(a.cfg.StripeBlocks))
+	if err := a.subs[0].Truncate(t, a.label, labelBytes); err != nil {
+		return fmt.Errorf("volume %s: size label: %w", a.name, err)
+	}
+	if err := a.subs[0].WriteBlocks(t, a.label, []layout.BlockWrite{
+		{Blk: 0, Data: buf, Size: labelBytes},
+	}); err != nil {
+		return fmt.Errorf("volume %s: write label: %w", a.name, err)
+	}
+	return a.subs[0].UpdateInode(t, a.label)
+}
+
+// readLabel loads and validates the label after a real-mode mount.
+// A missing label means a fresh array (it appears with the first
+// sync); a present label must match the configured geometry.
+func (a *Array) readLabel(t sched.Task) error {
+	ino, err := a.subs[0].GetInode(t, labelFileID)
+	if err == core.ErrNotFound {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("volume %s: label inode: %w", a.name, err)
+	}
+	buf := make([]byte, core.BlockSize)
+	if err := a.subs[0].ReadBlock(t, ino, 0, buf); err != nil {
+		return fmt.Errorf("volume %s: read label: %w", a.name, err)
+	}
+	g, err := decodeLabel(buf)
+	if err != nil {
+		// The reserved inode exists but is not a label (an image
+		// written by something else); refuse to guess.
+		return fmt.Errorf("volume %s: sub 0 carries no array label: %w", a.name, err)
+	}
+	if g.nsubs != len(a.subs) {
+		return fmt.Errorf("volume %s: image is a %d-volume array, mounted with %d", a.name, g.nsubs, len(a.subs))
+	}
+	if g.placement != a.placementCode() {
+		return fmt.Errorf("volume %s: image placement %s, mounted with %s",
+			a.name, placementName(g.placement), a.cfg.Placement)
+	}
+	if g.placement == placementCodeStriped && g.stripe != a.cfg.StripeBlocks {
+		return fmt.Errorf("volume %s: image stripe width %d blocks, mounted with %d", a.name, g.stripe, a.cfg.StripeBlocks)
+	}
+	a.label = ino
+	a.labelDone = true
+	return nil
+}
+
+// labelGeom is the geometry a label records.
+type labelGeom struct {
+	nsubs     int
+	placement uint32
+	stripe    int
+}
+
+// decodeLabel parses a label block.
+func decodeLabel(buf []byte) (labelGeom, error) {
+	le := binary.LittleEndian
+	if m := le.Uint32(buf[0:]); m != labelMagic {
+		return labelGeom{}, fmt.Errorf("bad label magic %#x", m)
+	}
+	if v := le.Uint32(buf[4:]); v != labelVersion {
+		return labelGeom{}, fmt.Errorf("label version %d, want %d", v, labelVersion)
+	}
+	return labelGeom{
+		nsubs:     int(le.Uint32(buf[8:])),
+		placement: le.Uint32(buf[12:]),
+		stripe:    int(le.Uint32(buf[16:])),
+	}, nil
+}
+
+func placementName(code uint32) string {
+	if code == placementCodeStriped {
+		return PlacementStriped
+	}
+	return PlacementAffinity
+}
+
+// ReadLabel inspects an already-mounted sub-layout for an array
+// label and returns the recorded geometry; found is false when the
+// reserved inode is absent or carries no label. fsck uses it to
+// cross-check a multi-volume image set.
+func ReadLabel(t sched.Task, sub layout.Layout) (nsubs int, placement string, stripeBlocks int, found bool, err error) {
+	ino, err := sub.GetInode(t, labelFileID)
+	if err == core.ErrNotFound {
+		return 0, "", 0, false, nil
+	}
+	if err != nil {
+		return 0, "", 0, false, err
+	}
+	buf := make([]byte, core.BlockSize)
+	if err := sub.ReadBlock(t, ino, 0, buf); err != nil {
+		return 0, "", 0, false, err
+	}
+	g, err := decodeLabel(buf)
+	if err != nil {
+		return 0, "", 0, false, nil
+	}
+	return g.nsubs, placementName(g.placement), g.stripe, true, nil
+}

@@ -1,0 +1,14 @@
+package volume
+
+import "repro/internal/core"
+
+// KindPlacement is the registry kind for array placement policies.
+const KindPlacement = "volume-placement"
+
+func init() {
+	r := core.Components()
+	for _, name := range []string{PlacementAffinity, PlacementStriped} {
+		n := name
+		r.Register(KindPlacement, n, func() string { return n })
+	}
+}

@@ -1,0 +1,42 @@
+package volume
+
+import "repro/internal/core"
+
+// geom is the striping geometry: n sub-volumes, chunks of w blocks.
+// A file's block map is cut into w-block chunks; chunk c lives on
+// sub-volume (home+c) mod n, and a sub-volume's share is packed
+// densely, so chunk c occupies that volume's local blocks
+// [(c/n)*w, (c/n)*w + w).
+type geom struct {
+	n int // sub-volumes
+	w int // stripe width in blocks
+}
+
+// locate maps a global file block to its (sub-volume, local block).
+func (g geom) locate(home int, blk core.BlockNo) (int, core.BlockNo) {
+	c := int64(blk) / int64(g.w)
+	sub := (home + int(c%int64(g.n))) % g.n
+	local := (c/int64(g.n))*int64(g.w) + int64(blk)%int64(g.w)
+	return sub, core.BlockNo(local)
+}
+
+// localBlocks returns how many local blocks sub holds of a file of
+// total global blocks: the dense length of its share, i.e. one more
+// than the highest local block index it stores.
+func (g geom) localBlocks(home, sub int, total int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	full := total / int64(g.w) // complete chunks
+	rem := total % int64(g.w)  // blocks of the partial chunk
+	o := int64((sub - home + g.n) % g.n)
+	cnt := full / int64(g.n)
+	if full%int64(g.n) > o {
+		cnt++
+	}
+	local := cnt * int64(g.w)
+	if rem > 0 && full%int64(g.n) == o {
+		local += rem
+	}
+	return local
+}

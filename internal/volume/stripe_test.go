@@ -1,0 +1,71 @@
+package volume
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStripeGeometry checks the striping math exhaustively over
+// small arrays: every block of a file lands on exactly one
+// sub-volume, local block numbers are dense per sub-volume, and
+// localBlocks reports exactly the share locate hands out.
+func TestStripeGeometry(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for w := 1; w <= 9; w += 4 {
+			g := geom{n: n, w: w}
+			for home := 0; home < n; home++ {
+				for total := int64(0); total <= int64(3*n*w+3); total++ {
+					// Count the blocks each sub receives and track the
+					// highest local index.
+					counts := make([]int64, n)
+					maxLocal := make([]int64, n)
+					for i := range maxLocal {
+						maxLocal[i] = -1
+					}
+					for b := int64(0); b < total; b++ {
+						s, lb := g.locate(home, core.BlockNo(b))
+						if s < 0 || s >= n {
+							t.Fatalf("n=%d w=%d home=%d blk=%d: sub %d out of range", n, w, home, b, s)
+						}
+						counts[s]++
+						if int64(lb) > maxLocal[s] {
+							maxLocal[s] = int64(lb)
+						}
+					}
+					var sum int64
+					for s := 0; s < n; s++ {
+						lk := g.localBlocks(home, s, total)
+						sum += lk
+						if lk != counts[s] {
+							t.Fatalf("n=%d w=%d home=%d total=%d sub=%d: localBlocks=%d, locate hands out %d",
+								n, w, home, total, s, lk, counts[s])
+						}
+						if maxLocal[s]+1 != lk {
+							t.Fatalf("n=%d w=%d home=%d total=%d sub=%d: share not dense: max local %d, count %d",
+								n, w, home, total, s, maxLocal[s], lk)
+						}
+					}
+					if sum != total {
+						t.Fatalf("n=%d w=%d home=%d total=%d: shares sum to %d", n, w, home, total, sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStripeNoCollision verifies distinct global blocks never map to
+// the same (sub, local) pair.
+func TestStripeNoCollision(t *testing.T) {
+	g := geom{n: 3, w: 4}
+	seen := map[[2]int64]int64{}
+	for b := int64(0); b < 500; b++ {
+		s, lb := g.locate(1, core.BlockNo(b))
+		key := [2]int64{int64(s), int64(lb)}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("blocks %d and %d both map to sub %d local %d", prev, b, s, lb)
+		}
+		seen[key] = b
+	}
+}

@@ -1,0 +1,644 @@
+// Package volume implements the framework's multi-volume storage
+// array: a volume manager that owns N independent disk stacks (each
+// its own bus, disk, driver and storage layout) and exposes the one
+// layout.Layout surface everything above it already speaks — cache,
+// fsys, Patsy, PFS and the network front-end are unaware they are
+// talking to an array.
+//
+// The manager keeps the component library's cut-and-paste shape: the
+// sub-layouts are ordinary LFS or FFS instances, each formatted onto
+// its own partition, and the array is just one more layout component
+// an assembly mounts with fsys.AddVolume. Placement is a policy
+// point with two implementations:
+//
+//   - "affinity": every file lives wholly on one sub-volume chosen
+//     by a hash of its inode number — the paper's many-file-systems-
+//     over-many-disks situation collapsed behind a single mount.
+//   - "striped": file data is striped across every sub-volume in
+//     chunks of StripeBlocks, rotated by the file's home volume, so
+//     large files spread their I/O over all disks.
+//
+// Inode numbers stay in lockstep across the sub-layouts: every
+// allocation and free is applied to all of them in order, so a
+// file's ID is the same everywhere and routing needs no translation
+// table. In striped mode the manager keeps a global inode per file
+// (the object the front-end sees) and per-sub shadow inodes that
+// carry each volume's share of the block map; the home shadow also
+// persists the global size, which is what makes a real-mode array
+// remountable. Sync fans out to the sub-volumes — concurrently under
+// the real kernel, in deterministic sub order under the virtual one.
+//
+// Crash consistency across the array is per-sub-volume only (as with
+// any striped volume manager without a write-ahead log): a crash
+// between sub syncs can lose the tail of a stripe. A one-block label
+// file written on sub-volume 0 records the array geometry so a real
+// array refuses to mount under the wrong -volumes/-placement/-stripe
+// configuration.
+package volume
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Placement policy names.
+const (
+	PlacementAffinity = "affinity"
+	PlacementStriped  = "striped"
+)
+
+// DefaultStripeBlocks is the stripe width used when none is given:
+// 8 blocks (32 KB), two of the trace generator's IO chunks.
+const DefaultStripeBlocks = 8
+
+// Config selects the array's policies.
+type Config struct {
+	// Placement routes file data: "affinity" (default) or "striped".
+	Placement string
+	// StripeBlocks is the stripe chunk width in file-system blocks
+	// for the striped placement (default DefaultStripeBlocks).
+	StripeBlocks int
+	// Simulated marks an array whose partitions move no data; it
+	// gates the simulator-only PlaceExisting path and skips label
+	// persistence.
+	Simulated bool
+}
+
+// labelFileID is the reserved inode number of the array's geometry
+// label, allocated on every sub-volume right after the root
+// directory. It only holds on layouts with sequential inode
+// allocation (the LFS); when a sub-layout assigns a different
+// number, the label is simply not persisted.
+const labelFileID = core.RootFile + 1
+
+// afile is the array's per-file state.
+type afile struct {
+	id   core.FileID
+	home int
+	mu   sched.Mutex // serializes write/truncate/free fan-outs
+
+	// global is the inode the front-end holds. In affinity mode it
+	// is the home sub-volume's inode itself; in striped mode it is
+	// array-owned and shadows carry the per-sub block maps.
+	global  *layout.Inode
+	shadows []*layout.Inode // indexed by sub; affinity loads home only
+}
+
+// Array is the volume manager. It implements layout.Layout.
+type Array struct {
+	k    sched.Kernel
+	name string
+	subs []layout.Layout
+	cfg  Config
+
+	striped bool
+	stripe  geom
+
+	// single short-circuits a width-1 array into a pure passthrough:
+	// every method delegates directly, so a one-volume array is
+	// byte-identical to mounting the sub-layout itself.
+	single layout.Layout
+
+	mu        sched.Mutex
+	files     map[core.FileID]*afile
+	label     *layout.Inode // sub-0 shadow of the label file
+	labelDone bool
+
+	reads  *stats.Group
+	writes *stats.Group
+	syncs  *stats.Counter
+}
+
+// New builds an array over subs. The sub-layouts must be freshly
+// constructed (unformatted/unmounted); call Format or Mount on the
+// array, never on the subs directly, so the lockstep invariant
+// holds.
+func New(k sched.Kernel, name string, subs []layout.Layout, cfg Config) (*Array, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("volume %s: array needs at least one sub-volume", name)
+	}
+	switch cfg.Placement {
+	case "", PlacementAffinity:
+		cfg.Placement = PlacementAffinity
+	case PlacementStriped:
+	default:
+		return nil, fmt.Errorf("volume %s: unknown placement %q", name, cfg.Placement)
+	}
+	if cfg.StripeBlocks <= 0 {
+		cfg.StripeBlocks = DefaultStripeBlocks
+	}
+	a := &Array{
+		k:       k,
+		name:    name,
+		subs:    subs,
+		cfg:     cfg,
+		striped: cfg.Placement == PlacementStriped && len(subs) > 1,
+		stripe:  geom{n: len(subs), w: cfg.StripeBlocks},
+	}
+	if len(subs) == 1 {
+		a.single = subs[0]
+		return a, nil
+	}
+	a.mu = k.NewMutex(name + ".array")
+	a.files = make(map[core.FileID]*afile)
+	a.reads = stats.NewGroup(name + ".array_blocks_read")
+	a.writes = stats.NewGroup(name + ".array_blocks_written")
+	for i := range subs {
+		lbl := fmt.Sprintf("d%d", i)
+		a.reads.Member(lbl)
+		a.writes.Member(lbl)
+	}
+	a.syncs = stats.NewCounter(name + ".array_syncs")
+	return a, nil
+}
+
+// Width returns the number of sub-volumes.
+func (a *Array) Width() int { return len(a.subs) }
+
+// Placement returns the placement policy in effect.
+func (a *Array) Placement() string { return a.cfg.Placement }
+
+// Subs returns the sub-layouts (read-only use: checks, reports).
+func (a *Array) Subs() []layout.Layout { return a.subs }
+
+// Name identifies the array and its shape; a width-1 array is
+// transparent and reports the sub-layout's own name.
+func (a *Array) Name() string {
+	if a.single != nil {
+		return a.single.Name()
+	}
+	if a.striped {
+		return fmt.Sprintf("array(%dx%s,striped:%d)", len(a.subs), a.subs[0].Name(), a.cfg.StripeBlocks)
+	}
+	return fmt.Sprintf("array(%dx%s,affinity)", len(a.subs), a.subs[0].Name())
+}
+
+// home hashes an inode number onto its home sub-volume with a
+// splitmix64-style finalizer, so consecutive IDs spread evenly and
+// deterministically.
+func (a *Array) home(id core.FileID) int {
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(len(a.subs)))
+}
+
+// Format initializes every sub-volume.
+func (a *Array) Format(t sched.Task) error {
+	if a.single != nil {
+		return a.single.Format(t)
+	}
+	for i, sub := range a.subs {
+		if err := sub.Format(t); err != nil {
+			return fmt.Errorf("volume %s: format sub %d: %w", a.name, i, err)
+		}
+	}
+	return nil
+}
+
+// Mount mounts every sub-volume and, on a real array, validates the
+// geometry label written by the incarnation that formatted it.
+func (a *Array) Mount(t sched.Task) error {
+	if a.single != nil {
+		return a.single.Mount(t)
+	}
+	for i, sub := range a.subs {
+		if err := sub.Mount(t); err != nil {
+			return fmt.Errorf("volume %s: mount sub %d: %w", a.name, i, err)
+		}
+	}
+	if !a.cfg.Simulated {
+		if err := a.readLabel(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes every sub-volume: deterministic sub order under the
+// virtual kernel, a concurrent task fan-out under the real one. The
+// geometry label is written (once) before the first real sync so it
+// is covered by the sub-0 checkpoint.
+func (a *Array) Sync(t sched.Task) error {
+	if a.single != nil {
+		return a.single.Sync(t)
+	}
+	a.mu.Lock(t)
+	needLabel := !a.cfg.Simulated && !a.labelDone && a.label != nil && a.label.ID == labelFileID
+	if needLabel {
+		a.labelDone = true // claimed; concurrent syncs skip it
+	}
+	a.mu.Unlock(t)
+	if needLabel {
+		if err := a.writeLabel(t); err != nil {
+			a.mu.Lock(t)
+			a.labelDone = false
+			a.mu.Unlock(t)
+			return err
+		}
+	}
+	a.syncs.Inc()
+	if a.k.Virtual() {
+		for i, sub := range a.subs {
+			if err := sub.Sync(t); err != nil {
+				return fmt.Errorf("volume %s: sync sub %d: %w", a.name, i, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(a.subs))
+	done := a.k.NewEvent(a.name + ".syncfan")
+	for i := range a.subs {
+		i := i
+		a.k.Go(fmt.Sprintf("%s.sync.d%d", a.name, i), func(st sched.Task) {
+			errs[i] = a.subs[i].Sync(st)
+			done.Signal()
+		})
+	}
+	for range a.subs {
+		done.Wait(t)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("volume %s: sync sub %d: %w", a.name, i, err)
+		}
+	}
+	return nil
+}
+
+// AllocInode creates a file on every sub-volume in lockstep and
+// returns the array's global inode. The first allocation is the
+// root directory; the geometry label file is allocated immediately
+// after it so the reserved ID is stable.
+func (a *Array) AllocInode(t sched.Task, typ core.FileType) (*layout.Inode, error) {
+	if a.single != nil {
+		return a.single.AllocInode(t, typ)
+	}
+	a.mu.Lock(t)
+	defer a.mu.Unlock(t)
+	af, err := a.allocLocked(t, typ)
+	if err != nil {
+		return nil, err
+	}
+	if af.id == core.RootFile && a.label == nil {
+		lf, err := a.allocLocked(t, core.TypeRegular)
+		if err != nil {
+			return nil, fmt.Errorf("volume %s: label allocation: %w", a.name, err)
+		}
+		// The label is array metadata, not a client file: it lives
+		// on sub 0 and never enters the file table.
+		a.label = lf.shadows[0]
+		delete(a.files, lf.id)
+	}
+	return af.global, nil
+}
+
+// allocLocked applies one allocation to every sub-volume, keeping
+// their inode spaces in lockstep. Caller holds a.mu.
+func (a *Array) allocLocked(t sched.Task, typ core.FileType) (*afile, error) {
+	shadows := make([]*layout.Inode, len(a.subs))
+	var id core.FileID
+	for i, sub := range a.subs {
+		ino, err := sub.AllocInode(t, typ)
+		if err != nil {
+			// Restore lockstep: undo the allocations already made.
+			for j := 0; j < i; j++ {
+				_ = a.subs[j].FreeInode(t, shadows[j].ID)
+			}
+			return nil, err
+		}
+		if i == 0 {
+			id = ino.ID
+		} else if ino.ID != id {
+			_ = sub.FreeInode(t, ino.ID)
+			for j := 0; j < i; j++ {
+				_ = a.subs[j].FreeInode(t, shadows[j].ID)
+			}
+			return nil, fmt.Errorf("volume %s: sub-volume %d allocated inode %d, want %d (lockstep broken)",
+				a.name, i, ino.ID, id)
+		}
+		shadows[i] = ino
+	}
+	af := &afile{
+		id:      id,
+		home:    a.home(id),
+		mu:      a.k.NewMutex(fmt.Sprintf("%s.f%d", a.name, id)),
+		shadows: shadows,
+	}
+	if a.striped {
+		h := shadows[af.home]
+		af.global = &layout.Inode{
+			ID: id, Type: h.Type, Nlink: h.Nlink, Mode: h.Mode,
+			MTime: h.MTime, CTime: h.CTime,
+		}
+	} else {
+		af.global = shadows[af.home]
+	}
+	a.files[id] = af
+	return af, nil
+}
+
+// lookup returns the per-file state for an inode the front-end
+// holds, or nil.
+func (a *Array) lookup(t sched.Task, id core.FileID) *afile {
+	a.mu.Lock(t)
+	af := a.files[id]
+	a.mu.Unlock(t)
+	return af
+}
+
+// GetInode returns the global inode, loading the per-sub shadows
+// from a real array on first access after a remount.
+func (a *Array) GetInode(t sched.Task, id core.FileID) (*layout.Inode, error) {
+	if a.single != nil {
+		return a.single.GetInode(t, id)
+	}
+	a.mu.Lock(t)
+	defer a.mu.Unlock(t)
+	if af := a.files[id]; af != nil {
+		return af.global, nil
+	}
+	home := a.home(id)
+	h, err := a.subs[home].GetInode(t, id)
+	if err != nil {
+		return nil, err
+	}
+	af := &afile{
+		id:      id,
+		home:    home,
+		mu:      a.k.NewMutex(fmt.Sprintf("%s.f%d", a.name, id)),
+		shadows: make([]*layout.Inode, len(a.subs)),
+	}
+	af.shadows[home] = h
+	if a.striped {
+		for i, sub := range a.subs {
+			if i == home {
+				continue
+			}
+			s, err := sub.GetInode(t, id)
+			if err != nil {
+				return nil, fmt.Errorf("volume %s: sub %d shadow of inode %d: %w", a.name, i, id, err)
+			}
+			af.shadows[i] = s
+		}
+		// The home shadow's size field carries the global size.
+		af.global = &layout.Inode{
+			ID: id, Type: h.Type, Size: h.Size, Nlink: h.Nlink, Mode: h.Mode,
+			Version: h.Version, MTime: h.MTime, CTime: h.CTime, ATime: h.ATime,
+		}
+	} else {
+		af.global = h
+	}
+	a.files[id] = af
+	return af.global, nil
+}
+
+// UpdateInode records changed meta-data on the file's home
+// sub-volume, which persists it.
+func (a *Array) UpdateInode(t sched.Task, ino *layout.Inode) error {
+	if a.single != nil {
+		return a.single.UpdateInode(t, ino)
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		return core.ErrStale
+	}
+	if !a.striped {
+		return a.subs[af.home].UpdateInode(t, ino)
+	}
+	h := af.shadows[af.home]
+	h.Type, h.Nlink, h.Mode = ino.Type, ino.Nlink, ino.Mode
+	h.MTime, h.CTime, h.ATime = ino.MTime, ino.CTime, ino.ATime
+	// The global size rides in the home shadow; see mirrorHomeSize.
+	if err := a.mirrorHomeSize(t, af); err != nil {
+		return err
+	}
+	return a.subs[af.home].UpdateInode(t, h)
+}
+
+// FreeInode removes the file from every sub-volume in lockstep.
+func (a *Array) FreeInode(t sched.Task, id core.FileID) error {
+	if a.single != nil {
+		return a.single.FreeInode(t, id)
+	}
+	af := a.lookup(t, id)
+	if af != nil {
+		af.mu.Lock(t)
+		defer af.mu.Unlock(t)
+	}
+	home := a.home(id)
+	var homeErr, otherErr error
+	for i, sub := range a.subs {
+		err := sub.FreeInode(t, id)
+		switch {
+		case i == home:
+			homeErr = err
+		case err != nil && !errors.Is(err, core.ErrNotFound) && otherErr == nil:
+			otherErr = err
+		}
+	}
+	a.mu.Lock(t)
+	delete(a.files, id)
+	a.mu.Unlock(t)
+	if homeErr != nil {
+		return homeErr
+	}
+	return otherErr
+}
+
+// ReadBlock routes a file-block read to the sub-volume holding it.
+func (a *Array) ReadBlock(t sched.Task, ino *layout.Inode, blk core.BlockNo, data []byte) error {
+	if a.single != nil {
+		return a.single.ReadBlock(t, ino, blk, data)
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		return core.ErrStale
+	}
+	s, lb := af.home, blk
+	if a.striped {
+		s, lb = a.stripe.locate(af.home, blk)
+	}
+	a.reads.Add(s, 1)
+	return a.subs[s].ReadBlock(t, af.shadows[s], lb, data)
+}
+
+// WriteBlocks splits one file's dirty blocks by target sub-volume
+// and hands each its share. In affinity mode the whole batch goes to
+// the file's home.
+func (a *Array) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.BlockWrite) error {
+	if a.single != nil {
+		return a.single.WriteBlocks(t, ino, writes)
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		return core.ErrStale
+	}
+	af.mu.Lock(t)
+	defer af.mu.Unlock(t)
+	if !a.striped {
+		a.writes.Add(af.home, int64(len(writes)))
+		return a.subs[af.home].WriteBlocks(t, af.global, writes)
+	}
+	per := make([][]layout.BlockWrite, len(a.subs))
+	for _, w := range writes {
+		s, lb := a.stripe.locate(af.home, w.Blk)
+		per[s] = append(per[s], layout.BlockWrite{Blk: lb, Data: w.Data, Size: w.Size})
+	}
+	for s := range a.subs {
+		if len(per[s]) == 0 {
+			continue
+		}
+		// A shadow's size must keep covering its share of the block
+		// map: the on-disk inode form decodes BlocksForSize(Size)
+		// map entries, and nothing else records a shadow's extent.
+		// The home shadow instead carries the global size (below),
+		// which covers its share by construction. Size changes go
+		// through the sub-layout's Truncate — a growing truncate
+		// frees nothing — so the field is written under the same
+		// lock Sync reads it with.
+		if s != af.home {
+			if end := localExtent(per[s]); end > af.shadows[s].Size {
+				if err := a.subs[s].Truncate(t, af.shadows[s], end); err != nil {
+					return fmt.Errorf("volume %s: grow sub %d shadow: %w", a.name, s, err)
+				}
+			}
+		}
+		a.writes.Add(s, int64(len(per[s])))
+		if err := a.subs[s].WriteBlocks(t, af.shadows[s], per[s]); err != nil {
+			return fmt.Errorf("volume %s: write sub %d: %w", a.name, s, err)
+		}
+	}
+	return a.mirrorHomeSize(t, af)
+}
+
+// mirrorHomeSize records the global size in the home shadow (via the
+// home sub-layout's Truncate, so the write happens under its lock)
+// — that is what a real-mode remount recovers the size from.
+func (a *Array) mirrorHomeSize(t sched.Task, af *afile) error {
+	h := af.shadows[af.home]
+	if h.Size == af.global.Size {
+		return nil
+	}
+	if err := a.subs[af.home].Truncate(t, h, af.global.Size); err != nil {
+		return fmt.Errorf("volume %s: mirror size on home %d: %w", a.name, af.home, err)
+	}
+	return nil
+}
+
+// localExtent is the block-granular extent of one sub-volume's write
+// batch: one past the highest local block, in bytes.
+func localExtent(ws []layout.BlockWrite) int64 {
+	var end int64
+	for _, w := range ws {
+		if e := (int64(w.Blk) + 1) * core.BlockSize; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Truncate releases blocks beyond newSize on every sub-volume.
+func (a *Array) Truncate(t sched.Task, ino *layout.Inode, newSize int64) error {
+	if a.single != nil {
+		return a.single.Truncate(t, ino, newSize)
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		return core.ErrStale
+	}
+	af.mu.Lock(t)
+	defer af.mu.Unlock(t)
+	if !a.striped {
+		return a.subs[af.home].Truncate(t, af.global, newSize)
+	}
+	keep := layout.BlocksForSize(newSize)
+	for s := range a.subs {
+		lk := a.stripe.localBlocks(af.home, s, keep)
+		if err := a.subs[s].Truncate(t, af.shadows[s], lk*core.BlockSize); err != nil {
+			return fmt.Errorf("volume %s: truncate sub %d: %w", a.name, s, err)
+		}
+	}
+	af.global.Size = newSize
+	af.global.MTime = int64(a.k.Now())
+	// Re-truncate the home to the global size: its local map is
+	// already trimmed, so this only records the size (see
+	// mirrorHomeSize).
+	return a.mirrorHomeSize(t, af)
+}
+
+// PlaceExisting spreads a preexisting file's educated-guess
+// placement over the sub-volumes the same way real writes would.
+func (a *Array) PlaceExisting(t sched.Task, ino *layout.Inode, size int64) error {
+	if a.single != nil {
+		return a.single.PlaceExisting(t, ino, size)
+	}
+	if !a.cfg.Simulated {
+		return layout.ErrNoPlaceExisting
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		return core.ErrStale
+	}
+	af.mu.Lock(t)
+	defer af.mu.Unlock(t)
+	if !a.striped {
+		return a.subs[af.home].PlaceExisting(t, af.global, size)
+	}
+	total := layout.BlocksForSize(size)
+	for s := range a.subs {
+		lk := a.stripe.localBlocks(af.home, s, total)
+		if lk == 0 {
+			continue
+		}
+		if err := a.subs[s].PlaceExisting(t, af.shadows[s], lk*core.BlockSize); err != nil {
+			return err
+		}
+	}
+	af.global.Size = size
+	return nil
+}
+
+// FreeBlocks reports the array's aggregate remaining capacity.
+func (a *Array) FreeBlocks() int64 {
+	if a.single != nil {
+		return a.single.FreeBlocks()
+	}
+	var sum int64
+	for _, sub := range a.subs {
+		sum += sub.FreeBlocks()
+	}
+	return sum
+}
+
+// Stats registers every sub-volume's sources plus the array-level
+// merged counters.
+func (a *Array) Stats(set *stats.Set) {
+	if a.single != nil {
+		a.single.Stats(set)
+		return
+	}
+	for _, sub := range a.subs {
+		sub.Stats(set)
+	}
+	set.Add(a.reads)
+	set.Add(a.writes)
+	set.Add(a.syncs)
+}
+
+// RoutedBlocks reports the per-sub-volume block counts the array has
+// routed so far — the raw material of the per-volume report.
+func (a *Array) RoutedBlocks() (reads, writes []int64) {
+	if a.single != nil {
+		return []int64{0}, []int64{0}
+	}
+	return a.reads.Values(), a.writes.Values()
+}
