@@ -37,6 +37,8 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the ablation suite instead of figures")
 		fullCDF   = flag.Bool("cdf", false, "dump the full CDF tables (plottable)")
 		intervals = flag.Bool("intervals", false, "print 15-minute interval reports")
+		serving   = flag.Bool("serving", false, "run the hot-path serving study (sharded cache, pipelined NFS, readahead) instead of figures")
+		servingC  = flag.String("servingclients", "4", "client counts for the serving study's real-kernel cells")
 		disks     = flag.String("disks", "", "array-scaling study: comma-separated array widths (e.g. 1,2,4,8) to replay -scaletrace on, under all four write policies")
 		scTrace   = flag.String("scaletrace", "1a", "trace for the array-scaling study")
 		placement = flag.String("placement", "striped", "array placement for the scaling study: striped or affinity")
@@ -58,6 +60,17 @@ func main() {
 		scale.Duration = *duration
 	}
 	engine := &experiments.Engine{Workers: *workers}
+
+	if *serving {
+		counts, err := parseWidths(*servingC)
+		die(err)
+		start := time.Now()
+		rows, err := experiments.RunServingStudy(os.TempDir(), counts)
+		die(err)
+		fmt.Println(experiments.ServingTable(rows))
+		fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *disks != "" {
 		widths, err := parseWidths(*disks)

@@ -1,0 +1,173 @@
+// Command pfsbench is the serving-path load harness and the CI perf
+// gate. In bench mode it drives the closed-loop workload of
+// internal/bench against both instantiations of the component
+// library — the real pfs+nfs server over loopback TCP and Patsy
+// under the virtual kernel — for each client count, and writes the
+// cells (ops/sec, p50/p95/p99, cache and volume counters) as JSON.
+// In compare mode it gates a fresh result file against a committed
+// baseline.
+//
+//	pfsbench -quick -out BENCH_3.json
+//	pfsbench -quick -kernel virtual -out bench_baseline.json   # refresh the CI baseline
+//	pfsbench -quick -clients 4 -shards 1 -pipeline 1 -readahead -1   # the "before" engine
+//	pfsbench -compare BENCH_3.json -baseline bench_baseline.json
+//
+// Real-kernel cells measure this machine (wall-clock ops/sec);
+// virtual-kernel cells are deterministic ops per simulated second,
+// machine-independent — which is why the committed baseline pins
+// them. The gate ignores cells missing from the baseline, so the
+// matrix can grow freely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "CI smoke sizing (8 MB working set over a 4 MB cache, 300 ops/client)")
+		kernel    = flag.String("kernel", "both", "which instantiation to drive: real, virtual, or both")
+		clients   = flag.String("clients", "1,4", "comma-separated client counts")
+		depth     = flag.Int("depth", 4, "pipelined calls in flight per real client connection")
+		ops       = flag.Int("ops", 0, "ops per client (0 = mode default)")
+		shards    = flag.Int("shards", 0, "cache shards (0 = instantiation default: 8 real, 1 virtual)")
+		pipeline  = flag.Int("pipeline", 0, "per-connection NFS window (0 = default, 1 = no pipelining)")
+		readahead = flag.Int("readahead", 0, "readahead blocks (0 = instantiation default: 8 real, off virtual; -1 = off)")
+		think     = flag.Duration("think", 0, "per-op client think time")
+		seed      = flag.Int64("seed", 1996, "workload seed")
+		out       = flag.String("out", "", "write the JSON result file here (default stdout)")
+		dir       = flag.String("dir", "", "directory for real-kernel image files (default TMPDIR)")
+		note      = flag.String("note", "", "free-form note recorded in the file")
+		compare   = flag.String("compare", "", "compare mode: gate this result file against -baseline")
+		baseline  = flag.String("baseline", "bench_baseline.json", "baseline file for -compare")
+		threshold = flag.Float64("threshold", 0.25, "max allowed ops/sec regression for -compare")
+	)
+	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *baseline, *threshold))
+	}
+
+	counts, err := parseCounts(*clients)
+	die(err)
+	file := &bench.File{Bench: 3, GOMAXPROCS: runtime.GOMAXPROCS(0), Note: *note}
+	imgDir := *dir
+	if imgDir == "" {
+		imgDir = os.TempDir()
+	}
+	for _, c := range counts {
+		cfg := bench.Quick(c)
+		if !*quick {
+			cfg.Ops = 1000
+			cfg.Files = 16
+			cfg.FileBlocks = 256
+			cfg.CacheBlocks = 2048
+		}
+		cfg.Depth = *depth
+		cfg.Seed = *seed
+		cfg.Think = *think
+		cfg.Shards = *shards
+		cfg.Pipeline = *pipeline
+		cfg.Readahead = *readahead
+		if *ops > 0 {
+			cfg.Ops = *ops
+		}
+		if *kernel == "virtual" || *kernel == "both" {
+			start := time.Now()
+			res, err := bench.RunSim(cfg)
+			die(err)
+			file.Runs = append(file.Runs, res)
+			progress(res, time.Since(start))
+		}
+		if *kernel == "real" || *kernel == "both" {
+			start := time.Now()
+			res, err := bench.RunReal(imgDir, cfg)
+			die(err)
+			file.Runs = append(file.Runs, res)
+			progress(res, time.Since(start))
+		}
+	}
+	data, err := file.Encode()
+	die(err)
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	die(os.WriteFile(*out, data, 0o644))
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(file.Runs))
+}
+
+func progress(r bench.Result, wall time.Duration) {
+	fmt.Fprintf(os.Stderr, "%-28s %10.1f ops/sec  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  hit %4.1f%%  (%v)\n",
+		r.Key(), r.OpsPerSec, r.P50MS, r.P95MS, r.P99MS, 100*r.Cache.HitRate, wall.Round(time.Millisecond))
+}
+
+func runCompare(currentPath, baselinePath string, threshold float64) int {
+	cur, err := readFile(currentPath)
+	die(err)
+	base, err := readFile(baselinePath)
+	die(err)
+	regs := bench.Compare(cur, base, threshold)
+	matched := 0
+	keys := make(map[string]bool, len(base.Runs))
+	for _, r := range base.Runs {
+		keys[r.Key()] = true
+	}
+	for _, r := range cur.Runs {
+		if keys[r.Key()] {
+			matched++
+		}
+	}
+	fmt.Printf("pfsbench compare: %d cells, %d gated against %s (threshold %.0f%%)\n",
+		len(cur.Runs), matched, baselinePath, 100*threshold)
+	if len(regs) == 0 {
+		fmt.Println("OK: no ops/sec regression")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	return 1
+}
+
+func readFile(path string) (*bench.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Decode(data)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-clients is empty")
+	}
+	return out, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

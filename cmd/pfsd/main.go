@@ -33,6 +33,9 @@ func main() {
 		placement = flag.String("placement", "affinity", "array placement policy: affinity or striped")
 		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for -placement striped")
 		cacheB    = flag.Int("cache", 4096, "cache size in 4KB blocks")
+		shards    = flag.Int("shards", 0, "cache lock stripes (0 = default 8, 1 = classic single-lock cache)")
+		pipeline  = flag.Int("pipeline", 0, "per-connection NFS window (0 = default 8, 1 = no pipelining)")
+		readahead = flag.Int("readahead", 0, "sequential readahead window in blocks (0 = default 8, -1 = off)")
 		addr      = flag.String("addr", "127.0.0.1:20490", "listen address")
 		policy    = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
 		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
@@ -56,13 +59,16 @@ func main() {
 	}
 
 	srv, err := pfs.Open(pfs.Config{
-		Path:         *image,
-		Blocks:       *blocks,
-		Volumes:      *volumes,
-		Placement:    *placement,
-		StripeBlocks: *stripe,
-		CacheBlocks:  *cacheB,
-		Flush:        fc,
+		Path:            *image,
+		Blocks:          *blocks,
+		Volumes:         *volumes,
+		Placement:       *placement,
+		StripeBlocks:    *stripe,
+		CacheBlocks:     *cacheB,
+		CacheShards:     *shards,
+		Pipeline:        *pipeline,
+		ReadaheadBlocks: *readahead,
+		Flush:           fc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,322 @@
+// Package bench is the closed-loop load harness for the serving hot
+// path. It drives the same mixed read/write workload through both
+// instantiations of the component library — N concurrent clients
+// against a real pfs+nfs server over TCP, and N client tasks
+// against Patsy under the virtual kernel — and reports throughput,
+// latency quantiles and cache/volume counters as machine-readable
+// JSON (the BENCH_* performance trajectory and the CI perf gate
+// feed off it).
+//
+// The virtual-kernel numbers are deterministic per seed and
+// machine-independent (ops per simulated second), which is what the
+// committed baseline pins; the real-kernel numbers measure this
+// machine and are recorded for the trajectory.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one benchmark cell.
+type Config struct {
+	// Clients is the number of concurrent closed-loop clients (one
+	// TCP connection each on the real kernel; one task each on the
+	// virtual kernel).
+	Clients int
+	// Depth is the number of calls each real client keeps in flight
+	// on its pipelined connection (1 = classic synchronous client).
+	// The virtual driver runs its clients at depth 1: VKernel
+	// clients are tasks, so concurrency comes from Clients.
+	Depth int
+	// Ops is the number of operations per client.
+	Ops int
+	// Files and FileBlocks size the working set.
+	Files      int
+	FileBlocks int
+	// IOBytes is the transfer size per operation.
+	IOBytes int
+	// ReadFrac is the fraction of operations that stream reads
+	// (the rest are random block-aligned writes).
+	ReadFrac float64
+	// Seed drives the per-client operation streams.
+	Seed int64
+	// Think is per-op client think time. Zero is the pure
+	// closed-loop hammer; a few milliseconds models interactive
+	// clients and gives readahead idle disk time to work ahead
+	// into.
+	Think time.Duration
+
+	// Hot-path knobs under test.
+	CacheBlocks int
+	Shards      int // cache lock stripes (0 = instantiation default)
+	Pipeline    int // per-connection NFS window (real kernel only)
+	Readahead   int // sequential readahead window (negative = off)
+}
+
+// Quick is the CI smoke cell: a working set twice the cache (8 MB
+// over a 4 MB cache) so streaming reads actually miss — readahead
+// and shard contention are exercised — while staying a few seconds
+// end to end.
+func Quick(clients int) Config {
+	return Config{
+		Clients:     clients,
+		Depth:       4,
+		Ops:         300,
+		Files:       8,
+		FileBlocks:  256,
+		IOBytes:     16 << 10,
+		ReadFrac:    0.8,
+		Seed:        1996,
+		CacheBlocks: 1024,
+	}
+}
+
+// CacheCounters is the cache's contribution to a result.
+type CacheCounters struct {
+	Lookups        int64   `json:"lookups"`
+	Hits           int64   `json:"hits"`
+	HitRate        float64 `json:"hit_rate"`
+	Evictions      int64   `json:"evictions"`
+	FlushedBlocks  int64   `json:"flushed_blocks"`
+	ReadaheadFills int64   `json:"readahead_fills"`
+}
+
+// VolumeCounters is the disk stacks' contribution to a result.
+type VolumeCounters struct {
+	BlocksRead    int64 `json:"blocks_read"`
+	BlocksWritten int64 `json:"blocks_written"`
+}
+
+// Result is one benchmark cell's measurements.
+type Result struct {
+	Kernel    string  `json:"kernel"` // "real" or "virtual"
+	Clients   int     `json:"clients"`
+	Depth     int     `json:"depth"`
+	Shards    int     `json:"shards"`
+	Pipeline  int     `json:"pipeline"`
+	Readahead int     `json:"readahead"`
+	Ops       int64   `json:"ops"`
+	WallMS    float64 `json:"wall_ms"`
+	SimMS     float64 `json:"sim_ms,omitempty"`
+	// OpsPerSec is ops over wall time on the real kernel and ops
+	// over simulated time on the virtual kernel.
+	OpsPerSec float64        `json:"ops_per_sec"`
+	MeanMS    float64        `json:"mean_ms"`
+	P50MS     float64        `json:"p50_ms"`
+	P95MS     float64        `json:"p95_ms"`
+	P99MS     float64        `json:"p99_ms"`
+	Cache     CacheCounters  `json:"cache"`
+	Volume    VolumeCounters `json:"volume"`
+}
+
+// Key identifies a cell for baseline comparison.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s/c%d/d%d/s%d/p%d/ra%d",
+		r.Kernel, r.Clients, r.Depth, r.Shards, r.Pipeline, r.Readahead)
+}
+
+// File is the BENCH_*.json format.
+type File struct {
+	Bench      int      `json:"bench"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Note       string   `json:"note,omitempty"`
+	Runs       []Result `json:"runs"`
+}
+
+// Encode renders the file as indented JSON with a trailing newline.
+func (f *File) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a BENCH_*.json file.
+func Decode(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Regression is one cell whose throughput fell past the threshold.
+type Regression struct {
+	Key      string
+	Current  float64
+	Baseline float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.1f ops/sec vs baseline %.1f (%.1f%%)",
+		r.Key, r.Current, r.Baseline, 100*r.Current/r.Baseline)
+}
+
+// Compare gates current against baseline: any cell present in both
+// whose ops/sec dropped by more than threshold (e.g. 0.25) is a
+// regression. Cells missing from the baseline are ignored, so the
+// matrix can grow without invalidating the committed baseline.
+func Compare(current, baseline *File, threshold float64) []Regression {
+	base := make(map[string]Result, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		base[r.Key()] = r
+	}
+	var regs []Regression
+	for _, r := range current.Runs {
+		b, ok := base[r.Key()]
+		if !ok || b.OpsPerSec <= 0 {
+			continue
+		}
+		if r.OpsPerSec < (1-threshold)*b.OpsPerSec {
+			regs = append(regs, Regression{Key: r.Key(), Current: r.OpsPerSec, Baseline: b.OpsPerSec})
+		}
+	}
+	return regs
+}
+
+// --- deterministic per-client operation streams ---
+
+// op is one generated operation.
+type op struct {
+	read bool
+	file int
+	off  int64
+	n    int
+}
+
+// opGen derives client ci's operation stream: sequential streaming
+// reads over the client's home file, random block-aligned writes
+// over the whole working set.
+type opGen struct {
+	rng  *rand.Rand
+	cfg  *Config
+	home int
+	pos  int64
+}
+
+func newOpGen(cfg *Config, ci int) *opGen {
+	return &opGen{
+		rng:  rand.New(rand.NewSource(cfg.Seed + int64(ci)*1_000_003)),
+		cfg:  cfg,
+		home: ci % cfg.Files,
+	}
+}
+
+func (g *opGen) next() op {
+	size := int64(g.cfg.FileBlocks) * core.BlockSize
+	n := g.cfg.IOBytes
+	if int64(n) > size {
+		n = int(size)
+	}
+	if g.rng.Float64() < g.cfg.ReadFrac {
+		if g.pos+int64(n) > size {
+			g.pos = 0 // wrap: restart the stream
+		}
+		o := op{read: true, file: g.home, off: g.pos, n: n}
+		g.pos += int64(n)
+		return o
+	}
+	blocks := int64(g.cfg.FileBlocks)
+	maxStart := blocks - int64((n+core.BlockSize-1)/core.BlockSize)
+	if maxStart < 0 {
+		maxStart = 0
+	}
+	off := g.rng.Int63n(maxStart+1) * core.BlockSize
+	return op{read: false, file: g.rng.Intn(g.cfg.Files), off: off, n: n}
+}
+
+// fill derives the defaults every driver applies.
+func (c *Config) fill() {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Depth <= 0 {
+		c.Depth = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 100
+	}
+	if c.Files <= 0 {
+		c.Files = 4
+	}
+	if c.FileBlocks <= 0 {
+		c.FileBlocks = 64
+	}
+	if c.IOBytes <= 0 {
+		c.IOBytes = 16 << 10
+	}
+	if c.ReadFrac < 0 || c.ReadFrac > 1 {
+		c.ReadFrac = 0.8
+	}
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = 1024
+	}
+}
+
+// fileName names working-set file i.
+func fileName(i int) string { return fmt.Sprintf("bench%03d", i) }
+
+// quantilesMS extracts the latency summary in milliseconds.
+func quantilesMS(d *stats.LatencyDist) (mean, p50, p95, p99 float64) {
+	ms := func(v time.Duration) float64 { return float64(v) / float64(time.Millisecond) }
+	return ms(d.Mean()), ms(d.Quantile(0.50)), ms(d.Quantile(0.95)), ms(d.Quantile(0.99))
+}
+
+// cacheCounters snapshots the cache statistics.
+func cacheCounters(cs *cache.Stats) CacheCounters {
+	c := CacheCounters{
+		Lookups:        cs.Lookups.Value(),
+		Hits:           cs.Hits.Value(),
+		Evictions:      cs.Evictions.Value(),
+		FlushedBlocks:  cs.FlushedBlocks.Value(),
+		ReadaheadFills: cs.ReadaheadFills.Value(),
+	}
+	if c.Lookups > 0 {
+		c.HitRate = float64(c.Hits) / float64(c.Lookups)
+	}
+	return c
+}
+
+// volumeCounters sums the disk stacks' I/O counters.
+func volumeCounters(drvs []device.Driver) VolumeCounters {
+	var v VolumeCounters
+	for _, drv := range drvs {
+		ds := drv.DriverStats()
+		v.BlocksRead += ds.BlocksRead.Value()
+		v.BlocksWritten += ds.BlocksWritten.Value()
+	}
+	return v
+}
+
+// sub returns the measurement-phase delta of two volume snapshots.
+func (v VolumeCounters) sub(base VolumeCounters) VolumeCounters {
+	return VolumeCounters{
+		BlocksRead:    v.BlocksRead - base.BlocksRead,
+		BlocksWritten: v.BlocksWritten - base.BlocksWritten,
+	}
+}
+
+// sub returns the measurement-phase delta of two snapshots, so the
+// reported counters exclude working-set setup.
+func (c CacheCounters) sub(base CacheCounters) CacheCounters {
+	d := CacheCounters{
+		Lookups:        c.Lookups - base.Lookups,
+		Hits:           c.Hits - base.Hits,
+		Evictions:      c.Evictions - base.Evictions,
+		FlushedBlocks:  c.FlushedBlocks - base.FlushedBlocks,
+		ReadaheadFills: c.ReadaheadFills - base.ReadaheadFills,
+	}
+	if d.Lookups > 0 {
+		d.HitRate = float64(d.Hits) / float64(d.Lookups)
+	}
+	return d
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func tiny() Config {
+	return Config{
+		Clients:     2,
+		Depth:       2,
+		Ops:         40,
+		Files:       2,
+		FileBlocks:  32,
+		IOBytes:     8 << 10,
+		ReadFrac:    0.75,
+		Seed:        1996,
+		CacheBlocks: 128,
+	}
+}
+
+// The virtual driver is fully deterministic: same config, same
+// numbers — the property the committed CI baseline relies on.
+func TestSimDeterministic(t *testing.T) {
+	a, err := RunSim(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("virtual runs differ:\n%+v\n%+v", a, b)
+	}
+	if a.Ops != 80 || a.OpsPerSec <= 0 || a.P50MS <= 0 || a.SimMS <= 0 {
+		t.Fatalf("implausible result: %+v", a)
+	}
+	if a.Kernel != "virtual" {
+		t.Fatalf("kernel = %q", a.Kernel)
+	}
+}
+
+// Readahead on the streaming cell turns cold sequential misses into
+// hits and cuts p50 latency — the sim-side before/after the serving
+// study reports.
+func TestSimReadaheadImproves(t *testing.T) {
+	cfg := Config{
+		Clients: 1, Ops: 100, Files: 1, FileBlocks: 1024,
+		IOBytes: 16 << 10, ReadFrac: 1.0, Seed: 1996,
+		CacheBlocks: 256, Think: 60 * time.Millisecond,
+	}
+	off, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Readahead = 8
+	on, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Cache.ReadaheadFills == 0 {
+		t.Fatal("readahead cell issued no fills")
+	}
+	if on.P50MS >= off.P50MS {
+		t.Fatalf("readahead p50 %.2fms not better than %.2fms", on.P50MS, off.P50MS)
+	}
+	if on.Cache.HitRate <= off.Cache.HitRate {
+		t.Fatalf("readahead hit rate %.2f not better than %.2f", on.Cache.HitRate, off.Cache.HitRate)
+	}
+}
+
+// The real driver round-trips over loopback TCP with pipelined
+// clients and reports sane numbers.
+func TestRealSmoke(t *testing.T) {
+	res, err := RunReal(t.TempDir(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "real" || res.Ops != 80 || res.OpsPerSec <= 0 || res.P50MS <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.Shards != 8 || res.Pipeline != 8 || res.Readahead != 8 {
+		t.Fatalf("default knobs not recorded: %+v", res)
+	}
+	if res.Cache.Lookups == 0 {
+		t.Fatal("no cache traffic recorded")
+	}
+}
+
+// The real driver honors the classic-engine knobs.
+func TestRealClassicKnobs(t *testing.T) {
+	cfg := tiny()
+	cfg.Shards, cfg.Pipeline, cfg.Readahead = 1, 1, -1
+	res, err := RunReal(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 || res.Pipeline != 1 || res.Readahead != 0 {
+		t.Fatalf("classic knobs not honored: %+v", res)
+	}
+	if res.Cache.ReadaheadFills != 0 {
+		t.Fatalf("readahead fills with readahead off: %d", res.Cache.ReadaheadFills)
+	}
+}
+
+// Compare flags only cells that regressed past the threshold and
+// ignores cells missing from the baseline.
+func TestCompare(t *testing.T) {
+	cell := func(kernel string, clients int, ops float64) Result {
+		return Result{Kernel: kernel, Clients: clients, Depth: 1, Shards: 1, OpsPerSec: ops}
+	}
+	baseline := &File{Runs: []Result{
+		cell("virtual", 1, 1000),
+		cell("virtual", 4, 2000),
+	}}
+	current := &File{Runs: []Result{
+		cell("virtual", 1, 800),  // -20%: within threshold
+		cell("virtual", 4, 1400), // -30%: regression
+		cell("real", 4, 1),       // not in baseline: ignored
+	}}
+	regs := Compare(current, baseline, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if regs[0].Key != (cell("virtual", 4, 0)).Key() {
+		t.Fatalf("wrong cell flagged: %v", regs[0])
+	}
+	if got := regs[0].String(); got == "" {
+		t.Fatal("empty regression description")
+	}
+}
+
+// The JSON file round-trips.
+func TestFileRoundTrip(t *testing.T) {
+	f := &File{Bench: 3, GOMAXPROCS: 2, Note: "test", Runs: []Result{{Kernel: "virtual", Clients: 1, OpsPerSec: 42}}}
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != 3 || len(got.Runs) != 1 || got.Runs[0].OpsPerSec != 42 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/nfs"
+	"repro/internal/pfs"
+	"repro/internal/stats"
+)
+
+// RunReal drives the real instantiation: a pfs server (fresh image
+// under dir) behind its NFS front-end on a loopback TCP port,
+// hammered by cfg.Clients pipelined connections with cfg.Depth
+// calls in flight each. Returns the measured cell.
+func RunReal(dir string, cfg Config) (Result, error) {
+	cfg.fill()
+	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d.img",
+		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead))
+	os.Remove(img)
+	srv, err := pfs.Open(pfs.Config{
+		Path:            img,
+		Blocks:          8192, // 32 MB image
+		CacheBlocks:     cfg.CacheBlocks,
+		CacheShards:     cfg.Shards,
+		Pipeline:        cfg.Pipeline,
+		ReadaheadBlocks: cfg.Readahead,
+		Flush:           cache.UPS(),
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	done := false
+	defer func() {
+		if !done {
+			srv.Close()
+		}
+		os.Remove(img)
+	}()
+	addr, err := srv.ServeNFS("127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Build the working set through one setup connection.
+	setup, err := nfs.Dial(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	root, _, err := setup.Mount(1)
+	if err != nil {
+		setup.Close()
+		return Result{}, err
+	}
+	fhs := make([]nfs.FH, cfg.Files)
+	chunk := make([]byte, nfs.MaxIO)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	for i := 0; i < cfg.Files; i++ {
+		fh, _, err := setup.Create(root, fileName(i))
+		if err != nil {
+			setup.Close()
+			return Result{}, fmt.Errorf("bench: create %s: %w", fileName(i), err)
+		}
+		fhs[i] = fh
+		size := int64(cfg.FileBlocks) * core.BlockSize
+		for off := int64(0); off < size; off += int64(len(chunk)) {
+			n := int64(len(chunk))
+			if off+n > size {
+				n = size - off
+			}
+			if _, err := setup.Write(fh, off, chunk[:n]); err != nil {
+				setup.Close()
+				return Result{}, fmt.Errorf("bench: prefill %s: %w", fileName(i), err)
+			}
+		}
+	}
+	setup.Close()
+	// Flush the prefill so measurement starts from a steady state
+	// (clean cache, data on the image).
+	if err := srv.Sync(); err != nil {
+		return Result{}, err
+	}
+	base := cacheCounters(srv.Cache.CacheStats())
+	baseVol := volumeCounters(srv.Drivers)
+
+	// Closed loop: every client connection keeps Depth calls in
+	// flight; each worker owns a deterministic operation stream.
+	lat := stats.NewLatencyDist("bench")
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.Clients*cfg.Depth)
+	clients := make([]*nfs.Client, cfg.Clients)
+	for i := range clients {
+		clients[i], err = nfs.DialPipeline(addr, cfg.Depth)
+		if err != nil {
+			return Result{}, err
+		}
+		defer clients[i].Close()
+	}
+	start := time.Now()
+	var totalOps int64
+	for ci := 0; ci < cfg.Clients; ci++ {
+		for w := 0; w < cfg.Depth; w++ {
+			cl := clients[ci]
+			gen := newOpGen(&cfg, ci*cfg.Depth+w)
+			ops := cfg.Ops / cfg.Depth
+			if w < cfg.Ops%cfg.Depth {
+				ops++
+			}
+			totalOps += int64(ops)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, cfg.IOBytes)
+				for i := range buf {
+					buf[i] = byte(i)
+				}
+				for i := 0; i < ops; i++ {
+					o := gen.next()
+					t0 := time.Now()
+					var err error
+					if o.read {
+						_, err = cl.Read(fhs[o.file], o.off, o.n)
+					} else {
+						_, err = cl.Write(fhs[o.file], o.off, buf[:o.n])
+					}
+					if err != nil {
+						errc <- err
+						return
+					}
+					lat.Observe(time.Since(t0))
+					if cfg.Think > 0 {
+						time.Sleep(cfg.Think)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errc:
+		return Result{}, fmt.Errorf("bench: client op: %w", err)
+	default:
+	}
+
+	pipeline := cfg.Pipeline
+	if pipeline == 0 {
+		pipeline = nfs.DefaultPipeline
+	}
+	res := Result{
+		Kernel:    "real",
+		Clients:   cfg.Clients,
+		Depth:     cfg.Depth,
+		Shards:    srv.Cache.Shards(),
+		Pipeline:  pipeline,
+		Readahead: srv.FS.Readahead(),
+		Ops:       totalOps,
+		WallMS:    float64(wall) / float64(time.Millisecond),
+		OpsPerSec: float64(totalOps) / wall.Seconds(),
+		Cache:     cacheCounters(srv.Cache.CacheStats()).sub(base),
+		Volume:    volumeCounters(srv.Drivers).sub(baseVol),
+	}
+	res.MeanMS, res.P50MS, res.P95MS, res.P99MS = quantilesMS(lat)
+	done = true
+	return res, srv.Shutdown()
+}

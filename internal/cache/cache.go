@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -75,19 +76,30 @@ type Config struct {
 	Flush FlushConfig
 	// Simulated caches carry no data arena.
 	Simulated bool
+	// Shards lock-stripes the cache: frames, index, replacement
+	// state and flusher are split into Shards independent units
+	// keyed by block number, so concurrent clients on the real
+	// kernel stop convoying on one mutex. 0 or 1 keeps the single
+	// classic shard — the byte-identical simulator configuration.
+	// Whole-file flush granularity becomes per-shard at widths
+	// above 1, and the NVRAM dirty bound splits into whole
+	// per-shard shares (the shard count clamps to MaxDirtyBlocks so
+	// the global bound stays exact).
+	Shards int
 }
 
 // Stats is the cache statistics plug-in.
 type Stats struct {
-	Lookups       *stats.Counter
-	Hits          *stats.Counter
-	Evictions     *stats.Counter
-	FlushedBlocks *stats.Counter
-	FlushJobs     *stats.Counter
-	SavedWrites   *stats.Counter // dirty blocks discarded before any flush
-	PressureWaits *stats.Counter // allocations that had to wait for the flusher
-	NVRAMWaits    *stats.Counter // writes that waited for NVRAM space
-	DirtyHW       *stats.Counter // high-water mark of dirty blocks
+	Lookups        *stats.Counter
+	Hits           *stats.Counter
+	Evictions      *stats.Counter
+	FlushedBlocks  *stats.Counter
+	FlushJobs      *stats.Counter
+	SavedWrites    *stats.Counter // dirty blocks discarded before any flush
+	PressureWaits  *stats.Counter // allocations that had to wait for the flusher
+	NVRAMWaits     *stats.Counter // writes that waited for NVRAM space
+	DirtyHW        *stats.Counter // high-water mark of dirty blocks, cache-wide
+	ReadaheadFills *stats.Counter // frames claimed by TryStartFill
 }
 
 // HitRate returns hits/lookups.
@@ -109,15 +121,34 @@ func (s *Stats) Register(set *stats.Set) {
 	set.Add(s.PressureWaits)
 	set.Add(s.NVRAMWaits)
 	set.Add(s.DirtyHW)
+	set.Add(s.ReadaheadFills)
 }
 
-// Cache is the file-system block cache.
+// Cache is the file-system block cache: an array of lock-striped
+// shards, each a self-contained classic cache (index, free list,
+// dirty list, replacement policy, flusher task) over its own share
+// of the frames. A block's shard is its block number modulo the
+// shard count, so a streaming file spreads across every shard. With
+// one shard the behavior is exactly the paper's single-lock cache.
 type Cache struct {
-	k     sched.Kernel
-	cfg   Config
-	store BackingStore
+	k      sched.Kernel
+	cfg    Config
+	store  BackingStore
+	shards []*shard
+	arena  []byte
+	st     *Stats
 
-	mu      sched.Mutex
+	// dirtyMu orders the cross-shard dirty-block total (and its
+	// high-water stat): shard mutexes cover only their own counts.
+	dirtyMu    sync.Mutex
+	dirtyTotal int
+}
+
+// shard is one lock-striped unit of the cache.
+type shard struct {
+	c  *Cache
+	mu sched.Mutex
+
 	filled  sched.Cond // Busy blocks became Valid (or failed)
 	cleaned sched.Cond // flusher finished some blocks
 
@@ -128,69 +159,110 @@ type Cache struct {
 	replace     ReplacePolicy
 	dirtyCount  int
 	flushing    int
+	maxDirty    int // this shard's share of Flush.MaxDirtyBlocks (0 = unlimited)
 
 	flushQ    [][]*Block
 	flushWork sched.Event
 
-	arena []byte
-	st    *Stats
+	scanName string // update-daemon task name
 }
 
 // New builds a cache on kernel k backed by store. Call Start to
-// spawn the flusher (and update daemon, if the policy has one).
+// spawn the flushers (and update daemons, if the policy has one).
 func New(k sched.Kernel, cfg Config, store BackingStore) *Cache {
 	if cfg.Blocks <= 0 {
 		panic("cache: Config.Blocks must be positive")
 	}
-	rp, ok := NewReplacePolicy(cfg.Replace, k.Rand())
-	if !ok {
-		panic(fmt.Sprintf("cache: unknown replacement policy %q", cfg.Replace))
+	nsh := cfg.Shards
+	if nsh <= 0 {
+		nsh = 1
 	}
-	if s, isSLRU := rp.(*SLRU); isSLRU {
-		s.SetProtectedLimit(cfg.Blocks * 2 / 3)
+	if nsh > cfg.Blocks {
+		nsh = cfg.Blocks
 	}
+	if limit := cfg.Flush.MaxDirtyBlocks; limit > 0 && nsh > limit {
+		// Fewer stripes beats overcommitting the modeled NVRAM:
+		// with nsh <= limit every shard gets a whole share and the
+		// global dirty bound stays exact.
+		nsh = limit
+	}
+	cfg.Shards = nsh
 	c := &Cache{
-		k:           k,
-		cfg:         cfg,
-		store:       store,
-		mu:          k.NewMutex("cache"),
-		index:       make(map[core.BlockKey]*Block),
-		dirtyByFile: make(map[FileKey]map[core.BlockNo]*Block),
-		replace:     rp,
-		flushWork:   k.NewEvent("cache.flushwork"),
+		k:     k,
+		cfg:   cfg,
+		store: store,
 		st: &Stats{
-			Lookups:       stats.NewCounter("cache.lookups"),
-			Hits:          stats.NewCounter("cache.hits"),
-			Evictions:     stats.NewCounter("cache.evictions"),
-			FlushedBlocks: stats.NewCounter("cache.flushed_blocks"),
-			FlushJobs:     stats.NewCounter("cache.flush_jobs"),
-			SavedWrites:   stats.NewCounter("cache.saved_writes"),
-			PressureWaits: stats.NewCounter("cache.pressure_waits"),
-			NVRAMWaits:    stats.NewCounter("cache.nvram_waits"),
-			DirtyHW:       stats.NewCounter("cache.dirty_highwater"),
+			Lookups:        stats.NewCounter("cache.lookups"),
+			Hits:           stats.NewCounter("cache.hits"),
+			Evictions:      stats.NewCounter("cache.evictions"),
+			FlushedBlocks:  stats.NewCounter("cache.flushed_blocks"),
+			FlushJobs:      stats.NewCounter("cache.flush_jobs"),
+			SavedWrites:    stats.NewCounter("cache.saved_writes"),
+			PressureWaits:  stats.NewCounter("cache.pressure_waits"),
+			NVRAMWaits:     stats.NewCounter("cache.nvram_waits"),
+			DirtyHW:        stats.NewCounter("cache.dirty_highwater"),
+			ReadaheadFills: stats.NewCounter("cache.readahead_fills"),
 		},
 	}
-	c.filled = k.NewCond("cache.filled")
-	c.cleaned = k.NewCond("cache.cleaned")
 	if !cfg.Simulated {
 		c.arena = make([]byte, cfg.Blocks*core.BlockSize)
 	}
-	for i := 0; i < cfg.Blocks; i++ {
-		b := &Block{}
-		if c.arena != nil {
-			b.Data = c.arena[i*core.BlockSize : (i+1)*core.BlockSize]
+	frame := 0
+	for i := 0; i < nsh; i++ {
+		rp, ok := NewReplacePolicy(cfg.Replace, k.Rand())
+		if !ok {
+			panic(fmt.Sprintf("cache: unknown replacement policy %q", cfg.Replace))
 		}
-		c.free.pushTail(b)
+		blocks := cfg.Blocks / nsh
+		if i < cfg.Blocks%nsh {
+			blocks++
+		}
+		if s, isSLRU := rp.(*SLRU); isSLRU {
+			s.SetProtectedLimit(blocks * 2 / 3)
+		}
+		name := sched.ShardName("cache", i, nsh)
+		sh := &shard{
+			c:           c,
+			mu:          k.NewMutex(name),
+			index:       make(map[core.BlockKey]*Block),
+			dirtyByFile: make(map[FileKey]map[core.BlockNo]*Block),
+			replace:     rp,
+			flushWork:   k.NewEvent(name + ".flushwork"),
+			scanName:    name + ".updated",
+		}
+		sh.filled = k.NewCond(name + ".filled")
+		sh.cleaned = k.NewCond(name + ".cleaned")
+		if limit := cfg.Flush.MaxDirtyBlocks; limit > 0 {
+			// nsh <= limit (clamped above), so every shard's share
+			// is at least one and the shares sum to exactly limit.
+			sh.maxDirty = limit / nsh
+			if i < limit%nsh {
+				sh.maxDirty++
+			}
+		}
+		for j := 0; j < blocks; j++ {
+			b := &Block{}
+			if c.arena != nil {
+				b.Data = c.arena[frame*core.BlockSize : (frame+1)*core.BlockSize]
+			}
+			frame++
+			sh.free.pushTail(b)
+		}
+		c.shards = append(c.shards, sh)
 	}
 	return c
 }
 
-// Start spawns the flusher task and, when the policy asks for one,
-// the update daemon.
+// Start spawns each shard's flusher task and, when the policy asks
+// for one, its update daemon.
 func (c *Cache) Start() {
-	c.k.Go("cache.flusher", c.flusherLoop)
-	if c.cfg.Flush.ScanInterval > 0 {
-		c.k.Go("cache.updated", c.updateDaemon)
+	nsh := len(c.shards)
+	for i, sh := range c.shards {
+		sh := sh
+		c.k.Go(sched.ShardName("cache", i, nsh)+".flusher", sh.flusherLoop)
+		if c.cfg.Flush.ScanInterval > 0 {
+			c.k.Go(sh.scanName, sh.updateDaemon)
+		}
 	}
 }
 
@@ -200,8 +272,33 @@ func (c *Cache) CacheStats() *Stats { return c.st }
 // Policy returns the flush configuration (for reports).
 func (c *Cache) Policy() FlushConfig { return c.cfg.Flush }
 
-// DirtyCount returns the number of dirty blocks.
-func (c *Cache) DirtyCount() int { return c.dirtyCount }
+// Shards returns the lock-stripe width.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// DirtyCount returns the number of dirty blocks across all shards.
+func (c *Cache) DirtyCount() int {
+	c.dirtyMu.Lock()
+	defer c.dirtyMu.Unlock()
+	return c.dirtyTotal
+}
+
+// addDirty tracks the global dirty-block total and its high-water
+// stat across shards; the per-shard counts drive the NVRAM bound,
+// this one keeps DirtyHW meaning what it always has (the most dirty
+// blocks ever resident at once, cache-wide).
+func (c *Cache) addDirty(d int) {
+	c.dirtyMu.Lock()
+	c.dirtyTotal += d
+	if hw := int64(c.dirtyTotal); hw > c.st.DirtyHW.Value() {
+		c.st.DirtyHW.Add(hw - c.st.DirtyHW.Value())
+	}
+	c.dirtyMu.Unlock()
+}
+
+// shardOf routes a key to its lock stripe by block number.
+func (c *Cache) shardOf(key core.BlockKey) *shard {
+	return c.shards[uint64(key.Blk)%uint64(len(c.shards))]
+}
 
 // GetBlock returns the pinned block for key. hit reports whether the
 // block already held valid contents; on a miss the caller must fill
@@ -209,13 +306,14 @@ func (c *Cache) DirtyCount() int { return c.dirtyCount }
 // and then call Filled — or FillFailed to abandon it. Concurrent
 // requests for a missing block wait for the first filler.
 func (c *Cache) GetBlock(t sched.Task, key core.BlockKey) (b *Block, hit bool) {
-	c.mu.Lock(t)
-	defer c.mu.Unlock(t)
+	sh := c.shardOf(key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
 	c.st.Lookups.Inc()
 	for {
-		b = c.index[key]
+		b = sh.index[key]
 		if b == nil {
-			nb := c.allocLocked(t)
+			nb := sh.allocLocked(t)
 			nb.Key = key
 			nb.Busy = true
 			nb.Valid = false
@@ -226,14 +324,14 @@ func (c *Cache) GetBlock(t sched.Task, key core.BlockKey) (b *Block, hit bool) {
 			nb.History = append(nb.History[:0], c.k.Now())
 			nb.LastUsed = c.k.Now()
 			nb.Pins = 1
-			c.index[key] = nb
+			sh.index[key] = nb
 			return nb, false
 		}
 		if b.Busy {
-			c.filled.Wait(t, c.mu)
+			sh.filled.Wait(t, sh.mu)
 			continue // may have failed and vanished; recheck
 		}
-		c.pinLocked(b)
+		sh.pinLocked(b)
 		b.Freq++
 		b.LastUsed = c.k.Now()
 		b.History = append(b.History, c.k.Now())
@@ -243,57 +341,133 @@ func (c *Cache) GetBlock(t sched.Task, key core.BlockKey) (b *Block, hit bool) {
 	}
 }
 
+// TryStartFill is the readahead entry point: when key is absent and
+// a frame can be had without flushing dirty data or blocking, it
+// claims a Busy, pinned frame the caller must complete with
+// FinishFill. It refuses (nil, false) when the block is already
+// present or being filled, or when only dirty, busy or pinned
+// frames remain — readahead never pushes dirty blocks out of memory
+// (the NVRAM residency guarantee) and never stalls behind the
+// flusher the way a demand miss may.
+func (c *Cache) TryStartFill(t sched.Task, key core.BlockKey) (*Block, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
+	if sh.index[key] != nil {
+		return nil, false
+	}
+	b := sh.free.popHead()
+	if b == nil {
+		if v := sh.replace.Victim(); v != nil {
+			delete(sh.index, v.Key)
+			v.Valid = false
+			c.st.Evictions.Inc()
+			b = v
+		}
+	}
+	if b == nil {
+		return nil, false // only dirty/pinned/busy frames left
+	}
+	b.Key = key
+	b.Busy = true
+	b.Valid = false
+	b.Dirty = false
+	b.NoCache = false
+	b.Size = 0
+	b.Freq = 1
+	b.History = append(b.History[:0], c.k.Now())
+	b.LastUsed = c.k.Now()
+	b.Pins = 1
+	sh.index[key] = b
+	c.st.ReadaheadFills.Inc()
+	return b, true
+}
+
+// FinishFill completes a TryStartFill: on success the block becomes
+// a valid, unpinned cache resident; on error the frame returns to
+// the free list and demand waiters retry. Both outcomes wake filled
+// and cleaned waiters, so a truncate or delete racing a readahead
+// re-scans instead of waiting forever.
+func (c *Cache) FinishFill(t sched.Task, b *Block, size int, err error) {
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
+	if !b.Busy {
+		panic("cache: FinishFill on non-busy block " + b.Key.String())
+	}
+	b.Busy = false
+	b.Pins--
+	if err != nil {
+		delete(sh.index, b.Key)
+		b.Valid = false
+		b.Pins = 0
+		sh.free.pushTail(b)
+	} else {
+		b.Valid = true
+		b.Size = size
+		if b.Pins == 0 {
+			sh.replace.Add(b)
+		}
+	}
+	sh.filled.Broadcast()
+	sh.cleaned.Broadcast()
+}
+
 // pinLocked pins b, withdrawing it from the replacement candidates.
-func (c *Cache) pinLocked(b *Block) {
+func (sh *shard) pinLocked(b *Block) {
 	if b.Pins == 0 && b.Valid && !b.Dirty && !b.Flushing && !b.Busy {
-		c.replace.Remove(b)
+		sh.replace.Remove(b)
 	}
 	b.Pins++
 }
 
 // Peek reports whether key is cached and valid, without pinning.
 func (c *Cache) Peek(t sched.Task, key core.BlockKey) bool {
-	c.mu.Lock(t)
-	defer c.mu.Unlock(t)
-	b := c.index[key]
+	sh := c.shardOf(key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
+	b := sh.index[key]
 	return b != nil && b.Valid && !b.Busy
 }
 
 // Filled marks a miss block as valid with size valid bytes. The
 // block stays pinned; Release it when done.
 func (c *Cache) Filled(t sched.Task, b *Block, size int) {
-	c.mu.Lock(t)
-	defer c.mu.Unlock(t)
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
 	if !b.Busy {
 		panic("cache: Filled on non-busy block " + b.Key.String())
 	}
 	b.Busy = false
 	b.Valid = true
 	b.Size = size
-	c.filled.Broadcast()
+	sh.filled.Broadcast()
 }
 
 // FillFailed abandons a miss block: it returns to the free list and
 // waiters retry.
 func (c *Cache) FillFailed(t sched.Task, b *Block) {
-	c.mu.Lock(t)
-	defer c.mu.Unlock(t)
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
 	if !b.Busy {
 		panic("cache: FillFailed on non-busy block")
 	}
-	delete(c.index, b.Key)
+	delete(sh.index, b.Key)
 	b.Busy = false
 	b.Valid = false
 	b.Pins = 0
-	c.free.pushTail(b)
-	c.filled.Broadcast()
+	sh.free.pushTail(b)
+	sh.filled.Broadcast()
 }
 
 // Release unpins b; fully released clean blocks become replacement
 // candidates (or go straight to the free list for NoCache blocks).
 func (c *Cache) Release(t sched.Task, b *Block) {
-	c.mu.Lock(t)
-	defer c.mu.Unlock(t)
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
 	if b.Pins <= 0 {
 		panic("cache: Release of unpinned block " + b.Key.String())
 	}
@@ -305,18 +479,18 @@ func (c *Cache) Release(t sched.Task, b *Block) {
 		return
 	}
 	if b.NoCache {
-		delete(c.index, b.Key)
+		delete(sh.index, b.Key)
 		b.Valid = false
-		c.free.pushTail(b)
-		c.filled.Broadcast()
+		sh.free.pushTail(b)
+		sh.filled.Broadcast()
 		return
 	}
-	c.replace.Add(b)
+	sh.replace.Add(b)
 	if b.touched {
 		// A hit happened while the block was pinned; let the
 		// policy see it now that the block is a candidate again
 		// (this is what promotes SLRU blocks to protected).
-		c.replace.Touched(b)
+		sh.replace.Touched(b)
 		b.touched = false
 	}
 }
@@ -326,71 +500,69 @@ func (c *Cache) Release(t sched.Task, b *Block) {
 // caller waits here until the flusher drains it — the paper's
 // "writes are waiting for the NVRAM to drain" bottleneck.
 func (c *Cache) MarkDirty(t sched.Task, b *Block) {
-	c.mu.Lock(t)
-	defer c.mu.Unlock(t)
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
 	if b.Pins <= 0 {
 		panic("cache: MarkDirty on unpinned block")
 	}
 	for b.Flushing {
 		// Data must stay stable while the flusher writes it.
-		c.cleaned.Wait(t, c.mu)
+		sh.cleaned.Wait(t, sh.mu)
 	}
 	if b.Dirty {
 		return // overwrite in place: this is the write-saving win
 	}
-	limit := c.cfg.Flush.MaxDirtyBlocks
-	for limit > 0 && c.dirtyCount >= limit {
+	for sh.maxDirty > 0 && sh.dirtyCount >= sh.maxDirty {
 		c.st.NVRAMWaits.Inc()
-		c.flushOldestLocked()
-		c.cleaned.Wait(t, c.mu)
+		sh.flushOldestLocked()
+		sh.cleaned.Wait(t, sh.mu)
 	}
 	b.Dirty = true
 	b.DirtySince = c.k.Now()
-	c.dirty.pushTail(b)
+	sh.dirty.pushTail(b)
 	fk := FileKey{b.Key.Vol, b.Key.File}
-	m := c.dirtyByFile[fk]
+	m := sh.dirtyByFile[fk]
 	if m == nil {
 		m = make(map[core.BlockNo]*Block)
-		c.dirtyByFile[fk] = m
+		sh.dirtyByFile[fk] = m
 	}
 	m[b.Key.Blk] = b
-	c.dirtyCount++
-	if int64(c.dirtyCount) > c.st.DirtyHW.Value() {
-		c.st.DirtyHW.Add(int64(c.dirtyCount) - c.st.DirtyHW.Value())
-	}
+	sh.dirtyCount++
+	c.addDirty(1)
 }
 
 // allocLocked produces a free frame: from the free list, by evicting
 // a replacement victim, or — under pressure — by triggering a flush
 // of the oldest dirty block and waiting for the flusher.
-func (c *Cache) allocLocked(t sched.Task) *Block {
+func (sh *shard) allocLocked(t sched.Task) *Block {
 	for {
-		if b := c.free.popHead(); b != nil {
+		if b := sh.free.popHead(); b != nil {
 			return b
 		}
-		if v := c.replace.Victim(); v != nil {
-			delete(c.index, v.Key)
+		if v := sh.replace.Victim(); v != nil {
+			delete(sh.index, v.Key)
 			v.Valid = false
-			c.st.Evictions.Inc()
+			sh.c.st.Evictions.Inc()
 			return v
 		}
 		// No clean blocks: initiate a flush through the oldest
 		// dirty block, as the base cache component does.
-		c.st.PressureWaits.Inc()
-		if c.dirtyCount == 0 && c.flushing == 0 {
-			panic("cache: exhausted — every block pinned or busy; cache too small for the working set")
+		sh.c.st.PressureWaits.Inc()
+		if sh.dirtyCount == 0 && sh.flushing == 0 {
+			panic("cache: shard exhausted — every block pinned or busy; cache too small (or too many shards) for the working set")
 		}
-		c.flushOldestLocked()
-		c.cleaned.Wait(t, c.mu)
+		sh.flushOldestLocked()
+		sh.cleaned.Wait(t, sh.mu)
 	}
 }
 
 // flushOldestLocked enqueues the oldest dirty, not-yet-flushing
 // block (whole file or single block per policy).
-func (c *Cache) flushOldestLocked() {
-	for b := c.dirty.head; b != nil; b = b.next {
+func (sh *shard) flushOldestLocked() {
+	for b := sh.dirty.head; b != nil; b = b.next {
 		if !b.Flushing {
-			c.enqueueFlushLocked(b)
+			sh.enqueueFlushLocked(b)
 			return
 		}
 	}
@@ -400,129 +572,135 @@ func (c *Cache) flushOldestLocked() {
 // policy and hands it to the flusher. Whole-file jobs are sorted by
 // block number so log-structured layouts write them contiguously —
 // and so simulation runs stay deterministic despite map iteration.
-func (c *Cache) enqueueFlushLocked(b *Block) {
+// With multiple shards, "whole file" means the file's dirty blocks
+// living in this shard; sibling stripes flush from their own shards.
+func (sh *shard) enqueueFlushLocked(b *Block) {
 	var job []*Block
-	if c.cfg.Flush.WholeFile {
-		for _, fb := range c.dirtyByFile[FileKey{b.Key.Vol, b.Key.File}] {
+	if sh.c.cfg.Flush.WholeFile {
+		for _, fb := range sh.dirtyByFile[FileKey{b.Key.Vol, b.Key.File}] {
 			if !fb.Flushing {
 				fb.Flushing = true
-				c.flushing++
+				sh.flushing++
 				job = append(job, fb)
 			}
 		}
 		sort.Slice(job, func(i, j int) bool { return job[i].Key.Blk < job[j].Key.Blk })
 	} else {
 		b.Flushing = true
-		c.flushing++
+		sh.flushing++
 		job = []*Block{b}
 	}
 	if len(job) == 0 {
 		return
 	}
-	c.flushQ = append(c.flushQ, job)
-	c.st.FlushJobs.Inc()
-	c.flushWork.Signal()
+	sh.flushQ = append(sh.flushQ, job)
+	sh.c.st.FlushJobs.Inc()
+	sh.flushWork.Signal()
 }
 
-// flusherLoop is the asynchronous flusher task.
-func (c *Cache) flusherLoop(t sched.Task) {
+// flusherLoop is a shard's asynchronous flusher task.
+func (sh *shard) flusherLoop(t sched.Task) {
 	for {
-		c.flushWork.Wait(t)
-		c.mu.Lock(t)
-		if len(c.flushQ) == 0 {
-			c.mu.Unlock(t)
+		sh.flushWork.Wait(t)
+		sh.mu.Lock(t)
+		if len(sh.flushQ) == 0 {
+			sh.mu.Unlock(t)
 			continue
 		}
-		job := c.flushQ[0]
-		c.flushQ = c.flushQ[1:]
-		c.mu.Unlock(t)
+		job := sh.flushQ[0]
+		sh.flushQ = sh.flushQ[1:]
+		sh.mu.Unlock(t)
 
-		err := c.store.FlushBlocks(t, job)
+		err := sh.c.store.FlushBlocks(t, job)
 
-		c.mu.Lock(t)
+		sh.mu.Lock(t)
 		for _, b := range job {
 			b.Flushing = false
-			c.flushing--
+			sh.flushing--
 			if err != nil {
 				continue // stays dirty; retried on next trigger
 			}
 			b.Dirty = false
-			c.dirty.remove(b)
-			c.removeDirtyIndexLocked(b)
-			c.dirtyCount--
-			c.st.FlushedBlocks.Inc()
+			sh.dirty.remove(b)
+			sh.removeDirtyIndexLocked(b)
+			sh.dirtyCount--
+			sh.c.addDirty(-1)
+			sh.c.st.FlushedBlocks.Inc()
 			if b.Pins == 0 && b.Valid {
 				if b.NoCache {
-					delete(c.index, b.Key)
+					delete(sh.index, b.Key)
 					b.Valid = false
-					c.free.pushTail(b)
+					sh.free.pushTail(b)
 				} else {
-					c.replace.Add(b)
+					sh.replace.Add(b)
 				}
 			}
 		}
-		c.cleaned.Broadcast()
-		c.mu.Unlock(t)
+		sh.cleaned.Broadcast()
+		sh.mu.Unlock(t)
 	}
 }
 
-func (c *Cache) removeDirtyIndexLocked(b *Block) {
+func (sh *shard) removeDirtyIndexLocked(b *Block) {
 	fk := FileKey{b.Key.Vol, b.Key.File}
-	if m := c.dirtyByFile[fk]; m != nil {
+	if m := sh.dirtyByFile[fk]; m != nil {
 		delete(m, b.Key.Blk)
 		if len(m) == 0 {
-			delete(c.dirtyByFile, fk)
+			delete(sh.dirtyByFile, fk)
 		}
 	}
 }
 
 // updateDaemon is the SVR4-style scanner: every ScanInterval it
 // flushes files whose oldest dirty block has aged past MaxAge.
-func (c *Cache) updateDaemon(t sched.Task) {
+func (sh *shard) updateDaemon(t sched.Task) {
 	for {
-		t.Sleep(c.cfg.Flush.ScanInterval)
-		c.mu.Lock(t)
-		now := c.k.Now()
-		for b := c.dirty.head; b != nil; b = b.next {
-			if now.Sub(b.DirtySince) < c.cfg.Flush.MaxAge {
+		t.Sleep(sh.c.cfg.Flush.ScanInterval)
+		sh.mu.Lock(t)
+		now := sh.c.k.Now()
+		for b := sh.dirty.head; b != nil; b = b.next {
+			if now.Sub(b.DirtySince) < sh.c.cfg.Flush.MaxAge {
 				break // list is ordered by DirtySince
 			}
 			if !b.Flushing {
-				c.enqueueFlushLocked(b)
+				sh.enqueueFlushLocked(b)
 			}
 		}
-		c.mu.Unlock(t)
+		sh.mu.Unlock(t)
 	}
 }
 
-// FlushFile synchronously writes every dirty block of (vol, file).
+// FlushFile synchronously writes every dirty block of (vol, file),
+// shard by shard.
 func (c *Cache) FlushFile(t sched.Task, vol core.VolumeID, file core.FileID) {
 	fk := FileKey{vol, file}
-	c.mu.Lock(t)
-	for {
-		m := c.dirtyByFile[fk]
-		if len(m) == 0 && !c.fileFlushingLocked(fk) {
-			c.mu.Unlock(t)
-			return
-		}
-		// Enqueue the lowest not-yet-flushing block (deterministic
-		// despite map iteration); whole-file policies grab the
-		// rest of the file with it.
-		var pick *Block
-		for _, b := range m {
-			if !b.Flushing && (pick == nil || b.Key.Blk < pick.Key.Blk) {
-				pick = b
+	for _, sh := range c.shards {
+		sh.mu.Lock(t)
+		for {
+			m := sh.dirtyByFile[fk]
+			if len(m) == 0 && !sh.fileFlushingLocked(fk) {
+				break
 			}
+			// Enqueue the lowest not-yet-flushing block (deterministic
+			// despite map iteration); whole-file policies grab the
+			// rest of the file with it.
+			var pick *Block
+			for _, b := range m {
+				if !b.Flushing && (pick == nil || b.Key.Blk < pick.Key.Blk) {
+					pick = b
+				}
+			}
+			if pick != nil {
+				sh.enqueueFlushLocked(pick)
+			}
+			sh.cleaned.Wait(t, sh.mu)
 		}
-		if pick != nil {
-			c.enqueueFlushLocked(pick)
-		}
-		c.cleaned.Wait(t, c.mu)
+		sh.mu.Unlock(t)
 	}
 }
 
-func (c *Cache) fileFlushingLocked(fk FileKey) bool {
-	for b := c.dirty.head; b != nil; b = b.next {
+func (sh *shard) fileFlushingLocked(fk FileKey) bool {
+	for b := sh.dirty.head; b != nil; b = b.next {
 		if b.Flushing && b.Key.Vol == fk.Vol && b.Key.File == fk.File {
 			return true
 		}
@@ -533,60 +711,65 @@ func (c *Cache) fileFlushingLocked(fk FileKey) bool {
 // FlushAll synchronously writes every dirty block (shutdown,
 // checkpoint).
 func (c *Cache) FlushAll(t sched.Task) {
-	c.mu.Lock(t)
-	for c.dirtyCount > 0 || c.flushing > 0 {
-		c.flushOldestLocked()
-		c.cleaned.Wait(t, c.mu)
+	for _, sh := range c.shards {
+		sh.mu.Lock(t)
+		for sh.dirtyCount > 0 || sh.flushing > 0 {
+			sh.flushOldestLocked()
+			sh.cleaned.Wait(t, sh.mu)
+		}
+		sh.mu.Unlock(t)
 	}
-	c.mu.Unlock(t)
 }
 
 // DiscardFile drops every cached block of (vol, file) numbered from
 // fromBlk up. Dirty blocks are dropped without being written — the
 // write-saving effect of truncates and deletes — and counted as
 // saved writes. The caller must hold the file quiescent (no other
-// task pinning its blocks); blocks mid-flush are waited for. It
-// returns the number of dirty blocks dropped.
+// task pinning its blocks); blocks mid-flush or mid-readahead are
+// waited for. It returns the number of dirty blocks dropped.
 func (c *Cache) DiscardFile(t sched.Task, vol core.VolumeID, file core.FileID, fromBlk core.BlockNo) int {
-	c.mu.Lock(t)
-	defer c.mu.Unlock(t)
 	saved := 0
-	for {
-		var victims []*Block
-		waiting := false
-		for key, b := range c.index {
-			if key.Vol != vol || key.File != file || key.Blk < fromBlk {
-				continue
+	for _, sh := range c.shards {
+		sh.mu.Lock(t)
+		for {
+			var victims []*Block
+			waiting := false
+			for key, b := range sh.index {
+				if key.Vol != vol || key.File != file || key.Blk < fromBlk {
+					continue
+				}
+				if b.Flushing || b.Busy || b.Pins > 0 {
+					waiting = true
+					continue
+				}
+				victims = append(victims, b)
 			}
-			if b.Flushing || b.Busy || b.Pins > 0 {
-				waiting = true
-				continue
+			// Deterministic processing order despite map iteration.
+			sort.Slice(victims, func(i, j int) bool { return victims[i].Key.Blk < victims[j].Key.Blk })
+			for _, b := range victims {
+				if b.Dirty {
+					b.Dirty = false
+					sh.dirty.remove(b)
+					sh.removeDirtyIndexLocked(b)
+					sh.dirtyCount--
+					c.addDirty(-1)
+					saved++
+					c.st.SavedWrites.Inc()
+				} else {
+					sh.replace.Remove(b)
+				}
+				delete(sh.index, b.Key)
+				b.Valid = false
+				sh.free.pushTail(b)
 			}
-			victims = append(victims, b)
-		}
-		// Deterministic processing order despite map iteration.
-		sort.Slice(victims, func(i, j int) bool { return victims[i].Key.Blk < victims[j].Key.Blk })
-		for _, b := range victims {
-			if b.Dirty {
-				b.Dirty = false
-				c.dirty.remove(b)
-				c.removeDirtyIndexLocked(b)
-				c.dirtyCount--
-				saved++
-				c.st.SavedWrites.Inc()
-			} else {
-				c.replace.Remove(b)
+			if !waiting {
+				break
 			}
-			delete(c.index, b.Key)
-			b.Valid = false
-			c.free.pushTail(b)
+			sh.cleaned.Wait(t, sh.mu)
 		}
-		if !waiting {
-			break
-		}
-		c.cleaned.Wait(t, c.mu)
+		sh.cleaned.Broadcast()
+		sh.mu.Unlock(t)
 	}
-	c.cleaned.Broadcast()
 	return saved
 }
 
@@ -594,6 +777,10 @@ func (c *Cache) DiscardFile(t sched.Task, vol core.VolumeID, file core.FileID, f
 func (c *Cache) Stats(set *stats.Set) { c.st.Register(set) }
 
 func (c *Cache) String() string {
-	return fmt.Sprintf("cache: %d blocks, replace=%s, flush=%s",
-		c.cfg.Blocks, c.replace.Name(), c.cfg.Flush.Name)
+	s := fmt.Sprintf("cache: %d blocks, replace=%s, flush=%s",
+		c.cfg.Blocks, c.shards[0].replace.Name(), c.cfg.Flush.Name)
+	if len(c.shards) > 1 {
+		s += fmt.Sprintf(", shards=%d", len(c.shards))
+	}
+	return s
 }

@@ -391,7 +391,7 @@ func TestStatsRegister(t *testing.T) {
 	k, c, _ := newTestCache(19, 8, UPS())
 	set := stats.NewSet()
 	c.Stats(set)
-	if set.Len() != 9 {
+	if set.Len() != 10 {
 		t.Fatalf("registered %d sources", set.Len())
 	}
 	_ = k

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// The study's virtual cells are deterministic and show the
+// before/after: readahead turns the cold stream into cache hits.
+func TestServingStudyVirtualCells(t *testing.T) {
+	before, err := bench.RunSim(streamCell(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := bench.RunSim(streamCell(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.P50MS >= before.P50MS {
+		t.Fatalf("readahead p50 %.2f not better than %.2f", after.P50MS, before.P50MS)
+	}
+	again, err := bench.RunSim(streamCell(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != after {
+		t.Fatal("virtual study cell is not deterministic")
+	}
+}
+
+func TestServingTableRenders(t *testing.T) {
+	rows := []ServingRow{
+		{Name: "virtual stream, readahead off", Res: bench.Result{Kernel: "virtual", OpsPerSec: 13.2, P50MS: 15.2}},
+		{Name: "virtual stream, readahead 8", Res: bench.Result{Kernel: "virtual", OpsPerSec: 16.5, P50MS: 0.2}},
+	}
+	out := ServingTable(rows)
+	if !strings.Contains(out, "readahead off") || !strings.Contains(out, "ops/sec") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+}

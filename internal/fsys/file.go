@@ -25,6 +25,16 @@ type File struct {
 	entries map[string]core.FileID // directories
 	target  string                 // symlinks
 
+	// Sequential-read detector and readahead bookkeeping, all under
+	// mu. raDone is created lazily on the first readahead so files
+	// never touched by readahead (and every file when readahead is
+	// off) cost nothing.
+	raNext     int64        // offset the next sequential read would start at
+	raStreak   int          // consecutive sequential reads observed
+	raIssued   core.BlockNo // blocks below this have been requested
+	raInflight int          // outstanding readahead batches
+	raDone     sched.Cond   // signaled when raInflight drops to zero
+
 	behavior behavior
 }
 

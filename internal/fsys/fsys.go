@@ -31,8 +31,26 @@ type FS struct {
 	cache *cache.Cache
 	mover core.DataMover
 	vols  map[core.VolumeID]*Volume
+	ra    int
 	st    *Stats
 }
+
+// SetReadahead turns on sequential-read readahead: once a file is
+// read sequentially, the next n blocks are pulled through the cache
+// by a background task so streaming reads overlap with the disk.
+// Zero (the default) disables it — the simulator's byte-identical
+// configuration. Readahead fills are best-effort: they only take
+// free or clean frames (never flushing dirty data, see
+// cache.TryStartFill) and are fenced against truncate and delete.
+func (fs *FS) SetReadahead(n int) {
+	if n < 0 {
+		n = 0
+	}
+	fs.ra = n
+}
+
+// Readahead returns the readahead window in blocks (0 = off).
+func (fs *FS) Readahead() int { return fs.ra }
 
 // Stats is the front-end statistics plug-in.
 type Stats struct {
@@ -43,6 +61,7 @@ type Stats struct {
 	Creates, Removes *stats.Counter
 	ReadLookups      *stats.Counter
 	ReadHits         *stats.Counter
+	Readaheads       *stats.Counter // readahead batches issued
 }
 
 // ReadHitRate returns the fraction of read block lookups served from
@@ -66,6 +85,7 @@ func (s *Stats) Register(set *stats.Set) {
 	set.Add(s.Removes)
 	set.Add(s.ReadLookups)
 	set.Add(s.ReadHits)
+	set.Add(s.Readaheads)
 }
 
 // New creates a file-system front-end. mover separates PFS from
@@ -87,6 +107,7 @@ func New(k sched.Kernel, c *cache.Cache, mover core.DataMover) *FS {
 			Removes:      stats.NewCounter("fs.removes"),
 			ReadLookups:  stats.NewCounter("fs.read_lookups"),
 			ReadHits:     stats.NewCounter("fs.read_hits"),
+			Readaheads:   stats.NewCounter("fs.readaheads"),
 		},
 	}
 }

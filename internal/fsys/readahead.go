@@ -1,0 +1,98 @@
+package fsys
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Sequential-read readahead: when a file is being read front to
+// back, a background task pulls the next window of blocks through
+// the cache so the stream's demand reads become hits and the disk
+// works ahead of the client. The fills are best-effort
+// (cache.TryStartFill): they only claim free or clean frames, so
+// readahead can never push dirty blocks out of memory — the NVRAM
+// write policies keep their residency guarantee — and never stalls
+// behind the flusher.
+
+// maybeReadahead runs the sequential detector and issues the next
+// readahead batch. Caller holds f.mu; off/n are the clamped range
+// the current read returns.
+func (v *Volume) maybeReadahead(t sched.Task, f *File, off, n int64) {
+	ra := v.fs.ra
+	if ra <= 0 || n <= 0 {
+		return
+	}
+	if f.ino.Type != core.TypeRegular {
+		// Directories and symlinks are read under the namespace
+		// lock, and multimedia files run their own rate-paced
+		// prefetch thread with drop-behind blocks.
+		return
+	}
+	if off == 0 || off != f.raNext {
+		// A rewind resets the detector; anything else breaks the
+		// streak (offset 0 starts a fresh stream).
+		f.raStreak = 0
+		if off == 0 {
+			f.raIssued = 0
+		}
+	}
+	f.raStreak++
+	f.raNext = off + n
+	if f.raStreak < 2 {
+		return // one read is a point, two make a stream
+	}
+	lastBlk := core.BlockNo((off + n - 1) / core.BlockSize)
+	eofBlk := core.BlockNo((f.ino.Size - 1) / core.BlockSize)
+	start := lastBlk + 1
+	if start < f.raIssued {
+		start = f.raIssued
+	}
+	end := lastBlk + core.BlockNo(ra)
+	if end > eofBlk {
+		end = eofBlk
+	}
+	if start > end {
+		return
+	}
+	f.raIssued = end + 1
+	if f.raDone == nil {
+		f.raDone = v.fs.k.NewCond("fsys.radone")
+	}
+	f.raInflight++
+	v.fs.st.Readaheads.Inc()
+	ino, size := f.ino, f.ino.Size
+	v.fs.k.Go("fsys.readahead", func(rt sched.Task) {
+		defer func() {
+			f.mu.Lock(rt)
+			f.raInflight--
+			if f.raInflight == 0 {
+				f.raDone.Broadcast()
+			}
+			f.mu.Unlock(rt)
+		}()
+		for blk := start; blk <= end; blk++ {
+			key := core.BlockKey{Vol: v.ID, File: ino.ID, Blk: blk}
+			b, ok := v.fs.cache.TryStartFill(rt, key)
+			if !ok {
+				continue // cached, being filled, or no clean frame
+			}
+			err := v.lay.ReadBlock(rt, ino, blk, b.Data)
+			bsize := core.BlockSize
+			if rem := size - int64(blk)*core.BlockSize; rem < int64(bsize) {
+				bsize = int(rem)
+			}
+			v.fs.cache.FinishFill(rt, b, bsize, err)
+		}
+	})
+}
+
+// waitReadaheadLocked fences the readahead pipeline: it returns once
+// no batch is in flight for f, so a truncate or delete can discard
+// the file's cache blocks without a late fill re-inserting stale
+// data behind it. Caller holds f.mu; new batches cannot start while
+// it is held.
+func (f *File) waitReadaheadLocked(t sched.Task) {
+	for f.raInflight > 0 {
+		f.raDone.Wait(t, f.mu)
+	}
+}

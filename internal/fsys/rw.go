@@ -20,6 +20,9 @@ func (v *Volume) readData(t sched.Task, f *File, off int64, buf []byte, n int64)
 	if off+n > f.ino.Size {
 		n = f.ino.Size - off
 	}
+	// Kick the readahead pipeline before fetching our own blocks, so
+	// the background fills overlap with this read's misses too.
+	v.maybeReadahead(t, f, off, n)
 	var done int64
 	for done < n {
 		pos := off + done
@@ -131,6 +134,13 @@ func (v *Volume) prefetchBlock(t sched.Task, f *File, blk core.BlockNo) {
 // frees the storage. Caller holds v.mu or f.mu appropriately.
 func (v *Volume) truncateLocked(t sched.Task, f *File, size int64) error {
 	from := core.BlockNo(layout.BlocksForSize(size))
+	// Fence the readahead pipeline: a fill landing after the discard
+	// would re-insert pre-truncate data.
+	f.waitReadaheadLocked(t)
+	f.raStreak = 0
+	if f.raIssued > from {
+		f.raIssued = from
+	}
 	v.fs.cache.DiscardFile(t, v.ID, f.ino.ID, from)
 	if err := v.lay.Truncate(t, f.ino, size); err != nil {
 		return err
@@ -141,7 +151,15 @@ func (v *Volume) truncateLocked(t sched.Task, f *File, size int64) error {
 // destroyLocked releases a removed file's storage once the last
 // reference is gone. Caller holds v.mu.
 func (v *Volume) destroyLocked(t sched.Task, f *File) error {
+	// Fence in-flight readahead before discarding: layouts that
+	// recycle inode numbers (FFS) must not find stale blocks of the
+	// dead file resident under a reused ID. The file has no open
+	// handles here, so no new batches can start once in-flight ones
+	// drain.
+	f.mu.Lock(t)
+	f.waitReadaheadLocked(t)
 	v.fs.cache.DiscardFile(t, v.ID, f.ino.ID, 0)
+	f.mu.Unlock(t)
 	delete(v.files, f.ino.ID)
 	return v.lay.FreeInode(t, f.ino.ID)
 }

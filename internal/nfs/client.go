@@ -11,28 +11,72 @@ import (
 )
 
 // Client speaks the PFS protocol to a server. It is safe for
-// concurrent use; calls are serialized over one connection.
+// concurrent use. A Dial client serializes calls over its
+// connection; a DialPipeline client keeps a window of calls in
+// flight, letting the server's per-connection pipeline overlap
+// decode and execution.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	xid  uint32
+	tr transport
 }
 
-// Dial connects to a server.
+// transport moves one call's frames and hands back a decoder
+// positioned at the results.
+type transport interface {
+	call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error)
+	close() error
+}
+
+// Dial connects to a server with the classic one-call-at-a-time
+// transport.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{tr: &syncTransport{conn: conn}}, nil
 }
 
-// Close drops the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// DialPipeline connects with a pipelined transport: up to window
+// calls may be outstanding on the wire at once (callers beyond that
+// block), matched to replies by xid. window <= 0 means
+// DefaultPipeline.
+func DialPipeline(addr string, window int) (*Client, error) {
+	if window <= 0 {
+		window = DefaultPipeline
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &pipeTransport{
+		conn:    conn,
+		sem:     make(chan struct{}, window),
+		pending: make(map[uint32]chan pipeResult),
+		done:    make(chan struct{}),
+	}
+	go p.readLoop()
+	return &Client{tr: p}, nil
+}
+
+// Close drops the connection; outstanding pipelined calls fail.
+func (c *Client) Close() error { return c.tr.close() }
+
+func (c *Client) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error) {
+	return c.tr.call(proc, args)
+}
+
+// syncTransport performs one RPC at a time under a lock.
+type syncTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+	xid  uint32
+}
+
+func (c *syncTransport) close() error { return c.conn.Close() }
 
 // call performs one RPC; args encodes after the header, and the
 // returned decoder is positioned at the results.
-func (c *Client) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error) {
+func (c *syncTransport) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.xid++
@@ -69,6 +113,124 @@ func (c *Client) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error
 		return nil, ErrorOf(status)
 	}
 	return d, nil
+}
+
+// pipeTransport keeps up to cap(sem) calls outstanding, writing
+// frames under wmu and matching replies to callers by xid on a
+// dedicated reader goroutine.
+type pipeTransport struct {
+	conn net.Conn
+	sem  chan struct{} // outstanding-call window
+	wmu  sync.Mutex    // serializes frame writes
+
+	mu      sync.Mutex
+	xid     uint32
+	pending map[uint32]chan pipeResult
+	err     error // sticky transport failure
+
+	done chan struct{} // closed when the reader exits
+}
+
+type pipeResult struct {
+	d   *xdr.Decoder
+	err error
+}
+
+func (p *pipeTransport) close() error {
+	err := p.conn.Close()
+	<-p.done // reader has failed all pending calls
+	return err
+}
+
+func (p *pipeTransport) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+
+	p.mu.Lock()
+	if p.err != nil {
+		p.mu.Unlock()
+		return nil, p.err
+	}
+	p.xid++
+	xid := p.xid
+	ch := make(chan pipeResult, 1)
+	p.pending[xid] = ch
+	p.mu.Unlock()
+
+	e := xdr.NewEncoder()
+	e.Uint32(xid)
+	e.Uint32(MsgCall)
+	e.Uint32(proc)
+	if args != nil {
+		args(e)
+	}
+	p.wmu.Lock()
+	err := writeFrame(p.conn, e.Bytes())
+	p.wmu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, xid)
+		p.mu.Unlock()
+		return nil, err
+	}
+	res := <-ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.d, nil
+}
+
+// readLoop demultiplexes replies to their callers until the
+// connection dies, then fails every outstanding call.
+func (p *pipeTransport) readLoop() {
+	defer close(p.done)
+	for {
+		frame, err := readFrame(p.conn)
+		if err != nil {
+			p.failAll(err)
+			return
+		}
+		d := xdr.NewDecoder(frame)
+		xid, err := d.Uint32()
+		if err != nil {
+			p.failAll(err)
+			return
+		}
+		if dir, err := d.Uint32(); err != nil || dir != MsgReply {
+			p.failAll(fmt.Errorf("nfs: bad reply direction"))
+			return
+		}
+		status, err := d.Uint32()
+		if err != nil {
+			p.failAll(err)
+			return
+		}
+		p.mu.Lock()
+		ch := p.pending[xid]
+		delete(p.pending, xid)
+		p.mu.Unlock()
+		if ch == nil {
+			p.failAll(fmt.Errorf("nfs: reply for unknown xid %d", xid))
+			return
+		}
+		if status != OK {
+			ch <- pipeResult{err: ErrorOf(status)}
+		} else {
+			ch <- pipeResult{d: d}
+		}
+	}
+}
+
+func (p *pipeTransport) failAll(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	for xid, ch := range p.pending {
+		ch <- pipeResult{err: err}
+		delete(p.pending, xid)
+	}
+	p.mu.Unlock()
 }
 
 // Null pings the server.

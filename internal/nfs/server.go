@@ -14,10 +14,18 @@ import (
 // framework thread per connection, and dispatches each call onto the
 // abstract client interface — the derived-class structure of the
 // paper's NFS component.
+//
+// Each connection is served by two tasks: a reader that decodes the
+// next call off the socket while the previous one executes, and an
+// executor that dispatches the queued calls strictly in arrival
+// order and writes the replies — so replies stay in per-connection
+// request order while decode, execution and the client's own
+// think time overlap. The queue depth is Options.Pipeline.
 type Server struct {
-	fs *fsys.FS
-	k  sched.Kernel
-	ln net.Listener
+	fs     *fsys.FS
+	k      sched.Kernel
+	ln     net.Listener
+	window int
 
 	mu       sync.Mutex
 	closed   bool
@@ -26,21 +34,42 @@ type Server struct {
 	inflight sync.WaitGroup
 }
 
-// connState tracks whether a connection is mid-dispatch, so a drain
-// can cut idle connections immediately and let busy ones finish
-// their current call.
+// connState counts a connection's admitted calls (decoded, queued or
+// executing, reply not yet written), so a drain can cut idle
+// connections immediately and let busy ones finish their pipeline.
 type connState struct {
-	busy bool
+	inflight int
 }
 
+// Options tunes the server.
+type Options struct {
+	// Pipeline is the per-connection window: how many calls may be
+	// admitted at once (one executing plus the rest decoded and
+	// queued). 1 disables pipelining — the classic one-call-at-a-
+	// time loop; 0 means DefaultPipeline.
+	Pipeline int
+}
+
+// DefaultPipeline is the per-connection window Serve uses.
+const DefaultPipeline = 8
+
 // Serve starts a server on addr (e.g. "127.0.0.1:0") over the given
-// front-end. It returns once the listener is ready.
+// front-end with default options. It returns once the listener is
+// ready.
 func Serve(k sched.Kernel, fs *fsys.FS, addr string) (*Server, error) {
+	return ServeOpts(k, fs, addr, Options{})
+}
+
+// ServeOpts is Serve with explicit options.
+func ServeOpts(k sched.Kernel, fs *fsys.FS, addr string, o Options) (*Server, error) {
+	if o.Pipeline <= 0 {
+		o.Pipeline = DefaultPipeline
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{fs: fs, k: k, ln: ln, conns: make(map[net.Conn]*connState)}
+	s := &Server{fs: fs, k: k, ln: ln, window: o.Pipeline, conns: make(map[net.Conn]*connState)}
 	k.Go("nfs.accept", s.acceptLoop)
 	return s, nil
 }
@@ -79,7 +108,7 @@ func (s *Server) Drain() {
 	s.draining = true
 	var idle []net.Conn
 	for c, st := range s.conns {
-		if !st.busy {
+		if st.inflight == 0 {
 			idle = append(idle, c)
 		}
 	}
@@ -118,70 +147,107 @@ func (s *Server) acceptLoop(t sched.Task) {
 	}
 }
 
-// serveConn handles one connection's calls in order; each call acts
-// as a client representative inside the file system while the
-// request is in progress.
+// serveConn is a connection's reader half: it decodes frames off the
+// socket and queues them for the executor. Admission (the in-flight
+// count) happens here, so Drain's accounting covers
+// queued-but-not-yet-executing calls too. The slots semaphore is
+// acquired before the socket read and released by the executor after
+// the reply, so at most `window` calls are admitted at once — and
+// with a window of 1 the reader does not even touch the socket while
+// a call executes, exactly the classic one-call-at-a-time loop.
 func (s *Server) serveConn(t sched.Task, conn net.Conn) {
+	queue := make(chan []byte, s.window) // slots bounds it; sends never block
+	slots := make(chan struct{}, s.window)
+	done := make(chan struct{})
+	s.k.Go("nfs.conn.exec", func(et sched.Task) {
+		s.execLoop(et, conn, queue, slots, done)
+	})
 	for {
+		slots <- struct{}{} // wait for an admission slot
 		frame, err := readFrame(conn)
 		if err != nil {
-			return
+			break
 		}
-		// A drained server serves what is already in flight but
-		// starts nothing new; the busy window also keeps Drain's
-		// in-flight accounting exact.
+		// A drained server serves what is already admitted but
+		// starts nothing new.
 		s.mu.Lock()
 		st := s.conns[conn]
 		if s.draining || s.closed || st == nil {
 			s.mu.Unlock()
-			return
+			break
 		}
-		st.busy = true
+		st.inflight++
 		s.inflight.Add(1)
 		s.mu.Unlock()
+		queue <- frame
+	}
+	close(queue)
+	<-done
+}
 
-		d := xdr.NewDecoder(frame)
-		ok := func() bool {
-			defer func() {
-				s.mu.Lock()
-				st.busy = false
-				s.mu.Unlock()
-				s.inflight.Done()
-			}()
-			xid, err := d.Uint32()
-			if err != nil {
-				return false
-			}
-			dir, err := d.Uint32()
-			if err != nil || dir != MsgCall {
-				return false
-			}
-			proc, err := d.Uint32()
-			if err != nil {
-				return false
-			}
-			e := xdr.NewEncoder()
-			e.Uint32(xid)
-			e.Uint32(MsgReply)
-			status := s.dispatch(t, proc, d, e)
-			// Splice the status in after (xid, MsgReply): rebuild
-			// with the final status word.
-			out := xdr.NewEncoder()
-			out.Uint32(xid)
-			out.Uint32(MsgReply)
-			out.Uint32(status)
-			outBytes := append(out.Bytes(), e.Bytes()[8:]...)
-			return writeFrame(conn, outBytes) == nil
-		}()
-		if !ok {
-			return
+// execLoop is a connection's executor half: it dispatches admitted
+// calls strictly in arrival order and writes each reply before
+// starting the next, keeping per-connection replies ordered. After a
+// protocol or write error it keeps consuming the queue (so the
+// reader is never stuck on a full window) but only settles the
+// accounting.
+func (s *Server) execLoop(t sched.Task, conn net.Conn, queue chan []byte, slots chan struct{}, done chan struct{}) {
+	defer close(done)
+	failed := false
+	for frame := range queue {
+		if !failed && !s.execute(t, conn, frame) {
+			failed = true
+			conn.Close() // unblocks the reader; repeat closes are harmless
 		}
-		s.mu.Lock()
-		draining := s.draining || s.closed
-		s.mu.Unlock()
-		if draining {
-			return // reply delivered; the server is going away
-		}
+		s.finishCall(conn)
+		<-slots // free the admission slot: the reader may read again
+	}
+}
+
+// execute runs one call: decode, dispatch onto the abstract client
+// interface, write the reply. It reports whether the connection is
+// still usable.
+func (s *Server) execute(t sched.Task, conn net.Conn, frame []byte) bool {
+	d := xdr.NewDecoder(frame)
+	xid, err := d.Uint32()
+	if err != nil {
+		return false
+	}
+	dir, err := d.Uint32()
+	if err != nil || dir != MsgCall {
+		return false
+	}
+	proc, err := d.Uint32()
+	if err != nil {
+		return false
+	}
+	e := xdr.NewEncoder()
+	e.Uint32(xid)
+	e.Uint32(MsgReply)
+	status := s.dispatch(t, proc, d, e)
+	// Splice the status in after (xid, MsgReply): rebuild with the
+	// final status word.
+	out := xdr.NewEncoder()
+	out.Uint32(xid)
+	out.Uint32(MsgReply)
+	out.Uint32(status)
+	outBytes := append(out.Bytes(), e.Bytes()[8:]...)
+	return writeFrame(conn, outBytes) == nil
+}
+
+// finishCall settles one admitted call's accounting; a draining
+// connection closes itself right after its last reply.
+func (s *Server) finishCall(conn net.Conn) {
+	s.mu.Lock()
+	closeNow := false
+	if st := s.conns[conn]; st != nil {
+		st.inflight--
+		closeNow = s.draining && st.inflight == 0
+	}
+	s.mu.Unlock()
+	s.inflight.Done()
+	if closeNow {
+		conn.Close()
 	}
 }
 

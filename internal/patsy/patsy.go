@@ -53,6 +53,15 @@ type Config struct {
 	CacheBlocks int
 	Replace     string
 	Flush       cache.FlushConfig
+	// CacheShards lock-stripes the cache (0 or 1 = the paper's
+	// single-lock cache, the byte-identical default). The virtual
+	// kernel runs one task at a time, so any width stays
+	// deterministic per seed; widths above 1 change contention and
+	// thus the schedule.
+	CacheShards int
+	// ReadaheadBlocks enables sequential-read readahead in the
+	// front-end (0 = off, the byte-identical default).
+	ReadaheadBlocks int
 
 	// Layout.
 	SegBlocks int
@@ -194,10 +203,14 @@ func Build(cfg Config) (*System, error) {
 		Replace:   cfg.Replace,
 		Flush:     cfg.Flush,
 		Simulated: true,
+		Shards:    cfg.CacheShards,
 	}, store)
 	c.Stats(sys.Set)
 	mover := &core.SimMover{BytesPerSec: orDefault64(cfg.CopyBytesPerSec, 80<<20), FixedNS: 2000}
 	fs := fsys.New(k, c, mover)
+	if cfg.ReadaheadBlocks > 0 {
+		fs.SetReadahead(cfg.ReadaheadBlocks)
+	}
 	fs.Stats(sys.Set)
 	store.Bind(fs)
 	c.Start()

@@ -42,6 +42,16 @@ type Config struct {
 	StripeBlocks int
 	// CacheBlocks sizes the block cache (default 4096 = 16 MB).
 	CacheBlocks int
+	// CacheShards lock-stripes the cache so concurrent NFS clients
+	// stop convoying on one mutex: 0 = the default (8), 1 = the
+	// classic single-lock cache, negative is invalid.
+	CacheShards int
+	// Pipeline is the per-connection NFS window (decode-ahead
+	// depth): 0 = nfs.DefaultPipeline, 1 = no pipelining.
+	Pipeline int
+	// ReadaheadBlocks is the sequential-read readahead window:
+	// 0 = the default (8), negative = disabled.
+	ReadaheadBlocks int
 	// Flush selects the write policy (default: the UPS write-saving
 	// policy the paper's experiments recommend).
 	Flush cache.FlushConfig
@@ -63,7 +73,12 @@ type Server struct {
 	Cache *cache.Cache
 	Array *volume.Array
 	Set   *stats.Set
-	net   *nfs.Server
+	// Drivers are the per-array-member disk drivers, in member
+	// order (observability: per-volume I/O counters).
+	Drivers []device.Driver
+
+	pipeline int
+	net      *nfs.Server
 }
 
 // Open creates or reopens a PFS on cfg.Path. A fresh image (set) is
@@ -131,17 +146,27 @@ func Open(cfg Config) (*Server, error) {
 		return nil, err
 	}
 
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = 8
+	}
+	if cfg.ReadaheadBlocks == 0 {
+		cfg.ReadaheadBlocks = 8
+	}
 	store := fsys.NewStore()
 	c := cache.New(k, cache.Config{
 		Blocks:  cfg.CacheBlocks,
 		Replace: cfg.Replace,
 		Flush:   cfg.Flush,
+		Shards:  cfg.CacheShards,
 	}, store)
 	fs := fsys.New(k, c, core.RealMover{})
 	store.Bind(fs)
+	if cfg.ReadaheadBlocks > 0 {
+		fs.SetReadahead(cfg.ReadaheadBlocks)
+	}
 	c.Start()
 
-	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet()}
+	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, pipeline: cfg.Pipeline}
 	c.Stats(srv.Set)
 	fs.Stats(srv.Set)
 	lay.Stats(srv.Set)
@@ -198,7 +223,7 @@ func isFresh(path string) (bool, error) {
 // ServeNFS exposes the volume over the network protocol; addr
 // "127.0.0.1:0" picks a free port. Returns the bound address.
 func (s *Server) ServeNFS(addr string) (string, error) {
-	srv, err := nfs.Serve(s.K, s.FS, addr)
+	srv, err := nfs.ServeOpts(s.K, s.FS, addr, nfs.Options{Pipeline: s.pipeline})
 	if err != nil {
 		return "", err
 	}

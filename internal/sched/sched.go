@@ -136,6 +136,18 @@ type Kernel interface {
 	Live() int
 }
 
+// ShardName names the i-th of n lock stripes of a component's
+// synchronization objects and tasks: "base.s<i>" when the component
+// is actually striped, and plain "base" for a single stripe — so a
+// width-1 sharded component creates primitives with exactly the
+// names (and deadlock reports) of its classic unsharded form.
+func ShardName(base string, i, n int) string {
+	if n <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.s%d", base, i)
+}
+
 // Policy selects the next task to run in the virtual kernel, the
 // paper's pluggable scheduling-policy point. The slice holds every
 // runnable task; Pick returns the index to dispatch.

@@ -276,13 +276,7 @@ func (k *VKernel) taskView() []Task {
 func (k *VKernel) blockedNames() []string {
 	// Only blocked (not sleeping) tasks are deadlock suspects;
 	// sleeping tasks would have advanced the clock.
-	var names []string
-	seen := map[*vtask]bool{}
-	for _, t := range k.timers {
-		seen[t] = true
-	}
-	_ = seen
-	names = k.collectBlocked()
+	names := k.collectBlocked()
 	sort.Strings(names)
 	return names
 }
