@@ -43,6 +43,9 @@ func main() {
 		scTrace   = flag.String("scaletrace", "1a", "trace for the array-scaling study")
 		placement = flag.String("placement", "striped", "array placement for the scaling study: striped or affinity")
 		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for the scaling study")
+		reliab    = flag.Bool("reliability", false, "run the crash-reliability study (power cut + recovery per policy × layout × width) instead of figures")
+		relVols   = flag.String("relvolumes", "1,2", "array widths for the reliability study")
+		relOut    = flag.String("relout", "BENCH_4.json", "write the reliability study as JSON here (empty = don't)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,24 @@ func main() {
 		die(err)
 		fmt.Println(experiments.ServingTable(rows))
 		fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *reliab {
+		widths, err := parseWidths(*relVols)
+		die(err)
+		start := time.Now()
+		st, err := experiments.RunReliabilityStudy(engine, scale, *scTrace, *seed, nil, widths)
+		die(err)
+		fmt.Println(experiments.ReliabilityTable(st))
+		if *relOut != "" {
+			out, err := experiments.ReliabilityJSON(st)
+			die(err)
+			die(os.WriteFile(*relOut, out, 0o644))
+			fmt.Printf("(wrote %s)\n", *relOut)
+		}
+		fmt.Printf("(wall time %v, scale %s, trace duration %v)\n",
+			time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration)
 		return
 	}
 

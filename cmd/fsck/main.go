@@ -1,23 +1,33 @@
 // Command fsck checks a PFS image — or a multi-volume array image
-// set — for consistency: each volume's segmented log is mounted
-// read-only-in-effect (nothing is written), every live inode is
-// loaded, and the log invariants are verified — address ranges,
-// double claims, segment usage counts and the free list. For arrays
-// it also reads the geometry label off member 0 and cross-checks the
-// width it was formatted with.
+// set — for consistency, and optionally repairs it: each volume is
+// mounted and every invariant of its layout verified (LFS: address
+// ranges, double claims, segment usage counts, the free list; FFS:
+// bitmap/table agreement, block claims, leaks). For arrays it also
+// reads the geometry labels and cross-checks the width. With
+// -rollforward an LFS volume is recovered through the newer
+// checkpoint plus the post-checkpoint segment summaries; with
+// -repair an FFS volume's bitmaps are rebuilt from its inode table.
 //
 //	fsck -image /var/tmp/pfs.img
 //	fsck -image /var/tmp/pfs.img -volumes 4 -json
+//	fsck -image /var/tmp/pfs.img -rollforward          # LFS recovery
+//	fsck -image /var/tmp/pfs.img -layout ffs -repair   # FFS fsck -y
+//
+// Exit codes: 0 the image (set) is clean — including after a
+// successful repair; 1 inconsistencies remain; 2 an image could not
+// be checked or recovered at all.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/ffs"
 	"repro/internal/layout"
 	"repro/internal/lfs"
 	"repro/internal/sched"
@@ -30,6 +40,7 @@ type volReport struct {
 	Blocks     int64    `json:"blocks"`
 	FreeBlocks int64    `json:"free_blocks"`
 	Layout     string   `json:"layout"`
+	Repairs    []string `json:"repairs,omitempty"`
 	Errors     []string `json:"errors"`
 }
 
@@ -49,36 +60,200 @@ type labelInfo struct {
 	StripeBlocks int    `json:"stripe_blocks"`
 }
 
-func main() {
-	image := flag.String("image", "pfs.img", "backing image file (base name with -volumes > 1)")
-	volumes := flag.Int("volumes", 1, "array width: check images <image>.v0 .. <image>.v(N-1)")
-	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary")
-	verbose := flag.Bool("v", false, "print volume summaries")
-	flag.Parse()
+// options is the parsed command line.
+type options struct {
+	image       string
+	volumes     int
+	layoutName  string
+	repair      bool
+	rollforward bool
+	jsonOut     bool
+	verbose     bool
+}
 
-	rep := report{Image: *image, Clean: true}
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and an exit code — the golden
+// test drives the full table through it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.image, "image", "pfs.img", "backing image file (base name with -volumes > 1)")
+	fs.IntVar(&o.volumes, "volumes", 1, "array width: check images <image>.v0 .. <image>.v(N-1)")
+	fs.StringVar(&o.layoutName, "layout", "lfs", "storage layout of the image(s): lfs or ffs")
+	fs.BoolVar(&o.repair, "repair", false, "ffs: rebuild the allocation bitmaps from the inode table, then re-check")
+	fs.BoolVar(&o.rollforward, "rollforward", false, "lfs: recover through the newer checkpoint and the post-checkpoint segments, then re-check")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit a machine-readable JSON summary")
+	fs.BoolVar(&o.verbose, "v", false, "print volume summaries")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.repair && o.layoutName != "ffs" {
+		fmt.Fprintln(stderr, "fsck: -repair applies to -layout ffs (use -rollforward for lfs)")
+		return 2
+	}
+	if o.rollforward && o.layoutName != "lfs" {
+		fmt.Fprintln(stderr, "fsck: -rollforward applies to -layout lfs (use -repair for ffs)")
+		return 2
+	}
+
+	rep := report{Image: o.image, Clean: true}
 	k := sched.NewReal(0)
 	fatal := false // could not even check an image (vs. checked and dirty)
-	for i := 0; i < *volumes; i++ {
-		path := *image
-		if *volumes > 1 {
-			path = fmt.Sprintf("%s.v%d", *image, i)
+	if o.volumes > 1 && (o.repair || o.rollforward) {
+		// Recovering an array is an array-level operation: member
+		// recovery alone leaves the cross-member invariants (lockstep
+		// allocation, shadow sizes, labels) unrepaired.
+		fatal = recoverArray(k, o, &rep)
+	} else {
+		for i := 0; i < o.volumes; i++ {
+			path := o.image
+			if o.volumes > 1 {
+				path = fmt.Sprintf("%s.v%d", o.image, i)
+			}
+			vr, f := checkVolume(k, path, o, i == 0 && o.volumes > 1, &rep)
+			fatal = fatal || f
+			rep.Volumes = append(rep.Volumes, vr)
 		}
-		vr, f := checkVolume(k, path, i == 0 && *volumes > 1, &rep)
-		fatal = fatal || f
-		rep.Volumes = append(rep.Volumes, vr)
+	}
+	for _, vr := range rep.Volumes {
 		if len(vr.Errors) > 0 {
 			rep.Clean = false
 		}
 	}
-	emit(&rep, *jsonOut, *verbose, fatal)
+	return emit(&rep, o, stdout, stderr, fatal)
 }
 
-// checkVolume mounts and checks one image; on the first member of an
-// array it also reads the geometry label into rep. The second result
-// reports whether the image could not be checked at all.
-func checkVolume(k *sched.RKernel, path string, wantLabel bool, rep *report) (volReport, bool) {
-	vr := volReport{Image: path, Layout: "lfs", Errors: []string{}}
+// newLayout builds one member layout over a partition.
+func newLayout(k *sched.RKernel, name, layoutName string, part *layout.Partition) layout.Layout {
+	if layoutName == "ffs" {
+		return ffs.New(k, name, part, ffs.Config{})
+	}
+	return lfs.New(k, name, part, lfs.Config{})
+}
+
+// recoverArray recovers a multi-volume image set through
+// volume.Array.Recover: a probe of member 0 supplies the geometry,
+// the array recovers every member plus the cross-member invariants,
+// and each member is then checked. Returns whether the set could not
+// be recovered at all.
+func recoverArray(k *sched.RKernel, o options, rep *report) bool {
+	paths := make([]string, o.volumes)
+	drvs := make([]device.Driver, o.volumes)
+	vrs := make([]volReport, o.volumes)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s.v%d", o.image, i)
+		vrs[i] = volReport{Image: paths[i], Layout: o.layoutName, Errors: []string{}}
+	}
+	defer func() { rep.Volumes = append(rep.Volumes, vrs...) }()
+	fail := func(i int, f string, args ...any) bool {
+		vrs[i].Errors = append(vrs[i].Errors, fmt.Sprintf(f, args...))
+		return true
+	}
+	blocks := make([]int64, o.volumes)
+	for i, path := range paths {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return fail(i, "%v", err)
+		}
+		blocks[i] = fi.Size() / core.BlockSize
+		vrs[i].Blocks = blocks[i]
+		if blocks[i] < 16 {
+			return fail(i, "%s too small to hold a file system", path)
+		}
+		drv, err := device.NewFileDriver(k, "fsck:"+path, path, blocks[i], nil)
+		if err != nil {
+			return fail(i, "%v", err)
+		}
+		defer drv.Close()
+		drvs[i] = drv
+	}
+
+	fatal := false
+	done := make(chan struct{})
+	k.Go("fsck.array", func(t sched.Task) {
+		defer close(done)
+		// Probe member 0: recover it alone and read the geometry
+		// label the array must be rebuilt with.
+		probe := newLayout(k, "fsck.probe", o.layoutName,
+			layout.NewPartition(drvs[0], 0, 0, blocks[0], false))
+		rec := probe.(layout.Recoverer)
+		if _, err := rec.Recover(t); err != nil {
+			fatal = fail(0, "recover: %v", err)
+			return
+		}
+		nsubs, placement, stripe, found, err := volume.ReadLabel(t, probe)
+		if err != nil {
+			fatal = fail(0, "array label: %v", err)
+			return
+		}
+		cfg := volume.Config{}
+		if found {
+			rep.Label = &labelInfo{Volumes: nsubs, Placement: placement, StripeBlocks: stripe}
+			if nsubs != o.volumes {
+				fail(0, "array label says %d volumes, recovering %d", nsubs, o.volumes)
+				return
+			}
+			cfg.Placement = placement
+			cfg.StripeBlocks = stripe
+		} else {
+			vrs[0].Repairs = append(vrs[0].Repairs,
+				"no geometry label found; recovering with default (affinity) routing")
+		}
+
+		subs := make([]layout.Layout, o.volumes)
+		for i := range subs {
+			subs[i] = newLayout(k, fmt.Sprintf("fsck.d%d", i), o.layoutName,
+				layout.NewPartition(drvs[i], i, 0, blocks[i], false))
+		}
+		arr, err := volume.New(k, "fsck", subs, cfg)
+		if err != nil {
+			fatal = fail(0, "%v", err)
+			return
+		}
+		st, err := arr.Recover(t)
+		vrs[0].Repairs = append(vrs[0].Repairs, st.Repairs...)
+		if st.RolledSegments > 0 || st.DataBlocks > 0 || st.InodeRecords > 0 {
+			vrs[0].Repairs = append(vrs[0].Repairs, fmt.Sprintf(
+				"rolled forward %d segments: %d data blocks, %d inode records, %d orphans",
+				st.RolledSegments, st.DataBlocks, st.InodeRecords, st.OrphanBlocks))
+		}
+		if err != nil {
+			fatal = fail(0, "array recover: %v", err)
+			return
+		}
+		for i, sub := range arr.Subs() {
+			vrs[i].FreeBlocks = sub.FreeBlocks()
+			for _, e := range checkFn(sub)(t) {
+				vrs[i].Errors = append(vrs[i].Errors, e.Error())
+			}
+		}
+	})
+	<-done
+	return fatal
+}
+
+// checkFn returns the layout's fsck pass.
+func checkFn(lay layout.Layout) func(t sched.Task) []error {
+	switch l := lay.(type) {
+	case *lfs.LFS:
+		return l.Check
+	case *ffs.FFS:
+		return l.Check
+	default:
+		return func(sched.Task) []error { return nil }
+	}
+}
+
+// checkVolume mounts (or recovers) and checks one image; on the
+// first member of an array it also reads the geometry label into
+// rep. The second result reports whether the image could not be
+// checked at all.
+func checkVolume(k *sched.RKernel, path string, o options, wantLabel bool, rep *report) (volReport, bool) {
+	vr := volReport{Image: path, Layout: o.layoutName, Errors: []string{}}
 	fatal := false
 	fail := func(f string, args ...any) (volReport, bool) {
 		vr.Errors = append(vr.Errors, fmt.Sprintf(f, args...))
@@ -97,23 +272,43 @@ func checkVolume(k *sched.RKernel, path string, wantLabel bool, rep *report) (vo
 	if err != nil {
 		return fail("%v", err)
 	}
+	defer drv.Close()
 	part := layout.NewPartition(drv, 0, 0, blocks, false)
-	l := lfs.New(k, "fsck", part, lfs.Config{})
+
+	if o.layoutName != "lfs" && o.layoutName != "ffs" {
+		return fail("unknown layout %q", o.layoutName)
+	}
+	lay := newLayout(k, "fsck", o.layoutName, part)
+	check := checkFn(lay)
 
 	done := make(chan struct{})
 	k.Go("fsck", func(t sched.Task) {
 		defer close(done)
-		if err := l.Mount(t); err != nil {
+		if o.repair || o.rollforward {
+			rec := lay.(layout.Recoverer)
+			st, err := rec.Recover(t)
+			vr.Repairs = append(vr.Repairs, st.Repairs...)
+			if st.RolledSegments > 0 || st.DataBlocks > 0 || st.InodeRecords > 0 {
+				vr.Repairs = append(vr.Repairs, fmt.Sprintf(
+					"rolled forward %d segments: %d data blocks, %d inode records, %d orphans",
+					st.RolledSegments, st.DataBlocks, st.InodeRecords, st.OrphanBlocks))
+			}
+			if err != nil {
+				vr.Errors = append(vr.Errors, fmt.Sprintf("recover: %v", err))
+				fatal = true
+				return
+			}
+		} else if err := lay.Mount(t); err != nil {
 			vr.Errors = append(vr.Errors, fmt.Sprintf("mount: %v", err))
 			fatal = true
 			return
 		}
-		vr.FreeBlocks = l.FreeBlocks()
-		for _, e := range l.Check(t) {
+		vr.FreeBlocks = lay.FreeBlocks()
+		for _, e := range check(t) {
 			vr.Errors = append(vr.Errors, e.Error())
 		}
 		if wantLabel {
-			n, pl, sw, found, err := volume.ReadLabel(t, l)
+			n, pl, sw, found, err := volume.ReadLabel(t, lay)
 			if err != nil {
 				vr.Errors = append(vr.Errors, fmt.Sprintf("array label: %v", err))
 			} else if found {
@@ -125,47 +320,51 @@ func checkVolume(k *sched.RKernel, path string, wantLabel bool, rep *report) (vo
 	return vr, fatal
 }
 
-// emit prints the report and exits: 0 clean, 1 inconsistencies
-// found, 2 an image could not be checked at all.
-func emit(rep *report, jsonOut, verbose, fatal bool) {
+// emit prints the report and returns the exit code: 0 clean, 1
+// inconsistencies found, 2 an image could not be checked at all.
+func emit(rep *report, o options, stdout, stderr io.Writer, fatal bool) int {
 	if rep.Label != nil && rep.Label.Volumes != len(rep.Volumes) {
 		rep.Clean = false
 		rep.ErrorText = fmt.Sprintf("array label says %d volumes, checked %d",
 			rep.Label.Volumes, len(rep.Volumes))
 	}
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+	if o.jsonOut {
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, "fsck:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "fsck:", err)
+			return 2
 		}
 	} else {
 		for _, v := range rep.Volumes {
-			if verbose {
-				fmt.Printf("%s: %d blocks, %d free\n", v.Image, v.Blocks, v.FreeBlocks)
+			if o.verbose {
+				fmt.Fprintf(stdout, "%s: %d blocks, %d free\n", v.Image, v.Blocks, v.FreeBlocks)
+			}
+			for _, r := range v.Repairs {
+				fmt.Fprintf(stdout, "%s: repaired: %s\n", v.Image, r)
 			}
 			for _, e := range v.Errors {
-				fmt.Println(e)
+				fmt.Fprintln(stdout, e)
 			}
 			if len(v.Errors) > 0 {
-				fmt.Printf("%s: %d inconsistencies\n", v.Image, len(v.Errors))
+				fmt.Fprintf(stdout, "%s: %d inconsistencies\n", v.Image, len(v.Errors))
 			} else {
-				fmt.Printf("%s: clean\n", v.Image)
+				fmt.Fprintf(stdout, "%s: clean\n", v.Image)
 			}
 		}
 		if rep.Label != nil {
-			fmt.Printf("array label: %d volumes, %s placement, stripe %d blocks\n",
+			fmt.Fprintf(stdout, "array label: %d volumes, %s placement, stripe %d blocks\n",
 				rep.Label.Volumes, rep.Label.Placement, rep.Label.StripeBlocks)
 		}
 		if rep.ErrorText != "" {
-			fmt.Println("fsck:", rep.ErrorText)
+			fmt.Fprintln(stdout, "fsck:", rep.ErrorText)
 		}
 	}
 	if fatal {
-		os.Exit(2)
+		return 2
 	}
 	if !rep.Clean {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/pfs"
+	"repro/internal/sched"
+)
+
+// mkImage builds a PFS image (set) in dir and returns its path. The
+// shutdown mode decides what fsck will find: "close" syncs
+// everything, "crash" pulls the power with dirty state outstanding.
+func mkImage(t *testing.T, dir, layout string, volumes int, shutdown string) string {
+	t.Helper()
+	path := filepath.Join(dir, "img")
+	flush := cache.UPS()
+	if shutdown == "crash" && layout == "lfs" {
+		// A tiny NVRAM bound forces flushes into the log without a
+		// checkpoint — the state only -rollforward can recover.
+		flush = cache.NVRAMWhole(4)
+	}
+	srv, err := pfs.Open(pfs.Config{
+		Path:        path,
+		Blocks:      2048,
+		Volumes:     volumes,
+		Layout:      layout,
+		SegBlocks:   32,
+		CacheBlocks: 96,
+		Flush:       flush,
+	})
+	if err != nil {
+		t.Fatalf("pfs.Open: %v", err)
+	}
+	err = srv.Do(func(tk sched.Task) error {
+		v := srv.Vol
+		h, err := v.Create(tk, "/a", core.TypeRegular)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, core.BlockSize)
+		for i := range buf {
+			buf[i] = 0x3C
+		}
+		for b := 0; b < 6; b++ {
+			if err := v.WriteAt(tk, h, int64(b)*core.BlockSize, buf, core.BlockSize); err != nil {
+				return err
+			}
+		}
+		if shutdown == "crash" && layout == "lfs" {
+			// Checkpoint the baseline, then overwrite: the NVRAM
+			// bound pushes the new versions into the log, where only
+			// roll-forward can find them.
+			if err := v.Fsync(tk, h); err != nil {
+				return err
+			}
+			for i := range buf {
+				buf[i] = 0x4D
+			}
+			for b := 0; b < 6; b++ {
+				if err := v.WriteAt(tk, h, int64(b)*core.BlockSize, buf, core.BlockSize); err != nil {
+					return err
+				}
+			}
+		}
+		return v.Close(tk, h)
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	if shutdown == "crash" {
+		srv.Crash()
+	} else if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+// TestExitCodeTable is the golden table: every (image state, flags)
+// row must produce its documented exit code and output.
+func TestExitCodeTable(t *testing.T) {
+	cleanLFS := mkImage(t, t.TempDir(), "lfs", 1, "close")
+	crashedLFS := mkImage(t, t.TempDir(), "lfs", 1, "crash")
+	crashedFFS := mkImage(t, t.TempDir(), "ffs", 1, "crash")
+	array3 := mkImage(t, t.TempDir(), "lfs", 3, "close")
+	garbage := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(garbage, make([]byte, 1<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := []struct {
+		name string
+		args []string
+		want int
+		grep string
+	}{
+		{"clean-lfs", []string{"-image", cleanLFS}, 0, "clean"},
+		{"missing-image", []string{"-image", filepath.Join(t.TempDir(), "nope")}, 2, ""},
+		{"garbage-image", []string{"-image", garbage}, 2, "mount:"},
+		{"crashed-ffs-dirty", []string{"-image", crashedFFS, "-layout", "ffs"}, 1, "inconsistencies"},
+		{"crashed-ffs-repaired", []string{"-image", crashedFFS, "-layout", "ffs", "-repair"}, 0, "repaired"},
+		{"crashed-lfs-rollforward", []string{"-image", crashedLFS, "-rollforward"}, 0, "rolled forward"},
+		{"clean-array", []string{"-image", array3, "-volumes", "3"}, 0, "array label: 3 volumes"},
+		{"array-rollforward", []string{"-image", array3, "-volumes", "3", "-rollforward"}, 0, "array label: 3 volumes"},
+		{"array-width-mismatch", []string{"-image", array3, "-volumes", "2"}, 1, "label says 3 volumes, checked 2"},
+		{"repair-on-lfs-misuse", []string{"-image", cleanLFS, "-repair"}, 2, ""},
+		{"rollforward-on-ffs-misuse", []string{"-image", crashedFFS, "-layout", "ffs", "-rollforward"}, 2, ""},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			got := run(row.args, &out, &errb)
+			if got != row.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", got, row.want, out.String(), errb.String())
+			}
+			if row.grep != "" && !strings.Contains(out.String(), row.grep) {
+				t.Fatalf("output lacks %q:\n%s", row.grep, out.String())
+			}
+		})
+	}
+
+	// Repair converges: the repaired FFS image now checks clean
+	// without flags, and repeated rollforward stays clean.
+	var out bytes.Buffer
+	if got := run([]string{"-image", crashedFFS, "-layout", "ffs"}, &out, &out); got != 0 {
+		t.Fatalf("ffs image dirty again after repair (exit %d):\n%s", got, out.String())
+	}
+	out.Reset()
+	if got := run([]string{"-image", crashedLFS}, &out, &out); got != 0 {
+		t.Fatalf("lfs image dirty after rollforward (exit %d):\n%s", got, out.String())
+	}
+}
+
+// TestJSONReport pins the machine-readable shape.
+func TestJSONReport(t *testing.T) {
+	img := mkImage(t, t.TempDir(), "lfs", 1, "close")
+	var out, errb bytes.Buffer
+	if got := run([]string{"-image", img, "-json"}, &out, &errb); got != 0 {
+		t.Fatalf("exit %d: %s", got, errb.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if !rep.Clean || len(rep.Volumes) != 1 || rep.Volumes[0].Layout != "lfs" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}

@@ -36,6 +36,10 @@ type Block struct {
 	// Flushing marks a block the flusher currently writes out;
 	// writers wait so the data stays stable during the I/O.
 	Flushing bool
+	// Writing counts tasks mutating Data in place (BeginWrite ..
+	// MarkDirty); the flusher skips such blocks so it never copies a
+	// half-updated frame.
+	Writing int
 	// NoCache blocks (multimedia drop-behind) go to the free list
 	// as soon as they are released.
 	NoCache bool

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -36,6 +37,12 @@ type FlushConfig struct {
 	// is unlimited. The NVRAM experiments set it to the NVRAM size,
 	// modeling "dirty data may only reside in NVRAM".
 	MaxDirtyBlocks int
+	// Persistent marks policies whose dirty data survives a power
+	// cut: the UPS protects the whole memory, the NVRAM policies keep
+	// every dirty block inside the NVRAM (MaxDirtyBlocks enforces the
+	// residency). Cache.Crash returns those blocks for replay at
+	// remount; with Persistent false they are lost with the power.
+	Persistent bool
 }
 
 // WriteDelay is the baseline policy: dirty data is written after 30
@@ -51,19 +58,20 @@ func WriteDelay() FlushConfig {
 // out of clean blocks; then the oldest dirty block is flushed (the
 // paper's "naive" flush).
 func UPS() FlushConfig {
-	return FlushConfig{Name: "ups"}
+	return FlushConfig{Name: "ups", Persistent: true}
 }
 
 // NVRAMWhole allows nvblocks dirty blocks (the NVRAM buffer) and
 // flushes the whole file of the oldest dirty block when full.
 func NVRAMWhole(nvblocks int) FlushConfig {
-	return FlushConfig{Name: "nvram-whole", MaxDirtyBlocks: nvblocks, WholeFile: true}
+	return FlushConfig{Name: "nvram-whole", MaxDirtyBlocks: nvblocks, WholeFile: true,
+		Persistent: true}
 }
 
 // NVRAMPartial allows nvblocks dirty blocks and flushes only the
 // oldest dirty block when full.
 func NVRAMPartial(nvblocks int) FlushConfig {
-	return FlushConfig{Name: "nvram-partial", MaxDirtyBlocks: nvblocks}
+	return FlushConfig{Name: "nvram-partial", MaxDirtyBlocks: nvblocks, Persistent: true}
 }
 
 // Config sizes and configures a cache.
@@ -142,7 +150,19 @@ type Cache struct {
 	// high-water stat): shard mutexes cover only their own counts.
 	dirtyMu    sync.Mutex
 	dirtyTotal int
+
+	// off marks a power-cut cache: the flush machinery stops issuing
+	// I/O (it would only fail against the cut device stack) and
+	// waiters park instead of re-triggering flushes. Set by PowerOff;
+	// never set in normal operation.
+	off atomic.Bool
 }
+
+// PowerOff freezes the cache at a simulated power cut: no further
+// flush jobs are issued and blocked writers park quietly. Call it
+// when the fault plan's cut trips (or from the crash path) — the
+// dirty state stays exactly as the cut left it for Crash to capture.
+func (c *Cache) PowerOff() { c.off.Store(true) }
 
 // shard is one lock-striped unit of the cache.
 type shard struct {
@@ -495,16 +515,47 @@ func (c *Cache) Release(t sched.Task, b *Block) {
 	}
 }
 
+// BeginWrite prepares a pinned block for an in-place mutation of its
+// Data: it waits out any in-flight flush of the block and marks it
+// write-busy, so the flusher never copies a half-updated frame. End
+// the mutation with MarkDirty. Callers that move no real bytes (the
+// simulator) skip it — their blocks have nothing to tear.
+func (c *Cache) BeginWrite(t sched.Task, b *Block) {
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
+	if b.Pins <= 0 {
+		panic("cache: BeginWrite on unpinned block " + b.Key.String())
+	}
+	for b.Flushing {
+		sh.cleaned.Wait(t, sh.mu)
+	}
+	b.Writing++
+}
+
 // MarkDirty moves a pinned block to the dirty set, honoring the
 // policy's dirty-block bound: when the NVRAM buffer is full the
 // caller waits here until the flusher drains it — the paper's
-// "writes are waiting for the NVRAM to drain" bottleneck.
+// "writes are waiting for the NVRAM to drain" bottleneck. It also
+// ends a BeginWrite reservation: the new contents are published to
+// the flusher.
 func (c *Cache) MarkDirty(t sched.Task, b *Block) {
 	sh := c.shardOf(b.Key)
 	sh.mu.Lock(t)
 	defer sh.mu.Unlock(t)
 	if b.Pins <= 0 {
 		panic("cache: MarkDirty on unpinned block")
+	}
+	if b.Writing > 0 {
+		b.Writing--
+		if b.Writing == 0 {
+			// Flush pickers and the crash snapshot wait on cleaned for
+			// write-busy blocks to settle. Broadcast NOW, not on
+			// return: the dirty-bound loop below can park this task
+			// indefinitely (forever, after a power cut), and the
+			// crash snapshot must not wait behind it.
+			sh.cleaned.Broadcast()
+		}
 	}
 	for b.Flushing {
 		// Data must stay stable while the flusher writes it.
@@ -515,7 +566,9 @@ func (c *Cache) MarkDirty(t sched.Task, b *Block) {
 	}
 	for sh.maxDirty > 0 && sh.dirtyCount >= sh.maxDirty {
 		c.st.NVRAMWaits.Inc()
-		sh.flushOldestLocked()
+		if !c.off.Load() {
+			sh.flushOldestLocked()
+		}
 		sh.cleaned.Wait(t, sh.mu)
 	}
 	b.Dirty = true
@@ -552,16 +605,19 @@ func (sh *shard) allocLocked(t sched.Task) *Block {
 		if sh.dirtyCount == 0 && sh.flushing == 0 {
 			panic("cache: shard exhausted — every block pinned or busy; cache too small (or too many shards) for the working set")
 		}
-		sh.flushOldestLocked()
+		if !sh.c.off.Load() {
+			sh.flushOldestLocked()
+		}
 		sh.cleaned.Wait(t, sh.mu)
 	}
 }
 
 // flushOldestLocked enqueues the oldest dirty, not-yet-flushing
-// block (whole file or single block per policy).
+// block (whole file or single block per policy). Write-busy blocks
+// are skipped — their contents are mid-update.
 func (sh *shard) flushOldestLocked() {
 	for b := sh.dirty.head; b != nil; b = b.next {
-		if !b.Flushing {
+		if !b.Flushing && b.Writing == 0 {
 			sh.enqueueFlushLocked(b)
 			return
 		}
@@ -578,7 +634,7 @@ func (sh *shard) enqueueFlushLocked(b *Block) {
 	var job []*Block
 	if sh.c.cfg.Flush.WholeFile {
 		for _, fb := range sh.dirtyByFile[FileKey{b.Key.Vol, b.Key.File}] {
-			if !fb.Flushing {
+			if !fb.Flushing && fb.Writing == 0 {
 				fb.Flushing = true
 				sh.flushing++
 				job = append(job, fb)
@@ -586,6 +642,9 @@ func (sh *shard) enqueueFlushLocked(b *Block) {
 		}
 		sort.Slice(job, func(i, j int) bool { return job[i].Key.Blk < job[j].Key.Blk })
 	} else {
+		if b.Writing > 0 {
+			return
+		}
 		b.Flushing = true
 		sh.flushing++
 		job = []*Block{b}
@@ -656,13 +715,16 @@ func (sh *shard) removeDirtyIndexLocked(b *Block) {
 func (sh *shard) updateDaemon(t sched.Task) {
 	for {
 		t.Sleep(sh.c.cfg.Flush.ScanInterval)
+		if sh.c.off.Load() {
+			continue
+		}
 		sh.mu.Lock(t)
 		now := sh.c.k.Now()
 		for b := sh.dirty.head; b != nil; b = b.next {
 			if now.Sub(b.DirtySince) < sh.c.cfg.Flush.MaxAge {
 				break // list is ordered by DirtySince
 			}
-			if !b.Flushing {
+			if !b.Flushing && b.Writing == 0 {
 				sh.enqueueFlushLocked(b)
 			}
 		}
@@ -673,6 +735,9 @@ func (sh *shard) updateDaemon(t sched.Task) {
 // FlushFile synchronously writes every dirty block of (vol, file),
 // shard by shard.
 func (c *Cache) FlushFile(t sched.Task, vol core.VolumeID, file core.FileID) {
+	if c.off.Load() {
+		return
+	}
 	fk := FileKey{vol, file}
 	for _, sh := range c.shards {
 		sh.mu.Lock(t)
@@ -686,7 +751,7 @@ func (c *Cache) FlushFile(t sched.Task, vol core.VolumeID, file core.FileID) {
 			// rest of the file with it.
 			var pick *Block
 			for _, b := range m {
-				if !b.Flushing && (pick == nil || b.Key.Blk < pick.Key.Blk) {
+				if !b.Flushing && b.Writing == 0 && (pick == nil || b.Key.Blk < pick.Key.Blk) {
 					pick = b
 				}
 			}
@@ -711,6 +776,9 @@ func (sh *shard) fileFlushingLocked(fk FileKey) bool {
 // FlushAll synchronously writes every dirty block (shutdown,
 // checkpoint).
 func (c *Cache) FlushAll(t sched.Task) {
+	if c.off.Load() {
+		return
+	}
 	for _, sh := range c.shards {
 		sh.mu.Lock(t)
 		for sh.dirtyCount > 0 || sh.flushing > 0 {

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestCrashVolatileLosesDirty checks that under write-delay every
+// dirty block dies with the power and the loss window is the age of
+// the oldest dirty block.
+func TestCrashVolatileLosesDirty(t *testing.T) {
+	k, c, _ := newTestCache(1, 64, FlushConfig{Name: "writedelay", ScanInterval: time.Hour,
+		MaxAge: time.Hour, WholeFile: true})
+	run(t, k, func(tk sched.Task) {
+		fill(tk, c, 7, 3)
+		tk.Sleep(10 * time.Second)
+		fill(tk, c, 8, 2)
+		rep := c.Crash(tk)
+		if rep.Persistent {
+			t.Error("write-delay reported persistent")
+		}
+		if len(rep.Survivors) != 0 {
+			t.Errorf("write-delay crash kept %d survivors", len(rep.Survivors))
+		}
+		if rep.LostBlocks != 5 {
+			t.Errorf("LostBlocks = %d, want 5", rep.LostBlocks)
+		}
+		if rep.LossWindow != 10*time.Second {
+			t.Errorf("LossWindow = %v, want 10s (age of oldest dirty block)", rep.LossWindow)
+		}
+	})
+}
+
+// TestCrashPersistentKeepsDirty checks UPS and NVRAM crashes return
+// every dirty block, in deterministic key order, with data copies.
+func TestCrashPersistentKeepsDirty(t *testing.T) {
+	for _, fc := range []FlushConfig{UPS(), NVRAMWhole(8), NVRAMPartial(8)} {
+		k := sched.NewVirtual(1)
+		st := &fakeStore{k: k}
+		c := New(k, Config{Blocks: 32, Flush: fc}, st) // real cache: data arena
+		c.Start()
+		run(t, k, func(tk sched.Task) {
+			for i := 0; i < 4; i++ {
+				b, hit := c.GetBlock(tk, key(9, core.BlockNo(3-i)))
+				if !hit {
+					for j := range b.Data {
+						b.Data[j] = byte(3 - i)
+					}
+					c.Filled(tk, b, core.BlockSize)
+				}
+				c.MarkDirty(tk, b)
+				c.Release(tk, b)
+			}
+			rep := c.Crash(tk)
+			if !rep.Persistent {
+				t.Fatalf("%s: not persistent", fc.Name)
+			}
+			if rep.LostBlocks != 0 || rep.LossWindow != 0 {
+				t.Errorf("%s: lost %d blocks, window %v", fc.Name, rep.LostBlocks, rep.LossWindow)
+			}
+			if len(rep.Survivors) != 4 {
+				t.Fatalf("%s: %d survivors, want 4", fc.Name, len(rep.Survivors))
+			}
+			for i, s := range rep.Survivors {
+				if s.Key.Blk != core.BlockNo(i) {
+					t.Fatalf("%s: survivor %d is block %d, want sorted order", fc.Name, i, s.Key.Blk)
+				}
+				if s.Data[0] != byte(i) {
+					t.Fatalf("%s: survivor %d carries wrong data", fc.Name, i)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashSeesMidFlushBlocks checks a block whose flush I/O was in
+// flight at the cut still counts as dirty: the write died with the
+// power, so it must be in the surviving set.
+func TestCrashSeesMidFlushBlocks(t *testing.T) {
+	k := sched.NewVirtual(1)
+	st := &fakeStore{k: k, delay: time.Second}
+	c := New(k, Config{Blocks: 16, Flush: UPS(), Simulated: true}, st)
+	c.Start()
+	run(t, k, func(tk sched.Task) {
+		fill(tk, c, 5, 2)
+		// Kick a whole-file flush and crash while it is in flight.
+		c.shards[0].mu.Lock(tk)
+		c.shards[0].flushOldestLocked()
+		c.shards[0].mu.Unlock(tk)
+		tk.Sleep(10 * time.Millisecond) // flusher now sleeping in FlushBlocks
+		rep := c.Crash(tk)
+		if len(rep.Survivors) != 2 {
+			t.Fatalf("crash during flush kept %d survivors, want 2", len(rep.Survivors))
+		}
+	})
+}

@@ -2,6 +2,8 @@ package device
 
 import (
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +30,12 @@ type Driver interface {
 	CapacityBlocks() int64
 	// DriverStats exposes the driver's statistics plug-in.
 	DriverStats() *DriverStats
+	// SetInjector installs (nil clears) the fault interceptor
+	// consulted at the hardware boundary; see Interceptor.
+	SetInjector(ij Interceptor)
+	// Close releases the driver's backing resources (the image file
+	// of a file-backed driver). The driver must be idle.
+	Close() error
 }
 
 // DriverStats is the per-driver statistics plug-in: I/O counts,
@@ -86,6 +94,11 @@ type driver struct {
 	headLBA int64
 	st      *DriverStats
 	closed  bool
+
+	// ijMu guards the injector pointer with a plain mutex: harnesses
+	// install and clear plans from outside any kernel task.
+	ijMu sync.Mutex
+	ij   Interceptor
 }
 
 func newDriver(k sched.Kernel, name string, q Scheduler, be backend) *driver {
@@ -107,6 +120,52 @@ func (d *driver) Name() string { return d.name }
 
 // DriverStats returns the statistics plug-in.
 func (d *driver) DriverStats() *DriverStats { return d.st }
+
+// SetInjector installs the fault interceptor (nil = none).
+func (d *driver) SetInjector(ij Interceptor) {
+	d.ijMu.Lock()
+	d.ij = ij
+	d.ijMu.Unlock()
+}
+
+func (d *driver) injector() Interceptor {
+	d.ijMu.Lock()
+	defer d.ijMu.Unlock()
+	return d.ij
+}
+
+// Close releases the backing resources of back-ends that hold any
+// (the image file); in-memory and simulated back-ends are no-ops.
+func (d *driver) Close() error {
+	if c, ok := d.be.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// perform runs one request against the hardware, routing it through
+// the fault seam first: an interceptor may fail it outright, let a
+// prefix of a write through (torn write), or — after a power cut —
+// swallow it entirely.
+func (d *driver) perform(t sched.Task, r *Request) {
+	ij := d.injector()
+	if ij == nil {
+		d.be.perform(t, r)
+		return
+	}
+	dec := ij.Intercept(r)
+	if dec.Err == nil {
+		d.be.perform(t, r)
+		return
+	}
+	if r.Op == OpWrite && dec.TornBlocks > 0 && dec.TornBlocks < r.Blocks {
+		torn := *r
+		torn.Blocks = dec.TornBlocks
+		torn.done = nil
+		d.be.perform(t, &torn)
+	}
+	r.Err = dec.Err
+}
 
 // CapacityBlocks returns the backing capacity.
 func (d *driver) CapacityBlocks() int64 { return d.be.capacityBlocks() }
@@ -157,7 +216,7 @@ func (d *driver) workerLoop(t sched.Task) {
 		r.Started = d.k.Now()
 		d.headLBA = r.Addr.LBA
 		d.st.WaitMS.Observe(float64(r.Started.Sub(r.Enqueued)) / 1e6)
-		d.be.perform(t, r)
+		d.perform(t, r)
 		r.Completed = d.k.Now()
 		d.st.ServiceMS.Observe(float64(r.Completed.Sub(r.Started)) / 1e6)
 		if r.Op == OpRead {

@@ -1,0 +1,210 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// This file is the storage stack's fault/persistence seam. The
+// driver engine consults an Interceptor at the exact point where a
+// request would reach the hardware — after queueing and scheduling,
+// before the bus transfer / disk mechanism / backing file — so one
+// seam covers the simulated bus+disk stack and both real back-ends,
+// and everything above the driver (volume, cache, layouts) runs
+// unchanged over an injectable stack.
+
+// Injected fault errors.
+var (
+	// ErrInjected is a transient injected I/O failure.
+	ErrInjected = errors.New("device: injected I/O error")
+	// ErrTornWrite is a write that reached the media only partially.
+	ErrTornWrite = errors.New("device: torn write")
+	// ErrPowerCut means the (simulated) machine lost power: the
+	// request, and every request after it, never reaches the media.
+	ErrPowerCut = errors.New("device: power cut")
+)
+
+// Decision is an interceptor's verdict on one request.
+type Decision struct {
+	// Err, when non-nil, fails the request. With a nil Err the
+	// request proceeds to the hardware untouched.
+	Err error
+	// TornBlocks, with a non-nil Err on a write, is the prefix of the
+	// request that still reaches the media before the failure — the
+	// torn-write model. Zero means nothing was written.
+	TornBlocks int
+}
+
+// Interceptor observes every request at the driver/hardware boundary
+// and may fail, tear or swallow it. Implementations must be safe for
+// concurrent use: the real kernel runs one worker task per driver.
+type Interceptor interface {
+	Intercept(r *Request) Decision
+}
+
+// FaultConfig parameterizes a FaultPlan.
+type FaultConfig struct {
+	// Seed drives the plan's private random source (independent of
+	// the kernel's, so installing a plan with zero rates leaves a
+	// simulation's schedule untouched).
+	Seed int64
+	// ReadErrRate / WriteErrRate are per-request failure
+	// probabilities (0..1).
+	ReadErrRate  float64
+	WriteErrRate float64
+	// TornRate is the probability that a multi-block write is torn:
+	// a random non-empty prefix reaches the media, then the request
+	// fails with ErrTornWrite.
+	TornRate float64
+	// CutAfterIO, when positive, trips a power cut at the Nth
+	// intercepted I/O (1-based): that request and everything after
+	// it fail with ErrPowerCut and never reach the media.
+	CutAfterIO int64
+	// CutTearsWrite tears the cut request instead of swallowing it
+	// whole when it is a multi-block write — the torn final segment
+	// or checkpoint a real power cut leaves behind.
+	CutTearsWrite bool
+}
+
+// FaultPlan is the standard Interceptor: I/O error rates, torn
+// writes, and a power cut that freezes the whole stack at an
+// arbitrary I/O. One plan is shared by every driver of a system so
+// the cut is atomic across an array: the global I/O counter orders
+// requests across members, and once it trips nothing anywhere
+// reaches the media.
+type FaultPlan struct {
+	mu    sync.Mutex
+	cfg   FaultConfig
+	rng   *rand.Rand
+	ios   int64
+	cut   bool
+	cutIO int64
+	onCut []func()
+}
+
+// NewFaultPlan builds a plan from cfg.
+func NewFaultPlan(cfg FaultConfig) *FaultPlan {
+	return &FaultPlan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Intercept implements Interceptor.
+func (p *FaultPlan) Intercept(r *Request) Decision {
+	p.mu.Lock()
+	if p.cut {
+		p.mu.Unlock()
+		return Decision{Err: ErrPowerCut}
+	}
+	p.ios++
+	if p.cfg.CutAfterIO > 0 && p.ios >= p.cfg.CutAfterIO {
+		p.cutIO = p.ios
+		dec := Decision{Err: ErrPowerCut}
+		if p.cfg.CutTearsWrite && r.Op == OpWrite && r.Blocks > 1 {
+			dec.TornBlocks = 1 + p.rng.Intn(r.Blocks-1)
+		}
+		fns := p.cutLocked()
+		p.mu.Unlock()
+		for _, fn := range fns {
+			fn()
+		}
+		return dec
+	}
+	rate := p.cfg.ReadErrRate
+	if r.Op == OpWrite {
+		rate = p.cfg.WriteErrRate
+	}
+	if rate > 0 && p.rng.Float64() < rate {
+		p.mu.Unlock()
+		return Decision{Err: ErrInjected}
+	}
+	if r.Op == OpWrite && r.Blocks > 1 && p.cfg.TornRate > 0 && p.rng.Float64() < p.cfg.TornRate {
+		dec := Decision{Err: ErrTornWrite, TornBlocks: 1 + p.rng.Intn(r.Blocks-1)}
+		p.mu.Unlock()
+		return dec
+	}
+	p.mu.Unlock()
+	return Decision{}
+}
+
+// cutLocked trips the cut and returns the callbacks to run (with the
+// lock released, so a callback may inspect the plan). The trigger is
+// one-shot: Restore turns the power back on without re-tripping.
+func (p *FaultPlan) cutLocked() []func() {
+	p.cut = true
+	p.cfg.CutAfterIO = 0
+	fns := p.onCut
+	p.onCut = nil
+	return fns
+}
+
+// Cut trips the power cut now (the time-based crash path). Pending
+// and future requests fail with ErrPowerCut.
+func (p *FaultPlan) Cut() {
+	p.mu.Lock()
+	if p.cut {
+		p.mu.Unlock()
+		return
+	}
+	p.cutIO = p.ios
+	fns := p.cutLocked()
+	p.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Restore turns the power back on: requests flow to the media again.
+// Simulated recovery reuses the crashed stack this way; a real
+// recovery would reopen the devices instead.
+func (p *FaultPlan) Restore() {
+	p.mu.Lock()
+	p.cut = false
+	p.mu.Unlock()
+}
+
+// OnCut registers fn to run once at the instant the cut trips (from
+// the task performing the fatal I/O). A plan already cut runs fn
+// immediately.
+func (p *FaultPlan) OnCut(fn func()) {
+	p.mu.Lock()
+	if p.cut {
+		p.mu.Unlock()
+		fn()
+		return
+	}
+	p.onCut = append(p.onCut, fn)
+	p.mu.Unlock()
+}
+
+// HasCut reports whether the power cut has tripped.
+func (p *FaultPlan) HasCut() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cut
+}
+
+// IOs returns the number of requests intercepted so far.
+func (p *FaultPlan) IOs() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ios
+}
+
+// CutIO returns the ordinal of the request that tripped the cut
+// (0 when it has not tripped).
+func (p *FaultPlan) CutIO() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.cut {
+		return 0
+	}
+	return p.cutIO
+}
+
+func (p *FaultPlan) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("faultplan(ios=%d cut=%v rerr=%g werr=%g torn=%g)",
+		p.ios, p.cut, p.cfg.ReadErrRate, p.cfg.WriteErrRate, p.cfg.TornRate)
+}

@@ -18,6 +18,10 @@ type fileBackend struct {
 
 func (b *fileBackend) capacityBlocks() int64 { return b.blocks }
 
+// Close releases the image file (crash harnesses cycle many driver
+// incarnations per process).
+func (b *fileBackend) Close() error { return b.f.Close() }
+
 func (b *fileBackend) perform(t sched.Task, r *Request) {
 	want := r.Blocks * core.BlockSize
 	if len(r.Data) < want {

@@ -426,6 +426,13 @@ func (d *Disk) readAhead(t sched.Task) {
 // BusyTime returns the total mechanism-busy time.
 func (d *Disk) BusyTime() time.Duration { return d.busyTotal }
 
+// VolatileBytes reports the immediate-reported write bytes sitting in
+// the drive's volatile cache, accepted ("done") but not yet on the
+// media. A power cut loses them even though the host saw the write
+// complete — the reliability study reports this exposure separately,
+// since no host-side flush policy can protect it.
+func (d *Disk) VolatileBytes() int64 { return d.dirtyBytes }
+
 // Stats registers the drive's statistics sources.
 func (d *Disk) Stats(set *stats.Set) {
 	set.Add(d.reads)

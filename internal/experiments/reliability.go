@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/patsy"
+)
+
+// This file is the reliability study the crash seam opens up: replay
+// a trace into a power cut under every write policy × layout × array
+// width, and measure what the paper's comparison only argued — the
+// data-loss window of the volatile write-delay policy, the zero loss
+// of the UPS/NVRAM policies, and the virtual-time cost of recovery
+// (remount scan + NVRAM replay + checkpoint). Every cell is one
+// deterministic simulation on the parallel engine; the emitted JSON
+// (BENCH_4.json) is machine-independent.
+
+// ReliabilityCell is one (policy, layout, width) crash measurement.
+type ReliabilityCell struct {
+	Policy  string `json:"policy"`
+	Layout  string `json:"layout"`
+	Volumes int    `json:"volumes"`
+
+	Persistent bool `json:"persistent"`
+	// Crash exposure.
+	LostBlocks        int     `json:"lost_blocks"`
+	LossWindowMS      float64 `json:"loss_window_ms"`
+	SurvivorBlocks    int     `json:"survivor_blocks"`
+	DiskVolatileBytes int64   `json:"disk_volatile_bytes"`
+	// Recovery.
+	Recovered      bool    `json:"recovered"`
+	RecoveryMS     float64 `json:"recovery_ms"`
+	ReplayedBlocks int     `json:"replayed_blocks"`
+	DroppedBlocks  int     `json:"dropped_blocks"`
+	// Context.
+	CrashAtMS float64 `json:"crash_at_ms"`
+	Ops       int     `json:"ops"`
+}
+
+// ReliabilityStudy is the full grid plus its provenance.
+type ReliabilityStudy struct {
+	Trace    string            `json:"trace"`
+	Scale    string            `json:"scale"`
+	Seed     int64             `json:"seed"`
+	CrashAt  string            `json:"crash_at"`
+	Layouts  []string          `json:"layouts"`
+	Volumes  []int             `json:"volumes"`
+	Cells    []ReliabilityCell `json:"cells"`
+	Note     string            `json:"note,omitempty"`
+	Kind     string            `json:"kind"`
+	Revision int               `json:"revision"`
+}
+
+// RunReliabilityStudy replays traceName into a power cut at 2/3 of
+// the trace duration for every write policy × layout × width, with
+// recovery played and timed inside each simulation. One engine
+// matrix; deterministic per seed at any worker count.
+func RunReliabilityStudy(e *Engine, s Scale, traceName string, seed int64, layouts []string, widths []int) (*ReliabilityStudy, error) {
+	if len(layouts) == 0 {
+		layouts = []string{"lfs", "ffs"}
+	}
+	if len(widths) == 0 {
+		widths = []int{1, 2}
+	}
+	crashAt := s.Duration * 2 / 3
+	as := ArrayScale(s)
+	var variants []Variant
+	for _, lay := range layouts {
+		for _, w := range widths {
+			lay, w := lay, w
+			variants = append(variants, Variant{
+				Name: fmt.Sprintf("%s-%dvol", lay, w),
+				Mutate: func(cfg *patsy.Config) {
+					cfg.Layout = lay
+					cfg.ArrayVolumes = w
+					cfg.Placement = "striped"
+					cfg.Fault = &device.FaultConfig{Seed: seed}
+					cfg.CrashAt = crashAt
+					cfg.CrashRecover = true
+				},
+			})
+		}
+	}
+	results, err := e.RunMatrix(Matrix{
+		Scale:    as,
+		Traces:   []string{traceName},
+		Variants: variants,
+		Seeds:    []int64{seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	study := &ReliabilityStudy{
+		Trace:    traceName,
+		Scale:    s.Name,
+		Seed:     seed,
+		CrashAt:  crashAt.String(),
+		Layouts:  layouts,
+		Volumes:  widths,
+		Kind:     "reliability",
+		Revision: 4,
+	}
+	for _, r := range results {
+		c := r.Report.Crash
+		if c == nil {
+			return nil, fmt.Errorf("cell %s: no crash info", r.Cell)
+		}
+		parts := strings.SplitN(r.Cell.Variant, "-", 2)
+		width := 0
+		fmt.Sscanf(parts[1], "%dvol", &width)
+		study.Cells = append(study.Cells, ReliabilityCell{
+			Policy:            r.Cell.Policy,
+			Layout:            parts[0],
+			Volumes:           width,
+			Persistent:        c.Persistent,
+			LostBlocks:        c.LostBlocks,
+			LossWindowMS:      float64(c.LossWindow) / 1e6,
+			SurvivorBlocks:    c.SurvivorBlocks,
+			DiskVolatileBytes: c.DiskVolatileBytes,
+			Recovered:         c.Recovered,
+			RecoveryMS:        float64(c.RecoveryTime) / 1e6,
+			ReplayedBlocks:    c.ReplayedBlocks,
+			DroppedBlocks:     c.DroppedBlocks,
+			CrashAtMS:         float64(c.At) / 1e6,
+			Ops:               r.Report.WallOps,
+		})
+	}
+	return study, nil
+}
+
+// ReliabilityTable renders the study for the terminal.
+func ReliabilityTable(st *ReliabilityStudy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Reliability study: trace %s, power cut at %s, recovery measured in virtual time\n",
+		st.Trace, st.CrashAt)
+	fmt.Fprintf(&b, "(lost = dirty blocks volatile memory dropped; window = age of oldest lost write;\n")
+	fmt.Fprintf(&b, " NVRAM/UPS cells must lose nothing; write-delay's window is bounded by the 30s+scan rule)\n\n")
+	fmt.Fprintf(&b, "%-14s %-6s %4s %6s %10s %10s %8s %10s %8s %9s\n",
+		"policy", "layout", "vols", "lost", "window", "survivors", "diskKB", "recovery", "replayed", "dropped")
+	for _, c := range st.Cells {
+		fmt.Fprintf(&b, "%-14s %-6s %4d %6d %9.0fms %10d %8.1f %8.1fms %8d %9d\n",
+			c.Policy, c.Layout, c.Volumes, c.LostBlocks, c.LossWindowMS,
+			c.SurvivorBlocks, float64(c.DiskVolatileBytes)/1024, c.RecoveryMS,
+			c.ReplayedBlocks, c.DroppedBlocks)
+	}
+	return b.String()
+}
+
+// ReliabilityJSON is the committed-artifact form (BENCH_4.json).
+func ReliabilityJSON(st *ReliabilityStudy) ([]byte, error) {
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -258,7 +258,10 @@ func (f *FFS) UpdateInode(t sched.Task, ino *layout.Inode) error {
 	return f.writeInode(t, ino)
 }
 
-// FreeInode releases the inode and all its blocks.
+// FreeInode releases the inode and all its blocks. The on-disk
+// record is cleared synchronously — FFS metadata discipline, and
+// what makes a deletion durable for the table-scan repair path (a
+// lingering record would resurrect the file after a crash).
 func (f *FFS) FreeInode(t sched.Task, id core.FileID) error {
 	f.mu.Lock(t)
 	defer f.mu.Unlock(t)
@@ -278,7 +281,24 @@ func (f *FFS) FreeInode(t sched.Task, id core.FileID) error {
 	f.inoBits[g].clear(int(id) % f.cfg.InodesPerGroup)
 	f.bitsDirty = true
 	delete(f.inodes, id)
-	return nil
+	return f.clearInodeRecord(t, id)
+}
+
+// clearInodeRecord zeroes one slot of the on-disk inode table.
+func (f *FFS) clearInodeRecord(t sched.Task, id core.FileID) error {
+	_, blk, slot := f.inodeLoc(id)
+	var buf []byte
+	if !f.part.Simulated {
+		buf = make([]byte, core.BlockSize)
+		if err := f.part.Read(t, blk, 1, buf); err != nil {
+			return err
+		}
+		for i := slot * layout.InodeSize; i < (slot+1)*layout.InodeSize; i++ {
+			buf[i] = 0
+		}
+	}
+	f.inoWrites.Inc()
+	return f.part.Write(t, blk, 1, buf)
 }
 
 // allocDataLocked finds a free data block, preferring the group of

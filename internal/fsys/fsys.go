@@ -209,7 +209,10 @@ func (fs *FS) SyncAll(t sched.Task) error {
 //	c := cache.New(k, cfg, st)
 //	fs := fsys.New(k, c, mover)
 //	st.Bind(fs)
-type Store struct{ fs *FS }
+type Store struct {
+	fs      *FS
+	durable bool
+}
 
 // NewStore returns an unbound store.
 func NewStore() *Store { return &Store{} }
@@ -217,6 +220,15 @@ func NewStore() *Store { return &Store{} }
 // Bind attaches the front-end (breaks the construction cycle between
 // cache and FS).
 func (s *Store) Bind(fs *FS) { s.fs = fs }
+
+// SetDurable makes every flush job end with the layout's write
+// barrier, so a block the cache counts as flushed is actually on
+// stable storage — required for the NVRAM/UPS safety guarantee (and
+// for the update daemon's 30-second bound to mean anything) on the
+// on-line server. The simulator leaves it off: its flushes stay
+// lazily batched in the open segment, the configuration the paper's
+// latency figures measure.
+func (s *Store) SetDurable(on bool) { s.durable = on }
 
 // FlushBlocks routes one flush job (all blocks of one file) to the
 // owning volume's layout.
@@ -242,7 +254,15 @@ func (s *Store) FlushBlocks(t sched.Task, blocks []*cache.Block) error {
 	for _, b := range blocks {
 		writes = append(writes, layout.BlockWrite{Blk: b.Key.Blk, Data: b.Data, Size: b.Size})
 	}
-	return v.lay.WriteBlocks(t, ino, writes)
+	if err := v.lay.WriteBlocks(t, ino, writes); err != nil {
+		return err
+	}
+	if s.durable {
+		if b, ok := v.lay.(layout.Barrier); ok {
+			return b.WriteBarrier(t)
+		}
+	}
+	return nil
 }
 
 // splitPath normalizes a path into components.

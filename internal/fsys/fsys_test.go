@@ -401,3 +401,5 @@ func (d nullDrv) Do(t sched.Task, r *device.Request) error { return nil }
 func (d nullDrv) QueueLen() int                            { return 0 }
 func (d nullDrv) CapacityBlocks() int64                    { return d.blocks }
 func (d nullDrv) DriverStats() *device.DriverStats         { return nil }
+func (d nullDrv) SetInjector(device.Interceptor)           {}
+func (d nullDrv) Close() error                             { return nil }

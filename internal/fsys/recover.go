@@ -1,0 +1,65 @@
+package fsys
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// ReplayNVRAM writes the dirty blocks that survived a power cut in
+// battery-backed memory (cache.Crash's Survivors) back through the
+// freshly recovered layouts — the remount half of the paper's
+// NVRAM-safety argument: an acknowledged write either reached the
+// log before the cut (roll-forward finds it) or was NVRAM-resident
+// (this replays it).
+//
+// Survivors of files whose metadata never became durable are dropped
+// and counted — data without an inode is unreachable by design; the
+// paper's policies protect data writes, creation durability is the
+// layout's checkpoint discipline.
+//
+// Call it after the volumes are mounted, and Sync afterwards to make
+// the replayed blocks durable.
+func (fs *FS) ReplayNVRAM(t sched.Task, survivors []cache.Survivor) (replayed, dropped int, err error) {
+	for start := 0; start < len(survivors); {
+		end := start
+		key := survivors[start].Key
+		for end < len(survivors) &&
+			survivors[end].Key.Vol == key.Vol && survivors[end].Key.File == key.File {
+			end++
+		}
+		group := survivors[start:end]
+		start = end
+
+		v := fs.vols[key.Vol]
+		if v == nil {
+			dropped += len(group)
+			continue
+		}
+		ino, gerr := v.lay.GetInode(t, key.File)
+		if gerr != nil {
+			dropped += len(group)
+			continue
+		}
+		writes := make([]layout.BlockWrite, 0, len(group))
+		size := ino.Size
+		for _, s := range group {
+			writes = append(writes, layout.BlockWrite{Blk: s.Key.Blk, Data: s.Data, Size: s.Size})
+			if end := int64(s.Key.Blk)*core.BlockSize + int64(s.Size); end > size {
+				size = end
+			}
+		}
+		// Grow the size first so the layout (and a striped array's
+		// home-shadow mirror) persists the extension with the blocks.
+		ino.Size = size
+		if werr := v.lay.WriteBlocks(t, ino, writes); werr != nil {
+			return replayed, dropped, werr
+		}
+		if uerr := v.lay.UpdateInode(t, ino); uerr != nil {
+			return replayed, dropped, uerr
+		}
+		replayed += len(writes)
+	}
+	return replayed, dropped, nil
+}

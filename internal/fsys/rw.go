@@ -95,6 +95,12 @@ func (v *Volume) writeData(t sched.Task, f *File, off int64, data []byte, n int6
 			fs.cache.Filled(t, b, core.BlockSize)
 		}
 		if data != nil && b.Data != nil {
+			if hit {
+				// The block is visible to the flusher: reserve it so
+				// a concurrent flush never copies a half-updated
+				// frame (MarkDirty publishes and releases).
+				fs.cache.BeginWrite(t, b)
+			}
 			fs.mover.Move(b.Data[bo:], data[done:], int(chunk))
 		} else if c := fs.mover.CopyCost(int(chunk)); c > 0 {
 			t.Sleep(time.Duration(c))
@@ -108,7 +114,15 @@ func (v *Volume) writeData(t sched.Task, f *File, off int64, data []byte, n int6
 		done += chunk
 	}
 	if off+n > f.ino.Size {
-		f.ino.Size = off + n
+		if sz, ok := v.lay.(layout.Sizer); ok && !fs.k.Virtual() {
+			// Publish the growth under the layout's lock: on the real
+			// kernel the flusher may be packing this inode right now.
+			// The virtual kernel is cooperative — direct update, and a
+			// schedule identical to the pre-seam simulator.
+			sz.GrowSize(t, f.ino, off+n)
+		} else {
+			f.ino.Size = off + n
+		}
 	}
 	fs.st.BytesWritten.Add(n)
 	return nil

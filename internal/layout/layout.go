@@ -115,3 +115,80 @@ type Layout interface {
 
 // ErrNoPlaceExisting is returned by real layouts for PlaceExisting.
 var ErrNoPlaceExisting = fmt.Errorf("layout: PlaceExisting is a simulator-only operation")
+
+// RecoveryStats summarizes one layout's crash-recovery pass.
+type RecoveryStats struct {
+	// RolledSegments counts post-checkpoint log segments replayed
+	// (LFS roll-forward).
+	RolledSegments int
+	// DataBlocks counts file data blocks recovered past the last
+	// durable state.
+	DataBlocks int
+	// InodeRecords counts inode records recovered from the log.
+	InodeRecords int
+	// OrphanBlocks counts rolled-over blocks whose owning file never
+	// became durable — unrecoverable by design.
+	OrphanBlocks int
+	// TornTail reports that recovery stopped at a torn write (the
+	// power cut landed mid-I/O); everything before it was applied.
+	TornTail bool
+	// Repairs lists human-readable fixes applied (FFS fsck-style
+	// bitmap rebuilds, array shadow repairs).
+	Repairs []string
+}
+
+// Add folds another pass's stats into s (array-wide totals).
+func (s *RecoveryStats) Add(o RecoveryStats) {
+	s.RolledSegments += o.RolledSegments
+	s.DataBlocks += o.DataBlocks
+	s.InodeRecords += o.InodeRecords
+	s.OrphanBlocks += o.OrphanBlocks
+	s.TornTail = s.TornTail || o.TornTail
+	s.Repairs = append(s.Repairs, o.Repairs...)
+}
+
+// Sizer is a layout that publishes a file's logical-size growth
+// under its own lock, so concurrent metadata readers — the LFS inode
+// packer, the array's home-shadow mirror — never race the
+// front-end's size update. The front-end uses it on the real kernel;
+// the virtual kernel is cooperative (one task at a time) and writes
+// the field directly, keeping simulated schedules untouched.
+type Sizer interface {
+	GrowSize(t sched.Task, ino *Inode, size int64)
+}
+
+// Barrier is a layout whose accepted writes may still sit in a
+// volatile staging buffer (the LFS open segment). WriteBarrier
+// pushes them to stable storage without the full checkpoint a Sync
+// pays. The on-line server's cache flusher issues it after every
+// flush job, so "flushed" means durable — the link that makes the
+// NVRAM policies' guarantee hold end to end (a block leaves the
+// battery-backed domain only once the log has it). Layouts that
+// write in place durably (FFS) simply don't implement it.
+type Barrier interface {
+	WriteBarrier(t sched.Task) error
+}
+
+// Recoverer is a layout that can bring a crashed volume to a
+// consistent, mountable state: the LFS rolls the log forward from
+// the newer checkpoint, the FFS rebuilds its allocation bitmaps from
+// the inode table. Recover subsumes Mount — afterwards the layout is
+// mounted, durable and self-consistent.
+type Recoverer interface {
+	Recover(t sched.Task) (RecoveryStats, error)
+}
+
+// InodeEnumerator lists a mounted layout's live inode numbers in
+// ascending order. Array recovery uses it to re-sync the lockstep
+// inode allocators and roll back half-made allocations.
+type InodeEnumerator interface {
+	LiveInodes(t sched.Task) []core.FileID
+}
+
+// AllocCursor is implemented by layouts with a sequential inode
+// allocator (the LFS): array recovery aligns the cursors of all
+// members to the maximum so lockstep allocation resumes.
+type AllocCursor interface {
+	InodeCursor(t sched.Task) uint64
+	SetInodeCursor(t sched.Task, cur uint64)
+}

@@ -202,7 +202,7 @@ func (l *LFS) geometry() {
 	}
 	l.nsegs = nsegs
 	l.dataSlots = l.cfg.SegBlocks - 1
-	if maxSum := (core.BlockSize - 8) / sumEntSize; l.dataSlots > maxSum {
+	if maxSum := (core.BlockSize - sumHeaderSize) / sumEntSize; l.dataSlots > maxSum {
 		panic(fmt.Sprintf("lfs %s: SegBlocks %d needs %d summary entries, block holds %d",
 			l.name, l.cfg.SegBlocks, l.dataSlots, maxSum))
 	}

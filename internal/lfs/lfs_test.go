@@ -459,5 +459,7 @@ func (d *nullDriver) Do(t sched.Task, r *device.Request) error {
 func (d *nullDriver) QueueLen() int                    { return 0 }
 func (d *nullDriver) CapacityBlocks() int64            { return d.blocks }
 func (d *nullDriver) DriverStats() *device.DriverStats { return d.st }
+func (d *nullDriver) SetInjector(device.Interceptor)   {}
+func (d *nullDriver) Close() error                     { return nil }
 
 var _ = fmt.Sprintf

@@ -269,7 +269,9 @@ func (l *LFS) flushSegBuf(t sched.Task) error {
 		return nil
 	}
 	if s.data != nil {
-		l.encodeSummary(s)
+		// The on-disk summary must carry the same seq the usage table
+		// records below: roll-forward dates segments by it.
+		l.encodeSummary(s, l.seq)
 	}
 	var data []byte
 	if s.data != nil {

@@ -20,10 +20,30 @@ const (
 	imapPerChunk = core.BlockSize / imapEntSize
 	// SUT entries are 16 bytes: live (4), seq (4), state (1), pad.
 	sutEntSize = 16
-	// Summary entries are 24 bytes: kind (1), pad (7), file (8),
-	// blk (8).
+	// Summary entries are 24 bytes: kind (1), pad (3), data
+	// checksum (4), file (8), blk (8).
 	sumEntSize = 24
+	// Summary header: magic (4), count (4), log seq (8). The seq
+	// dates the segment against the checkpoints; roll-forward replays
+	// only segments newer than the one it mounted from.
+	sumHeaderSize = 16
 )
+
+// blockSum is the FNV-1a digest recovery uses to detect torn writes:
+// each summary entry checksums its data block, the checkpoint header
+// checksums the whole region.
+func blockSum(data []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return h
+}
 
 // writeSuper writes the superblock (block 0).
 func (l *LFS) writeSuper(t sched.Task) error {
@@ -105,7 +125,11 @@ func (l *LFS) checkpointLocked(t sched.Task) error {
 		}
 	}
 
-	// 2. Header + SUT into the alternate region.
+	// 2. Header + SUT into the alternate region. The header carries a
+	// checksum over the whole region (computed with the field zeroed)
+	// so a torn checkpoint write is detected at mount and the intact
+	// sibling region wins — a crash mid-checkpoint never leaves the
+	// volume without a valid checkpoint.
 	region := l.cpNext
 	l.cpNext ^= 1
 	var data []byte
@@ -128,6 +152,7 @@ func (l *LFS) checkpointLocked(t sched.Task) error {
 			le.PutUint32(data[o+4:], s.seq)
 			data[o+8] = s.state
 		}
+		le.PutUint32(data[4:], blockSum(data))
 	}
 	if err := l.part.Write(t, l.cpBase(region), int(l.cpSize), data); err != nil {
 		return err
@@ -151,6 +176,14 @@ func (l *LFS) readCheckpoint(t sched.Task) error {
 		if le.Uint32(data[0:]) != cpMagic {
 			continue
 		}
+		// A torn region (power cut mid-checkpoint) fails its checksum
+		// and is ignored; the alternate region is always intact.
+		want := le.Uint32(data[4:])
+		le.PutUint32(data[4:], 0)
+		if blockSum(data) != want {
+			continue
+		}
+		le.PutUint32(data[4:], want)
 		if seq := le.Uint64(data[8:]); best < 0 || seq > bestSeq {
 			best, bestSeq, bestData = r, seq, data
 		}
@@ -242,9 +275,12 @@ func (l *LFS) decodeImapChunk(c int, buf []byte) {
 	}
 }
 
-// encodeSummary serializes the open segment's summary into its
-// first block.
-func (l *LFS) encodeSummary(s *segBuf) {
+// encodeSummary serializes the open segment's summary into its first
+// block: header with the log sequence the segment is written under,
+// then one entry per data slot carrying a checksum of the slot's
+// bytes — what lets roll-forward date a segment against a checkpoint
+// and stop at a torn tail.
+func (l *LFS) encodeSummary(s *segBuf, seq uint64) {
 	buf := s.data[:core.BlockSize]
 	for i := range buf {
 		buf[i] = 0
@@ -252,9 +288,11 @@ func (l *LFS) encodeSummary(s *segBuf) {
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], superMagic)
 	le.PutUint32(buf[4:], uint32(len(s.entries)))
+	le.PutUint64(buf[8:], seq)
 	for i, e := range s.entries {
-		o := 8 + i*sumEntSize
+		o := sumHeaderSize + i*sumEntSize
 		buf[o] = e.Kind
+		le.PutUint32(buf[o+4:], blockSum(s.data[(1+i)*core.BlockSize:(2+i)*core.BlockSize]))
 		le.PutUint64(buf[o+8:], uint64(e.File))
 		le.PutUint64(buf[o+16:], uint64(e.Blk))
 	}
@@ -262,28 +300,43 @@ func (l *LFS) encodeSummary(s *segBuf) {
 
 // readSummary reads a segment summary from disk (real remounts).
 func (l *LFS) readSummary(t sched.Task, seg int) ([]sumEntry, error) {
+	out, _, _, err := l.readSummaryFull(t, seg)
+	if err != nil {
+		return nil, err
+	}
+	l.summaries[seg] = out
+	return out, nil
+}
+
+// readSummaryFull reads a summary plus the recovery fields: the log
+// sequence the segment was written under and the per-entry data
+// checksums. It does not cache into l.summaries — roll-forward
+// probes segments it may then reject.
+func (l *LFS) readSummaryFull(t sched.Task, seg int) ([]sumEntry, uint64, []uint32, error) {
 	buf := make([]byte, core.BlockSize)
 	if err := l.part.Read(t, l.segStart(seg), 1, buf); err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
 	le := binary.LittleEndian
 	if le.Uint32(buf[0:]) != superMagic {
-		return nil, fmt.Errorf("lfs %s: segment %d has no summary", l.name, seg)
+		return nil, 0, nil, fmt.Errorf("lfs %s: segment %d has no summary", l.name, seg)
 	}
 	n := int(le.Uint32(buf[4:]))
-	max := (core.BlockSize - 8) / sumEntSize
+	max := (core.BlockSize - sumHeaderSize) / sumEntSize
 	if n > max {
-		return nil, fmt.Errorf("lfs %s: summary of %d entries exceeds block", l.name, n)
+		return nil, 0, nil, fmt.Errorf("lfs %s: summary of %d entries exceeds block", l.name, n)
 	}
+	seq := le.Uint64(buf[8:])
 	out := make([]sumEntry, n)
+	sums := make([]uint32, n)
 	for i := range out {
-		o := 8 + i*sumEntSize
+		o := sumHeaderSize + i*sumEntSize
 		out[i] = sumEntry{
 			Kind: buf[o],
 			File: core.FileID(le.Uint64(buf[o+8:])),
 			Blk:  int64(le.Uint64(buf[o+16:])),
 		}
+		sums[i] = le.Uint32(buf[o+4:])
 	}
-	l.summaries[seg] = out
-	return out, nil
+	return out, seq, sums, nil
 }

@@ -1,0 +1,74 @@
+package patsy
+
+import (
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// crashTask is the simulator's power cut: at Config.CrashAt it halts
+// the replay, trips the fault plan (nothing reaches the media
+// afterwards), freezes the cache, and measures the crash exposure —
+// dirty blocks lost vs. NVRAM-preserved, the loss window, and the
+// bytes sitting in the drives' volatile write caches. With
+// CrashRecover it then plays the recovery inside the same simulation
+// so the study gets deterministic virtual-time recovery costs: every
+// layout's remount/roll-forward scan, the NVRAM replay through the
+// layouts, and the closing checkpoint.
+func (s *System) crashTask(t sched.Task, rep *trace.Replayer) *CrashInfo {
+	t.SleepUntil(sched.Time(s.Cfg.CrashAt))
+	rep.Halt()
+	if s.Fault != nil {
+		s.Fault.Cut()
+	}
+	s.Cache.PowerOff()
+	// Give in-flight operations one simulated second to drain into
+	// their (injected) completions before the state is read.
+	t.Sleep(time.Second)
+
+	cr := s.Cache.Crash(t)
+	info := &CrashInfo{
+		At:             time.Duration(s.K.Now()),
+		Policy:         cr.Policy,
+		Persistent:     cr.Persistent,
+		SurvivorBlocks: len(cr.Survivors),
+		LostBlocks:     cr.LostBlocks,
+		LossWindow:     cr.LossWindow,
+	}
+	for _, d := range s.Disks {
+		info.DiskVolatileBytes += d.VolatileBytes()
+	}
+	if !s.Cfg.CrashRecover {
+		return info
+	}
+
+	// Power restored: recover on the same (simulated) stack. The
+	// in-memory layout state doubles as the disk image, so recovery
+	// here charges the I/O a real remount performs.
+	if s.Fault != nil {
+		s.Fault.Restore()
+	}
+	start := s.K.Now()
+	for _, lay := range s.Layouts {
+		if rec, ok := lay.(layout.Recoverer); ok {
+			if _, err := rec.Recover(t); err != nil {
+				return info
+			}
+		}
+	}
+	replayed, dropped, err := s.FS.ReplayNVRAM(t, cr.Survivors)
+	info.ReplayedBlocks, info.DroppedBlocks = replayed, dropped
+	if err != nil {
+		return info
+	}
+	for _, lay := range s.Layouts {
+		if err := lay.Sync(t); err != nil {
+			return info
+		}
+	}
+	info.Recovered = true
+	info.RecoveryTime = s.K.Now().Sub(start)
+	return info
+}

@@ -91,6 +91,43 @@ type Config struct {
 	Placement string
 	// StripeBlocks is the striped placement's chunk width.
 	StripeBlocks int
+
+	// Fault, when set, installs one shared fault plan on every
+	// driver — the injectable device stack. Nil leaves the stack
+	// untouched (the byte-identical default).
+	Fault *device.FaultConfig
+	// CrashAt, when positive, cuts the power at that instant of
+	// virtual time: the replay halts, the fault plan trips, the
+	// cache's crash state is captured into Report.Crash — and, with
+	// CrashRecover set, recovery runs inside the same simulation
+	// (remount scan, NVRAM replay, checkpoint) so its virtual-time
+	// cost is measured. Zero disables all of it.
+	CrashAt time.Duration
+	// CrashRecover runs (and times) recovery after the cut.
+	CrashRecover bool
+}
+
+// CrashInfo is what a crash-instrumented run observed at (and after)
+// the power cut.
+type CrashInfo struct {
+	At         time.Duration `json:"at"`
+	Policy     string        `json:"policy"`
+	Persistent bool          `json:"persistent"`
+	// SurvivorBlocks counts dirty blocks the policy's battery-backed
+	// domain preserved; LostBlocks the ones volatile memory lost.
+	SurvivorBlocks int `json:"survivor_blocks"`
+	LostBlocks     int `json:"lost_blocks"`
+	// LossWindow is the age of the oldest lost dirty block — how far
+	// back acknowledged writes are missing.
+	LossWindow time.Duration `json:"loss_window"`
+	// DiskVolatileBytes counts immediate-reported bytes still in the
+	// drives' volatile caches — exposure no host policy can remove.
+	DiskVolatileBytes int64 `json:"disk_volatile_bytes"`
+	// Recovery timing (CrashRecover only).
+	Recovered      bool          `json:"recovered"`
+	RecoveryTime   time.Duration `json:"recovery_time"`
+	ReplayedBlocks int           `json:"replayed_blocks"`
+	DroppedBlocks  int           `json:"dropped_blocks"`
 }
 
 // DefaultConfig is the paper's Sprite replay setup with the flush
@@ -126,7 +163,8 @@ type System struct {
 	Disks   []*disk.Disk
 	Drivers []device.Driver
 	Layouts []layout.Layout
-	Array   *volume.Array // non-nil in array mode
+	Array   *volume.Array     // non-nil in array mode
+	Fault   *device.FaultPlan // non-nil when Config.Fault is set
 	Set     *stats.Set
 }
 
@@ -190,6 +228,12 @@ func Build(cfg Config) (*System, error) {
 			drv := device.NewSimDriver(k, name+".drv", dd, bb, q)
 			drv.DriverStats().Register(sys.Set)
 			sys.Drivers = append(sys.Drivers, drv)
+		}
+	}
+	if cfg.Fault != nil {
+		sys.Fault = device.NewFaultPlan(*cfg.Fault)
+		for _, drv := range sys.Drivers {
+			drv.SetInjector(sys.Fault)
 		}
 	}
 	if len(sys.Disks) == 0 {
@@ -358,6 +402,10 @@ type Report struct {
 	WallOps    int
 	SimTime    time.Duration
 
+	// Crash is the power-cut observation of a crash-instrumented run
+	// (Config.CrashAt), nil otherwise.
+	Crash *CrashInfo
+
 	// Front-end byte totals, for aggregate-throughput reporting.
 	BytesRead    int64
 	BytesWritten int64
@@ -394,13 +442,27 @@ func Run(cfg Config, traceName string, recs []trace.Record) (*Report, error) {
 	}
 	rep := trace.NewReplayer(sys.FS, recs)
 	var runErr error
+	var crash *CrashInfo
+	var crashDone sched.Event
+	if cfg.CrashAt > 0 {
+		crashDone = sys.K.NewEvent("patsy.crashdone")
+	}
 	sys.K.Go("patsy.main", func(t sched.Task) {
 		if err := sys.Init(t); err != nil {
 			runErr = err
 			sys.K.Stop()
 			return
 		}
+		if cfg.CrashAt > 0 {
+			sys.K.Go("patsy.crash", func(ct sched.Task) {
+				crash = sys.crashTask(ct, rep)
+				crashDone.Signal()
+			})
+		}
 		rep.Run(t)
+		if crashDone != nil {
+			crashDone.Wait(t)
+		}
 		sys.K.Stop()
 	})
 	if err := sys.K.Run(); err != nil {
@@ -422,6 +484,7 @@ func Run(cfg Config, traceName string, recs []trace.Record) (*Report, error) {
 	}
 	return &Report{
 		Policy:       cfg.Flush.Name,
+		Crash:        crash,
 		TraceName:    traceName,
 		Result:       rep.Result(),
 		ReadHit:      fss.ReadHitRate(),

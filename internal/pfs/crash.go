@@ -1,0 +1,324 @@
+// Crash-injection harness: run a journaled write workload against a
+// live PFS, cut the power at an arbitrary device I/O through the
+// fault seam, then recover — remount through roll-forward/repair,
+// replay the NVRAM survivors — fsck the result, and verify every
+// surviving byte against the journal. This is the machinery behind
+// the paper's reliability claim: under the UPS/NVRAM policies an
+// acknowledged write must never be lost; under write-delay the loss
+// is real and bounded by the update daemon's age limit.
+package pfs
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/ffs"
+	"repro/internal/fsys"
+	"repro/internal/layout"
+	"repro/internal/lfs"
+	"repro/internal/sched"
+)
+
+// CrashSpec configures one crash-recovery exercise.
+type CrashSpec struct {
+	// Dir is a scratch directory for the image set.
+	Dir string
+	// Layout is "lfs" (default) or "ffs"; Volumes the array width.
+	Layout  string
+	Volumes int
+	// Flush is the write policy under test.
+	Flush cache.FlushConfig
+	// CutAfterIO trips the power cut at the Nth device I/O issued
+	// after the durable baseline (0: cut when the workload ends).
+	CutAfterIO int64
+	// Files and Rounds size the workload (defaults 6 and 200).
+	Files, Rounds int
+	// Seed drives the server's policy randomness.
+	Seed int64
+}
+
+// CrashResult is what one exercise observed.
+type CrashResult struct {
+	// CutIO is the device I/O ordinal the cut actually tripped at.
+	CutIO int64
+	// Acked counts block writes acknowledged before the cut; Issued
+	// includes writes in flight or issued into the dying machine.
+	Acked, Issued int
+	// LostAcked counts acknowledged writes missing after recovery —
+	// must be zero under a persistent (UPS/NVRAM) policy.
+	LostAcked int
+	// LossWindow is the age of the oldest lost acknowledged write at
+	// the cut (zero when nothing was lost).
+	LossWindow time.Duration
+	// Survivors/Replayed/Dropped trace the NVRAM replay path.
+	Survivors, Replayed, Dropped int
+	// Recovery reports the layouts' own recovery work.
+	Recovery layout.RecoveryStats
+	// FsckErrors holds post-recovery consistency violations (must be
+	// empty).
+	FsckErrors []string
+}
+
+const crashFileBlocks = 8
+
+// journal tracks, per (file, block), the newest acknowledged-before-
+// cut version and the newest issued version, with ack times.
+type journal struct {
+	mu     sync.Mutex
+	acked  map[[2]int]byte
+	issued map[[2]int]byte
+	ackAt  map[[2]int]time.Time
+}
+
+func crashPath(i int) string { return fmt.Sprintf("/crash-f%d", i) }
+
+func crashBlock(file, blk int, ver byte) []byte {
+	buf := make([]byte, core.BlockSize)
+	for i := range buf {
+		buf[i] = ver
+	}
+	buf[0], buf[1] = byte(file), byte(blk)
+	return buf
+}
+
+// RunCrashPoint builds a fresh server, lays a durable baseline, runs
+// the journaled workload into a power cut, recovers, and verifies.
+func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
+	if spec.Files <= 0 {
+		spec.Files = 6
+	}
+	if spec.Rounds <= 0 {
+		spec.Rounds = 200
+	}
+	if spec.Volumes <= 0 {
+		spec.Volumes = 1
+	}
+	cfg := Config{
+		Path:        filepath.Join(spec.Dir, "crash.img"),
+		Blocks:      2048,
+		Volumes:     spec.Volumes,
+		CacheBlocks: 96,
+		CacheShards: 1,
+		Flush:       spec.Flush,
+		SegBlocks:   64,
+		Layout:      spec.Layout,
+		Seed:        spec.Seed,
+		// The plan is installed with the cut disarmed; the workload
+		// arms it after the baseline is durable.
+		Fault: &device.FaultConfig{Seed: spec.Seed},
+	}
+	srv, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Durable baseline: every file exists with version-1 blocks and a
+	// completed sync, so the crash window contains only data writes —
+	// the objects the paper's policies protect.
+	err = srv.Do(func(t sched.Task) error {
+		v := srv.Vol
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Create(t, crashPath(f), core.TypeRegular)
+			if err != nil {
+				return err
+			}
+			for b := 0; b < crashFileBlocks; b++ {
+				buf := crashBlock(f, b, 1)
+				if err := v.WriteAt(t, h, int64(b)*core.BlockSize, buf, core.BlockSize); err != nil {
+					return err
+				}
+			}
+			if err := v.Close(t, h); err != nil {
+				return err
+			}
+		}
+		return srv.FS.SyncAll(t)
+	})
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("crash baseline: %w", err)
+	}
+
+	// Arm the cut, counting I/Os from here.
+	plan := device.NewFaultPlan(device.FaultConfig{
+		Seed: spec.Seed, CutAfterIO: spec.CutAfterIO, CutTearsWrite: true,
+	})
+	plan.OnCut(srv.Cache.PowerOff)
+	for _, drv := range srv.Drivers {
+		drv.SetInjector(plan)
+	}
+
+	j := &journal{
+		acked:  map[[2]int]byte{},
+		issued: map[[2]int]byte{},
+		ackAt:  map[[2]int]time.Time{},
+	}
+	for f := 0; f < spec.Files; f++ {
+		for b := 0; b < crashFileBlocks; b++ {
+			j.acked[[2]int{f, b}] = 1
+			j.issued[[2]int{f, b}] = 1
+			j.ackAt[[2]int{f, b}] = time.Now()
+		}
+	}
+
+	cutCh := make(chan struct{})
+	plan.OnCut(func() { close(cutCh) })
+	done := make(chan struct{})
+	srv.K.Go("crash.workload", func(t sched.Task) {
+		defer close(done)
+		v := srv.Vol
+		handles := make(map[int]*fsys.Handle)
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Open(t, crashPath(f))
+			if err != nil {
+				return
+			}
+			handles[f] = h
+		}
+		for r := 0; r < spec.Rounds && !plan.HasCut(); r++ {
+			f := r % spec.Files
+			b := (r / spec.Files) % crashFileBlocks
+			key := [2]int{f, b}
+			j.mu.Lock()
+			ver := j.issued[key] + 1
+			j.issued[key] = ver
+			j.mu.Unlock()
+			buf := crashBlock(f, b, ver)
+			err := v.WriteAt(t, handles[f], int64(b)*core.BlockSize, buf, core.BlockSize)
+			if err != nil {
+				return // the machine is dying; stop issuing
+			}
+			if !plan.HasCut() {
+				j.mu.Lock()
+				j.acked[key] = ver
+				j.ackAt[key] = time.Now()
+				j.mu.Unlock()
+			}
+			if r%8 == 7 {
+				t.Sleep(time.Millisecond) // let the update daemon age blocks
+			}
+		}
+	})
+
+	select {
+	case <-done:
+		// Workload drained without tripping the cut (or died): crash
+		// at quiescence.
+		plan.Cut()
+	case <-cutCh:
+	}
+	crashAt := time.Now()
+	rep := srv.Crash()
+	res := &CrashResult{
+		CutIO:     plan.CutIO(),
+		Survivors: len(rep.Survivors),
+	}
+	j.mu.Lock()
+	res.Acked = len(j.acked)
+	res.Issued = len(j.issued)
+	j.mu.Unlock()
+
+	// Power restored: recover on a fresh server over the same images.
+	cfg.Fault = nil
+	cfg.Recover = true
+	srv2, err := Open(cfg)
+	if err != nil {
+		return res, fmt.Errorf("recovery mount: %w", err)
+	}
+	defer srv2.Close()
+	if srv2.Recovery != nil {
+		res.Recovery = *srv2.Recovery
+	}
+	err = srv2.Do(func(t sched.Task) error {
+		replayed, dropped, err := srv2.FS.ReplayNVRAM(t, rep.Survivors)
+		res.Replayed, res.Dropped = replayed, dropped
+		if err != nil {
+			return err
+		}
+		return srv2.FS.SyncAll(t)
+	})
+	if err != nil {
+		return res, fmt.Errorf("NVRAM replay: %w", err)
+	}
+
+	// fsck every member, then verify the journal.
+	err = srv2.Do(func(t sched.Task) error {
+		for _, sub := range srv2.Array.Subs() {
+			switch l := sub.(type) {
+			case *lfs.LFS:
+				for _, e := range l.Check(t) {
+					res.FsckErrors = append(res.FsckErrors, e.Error())
+				}
+			case *ffs.FFS:
+				for _, e := range l.Check(t) {
+					res.FsckErrors = append(res.FsckErrors, e.Error())
+				}
+			}
+		}
+		return verifyJournal(t, srv2, spec, j, crashAt, res)
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// verifyJournal reads every journaled block back and classifies it.
+func verifyJournal(t sched.Task, srv *Server, spec CrashSpec, j *journal, crashAt time.Time, res *CrashResult) error {
+	v := srv.Vol
+	persistent := spec.Flush.Persistent
+	for f := 0; f < spec.Files; f++ {
+		h, err := v.Open(t, crashPath(f))
+		if err != nil {
+			return fmt.Errorf("file %d lost entirely after recovery: %w", f, err)
+		}
+		for b := 0; b < crashFileBlocks; b++ {
+			key := [2]int{f, b}
+			buf := make([]byte, core.BlockSize)
+			n, err := v.ReadAt(t, h, int64(b)*core.BlockSize, buf, core.BlockSize)
+			if err != nil {
+				return fmt.Errorf("read f%d/b%d: %w", f, b, err)
+			}
+			got := byte(0)
+			if n == core.BlockSize {
+				got = buf[2]
+				// Torn or cross-linked content must never surface.
+				if buf[0] != byte(f) || buf[1] != byte(b) {
+					return fmt.Errorf("f%d/b%d: foreign content (tags %d/%d)", f, b, buf[0], buf[1])
+				}
+				for i := 3; i < core.BlockSize; i++ {
+					if buf[i] != got {
+						return fmt.Errorf("f%d/b%d: torn block surfaced (byte %d)", f, b, i)
+					}
+				}
+			}
+			j.mu.Lock()
+			acked, issued, ackAt := j.acked[key], j.issued[key], j.ackAt[key]
+			j.mu.Unlock()
+			if got > issued {
+				return fmt.Errorf("f%d/b%d: version %d from the future (issued %d)", f, b, got, issued)
+			}
+			if got < 1 {
+				return fmt.Errorf("f%d/b%d: durable baseline lost", f, b)
+			}
+			if got < acked {
+				res.LostAcked++
+				if age := crashAt.Sub(ackAt); age > res.LossWindow {
+					res.LossWindow = age
+				}
+				if persistent {
+					res.FsckErrors = append(res.FsckErrors, fmt.Sprintf(
+						"policy %s lost acknowledged write f%d/b%d (have v%d, acked v%d)",
+						spec.Flush.Name, f, b, got, acked))
+				}
+			}
+		}
+		v.Close(t, h)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package pfs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// fastWriteDelay is the write-delay policy scaled to test time: the
+// update daemon scans every 3ms and flushes blocks older than 10ms,
+// so its loss bound is MaxAge+ScanInterval of real time.
+func fastWriteDelay() cache.FlushConfig {
+	return cache.FlushConfig{Name: "writedelay", ScanInterval: 3 * time.Millisecond,
+		MaxAge: 10 * time.Millisecond, WholeFile: true}
+}
+
+// TestCrashMatrix is the crash-injection sweep: both layouts × one
+// and two volumes × three write policies, each cut at several device
+// I/O ordinals. Every cell must recover to a mountable, fsck-clean
+// state with no torn or foreign bytes visible; the persistent
+// policies must additionally lose zero acknowledged writes.
+func TestCrashMatrix(t *testing.T) {
+	layouts := []string{"lfs", "ffs"}
+	widths := []int{1, 2}
+	policies := []cache.FlushConfig{
+		cache.UPS(),
+		cache.NVRAMWhole(12),
+		fastWriteDelay(),
+	}
+	cuts := []int64{1, 7, 23}
+	if testing.Short() {
+		layouts = []string{"lfs"}
+		widths = []int{1}
+		cuts = []int64{7}
+	}
+	for _, lay := range layouts {
+		for _, w := range widths {
+			for _, fc := range policies {
+				for _, cut := range cuts {
+					name := lay + "/" + fc.Name
+					res, err := RunCrashPoint(CrashSpec{
+						Dir:        t.TempDir(),
+						Layout:     lay,
+						Volumes:    w,
+						Flush:      fc,
+						CutAfterIO: cut,
+						Seed:       cut,
+					})
+					if err != nil {
+						t.Fatalf("%s vol=%d cut=%d: %v", name, w, cut, err)
+					}
+					if len(res.FsckErrors) != 0 {
+						t.Fatalf("%s vol=%d cut=%d: fsck/policy errors: %v", name, w, cut, res.FsckErrors)
+					}
+					if fc.Persistent && res.LostAcked != 0 {
+						t.Fatalf("%s vol=%d cut=%d: %d acknowledged writes lost under a persistent policy",
+							name, w, cut, res.LostAcked)
+					}
+					if !fc.Persistent && res.Survivors != 0 {
+						t.Fatalf("%s vol=%d cut=%d: volatile policy returned %d survivors",
+							name, w, cut, res.Survivors)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrashQuiescentNVRAMReplay crashes after the workload drains
+// (no forced cut): everything dirty sits in NVRAM and the entire
+// working set must come back through replay.
+func TestCrashQuiescentNVRAMReplay(t *testing.T) {
+	res, err := RunCrashPoint(CrashSpec{
+		Dir:     t.TempDir(),
+		Layout:  "lfs",
+		Volumes: 1,
+		Flush:   cache.NVRAMWhole(24),
+		Seed:    42,
+		Rounds:  64,
+	})
+	if err != nil {
+		t.Fatalf("RunCrashPoint: %v", err)
+	}
+	if res.LostAcked != 0 {
+		t.Fatalf("lost %d acknowledged writes", res.LostAcked)
+	}
+	if res.Survivors == 0 || res.Replayed != res.Survivors {
+		t.Fatalf("replay incomplete: %d survivors, %d replayed", res.Survivors, res.Replayed)
+	}
+	if len(res.FsckErrors) != 0 {
+		t.Fatalf("fsck errors: %v", res.FsckErrors)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/ffs"
 	"repro/internal/fsys"
 	"repro/internal/layout"
 	"repro/internal/lfs"
@@ -63,6 +64,18 @@ type Config struct {
 	QueueSched string
 	// Seed drives policy randomness.
 	Seed int64
+	// Layout selects the per-member storage layout: "lfs" (default)
+	// or "ffs".
+	Layout string
+	// Fault, when set, installs a shared fault plan on every member's
+	// driver: injected I/O errors, torn writes, and the power cut the
+	// crash harness drives. The plan is reachable as Server.Fault.
+	Fault *device.FaultConfig
+	// Recover mounts an existing image set through the crash-recovery
+	// path (LFS roll-forward / FFS repair / array-wide repairs)
+	// instead of the plain mount; the result lands in
+	// Server.Recovery. Fresh image sets are formatted as usual.
+	Recover bool
 }
 
 // Server is a running PFS.
@@ -76,6 +89,11 @@ type Server struct {
 	// Drivers are the per-array-member disk drivers, in member
 	// order (observability: per-volume I/O counters).
 	Drivers []device.Driver
+	// Fault is the installed fault plan (nil without Config.Fault).
+	Fault *device.FaultPlan
+	// Recovery reports what the recovery mount repaired (nil unless
+	// Config.Recover ran against an existing image set).
+	Recovery *layout.RecoveryStats
 
 	pipeline int
 	net      *nfs.Server
@@ -105,6 +123,10 @@ func Open(cfg Config) (*Server, error) {
 		lcfg.SegBlocks = cfg.SegBlocks
 	}
 
+	var plan *device.FaultPlan
+	if cfg.Fault != nil {
+		plan = device.NewFaultPlan(*cfg.Fault)
+	}
 	subs := make([]layout.Layout, cfg.Volumes)
 	drvs := make([]device.Driver, cfg.Volumes)
 	freshCount := 0
@@ -129,9 +151,25 @@ func Open(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		if plan != nil {
+			drv.SetInjector(plan)
+		}
 		drvs[i] = drv
 		part := layout.NewPartition(drv, i, 0, cfg.Blocks, false)
-		subs[i] = lfs.New(k, name, part, lcfg)
+		switch orDefault(cfg.Layout, "lfs") {
+		case "lfs":
+			subs[i] = lfs.New(k, name, part, lcfg)
+		case "ffs":
+			fcfg := ffs.DefaultConfig()
+			if cfg.Blocks <= int64(fcfg.BlocksPerGroup) {
+				// Small (test-sized) volumes still need >= 1 group.
+				fcfg.BlocksPerGroup = 512
+				fcfg.InodesPerGroup = 64
+			}
+			subs[i] = ffs.New(k, name, part, fcfg)
+		default:
+			return nil, fmt.Errorf("pfs: unknown layout %q", cfg.Layout)
+		}
 	}
 	if freshCount != 0 && freshCount != cfg.Volumes {
 		return nil, fmt.Errorf("pfs: inconsistent array image set under %s: %d of %d members are fresh",
@@ -153,6 +191,10 @@ func Open(cfg Config) (*Server, error) {
 		cfg.ReadaheadBlocks = 8
 	}
 	store := fsys.NewStore()
+	// The on-line server's flushes are durable on completion: a block
+	// the cache frees from its (battery-backed) dirty set is on the
+	// log, not in the volatile open-segment buffer.
+	store.SetDurable(true)
 	c := cache.New(k, cache.Config{
 		Blocks:  cfg.CacheBlocks,
 		Replace: cfg.Replace,
@@ -166,7 +208,12 @@ func Open(cfg Config) (*Server, error) {
 	}
 	c.Start()
 
-	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, pipeline: cfg.Pipeline}
+	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, pipeline: cfg.Pipeline}
+	if plan != nil {
+		// The instant the cut trips, the cache stops issuing flushes:
+		// a dead machine writes nothing more.
+		plan.OnCut(c.PowerOff)
+	}
 	c.Stats(srv.Set)
 	fs.Stats(srv.Set)
 	lay.Stats(srv.Set)
@@ -182,8 +229,18 @@ func Open(cfg Config) (*Server, error) {
 				errc <- err
 				return
 			}
-		}
-		if err := lay.Mount(t); err != nil {
+			if err := lay.Mount(t); err != nil {
+				errc <- err
+				return
+			}
+		} else if cfg.Recover {
+			st, err := lay.Recover(t)
+			if err != nil {
+				errc <- err
+				return
+			}
+			srv.Recovery = &st
+		} else if err := lay.Mount(t); err != nil {
 			errc <- err
 			return
 		}
@@ -252,7 +309,38 @@ func (s *Server) Close() error {
 		s.net.Close()
 	}
 	s.K.Stop()
+	s.closeDrivers()
 	return err
+}
+
+func (s *Server) closeDrivers() {
+	for _, drv := range s.Drivers {
+		drv.Close()
+	}
+}
+
+// Crash simulates a power cut: the fault plan (if any) is tripped so
+// nothing further reaches the images, the cache is frozen and its
+// battery-backed dirty blocks captured, and the kernel halts WITHOUT
+// any sync. Reopen the same configuration with Recover set and feed
+// the returned report's Survivors to FS.ReplayNVRAM to complete the
+// paper's NVRAM recovery story.
+func (s *Server) Crash() *cache.CrashReport {
+	if s.Fault != nil {
+		s.Fault.Cut()
+	}
+	s.Cache.PowerOff()
+	repc := make(chan *cache.CrashReport, 1)
+	s.K.Go("pfs.crash", func(t sched.Task) {
+		repc <- s.Cache.Crash(t)
+	})
+	rep := <-repc
+	if s.net != nil {
+		s.net.Close()
+	}
+	s.K.Stop()
+	s.closeDrivers()
+	return rep
 }
 
 // Shutdown is the graceful exit: stop accepting network calls, let
@@ -268,5 +356,6 @@ func (s *Server) Shutdown() error {
 		s.net.Close()
 	}
 	s.K.Stop()
+	s.closeDrivers()
 	return err
 }

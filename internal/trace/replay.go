@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -63,7 +64,17 @@ type Replayer struct {
 	done    int
 	total   int
 	finish  sched.Event
+	// halted stops every client before its next operation — the
+	// machine lost power mid-replay. Atomic so the crash task can set
+	// it without taking the replay lock (and without perturbing the
+	// virtual schedule when never used).
+	halted atomic.Bool
 }
+
+// Halt makes every client stop before its next operation and skip
+// its shutdown closes: the power is off. Replay finishes (Run
+// returns) as the clients notice.
+func (r *Replayer) Halt() { r.halted.Store(true) }
 
 // NewReplayer prepares recs for replay against fs.
 func NewReplayer(fs *fsys.FS, recs []Record) *Replayer {
@@ -183,6 +194,9 @@ func synthesizeTimes(recs []Record) []Record {
 func (r *Replayer) runClient(t sched.Task, recs []Record) {
 	handles := make(map[string]*fsys.Handle)
 	for _, rec := range recs {
+		if r.halted.Load() {
+			return // power cut: nothing more is issued, nothing closed
+		}
 		t.SleepUntil(sched.Time(rec.T))
 		v := r.fs.Vol(rec.Vol)
 		if v == nil {

@@ -9,15 +9,17 @@ import (
 	"repro/internal/sched"
 )
 
-// The array label is one block on sub-volume 0, held by the reserved
-// label file: magic, version and the geometry the array was built
-// with. A real array validates it at mount, so reopening a 4-wide
-// striped array as, say, a 2-wide affinity one fails loudly instead
-// of silently serving the wrong blocks.
+// The array label is one block on every member, held by the reserved
+// label file: magic, version, the geometry the array was built with,
+// and the member's own index. A real array validates all of them at
+// mount, so reopening a 4-wide striped array as, say, a 2-wide
+// affinity one — or mounting members in a shuffled order — fails
+// loudly instead of silently serving the wrong blocks. Array-wide
+// recovery cross-checks the members' labels against each other.
 const (
 	labelMagic   = 0x50564131 // "PVA1"
-	labelVersion = 1
-	labelBytes   = 24
+	labelVersion = 2
+	labelBytes   = 28
 )
 
 const (
@@ -32,58 +34,102 @@ func (a *Array) placementCode() uint32 {
 	return placementCodeAffinity
 }
 
-// writeLabel persists the geometry label through sub-volume 0.
+// writeLabel persists the geometry label on every member, each copy
+// carrying the member's own index.
 func (a *Array) writeLabel(t sched.Task) error {
-	buf := make([]byte, core.BlockSize)
-	le := binary.LittleEndian
-	le.PutUint32(buf[0:], labelMagic)
-	le.PutUint32(buf[4:], labelVersion)
-	le.PutUint32(buf[8:], uint32(len(a.subs)))
-	le.PutUint32(buf[12:], a.placementCode())
-	le.PutUint32(buf[16:], uint32(a.cfg.StripeBlocks))
-	if err := a.subs[0].Truncate(t, a.label, labelBytes); err != nil {
-		return fmt.Errorf("volume %s: size label: %w", a.name, err)
+	for i, sub := range a.subs {
+		buf := make([]byte, core.BlockSize)
+		le := binary.LittleEndian
+		le.PutUint32(buf[0:], labelMagic)
+		le.PutUint32(buf[4:], labelVersion)
+		le.PutUint32(buf[8:], uint32(len(a.subs)))
+		le.PutUint32(buf[12:], a.placementCode())
+		le.PutUint32(buf[16:], uint32(a.cfg.StripeBlocks))
+		le.PutUint32(buf[20:], uint32(i))
+		if err := sub.Truncate(t, a.labels[i], labelBytes); err != nil {
+			return fmt.Errorf("volume %s: size label on member %d: %w", a.name, i, err)
+		}
+		if err := sub.WriteBlocks(t, a.labels[i], []layout.BlockWrite{
+			{Blk: 0, Data: buf, Size: labelBytes},
+		}); err != nil {
+			return fmt.Errorf("volume %s: write label on member %d: %w", a.name, i, err)
+		}
+		if err := sub.UpdateInode(t, a.labels[i]); err != nil {
+			return fmt.Errorf("volume %s: label inode on member %d: %w", a.name, i, err)
+		}
 	}
-	if err := a.subs[0].WriteBlocks(t, a.label, []layout.BlockWrite{
-		{Blk: 0, Data: buf, Size: labelBytes},
-	}); err != nil {
-		return fmt.Errorf("volume %s: write label: %w", a.name, err)
-	}
-	return a.subs[0].UpdateInode(t, a.label)
+	return nil
 }
 
-// readLabel loads and validates the label after a real-mode mount.
-// A missing label means a fresh array (it appears with the first
-// sync); a present label must match the configured geometry.
+// readLabel loads and validates every member's label after a
+// real-mode mount. A missing label on member 0 means a fresh array
+// (labels appear with the first sync); a present label must match
+// the configured geometry on every member, and each member must
+// carry its own index — a shuffled image set fails here.
 func (a *Array) readLabel(t sched.Task) error {
-	ino, err := a.subs[0].GetInode(t, labelFileID)
-	if err == core.ErrNotFound {
+	labels := make([]*layout.Inode, len(a.subs))
+	empty := 0
+	var want *labelGeom
+	for i, sub := range a.subs {
+		ino, err := sub.GetInode(t, labelFileID)
+		if err == core.ErrNotFound {
+			if i == 0 {
+				return nil // fresh array, labels not yet written
+			}
+			return fmt.Errorf("volume %s: member %d carries no label file (member 0 does)", a.name, i)
+		}
+		if err != nil {
+			return fmt.Errorf("volume %s: label inode on member %d: %w", a.name, i, err)
+		}
+		buf := make([]byte, core.BlockSize)
+		if err := sub.ReadBlock(t, ino, 0, buf); err != nil {
+			return fmt.Errorf("volume %s: read label on member %d: %w", a.name, i, err)
+		}
+		g, err := decodeLabel(buf)
+		if err != nil {
+			if ino.Size == 0 {
+				// Lockstep allocated the reserved inode but the first
+				// sync never wrote its contents (a crash beat it).
+				// Adopt the inode so the next sync labels the array —
+				// leaving it unlabeled would disable geometry
+				// validation forever.
+				labels[i] = ino
+				empty++
+				continue
+			}
+			return fmt.Errorf("volume %s: member %d carries no array label: %w", a.name, i, err)
+		}
+		if g.nsubs != len(a.subs) {
+			return fmt.Errorf("volume %s: image is a %d-volume array, mounted with %d", a.name, g.nsubs, len(a.subs))
+		}
+		if g.placement != a.placementCode() {
+			return fmt.Errorf("volume %s: image placement %s, mounted with %s",
+				a.name, placementName(g.placement), a.cfg.Placement)
+		}
+		if g.placement == placementCodeStriped && g.stripe != a.cfg.StripeBlocks {
+			return fmt.Errorf("volume %s: image stripe width %d blocks, mounted with %d", a.name, g.stripe, a.cfg.StripeBlocks)
+		}
+		if g.member != i {
+			return fmt.Errorf("volume %s: image in slot %d labels itself member %d (image set shuffled?)",
+				a.name, i, g.member)
+		}
+		if want == nil {
+			want = &g
+		} else if g.nsubs != want.nsubs || g.placement != want.placement || g.stripe != want.stripe {
+			return fmt.Errorf("volume %s: member %d label disagrees with member 0", a.name, i)
+		}
+		labels[i] = ino
+	}
+	if empty > 0 {
+		// A crash beat the label write on some (or all) members. Every
+		// member that does carry a label already matched the
+		// configured geometry above, so rewriting the empty ones with
+		// that geometry is safe: adopt the inodes and leave labelDone
+		// false so the next Sync (re)labels every member.
+		a.labels = labels
 		return nil
 	}
-	if err != nil {
-		return fmt.Errorf("volume %s: label inode: %w", a.name, err)
-	}
-	buf := make([]byte, core.BlockSize)
-	if err := a.subs[0].ReadBlock(t, ino, 0, buf); err != nil {
-		return fmt.Errorf("volume %s: read label: %w", a.name, err)
-	}
-	g, err := decodeLabel(buf)
-	if err != nil {
-		// The reserved inode exists but is not a label (an image
-		// written by something else); refuse to guess.
-		return fmt.Errorf("volume %s: sub 0 carries no array label: %w", a.name, err)
-	}
-	if g.nsubs != len(a.subs) {
-		return fmt.Errorf("volume %s: image is a %d-volume array, mounted with %d", a.name, g.nsubs, len(a.subs))
-	}
-	if g.placement != a.placementCode() {
-		return fmt.Errorf("volume %s: image placement %s, mounted with %s",
-			a.name, placementName(g.placement), a.cfg.Placement)
-	}
-	if g.placement == placementCodeStriped && g.stripe != a.cfg.StripeBlocks {
-		return fmt.Errorf("volume %s: image stripe width %d blocks, mounted with %d", a.name, g.stripe, a.cfg.StripeBlocks)
-	}
-	a.label = ino
+	a.labels = labels
 	a.labelDone = true
 	return nil
 }
@@ -93,6 +139,7 @@ type labelGeom struct {
 	nsubs     int
 	placement uint32
 	stripe    int
+	member    int
 }
 
 // decodeLabel parses a label block.
@@ -108,6 +155,7 @@ func decodeLabel(buf []byte) (labelGeom, error) {
 		nsubs:     int(le.Uint32(buf[8:])),
 		placement: le.Uint32(buf[12:]),
 		stripe:    int(le.Uint32(buf[16:])),
+		member:    int(le.Uint32(buf[20:])),
 	}, nil
 }
 

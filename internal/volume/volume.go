@@ -106,7 +106,7 @@ type Array struct {
 
 	mu        sched.Mutex
 	files     map[core.FileID]*afile
-	label     *layout.Inode // sub-0 shadow of the label file
+	labels    []*layout.Inode // per-member shadows of the label file
 	labelDone bool
 
 	reads  *stats.Group
@@ -232,7 +232,7 @@ func (a *Array) Sync(t sched.Task) error {
 		return a.single.Sync(t)
 	}
 	a.mu.Lock(t)
-	needLabel := !a.cfg.Simulated && !a.labelDone && a.label != nil && a.label.ID == labelFileID
+	needLabel := !a.cfg.Simulated && !a.labelDone && a.labels != nil && a.labels[0].ID == labelFileID
 	if needLabel {
 		a.labelDone = true // claimed; concurrent syncs skip it
 	}
@@ -288,14 +288,14 @@ func (a *Array) AllocInode(t sched.Task, typ core.FileType) (*layout.Inode, erro
 	if err != nil {
 		return nil, err
 	}
-	if af.id == core.RootFile && a.label == nil {
+	if af.id == core.RootFile && a.labels == nil {
 		lf, err := a.allocLocked(t, core.TypeRegular)
 		if err != nil {
 			return nil, fmt.Errorf("volume %s: label allocation: %w", a.name, err)
 		}
-		// The label is array metadata, not a client file: it lives
-		// on sub 0 and never enters the file table.
-		a.label = lf.shadows[0]
+		// The label is array metadata, not a client file: each member
+		// keeps its own copy and it never enters the file table.
+		a.labels = lf.shadows
 		delete(a.files, lf.id)
 	}
 	return af.global, nil
