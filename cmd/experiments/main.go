@@ -46,6 +46,11 @@ func main() {
 		reliab    = flag.Bool("reliability", false, "run the crash-reliability study (power cut + recovery per policy × layout × width) instead of figures")
 		relVols   = flag.String("relvolumes", "1,2", "array widths for the reliability study")
 		relOut    = flag.String("relout", "BENCH_4.json", "write the reliability study as JSON here (empty = don't)")
+		clust     = flag.Bool("clustering", false, "run the I/O clustering study (run-size cap × layout, requests vs blocks) instead of figures")
+		clTrace   = flag.String("cltrace", "1b", "trace for the clustering study (1b's large writers exercise the write runs)")
+		clCaps    = flag.String("clcaps", "0,8,32", "run-size caps for the clustering study (0 = off)")
+		clReal    = flag.Bool("clreal", false, "append the real-kernel pfsbench cells (clustering off vs on) to the clustering study")
+		clOut     = flag.String("clout", "BENCH_5.json", "write the clustering study as JSON here (empty = don't)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,27 @@ func main() {
 		die(err)
 		fmt.Println(experiments.ServingTable(rows))
 		fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *clust {
+		caps, err := parseCaps(*clCaps)
+		die(err)
+		start := time.Now()
+		st, err := experiments.RunClusteringStudy(engine, scale, *clTrace, *seed, nil, caps)
+		die(err)
+		if *clReal {
+			die(experiments.AddClusteringBench(st, os.TempDir(), 2))
+		}
+		fmt.Println(experiments.ClusteringTable(st))
+		if *clOut != "" {
+			out, err := experiments.ClusteringJSON(st)
+			die(err)
+			die(os.WriteFile(*clOut, out, 0o644))
+			fmt.Printf("(wrote %s)\n", *clOut)
+		}
+		fmt.Printf("(wall time %v, scale %s, trace duration %v)\n",
+			time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration)
 		return
 	}
 
@@ -193,6 +219,26 @@ func main() {
 	}
 	fmt.Printf("(wall time %v, scale %s, trace duration %v, %s)\n",
 		time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration, mode)
+}
+
+// parseCaps parses the clustering study's run caps (0 allowed = off).
+func parseCaps(s string) ([]int, error) {
+	var caps []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("bad -clcaps entry %q (want non-negative integers, e.g. 0,8,32)", part)
+		}
+		caps = append(caps, c)
+	}
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("-clcaps given but empty")
+	}
+	return caps, nil
 }
 
 func parseWidths(s string) ([]int, error) {

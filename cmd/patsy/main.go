@@ -39,6 +39,7 @@ func main() {
 		volumes   = flag.Int("volumes", 0, "volume-array width: build this many bus+disk+layout stacks behind one volume manager (0 = classic multi-volume topology)")
 		placement = flag.String("placement", "affinity", "array placement policy: affinity or striped")
 		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for -placement striped")
+		cluster   = flag.Int("cluster", 0, "clustered-transfer run cap in blocks (0 or 1 = off, the classic simulator)")
 		showCDF   = flag.Bool("cdf", false, "print the full latency CDF")
 		showInt   = flag.Bool("intervals", false, "print 15-minute interval reports")
 	)
@@ -108,6 +109,7 @@ func main() {
 		cfg.QueueSched = *qsched
 		cfg.Layout = *layoutN
 		cfg.DiskModel = *diskModel
+		cfg.ClusterRunBlocks = *cluster
 		if *volumes > 0 {
 			cfg.ArrayVolumes = *volumes
 			cfg.Placement = *placement

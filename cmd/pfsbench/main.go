@@ -41,6 +41,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "cache shards (0 = instantiation default: 8 real, 1 virtual)")
 		pipeline  = flag.Int("pipeline", 0, "per-connection NFS window (0 = default, 1 = no pipelining)")
 		readahead = flag.Int("readahead", 0, "readahead blocks (0 = instantiation default: 8 real, off virtual; -1 = off)")
+		cluster   = flag.Int("cluster", 0, "clustered-transfer run cap in blocks (0 = instantiation default: 16 real, off virtual; -1 = off)")
 		think     = flag.Duration("think", 0, "per-op client think time")
 		seed      = flag.Int64("seed", 1996, "workload seed")
 		out       = flag.String("out", "", "write the JSON result file here (default stdout)")
@@ -77,6 +78,7 @@ func main() {
 		cfg.Shards = *shards
 		cfg.Pipeline = *pipeline
 		cfg.Readahead = *readahead
+		cfg.Cluster = *cluster
 		if *ops > 0 {
 			cfg.Ops = *ops
 		}
@@ -106,8 +108,8 @@ func main() {
 }
 
 func progress(r bench.Result, wall time.Duration) {
-	fmt.Fprintf(os.Stderr, "%-28s %10.1f ops/sec  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  hit %4.1f%%  (%v)\n",
-		r.Key(), r.OpsPerSec, r.P50MS, r.P95MS, r.P99MS, 100*r.Cache.HitRate, wall.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "%-32s %10.1f ops/sec  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  hit %4.1f%%  blk/req %5.2f  (%v)\n",
+		r.Key(), r.OpsPerSec, r.P50MS, r.P95MS, r.P99MS, 100*r.Cache.HitRate, r.Volume.BlocksPerReq, wall.Round(time.Millisecond))
 }
 
 func runCompare(currentPath, baselinePath string, threshold float64) int {

@@ -36,6 +36,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "cache lock stripes (0 = default 8, 1 = classic single-lock cache)")
 		pipeline  = flag.Int("pipeline", 0, "per-connection NFS window (0 = default 8, 1 = no pipelining)")
 		readahead = flag.Int("readahead", 0, "sequential readahead window in blocks (0 = default 8, -1 = off)")
+		cluster   = flag.Int("cluster", 0, "clustered-transfer run cap in blocks (0 = default 16, -1 = off)")
 		addr      = flag.String("addr", "127.0.0.1:20490", "listen address")
 		policy    = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
 		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
@@ -59,16 +60,17 @@ func main() {
 	}
 
 	srv, err := pfs.Open(pfs.Config{
-		Path:            *image,
-		Blocks:          *blocks,
-		Volumes:         *volumes,
-		Placement:       *placement,
-		StripeBlocks:    *stripe,
-		CacheBlocks:     *cacheB,
-		CacheShards:     *shards,
-		Pipeline:        *pipeline,
-		ReadaheadBlocks: *readahead,
-		Flush:           fc,
+		Path:             *image,
+		Blocks:           *blocks,
+		Volumes:          *volumes,
+		Placement:        *placement,
+		StripeBlocks:     *stripe,
+		CacheBlocks:      *cacheB,
+		CacheShards:      *shards,
+		Pipeline:         *pipeline,
+		ReadaheadBlocks:  *readahead,
+		ClusterRunBlocks: *cluster,
+		Flush:            fc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -102,5 +104,12 @@ func main() {
 	}
 	if *statsOut {
 		fmt.Println(srv.Set.Render())
+		// The clustering observability line: how many blocks each
+		// device request carried, per member.
+		for _, drv := range srv.Drivers {
+			ds := drv.DriverStats()
+			fmt.Printf("%s: %d requests, %.2f blocks/request\n",
+				drv.Name(), ds.Requests(), ds.BlocksPerRequest())
+		}
 	}
 }

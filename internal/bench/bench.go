@@ -59,6 +59,10 @@ type Config struct {
 	Shards      int // cache lock stripes (0 = instantiation default)
 	Pipeline    int // per-connection NFS window (real kernel only)
 	Readahead   int // sequential readahead window (negative = off)
+	// Cluster caps clustered multi-block transfers per device
+	// request: 0 = instantiation default (real kernel on at
+	// layout.DefaultClusterRun, virtual off), -1 = off, > 1 = cap.
+	Cluster int
 }
 
 // Quick is the CI smoke cell: a working set twice the cache (8 MB
@@ -89,10 +93,16 @@ type CacheCounters struct {
 	ReadaheadFills int64   `json:"readahead_fills"`
 }
 
-// VolumeCounters is the disk stacks' contribution to a result.
+// VolumeCounters is the disk stacks' contribution to a result:
+// block traffic plus the requests that carried it, so the clustering
+// win shows up as a transfer-size ratio, not just wall clock.
 type VolumeCounters struct {
 	BlocksRead    int64 `json:"blocks_read"`
 	BlocksWritten int64 `json:"blocks_written"`
+	ReadReqs      int64 `json:"read_reqs"`
+	WriteReqs     int64 `json:"write_reqs"`
+	// BlocksPerReq is the mean transfer size the disks saw.
+	BlocksPerReq float64 `json:"blocks_per_req"`
 }
 
 // Result is one benchmark cell's measurements.
@@ -103,6 +113,7 @@ type Result struct {
 	Shards    int     `json:"shards"`
 	Pipeline  int     `json:"pipeline"`
 	Readahead int     `json:"readahead"`
+	Cluster   int     `json:"cluster"` // effective run cap (1 = off)
 	Ops       int64   `json:"ops"`
 	WallMS    float64 `json:"wall_ms"`
 	SimMS     float64 `json:"sim_ms,omitempty"`
@@ -119,8 +130,8 @@ type Result struct {
 
 // Key identifies a cell for baseline comparison.
 func (r Result) Key() string {
-	return fmt.Sprintf("%s/c%d/d%d/s%d/p%d/ra%d",
-		r.Kernel, r.Clients, r.Depth, r.Shards, r.Pipeline, r.Readahead)
+	return fmt.Sprintf("%s/c%d/d%d/s%d/p%d/ra%d/cl%d",
+		r.Kernel, r.Clients, r.Depth, r.Shards, r.Pipeline, r.Readahead, r.Cluster)
 }
 
 // File is the BENCH_*.json format.
@@ -293,6 +304,18 @@ func volumeCounters(drvs []device.Driver) VolumeCounters {
 		ds := drv.DriverStats()
 		v.BlocksRead += ds.BlocksRead.Value()
 		v.BlocksWritten += ds.BlocksWritten.Value()
+		v.ReadReqs += ds.Reads.Value()
+		v.WriteReqs += ds.Writes.Value()
+	}
+	return v.withRatio()
+}
+
+// withRatio derives the mean transfer size.
+func (v VolumeCounters) withRatio() VolumeCounters {
+	if reqs := v.ReadReqs + v.WriteReqs; reqs > 0 {
+		v.BlocksPerReq = float64(v.BlocksRead+v.BlocksWritten) / float64(reqs)
+	} else {
+		v.BlocksPerReq = 0
 	}
 	return v
 }
@@ -302,7 +325,9 @@ func (v VolumeCounters) sub(base VolumeCounters) VolumeCounters {
 	return VolumeCounters{
 		BlocksRead:    v.BlocksRead - base.BlocksRead,
 		BlocksWritten: v.BlocksWritten - base.BlocksWritten,
-	}
+		ReadReqs:      v.ReadReqs - base.ReadReqs,
+		WriteReqs:     v.WriteReqs - base.WriteReqs,
+	}.withRatio()
 }
 
 // sub returns the measurement-phase delta of two snapshots, so the

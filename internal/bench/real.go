@@ -20,18 +20,19 @@ import (
 // calls in flight each. Returns the measured cell.
 func RunReal(dir string, cfg Config) (Result, error) {
 	cfg.fill()
-	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d.img",
-		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead))
+	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d-cl%d.img",
+		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead, cfg.Cluster))
 	os.Remove(img)
 	srv, err := pfs.Open(pfs.Config{
-		Path:            img,
-		Blocks:          8192, // 32 MB image
-		CacheBlocks:     cfg.CacheBlocks,
-		CacheShards:     cfg.Shards,
-		Pipeline:        cfg.Pipeline,
-		ReadaheadBlocks: cfg.Readahead,
-		Flush:           cache.UPS(),
-		Seed:            cfg.Seed,
+		Path:             img,
+		Blocks:           8192, // 32 MB image
+		CacheBlocks:      cfg.CacheBlocks,
+		CacheShards:      cfg.Shards,
+		Pipeline:         cfg.Pipeline,
+		ReadaheadBlocks:  cfg.Readahead,
+		ClusterRunBlocks: cfg.Cluster,
+		Flush:            cache.UPS(),
+		Seed:             cfg.Seed,
 	})
 	if err != nil {
 		return Result{}, err
@@ -162,6 +163,7 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		Shards:    srv.Cache.Shards(),
 		Pipeline:  pipeline,
 		Readahead: srv.FS.Readahead(),
+		Cluster:   srv.ClusterRun(),
 		Ops:       totalOps,
 		WallMS:    float64(wall) / float64(time.Millisecond),
 		OpsPerSec: float64(totalOps) / wall.Seconds(),

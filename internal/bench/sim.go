@@ -21,21 +21,26 @@ import (
 // and 0.
 func RunSim(cfg Config) (Result, error) {
 	cfg.fill()
+	cluster := cfg.Cluster
+	if cluster < 2 {
+		cluster = 0 // virtual default: clustering off (0 and -1 alike)
+	}
 	pcfg := patsy.Config{
-		Seed:            cfg.Seed,
-		Buses:           1,
-		DisksPerBus:     []int{1},
-		Volumes:         1,
-		DiskModel:       "hp97560",
-		QueueSched:      "clook",
-		CacheBlocks:     cfg.CacheBlocks,
-		Replace:         "lru",
-		Flush:           cache.UPS(),
-		SegBlocks:       128,
-		Cleaner:         "cost-benefit",
-		Layout:          "lfs",
-		CacheShards:     cfg.Shards,
-		ReadaheadBlocks: cfg.Readahead,
+		Seed:             cfg.Seed,
+		Buses:            1,
+		DisksPerBus:      []int{1},
+		Volumes:          1,
+		DiskModel:        "hp97560",
+		QueueSched:       "clook",
+		CacheBlocks:      cfg.CacheBlocks,
+		Replace:          "lru",
+		Flush:            cache.UPS(),
+		SegBlocks:        128,
+		Cleaner:          "cost-benefit",
+		Layout:           "lfs",
+		CacheShards:      cfg.Shards,
+		ReadaheadBlocks:  cfg.Readahead,
+		ClusterRunBlocks: cluster,
 	}
 	sys, err := patsy.Build(pcfg)
 	if err != nil {
@@ -130,6 +135,10 @@ func RunSim(cfg Config) (Result, error) {
 		return Result{}, runErr
 	}
 	totalOps := int64(cfg.Clients) * int64(cfg.Ops)
+	resCluster := cluster
+	if resCluster < 1 {
+		resCluster = 1
+	}
 	res := Result{
 		Kernel:    "virtual",
 		Clients:   cfg.Clients,
@@ -137,6 +146,7 @@ func RunSim(cfg Config) (Result, error) {
 		Shards:    sys.Cache.Shards(),
 		Pipeline:  0,
 		Readahead: sys.FS.Readahead(),
+		Cluster:   resCluster,
 		Ops:       totalOps,
 		SimMS:     float64(simDur) / float64(time.Millisecond),
 		OpsPerSec: float64(totalOps) / simDur.Seconds(),

@@ -94,6 +94,13 @@ type Config struct {
 	// per-shard shares (the shard count clamps to MaxDirtyBlocks so
 	// the global bound stays exact).
 	Shards int
+	// ShardChunk groups that many consecutive block numbers onto the
+	// same shard (0 or 1 = the classic per-block striping). Clustered
+	// instantiations set it to the layout's run-size cap so a file's
+	// contiguous dirty run lives in one shard and reaches the layout
+	// as one flush job — per-block striping would shred every run
+	// across the shards and no multi-block write could ever form.
+	ShardChunk int
 }
 
 // Stats is the cache statistics plug-in.
@@ -315,9 +322,22 @@ func (c *Cache) addDirty(d int) {
 	c.dirtyMu.Unlock()
 }
 
-// shardOf routes a key to its lock stripe by block number.
+// shardOf routes a key to its lock stripe. The classic map (chunk
+// 0/1) stripes per block number. With a chunk it routes by
+// chunk index mixed with the file id — a file's contiguous run
+// stays on one shard, but different files' runs decorrelate
+// (chunk-only routing would pile every file's first chunk onto
+// shard 0 and convoy there).
 func (c *Cache) shardOf(key core.BlockKey) *shard {
-	return c.shards[uint64(key.Blk)%uint64(len(c.shards))]
+	b := uint64(key.Blk)
+	if c.cfg.ShardChunk > 1 {
+		x := b/uint64(c.cfg.ShardChunk) + uint64(key.File)*0x9E3779B97F4A7C15 + uint64(key.Vol)<<32
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		b = x
+	}
+	return c.shards[b%uint64(len(c.shards))]
 }
 
 // GetBlock returns the pinned block for key. hit reports whether the

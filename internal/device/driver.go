@@ -64,6 +64,23 @@ func newDriverStats(name string) *DriverStats {
 	}
 }
 
+// Requests returns the total requests the driver has issued.
+func (s *DriverStats) Requests() int64 {
+	return s.Reads.Value() + s.Writes.Value()
+}
+
+// BlocksPerRequest returns the mean transfer size in blocks — the
+// clustering observability number: per-request overhead (bus
+// arbitration, controller setup, the seek/rotation a transfer
+// amortizes) divides by exactly this factor.
+func (s *DriverStats) BlocksPerRequest() float64 {
+	reqs := s.Requests()
+	if reqs == 0 {
+		return 0
+	}
+	return float64(s.BlocksRead.Value()+s.BlocksWritten.Value()) / float64(reqs)
+}
+
 // Register adds all sources to set.
 func (s *DriverStats) Register(set *stats.Set) {
 	set.Add(s.Reads)

@@ -61,6 +61,10 @@ type FFS struct {
 	inodes  map[core.FileID]*layout.Inode
 	mounted bool
 
+	// clusterRun caps multi-block transfers (see layout.Clustered);
+	// <= 1 keeps the classic one-block-per-request behavior.
+	clusterRun int
+
 	reads, writes *stats.Counter
 	inoWrites     *stats.Counter
 	freeData      int64
@@ -109,6 +113,23 @@ func (f *FFS) deriveGeometry() {
 
 // Name returns "ffs".
 func (f *FFS) Name() string { return "ffs" }
+
+// SetClusterRun implements layout.Clustered: data reads and writes
+// may move up to n contiguous blocks per device request.
+func (f *FFS) SetClusterRun(n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.clusterRun = n
+}
+
+// ClusterRun implements layout.Clustered.
+func (f *FFS) ClusterRun() int {
+	if f.clusterRun < 1 {
+		return 1
+	}
+	return f.clusterRun
+}
 
 // groupBase returns the first block of group g (block 0 is the
 // superblock).

@@ -207,11 +207,8 @@ func (f *FFS) writeIndirects(t sched.Task, ino *layout.Inode) error {
 	if need > 1 {
 		need++ // double-indirect root
 	}
-	// Allocate missing map blocks near the file's first block.
-	hint := int64(-1)
-	if len(ino.Blocks) > 0 {
-		hint = ino.Blocks[0]
-	}
+	// Allocate missing map blocks near the file's tail.
+	hint := tailHint(ino)
 	for len(ino.IndAddrs) < need {
 		a, err := f.allocDataLocked(hint)
 		if err != nil {
@@ -301,30 +298,86 @@ func (f *FFS) clearInodeRecord(t sched.Task, id core.FileID) error {
 	return f.part.Write(t, blk, 1, buf)
 }
 
-// allocDataLocked finds a free data block, preferring the group of
-// the hint address.
+// allocDataLocked finds one free data block near the hint.
 func (f *FFS) allocDataLocked(hint int64) (int64, error) {
-	order := make([]int, 0, f.ngroups)
+	run, err := f.allocRunLocked(hint, 1)
+	if err != nil {
+		return -1, err
+	}
+	return run[0], nil
+}
+
+// allocRunLocked reserves up to want free data blocks as one
+// disk-contiguous run: first the blocks directly after hint (so a
+// growing file's appends land adjacent — the contiguity clustered
+// transfers feed on), then the first free run of the hint's group
+// scanning forward from the hint, then the first free run of any
+// group. It returns at least one block; a fragmented bitmap may
+// yield fewer than want.
+func (f *FFS) allocRunLocked(hint int64, want int) ([]int64, error) {
+	if want < 1 {
+		want = 1
+	}
+	// take claims the free run starting at (g, i), bounded by want,
+	// the group end and the next allocated block.
+	take := func(g, i int) []int64 {
+		run := make([]int64, 0, want)
+		for len(run) < want && i < f.cfg.BlocksPerGroup && !f.dataBits[g].get(i) {
+			f.dataBits[g].set(i)
+			f.bitsDirty = true
+			f.freeData--
+			run = append(run, f.groupBase(g)+int64(i))
+			i++
+		}
+		return run
+	}
+	var hg, hi = -1, -1
 	if hint >= 0 {
-		order = append(order, int((hint-1))/f.cfg.BlocksPerGroup)
+		hg = int((hint - 1)) / f.cfg.BlocksPerGroup
+		hi = int(hint - f.groupBase(hg))
 	}
-	for g := 0; g < f.ngroups; g++ {
-		order = append(order, g)
+	if hg >= 0 && hg < f.ngroups {
+		// Forward within the hint's group, starting right after it:
+		// the first free block found this way extends the hint's run
+		// when the neighbor is free, and otherwise stays ahead of the
+		// file instead of re-walking the group head.
+		for i := max(hi+1, f.dataStart); i < f.cfg.BlocksPerGroup; i++ {
+			if !f.dataBits[hg].get(i) {
+				return take(hg, i), nil
+			}
+		}
 	}
-	for _, g := range order {
+	for off := 0; off < f.ngroups+1; off++ {
+		// The hint's group gets one more pass (its pre-hint half),
+		// then every group in order.
+		g := hg
+		if off > 0 {
+			g = off - 1
+		}
 		if g < 0 || g >= f.ngroups {
 			continue
 		}
 		for i := f.dataStart; i < f.cfg.BlocksPerGroup; i++ {
 			if !f.dataBits[g].get(i) {
-				f.dataBits[g].set(i)
-				f.bitsDirty = true
-				f.freeData--
-				return f.groupBase(g) + int64(i), nil
+				return take(g, i), nil
 			}
 		}
 	}
-	return -1, core.ErrNoSpace
+	return nil, core.ErrNoSpace
+}
+
+// tailHint returns the address of the file's highest mapped block —
+// where the file last grew — or -1 for an empty map. The allocator
+// hints with the tail, not Blocks[0]: first-fit from the file's
+// first block re-scans a full group head on every append and
+// scatters growing files behind other allocations.
+func tailHint(ino *layout.Inode) int64 {
+	for i := len(ino.Blocks) - 1; i >= 0; i-- {
+		if ino.Blocks[i] >= 0 {
+			return ino.Blocks[i]
+		}
+	}
+	return -1
 }
 
 func (f *FFS) freeDataLocked(addr int64) {
@@ -360,29 +413,102 @@ func (f *FFS) ReadBlock(t sched.Task, ino *layout.Inode, blk core.BlockNo, data 
 	return f.part.Read(t, addr, 1, data)
 }
 
-// WriteBlocks writes each dirty block in place, allocating on first
-// write, then writes the inode synchronously.
+// ReadRun implements the clustered read: it probes the inode's
+// address array for a disk-contiguous run starting at blk and moves
+// the whole run in one device request. A hole reads as a single
+// zeroed block.
+func (f *FFS) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, data []byte) (int, error) {
+	if lim := f.ClusterRun(); n > lim {
+		n = lim
+	}
+	if n < 1 {
+		n = 1
+	}
+	f.mu.Lock(t)
+	addr := ino.BlockAddr(blk)
+	run := 1
+	for addr >= 0 && run < n && ino.BlockAddr(blk+core.BlockNo(run)) == addr+int64(run) {
+		run++
+	}
+	f.mu.Unlock(t)
+	if addr < 0 {
+		if data != nil {
+			for i := range data[:core.BlockSize] {
+				data[i] = 0
+			}
+		}
+		return 1, nil
+	}
+	if data != nil {
+		data = data[:run*core.BlockSize]
+	}
+	f.reads.Add(int64(run))
+	return run, f.part.Read(t, addr, run, data)
+}
+
+// WriteBlocks writes the dirty blocks in place and then the inode
+// synchronously. Missing blocks are allocated first, as contiguous
+// forward runs off the file's tail, so sequential appends land
+// adjacent; the write pass then coalesces block-number-contiguous,
+// address-contiguous stretches into single multi-block requests up
+// to the clustering cap (cap 1 — the default — is the classic
+// one-request-per-block FFS).
 func (f *FFS) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.BlockWrite) error {
 	f.mu.Lock(t)
 	defer f.mu.Unlock(t)
-	for _, w := range writes {
-		addr := ino.BlockAddr(w.Blk)
-		if addr < 0 {
-			var err error
-			hint := int64(-1)
-			if len(ino.Blocks) > 0 && ino.Blocks[0] >= 0 {
-				hint = ino.Blocks[0]
-			}
-			addr, err = f.allocDataLocked(hint)
-			if err != nil {
-				return err
-			}
-			ino.SetBlockAddr(w.Blk, addr)
+	hint := tailHint(ino)
+	for i := 0; i < len(writes); {
+		if addr := ino.BlockAddr(writes[i].Blk); addr >= 0 {
+			hint = addr
+			i++
+			continue
 		}
-		f.writes.Inc()
-		if err := f.part.Write(t, addr, 1, w.Data); err != nil {
+		// Reserve one run for the whole stretch of consecutive
+		// missing file blocks.
+		want := 1
+		for i+want < len(writes) && writes[i+want].Blk == writes[i].Blk+core.BlockNo(want) &&
+			ino.BlockAddr(writes[i+want].Blk) < 0 {
+			want++
+		}
+		run, err := f.allocRunLocked(hint, want)
+		if err != nil {
 			return err
 		}
+		for j, addr := range run {
+			ino.SetBlockAddr(writes[i+j].Blk, addr)
+		}
+		hint = run[len(run)-1]
+		i += len(run)
+	}
+	lim := f.ClusterRun()
+	var scratch []byte
+	for i := 0; i < len(writes); {
+		addr := ino.BlockAddr(writes[i].Blk)
+		run := 1
+		for run < lim && i+run < len(writes) &&
+			writes[i+run].Blk == writes[i].Blk+core.BlockNo(run) &&
+			ino.BlockAddr(writes[i+run].Blk) == addr+int64(run) {
+			run++
+		}
+		var data []byte
+		if run == 1 {
+			data = writes[i].Data
+		} else if !f.part.Simulated {
+			// Gather the run into one staging buffer: one memcpy per
+			// block buys one device request for the whole run.
+			if scratch == nil {
+				scratch = make([]byte, lim*core.BlockSize)
+			}
+			data = scratch[:run*core.BlockSize]
+			for j := 0; j < run; j++ {
+				copy(data[j*core.BlockSize:(j+1)*core.BlockSize], writes[i+j].Data)
+			}
+		}
+		f.writes.Add(int64(run))
+		if err := f.part.Write(t, addr, run, data); err != nil {
+			return err
+		}
+		i += run
 	}
 	ino.MTime = int64(f.k.Now())
 	return f.writeInode(t, ino)
@@ -406,8 +532,12 @@ func (f *FFS) Truncate(t sched.Task, ino *layout.Inode, newSize int64) error {
 	return f.writeInode(t, ino)
 }
 
-// PlaceExisting assigns sticky random free blocks to a pre-existing
-// simulated file.
+// PlaceExisting assigns sticky placement to a pre-existing simulated
+// file: a random group position, then the whole free run from there
+// — the educated guess matches what FFS's own allocator produces
+// (files laid down once are mostly contiguous), so rewrites and
+// readahead over pre-existing files see the same run structure real
+// allocation would have left.
 func (f *FFS) PlaceExisting(t sched.Task, ino *layout.Inode, size int64) error {
 	f.mu.Lock(t)
 	defer f.mu.Unlock(t)
@@ -416,23 +546,27 @@ func (f *FFS) PlaceExisting(t sched.Task, ino *layout.Inode, size int64) error {
 	}
 	need := layout.BlocksForSize(size)
 	rng := f.k.Rand()
-	for n := int64(0); n < need; n++ {
-		g := rng.Intn(f.ngroups)
+	span := f.cfg.BlocksPerGroup - f.dataStart
+	for need > 0 {
 		placed := false
-		for tries := 0; tries < f.ngroups; tries++ {
+		g := rng.Intn(f.ngroups)
+		for tries := 0; tries < f.ngroups && !placed; tries++ {
 			gg := (g + tries) % f.ngroups
-			start := f.dataStart + rng.Intn(f.cfg.BlocksPerGroup-f.dataStart)
-			for i := 0; i < f.cfg.BlocksPerGroup-f.dataStart; i++ {
-				idx := f.dataStart + (start-f.dataStart+i)%(f.cfg.BlocksPerGroup-f.dataStart)
-				if !f.dataBits[gg].get(idx) {
+			start := rng.Intn(span)
+			for i := 0; i < span; i++ {
+				idx := f.dataStart + (start+i)%span
+				if f.dataBits[gg].get(idx) {
+					continue
+				}
+				// Take the whole free run from the first gap found.
+				for need > 0 && idx < f.cfg.BlocksPerGroup && !f.dataBits[gg].get(idx) {
 					f.dataBits[gg].set(idx)
 					f.freeData--
 					ino.SetBlockAddr(core.BlockNo(len(ino.Blocks)), f.groupBase(gg)+int64(idx))
-					placed = true
-					break
+					need--
+					idx++
 				}
-			}
-			if placed {
+				placed = true
 				break
 			}
 		}

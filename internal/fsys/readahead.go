@@ -1,7 +1,9 @@
 package fsys
 
 import (
+	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/layout"
 	"repro/internal/sched"
 )
 
@@ -70,20 +72,82 @@ func (v *Volume) maybeReadahead(t sched.Task, f *File, off, n int64) {
 			}
 			f.mu.Unlock(rt)
 		}()
-		for blk := start; blk <= end; blk++ {
-			key := core.BlockKey{Vol: v.ID, File: ino.ID, Blk: blk}
-			b, ok := v.fs.cache.TryStartFill(rt, key)
-			if !ok {
-				continue // cached, being filled, or no clean frame
+		// Claim a maximal run of consecutive frames, then fill it
+		// with clustered ReadRun calls — one device request per
+		// on-disk run instead of one per block. With clustering off
+		// every ReadRun covers exactly one block, the classic
+		// fill-by-fill pipeline.
+		var scratch []byte
+		for blk := start; blk <= end; {
+			var frames []*cache.Block
+			first := blk
+			for blk <= end {
+				key := core.BlockKey{Vol: v.ID, File: ino.ID, Blk: blk}
+				b, ok := v.fs.cache.TryStartFill(rt, key)
+				if !ok {
+					// Cached, being filled, or no clean frame: skip it
+					// and let the claimed run end here.
+					blk++
+					if len(frames) == 0 {
+						first = blk
+						continue
+					}
+					break
+				}
+				frames = append(frames, b)
+				blk++
 			}
-			err := v.lay.ReadBlock(rt, ino, blk, b.Data)
-			bsize := core.BlockSize
-			if rem := size - int64(blk)*core.BlockSize; rem < int64(bsize) {
-				bsize = int(rem)
+			for off := 0; off < len(frames); {
+				cur := first + core.BlockNo(off)
+				got, err := v.readRunInto(rt, ino, cur, frames[off:], &scratch)
+				if err == nil && got <= 0 {
+					err = core.ErrInval // layouts return >= 1; stop rather than spin
+				}
+				if err != nil {
+					for _, b := range frames[off:] {
+						v.fs.cache.FinishFill(rt, b, 0, err)
+					}
+					break
+				}
+				for i := 0; i < got; i++ {
+					bsize := core.BlockSize
+					if rem := size - int64(cur+core.BlockNo(i))*core.BlockSize; rem < int64(bsize) {
+						bsize = int(rem)
+					}
+					v.fs.cache.FinishFill(rt, frames[off+i], bsize, nil)
+				}
+				off += got
 			}
-			v.fs.cache.FinishFill(rt, b, bsize, err)
 		}
 	})
+}
+
+// readRunInto reads one clustered run covering a prefix of the
+// claimed frames and distributes the bytes into them, returning how
+// many frames were filled. Single-block runs (and the simulator,
+// which moves no bytes) go straight through without staging.
+func (v *Volume) readRunInto(t sched.Task, ino *layout.Inode, blk core.BlockNo, frames []*cache.Block, scratch *[]byte) (int, error) {
+	n := len(frames)
+	if frames[0].Data == nil {
+		return v.lay.ReadRun(t, ino, blk, n, nil)
+	}
+	if n == 1 {
+		return v.lay.ReadRun(t, ino, blk, 1, frames[0].Data)
+	}
+	if len(*scratch) < n*core.BlockSize {
+		*scratch = make([]byte, n*core.BlockSize)
+	}
+	got, err := v.lay.ReadRun(t, ino, blk, n, *scratch)
+	if err != nil {
+		return got, err
+	}
+	if got > n {
+		got = n
+	}
+	for i := 0; i < got; i++ {
+		copy(frames[i].Data, (*scratch)[i*core.BlockSize:(i+1)*core.BlockSize])
+	}
+	return got, nil
 }
 
 // waitReadaheadLocked fences the readahead pipeline: it returns once

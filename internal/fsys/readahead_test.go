@@ -1,10 +1,13 @@
 package fsys
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/ffs"
 	"repro/internal/layout"
 	"repro/internal/lfs"
 	"repro/internal/sched"
@@ -21,6 +24,12 @@ func (s *slowLay) ReadBlock(t sched.Task, ino *layout.Inode, blk core.BlockNo, d
 	s.reads++
 	t.Sleep(8e6) // 8 ms
 	return s.Layout.ReadBlock(t, ino, blk, data)
+}
+
+func (s *slowLay) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, data []byte) (int, error) {
+	s.reads++
+	t.Sleep(8e6) // 8 ms per request, however many blocks it carries
+	return s.Layout.ReadRun(t, ino, blk, n, data)
 }
 
 // raRig assembles a virtual-kernel fsys over the slow layout.
@@ -107,6 +116,80 @@ func TestReadaheadSequentialHits(t *testing.T) {
 		}
 		v.Close(tk, h)
 	})
+}
+
+// Clustered readahead over a real data stack: the batches must
+// arrive as multi-block device requests, and every byte the client
+// streams must be exact — the run is read into a staging buffer and
+// distributed into cache frames, so this pins the distribution path.
+func TestReadaheadClustered(t *testing.T) {
+	k := sched.NewVirtual(7)
+	drv := device.NewMemDriver(k, "mem0", 4096, nil)
+	part := layout.NewPartition(drv, 0, 0, 4096, false)
+	lay := ffs.New(k, "vol0", part, ffs.Config{BlocksPerGroup: 1024, InodesPerGroup: 64})
+	lay.SetClusterRun(8)
+	store := NewStore()
+	c := cache.New(k, cache.Config{Blocks: 128, Replace: "lru", Flush: cache.UPS(), ShardChunk: 8}, store)
+	fs := New(k, c, core.RealMover{})
+	store.Bind(fs)
+	c.Start()
+	fs.SetReadahead(8)
+	const blocks = 64
+	k.Go("test", func(tk sched.Task) {
+		defer k.Stop()
+		if err := lay.Format(tk); err != nil {
+			t.Errorf("format: %v", err)
+			return
+		}
+		if err := lay.Mount(tk); err != nil {
+			t.Errorf("mount: %v", err)
+			return
+		}
+		v, err := fs.AddVolume(tk, 1, lay, false)
+		if err != nil {
+			t.Errorf("AddVolume: %v", err)
+			return
+		}
+		h, err := v.EnsureFile(tk, "/stream", 0, false)
+		if err != nil {
+			t.Fatalf("EnsureFile: %v", err)
+		}
+		payload := make([]byte, blocks*core.BlockSize)
+		for i := range payload {
+			payload[i] = byte(i / 7)
+		}
+		if err := v.WriteAt(tk, h, 0, payload, int64(len(payload))); err != nil {
+			t.Fatalf("prefill: %v", err)
+		}
+		if err := fs.SyncAll(tk); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		c.DiscardFile(tk, v.ID, h.ID(), 0)
+
+		reqBefore := drv.DriverStats().Reads.Value()
+		blkBefore := drv.DriverStats().BlocksRead.Value()
+		got := make([]byte, len(payload))
+		for off := int64(0); off < int64(len(payload)); off += 4 * core.BlockSize {
+			if _, err := v.ReadAt(tk, h, off, got[off:off+4*core.BlockSize], 4*core.BlockSize); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			tk.Sleep(20e6)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("streamed bytes corrupt under clustered readahead")
+		}
+		reqs := drv.DriverStats().Reads.Value() - reqBefore
+		blks := drv.DriverStats().BlocksRead.Value() - blkBefore
+		if c.CacheStats().ReadaheadFills.Value() == 0 {
+			t.Fatal("no readahead fills issued")
+		}
+		if reqs == 0 || float64(blks)/float64(reqs) < 2 {
+			t.Fatalf("readahead did not cluster: %d blocks in %d requests", blks, reqs)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }
 
 // Random reads never trigger readahead.

@@ -95,6 +95,15 @@ type Layout interface {
 	// ReadBlock reads file block blk into data (data nil when
 	// simulated; the I/O still costs time).
 	ReadBlock(t sched.Task, ino *Inode, blk core.BlockNo, data []byte) error
+	// ReadRun reads up to n consecutive file blocks starting at blk
+	// as one clustered device request, when the layout's clustering
+	// cap and the on-disk placement allow it: the run ends where the
+	// disk addresses stop being adjacent (or at a hole, which reads
+	// as one zeroed block). data must hold n blocks when real (nil
+	// when simulated). It returns how many blocks the call covered,
+	// always at least 1. With clustering off (the default) it reads
+	// exactly one block — byte-identical to ReadBlock.
+	ReadRun(t sched.Task, ino *Inode, blk core.BlockNo, n int, data []byte) (int, error)
 	// WriteBlocks places and writes the given dirty blocks of one
 	// file. A log-structured layout writes them contiguously.
 	WriteBlocks(t sched.Task, ino *Inode, writes []BlockWrite) error
@@ -115,6 +124,36 @@ type Layout interface {
 
 // ErrNoPlaceExisting is returned by real layouts for PlaceExisting.
 var ErrNoPlaceExisting = fmt.Errorf("layout: PlaceExisting is a simulator-only operation")
+
+// DefaultClusterRun is the run-size cap instantiations use when they
+// turn clustering on without naming one: 16 blocks (64 KB), a
+// transfer long enough to amortize the per-request bus arbitration
+// and controller overhead the disk model charges, short enough to
+// keep queue latency bounded.
+const DefaultClusterRun = 16
+
+// Clustered is a layout that can coalesce block-number-contiguous,
+// disk-address-contiguous runs into multi-block device requests —
+// both on the write path (WriteBlocks emits one request per run) and
+// on the read path (ReadRun covers whole runs). SetClusterRun sets
+// the run-size cap in blocks: 0 or 1 disables clustering, the
+// simulator's byte-identical default; n > 1 allows up to n blocks
+// per device request.
+type Clustered interface {
+	SetClusterRun(n int)
+	ClusterRun() int
+}
+
+// SetClusterRun applies a run-size cap to lay when it supports
+// clustering (a volume array forwards to every member) and reports
+// whether it did.
+func SetClusterRun(lay Layout, n int) bool {
+	c, ok := lay.(Clustered)
+	if ok {
+		c.SetClusterRun(n)
+	}
+	return ok
+}
 
 // RecoveryStats summarizes one layout's crash-recovery pass.
 type RecoveryStats struct {

@@ -1,0 +1,150 @@
+package lfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// deviceImage reads or writes the rig's whole device in one raw
+// request, so a recovery pass (which commits a fresh checkpoint) can
+// be replayed from the same crashed image.
+func deviceImage(tk sched.Task, t *testing.T, r *realRig, op device.Op, img []byte) {
+	t.Helper()
+	req := &device.Request{Op: op, Blocks: int(r.drv.CapacityBlocks()), Data: img}
+	if err := r.drv.Do(tk, req); err != nil {
+		t.Fatalf("device image %v: %v", op, err)
+	}
+}
+
+// TestReadRunAdjacency checks run discovery in the log: blocks
+// written together sit at adjacent addresses and read back in one
+// request; blocks still pending in the open segment are served from
+// memory one at a time.
+func TestReadRunAdjacency(t *testing.T) {
+	r := newRealRig(21, 2048)
+	r.l.SetClusterRun(8)
+	run(t, r.k, func(tk sched.Task) {
+		r.l.Format(tk)
+		r.l.Mount(tk)
+		ino, _ := r.l.AllocInode(tk, core.TypeRegular)
+		if err := writeFile(tk, r.l, ino, 1, 2, 3, 4, 5, 6); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, 8*core.BlockSize)
+		// Still pending in the open segment: served from memory,
+		// one block per call, no device read.
+		before := r.drv.DriverStats().Reads.Value()
+		got, err := r.l.ReadRun(tk, ino, 0, 6, buf)
+		if err != nil || got != 1 {
+			t.Fatalf("pending ReadRun = %d, %v; want 1 from memory", got, err)
+		}
+		if n := r.drv.DriverStats().Reads.Value() - before; n != 0 {
+			t.Fatalf("pending read went to the device (%d requests)", n)
+		}
+		// Flush the segment; now the six blocks are adjacent on disk.
+		if err := r.l.WriteBarrier(tk); err != nil {
+			t.Fatalf("barrier: %v", err)
+		}
+		before = r.drv.DriverStats().Reads.Value()
+		got, err = r.l.ReadRun(tk, ino, 0, 6, buf)
+		if err != nil || got != 6 {
+			t.Fatalf("ReadRun = %d, %v; want 6", got, err)
+		}
+		if n := r.drv.DriverStats().Reads.Value() - before; n != 1 {
+			t.Fatalf("clustered read issued %d requests, want 1", n)
+		}
+		for i := 0; i < 6; i++ {
+			if !bytes.Equal(buf[i*core.BlockSize:(i+1)*core.BlockSize], blockOf(byte(1+i))) {
+				t.Fatalf("run block %d corrupt", i)
+			}
+		}
+		// Overwrite block 2: it moves to the log head, breaking the
+		// run after block 1.
+		if err := r.l.WriteBlocks(tk, ino, []layout.BlockWrite{
+			{Blk: 2, Data: blockOf(0x77), Size: core.BlockSize},
+		}); err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		if err := r.l.WriteBarrier(tk); err != nil {
+			t.Fatalf("barrier: %v", err)
+		}
+		got, err = r.l.ReadRun(tk, ino, 0, 6, buf)
+		if err != nil || got != 2 {
+			t.Fatalf("ReadRun across a rewrite = %d, %v; want 2", got, err)
+		}
+	})
+}
+
+// TestClusteredRecoveryEquivalent proves the clustered roll-forward
+// recovers exactly the state the one-block-at-a-time path does: same
+// workload, same torn log, two recovery incarnations (cluster off
+// and on) must agree block for block.
+func TestClusteredRecoveryEquivalent(t *testing.T) {
+	r := newRealRig(22, 2048)
+	run(t, r.k, func(tk sched.Task) {
+		r.l.Format(tk)
+		r.l.Mount(tk)
+		ino, _ := r.l.AllocInode(tk, core.TypeRegular)
+		id := ino.ID
+		if err := writeFile(tk, r.l, ino, 1, 2); err != nil {
+			t.Fatalf("baseline write: %v", err)
+		}
+		r.l.Sync(tk) // checkpoint: the inode is durable
+		// Data past the checkpoint — a rewrite plus appends, flushed
+		// as a partial segment; recovery must roll it forward off the
+		// segment summaries.
+		var ws []layout.BlockWrite
+		for i := 0; i < 8; i++ {
+			ws = append(ws, layout.BlockWrite{Blk: core.BlockNo(i), Data: blockOf(byte(9 - i)), Size: core.BlockSize})
+		}
+		ino.Size = 8 * core.BlockSize
+		if err := r.l.WriteBlocks(tk, ino, ws); err != nil {
+			t.Fatalf("post-cp write: %v", err)
+		}
+		if err := r.l.WriteBarrier(tk); err != nil {
+			t.Fatalf("barrier: %v", err)
+		}
+		readAll := func(cluster int) ([]byte, int) {
+			l := r.remount()
+			l.SetClusterRun(cluster)
+			st, err := l.Recover(tk)
+			if err != nil {
+				t.Fatalf("cluster=%d: Recover: %v", cluster, err)
+			}
+			ino, err := l.GetInode(tk, id)
+			if err != nil {
+				t.Fatalf("cluster=%d: GetInode: %v", cluster, err)
+			}
+			var out []byte
+			buf := make([]byte, core.BlockSize)
+			for b := 0; b < ino.NBlocks(); b++ {
+				if err := l.ReadBlock(tk, ino, core.BlockNo(b), buf); err != nil {
+					t.Fatalf("cluster=%d: read %d: %v", cluster, b, err)
+				}
+				out = append(out, buf...)
+			}
+			return out, st.RolledSegments
+		}
+		// Recovery commits a fresh checkpoint, so snapshot the crashed
+		// image first and restore it between the two passes.
+		img := make([]byte, r.drv.CapacityBlocks()*core.BlockSize)
+		deviceImage(tk, t, r, device.OpRead, img)
+		off, rolledOff := readAll(1)
+		deviceImage(tk, t, r, device.OpWrite, img)
+		on, rolledOn := readAll(16)
+		if rolledOff == 0 {
+			t.Fatal("recovery rolled no segments; the test exercised nothing")
+		}
+		if rolledOff != rolledOn {
+			t.Fatalf("rolled segments differ: %d off vs %d on", rolledOff, rolledOn)
+		}
+		if !bytes.Equal(off, on) {
+			t.Fatal("clustered recovery produced different file contents")
+		}
+	})
+}

@@ -135,6 +135,10 @@ type LFS struct {
 	cleaning bool
 	mounted  bool
 
+	// clusterRun caps multi-block read transfers (segment writes are
+	// clustered by construction); <= 1 keeps one-block requests.
+	clusterRun int
+
 	segsWritten *stats.Counter
 	partialSegs *stats.Counter
 	segsCleaned *stats.Counter
@@ -187,6 +191,24 @@ func New(k sched.Kernel, name string, part *layout.Partition, cfg Config) *LFS {
 
 // Name returns "lfs".
 func (l *LFS) Name() string { return "lfs" }
+
+// SetClusterRun implements layout.Clustered. The log's writes are
+// already segment-sized; the cap governs the read side (ReadRun run
+// discovery, roll-forward segment reads).
+func (l *LFS) SetClusterRun(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.clusterRun = n
+}
+
+// ClusterRun implements layout.Clustered.
+func (l *LFS) ClusterRun() int {
+	if l.clusterRun < 1 {
+		return 1
+	}
+	return l.clusterRun
+}
 
 // geometry computes the reserved-area sizes for the partition.
 func (l *LFS) geometry() {

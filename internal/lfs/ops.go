@@ -224,6 +224,56 @@ func (l *LFS) ReadBlock(t sched.Task, ino *layout.Inode, blk core.BlockNo, data 
 	return l.part.Read(t, addr, 1, data)
 }
 
+// ReadRun implements the clustered read: file blocks written
+// together sit at adjacent log addresses, so the run is discovered
+// by address adjacency in the block map and moved in one device
+// request. Blocks still in the open segment (pending) are served
+// from memory one at a time, holes as a single zeroed block.
+func (l *LFS) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, data []byte) (int, error) {
+	if lim := l.ClusterRun(); n > lim {
+		n = lim
+	}
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock(t)
+	addr := ino.BlockAddr(blk)
+	if addr < 0 {
+		l.mu.Unlock(t)
+		if data != nil {
+			for i := range data[:core.BlockSize] {
+				data[i] = 0
+			}
+		}
+		return 1, nil
+	}
+	if buf, ok := l.pending[addr]; ok {
+		if data != nil {
+			copy(data, buf)
+		} else if l.part.Mover != nil {
+			t.Sleep(timeNS(l.part.Mover.CopyCost(core.BlockSize)))
+		}
+		l.mu.Unlock(t)
+		return 1, nil
+	}
+	run := 1
+	for run < n {
+		next := addr + int64(run)
+		if ino.BlockAddr(blk+core.BlockNo(run)) != next {
+			break
+		}
+		if _, pend := l.pending[next]; pend {
+			break
+		}
+		run++
+	}
+	l.mu.Unlock(t)
+	if data != nil {
+		data = data[:run*core.BlockSize]
+	}
+	return run, l.part.Read(t, addr, run, data)
+}
+
 // readLogBlock reads one metadata block, honoring the pending map.
 func (l *LFS) readLogBlock(t sched.Task, addr int64, data []byte) error {
 	if buf, ok := l.pending[addr]; ok {

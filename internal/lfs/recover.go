@@ -98,7 +98,6 @@ func (l *LFS) rollForwardLocked(t sched.Task, st *layout.RecoveryStats) error {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
 
-	buf := make([]byte, core.BlockSize)
 	for _, c := range cands {
 		if st.TornTail {
 			// Segments past a torn write postdate the power cut's
@@ -107,13 +106,24 @@ func (l *LFS) rollForwardLocked(t sched.Task, st *layout.RecoveryStats) error {
 		}
 		l.claimSegLocked(c.seg, uint32(c.seq))
 		st.RolledSegments++
+		// The rolled segment's used blocks are read lazily in
+		// clustered runs (one block per request with clustering off)
+		// as the entry loop advances, so a torn entry — unreadable
+		// block or bad checksum — stops the reading exactly where the
+		// one-block-at-a-time path did.
+		segData := make([]byte, len(c.entries)*core.BlockSize)
+		readable := 0
 		applied := 0
 		for i, e := range c.entries {
 			addr := l.segStart(c.seg) + 1 + int64(i)
-			if err := l.part.Read(t, addr, 1, buf); err != nil {
-				st.TornTail = true
-				break
+			if i >= readable {
+				readable += l.readSegRun(t, c.seg, segData, readable, len(c.entries))
+				if i >= readable {
+					st.TornTail = true
+					break
+				}
 			}
+			buf := segData[i*core.BlockSize : (i+1)*core.BlockSize]
 			if blockSum(buf) != c.sums[i] {
 				st.TornTail = true
 				break
@@ -139,6 +149,39 @@ func (l *LFS) rollForwardLocked(t sched.Task, st *layout.RecoveryStats) error {
 		}
 	}
 	return nil
+}
+
+// readSegRun reads the next clustered run of seg's data blocks —
+// starting at block index from, at most the run cap, never past
+// count — into its place in buf, returning how many blocks it could
+// read. A failed multi-block read falls back to single-block reads
+// so the exact tear point is found — the same
+// stop-at-first-unreadable-block semantics the one-block-at-a-time
+// path has (and exactly that path when the cap is 1).
+func (l *LFS) readSegRun(t sched.Task, seg int, buf []byte, from, count int) int {
+	run := count - from
+	if lim := l.ClusterRun(); run > lim {
+		run = lim
+	}
+	if run <= 0 {
+		return 0
+	}
+	base := l.segStart(seg) + 1
+	dst := buf[from*core.BlockSize : (from+run)*core.BlockSize]
+	if err := l.part.Read(t, base+int64(from), run, dst); err == nil {
+		return run
+	}
+	if run == 1 {
+		return 0
+	}
+	// Retry the failed run block by block to locate the tear.
+	for i := 0; i < run; i++ {
+		one := buf[(from+i)*core.BlockSize : (from+i+1)*core.BlockSize]
+		if err := l.part.Read(t, base+int64(from+i), 1, one); err != nil {
+			return i
+		}
+	}
+	return run
 }
 
 // claimSegLocked withdraws seg from the free pool and marks it in

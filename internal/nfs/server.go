@@ -376,7 +376,11 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		data, err := d.Opaque()
+		// Borrow the payload straight out of the frame: WriteAt
+		// copies it into the cache before this call returns, and the
+		// frame buffer is private to this call (readFrame allocates
+		// per message), so the no-copy aliasing rules hold.
+		data, err := d.OpaqueBorrow()
 		if err != nil {
 			return ErrInval
 		}

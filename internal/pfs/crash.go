@@ -40,6 +40,10 @@ type CrashSpec struct {
 	Files, Rounds int
 	// Seed drives the server's policy randomness.
 	Seed int64
+	// ClusterRunBlocks is the clustered-transfer cap under test
+	// (0 = off: the classic one-block-per-request stack; > 1 makes
+	// multi-block data writes — and so torn data runs — possible).
+	ClusterRunBlocks int
 }
 
 // CrashResult is what one exercise observed.
@@ -98,16 +102,21 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 	if spec.Volumes <= 0 {
 		spec.Volumes = 1
 	}
+	cluster := spec.ClusterRunBlocks
+	if cluster < 1 {
+		cluster = -1 // pfs.Config: negative = clustering off
+	}
 	cfg := Config{
-		Path:        filepath.Join(spec.Dir, "crash.img"),
-		Blocks:      2048,
-		Volumes:     spec.Volumes,
-		CacheBlocks: 96,
-		CacheShards: 1,
-		Flush:       spec.Flush,
-		SegBlocks:   64,
-		Layout:      spec.Layout,
-		Seed:        spec.Seed,
+		Path:             filepath.Join(spec.Dir, "crash.img"),
+		Blocks:           2048,
+		Volumes:          spec.Volumes,
+		CacheBlocks:      96,
+		CacheShards:      1,
+		Flush:            spec.Flush,
+		SegBlocks:        64,
+		Layout:           spec.Layout,
+		Seed:             spec.Seed,
+		ClusterRunBlocks: cluster,
 		// The plan is installed with the cut disarmed; the workload
 		// arms it after the baseline is durable.
 		Fault: &device.FaultConfig{Seed: spec.Seed},

@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -16,10 +17,13 @@ func fastWriteDelay() cache.FlushConfig {
 }
 
 // TestCrashMatrix is the crash-injection sweep: both layouts × one
-// and two volumes × three write policies, each cut at several device
-// I/O ordinals. Every cell must recover to a mountable, fsck-clean
-// state with no torn or foreign bytes visible; the persistent
-// policies must additionally lose zero acknowledged writes.
+// and two volumes × three write policies × clustering off and on,
+// each cut at several device I/O ordinals. Every cell must recover
+// to a mountable, fsck-clean state with no torn or foreign bytes
+// visible; the persistent policies must additionally lose zero
+// acknowledged writes. The clustered cells make multi-block FFS data
+// writes — and so torn data runs — possible, and CutTearsWrite tears
+// the final one.
 func TestCrashMatrix(t *testing.T) {
 	layouts := []string{"lfs", "ffs"}
 	widths := []int{1, 2}
@@ -29,6 +33,7 @@ func TestCrashMatrix(t *testing.T) {
 		fastWriteDelay(),
 	}
 	cuts := []int64{1, 7, 23}
+	clusters := []int{0, 16}
 	if testing.Short() {
 		layouts = []string{"lfs"}
 		widths = []int{1}
@@ -38,30 +43,69 @@ func TestCrashMatrix(t *testing.T) {
 		for _, w := range widths {
 			for _, fc := range policies {
 				for _, cut := range cuts {
-					name := lay + "/" + fc.Name
-					res, err := RunCrashPoint(CrashSpec{
-						Dir:        t.TempDir(),
-						Layout:     lay,
-						Volumes:    w,
-						Flush:      fc,
-						CutAfterIO: cut,
-						Seed:       cut,
-					})
-					if err != nil {
-						t.Fatalf("%s vol=%d cut=%d: %v", name, w, cut, err)
-					}
-					if len(res.FsckErrors) != 0 {
-						t.Fatalf("%s vol=%d cut=%d: fsck/policy errors: %v", name, w, cut, res.FsckErrors)
-					}
-					if fc.Persistent && res.LostAcked != 0 {
-						t.Fatalf("%s vol=%d cut=%d: %d acknowledged writes lost under a persistent policy",
-							name, w, cut, res.LostAcked)
-					}
-					if !fc.Persistent && res.Survivors != 0 {
-						t.Fatalf("%s vol=%d cut=%d: volatile policy returned %d survivors",
-							name, w, cut, res.Survivors)
+					for _, cl := range clusters {
+						name := fmt.Sprintf("%s/%s/cl%d", lay, fc.Name, cl)
+						res, err := RunCrashPoint(CrashSpec{
+							Dir:              t.TempDir(),
+							Layout:           lay,
+							Volumes:          w,
+							Flush:            fc,
+							CutAfterIO:       cut,
+							Seed:             cut,
+							ClusterRunBlocks: cl,
+						})
+						if err != nil {
+							t.Fatalf("%s vol=%d cut=%d: %v", name, w, cut, err)
+						}
+						if len(res.FsckErrors) != 0 {
+							t.Fatalf("%s vol=%d cut=%d: fsck/policy errors: %v", name, w, cut, res.FsckErrors)
+						}
+						if fc.Persistent && res.LostAcked != 0 {
+							t.Fatalf("%s vol=%d cut=%d: %d acknowledged writes lost under a persistent policy",
+								name, w, cut, res.LostAcked)
+						}
+						if !fc.Persistent && res.Survivors != 0 {
+							t.Fatalf("%s vol=%d cut=%d: volatile policy returned %d survivors",
+								name, w, cut, res.Survivors)
+						}
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestCrashTornClusteredRun aims the cut straight at the clustered
+// write path: whole-file flushes of multi-block files under
+// clustering produce multi-block data writes on both layouts, and
+// CutTearsWrite persists only a prefix of the final one. Recovery
+// (fsck + NVRAM replay) must still produce a clean volume with zero
+// acknowledged loss. Sweeping many cut points makes it overwhelmingly
+// likely several cells land mid-data-run.
+func TestCrashTornClusteredRun(t *testing.T) {
+	cuts := []int64{2, 3, 5, 9, 13, 17, 21, 29}
+	if testing.Short() {
+		cuts = []int64{5, 13}
+	}
+	for _, lay := range []string{"lfs", "ffs"} {
+		for _, cut := range cuts {
+			res, err := RunCrashPoint(CrashSpec{
+				Dir:              t.TempDir(),
+				Layout:           lay,
+				Volumes:          1,
+				Flush:            cache.NVRAMWhole(24), // whole-file: flush jobs carry runs
+				CutAfterIO:       cut,
+				Seed:             1000 + cut,
+				ClusterRunBlocks: 8,
+			})
+			if err != nil {
+				t.Fatalf("%s cut=%d: %v", lay, cut, err)
+			}
+			if len(res.FsckErrors) != 0 {
+				t.Fatalf("%s cut=%d: fsck errors after torn clustered run: %v", lay, cut, res.FsckErrors)
+			}
+			if res.LostAcked != 0 {
+				t.Fatalf("%s cut=%d: lost %d acknowledged writes", lay, cut, res.LostAcked)
 			}
 		}
 	}

@@ -53,6 +53,12 @@ type Config struct {
 	// ReadaheadBlocks is the sequential-read readahead window:
 	// 0 = the default (8), negative = disabled.
 	ReadaheadBlocks int
+	// ClusterRunBlocks caps clustered multi-block transfers — the
+	// run size a single device request may carry on the data paths
+	// (cache flush writes, readahead fills, LFS roll-forward):
+	// 0 = the default (layout.DefaultClusterRun, clustering on),
+	// negative = off (one block per request).
+	ClusterRunBlocks int
 	// Flush selects the write policy (default: the UPS write-saving
 	// policy the paper's experiments recommend).
 	Flush cache.FlushConfig
@@ -96,8 +102,12 @@ type Server struct {
 	Recovery *layout.RecoveryStats
 
 	pipeline int
+	cluster  int
 	net      *nfs.Server
 }
+
+// ClusterRun reports the effective run-size cap (1 = clustering off).
+func (s *Server) ClusterRun() int { return s.cluster }
 
 // Open creates or reopens a PFS on cfg.Path. A fresh image (set) is
 // formatted; an existing one is mounted and recovered from its
@@ -190,6 +200,13 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.ReadaheadBlocks == 0 {
 		cfg.ReadaheadBlocks = 8
 	}
+	if cfg.ClusterRunBlocks == 0 {
+		cfg.ClusterRunBlocks = layout.DefaultClusterRun
+	}
+	if cfg.ClusterRunBlocks < 1 {
+		cfg.ClusterRunBlocks = 1
+	}
+	layout.SetClusterRun(lay, cfg.ClusterRunBlocks)
 	store := fsys.NewStore()
 	// The on-line server's flushes are durable on completion: a block
 	// the cache frees from its (battery-backed) dirty set is on the
@@ -200,6 +217,9 @@ func Open(cfg Config) (*Server, error) {
 		Replace: cfg.Replace,
 		Flush:   cfg.Flush,
 		Shards:  cfg.CacheShards,
+		// Shard by cluster-sized chunks so a file's contiguous dirty
+		// run flushes from one shard as one multi-block write.
+		ShardChunk: cfg.ClusterRunBlocks,
 	}, store)
 	fs := fsys.New(k, c, core.RealMover{})
 	store.Bind(fs)
@@ -208,7 +228,7 @@ func Open(cfg Config) (*Server, error) {
 	}
 	c.Start()
 
-	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, pipeline: cfg.Pipeline}
+	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, pipeline: cfg.Pipeline, cluster: cfg.ClusterRunBlocks}
 	if plan != nil {
 		// The instant the cut trips, the cache stops issuing flushes:
 		// a dead machine writes nothing more.

@@ -160,6 +160,22 @@ func New(k sched.Kernel, name string, subs []layout.Layout, cfg Config) (*Array,
 // Width returns the number of sub-volumes.
 func (a *Array) Width() int { return len(a.subs) }
 
+// SetClusterRun implements layout.Clustered by forwarding the
+// run-size cap to every member.
+func (a *Array) SetClusterRun(n int) {
+	for _, sub := range a.subs {
+		layout.SetClusterRun(sub, n)
+	}
+}
+
+// ClusterRun implements layout.Clustered (the members share one cap).
+func (a *Array) ClusterRun() int {
+	if c, ok := a.subs[0].(layout.Clustered); ok {
+		return c.ClusterRun()
+	}
+	return 1
+}
+
 // Placement returns the placement policy in effect.
 func (a *Array) Placement() string { return a.cfg.Placement }
 
@@ -471,9 +487,39 @@ func (a *Array) ReadBlock(t sched.Task, ino *layout.Inode, blk core.BlockNo, dat
 	return a.subs[s].ReadBlock(t, af.shadows[s], lb, data)
 }
 
+// ReadRun routes a clustered read to the sub-volume holding the
+// run's first block. Striped placement splits runs at stripe-chunk
+// boundaries — within a chunk the global and local blocks advance in
+// lockstep, so the member's own run discovery sees the contiguity —
+// and the caller continues on the next member with its next call.
+func (a *Array) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, data []byte) (int, error) {
+	if a.single != nil {
+		return a.single.ReadRun(t, ino, blk, n, data)
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		return 0, core.ErrStale
+	}
+	s, lb := af.home, blk
+	if a.striped {
+		s, lb = a.stripe.locate(af.home, blk)
+		if rem := a.stripe.w - int(int64(blk)%int64(a.stripe.w)); n > rem {
+			n = rem
+		}
+	}
+	got, err := a.subs[s].ReadRun(t, af.shadows[s], lb, n, data)
+	if got > 0 {
+		a.reads.Add(s, int64(got))
+	}
+	return got, err
+}
+
 // WriteBlocks splits one file's dirty blocks by target sub-volume
 // and hands each its share. In affinity mode the whole batch goes to
-// the file's home.
+// the file's home; striped mode fans the per-member shares out as
+// concurrent tasks under the real kernel (the members are
+// independent disk stacks), in deterministic member order under the
+// virtual one.
 func (a *Array) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.BlockWrite) error {
 	if a.single != nil {
 		return a.single.WriteBlocks(t, ino, writes)
@@ -493,10 +539,7 @@ func (a *Array) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.Blo
 		s, lb := a.stripe.locate(af.home, w.Blk)
 		per[s] = append(per[s], layout.BlockWrite{Blk: lb, Data: w.Data, Size: w.Size})
 	}
-	for s := range a.subs {
-		if len(per[s]) == 0 {
-			continue
-		}
+	writeSub := func(st sched.Task, s int) error {
 		// A shadow's size must keep covering its share of the block
 		// map: the on-disk inode form decodes BlocksForSize(Size)
 		// map entries, and nothing else records a shadow's extent.
@@ -507,14 +550,48 @@ func (a *Array) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.Blo
 		// lock Sync reads it with.
 		if s != af.home {
 			if end := localExtent(per[s]); end > af.shadows[s].Size {
-				if err := a.subs[s].Truncate(t, af.shadows[s], end); err != nil {
+				if err := a.subs[s].Truncate(st, af.shadows[s], end); err != nil {
 					return fmt.Errorf("volume %s: grow sub %d shadow: %w", a.name, s, err)
 				}
 			}
 		}
 		a.writes.Add(s, int64(len(per[s])))
-		if err := a.subs[s].WriteBlocks(t, af.shadows[s], per[s]); err != nil {
+		if err := a.subs[s].WriteBlocks(st, af.shadows[s], per[s]); err != nil {
 			return fmt.Errorf("volume %s: write sub %d: %w", a.name, s, err)
+		}
+		return nil
+	}
+	var targets []int
+	for s := range a.subs {
+		if len(per[s]) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	if a.k.Virtual() || len(targets) <= 1 {
+		for _, s := range targets {
+			if err := writeSub(t, s); err != nil {
+				return err
+			}
+		}
+		return a.mirrorHomeSize(t, af)
+	}
+	// Real kernel: the per-member writes ride the striped-sync
+	// machinery — one task per member, first error in member order.
+	errs := make([]error, len(targets))
+	done := a.k.NewEvent(a.name + ".writefan")
+	for i, s := range targets {
+		i, s := i, s
+		a.k.Go(fmt.Sprintf("%s.write.d%d", a.name, s), func(st sched.Task) {
+			errs[i] = writeSub(st, s)
+			done.Signal()
+		})
+	}
+	for range targets {
+		done.Wait(t)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return a.mirrorHomeSize(t, af)

@@ -141,6 +141,30 @@ func (d *Decoder) Opaque() ([]byte, error) {
 	return out, nil
 }
 
+// OpaqueBorrow decodes variable-length opaque data without copying:
+// the returned slice aliases the decoder's buffer. The caller must
+// consume (or copy) the bytes before the underlying buffer is reused
+// and must not write through the slice — it is a borrow, not a
+// transfer. The NFS server's write path uses it: the payload is the
+// bulk of the frame, it is copied into the block cache before the
+// handler returns, and the frame buffer is never reused while the
+// call executes. A failed decode consumes nothing, like Opaque.
+func (d *Decoder) OpaqueBorrow() ([]byte, error) {
+	start := d.off
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	padded := (int(n) + 3) &^ 3
+	if err := d.need(padded); err != nil {
+		d.off = start
+		return nil, err
+	}
+	out := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += padded
+	return out, nil
+}
+
 // FixedOpaque decodes n fixed bytes plus padding.
 func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
 	padded := (n + 3) &^ 3

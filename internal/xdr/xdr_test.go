@@ -6,6 +6,55 @@ import (
 	"testing/quick"
 )
 
+// TestOpaqueBorrowAliasing pins the borrow variant's contract: the
+// returned slice aliases the decoder's buffer (no copy), its
+// capacity is clipped so appends cannot clobber the following
+// fields, decoding continues correctly past the padding, and a
+// truncated buffer consumes nothing — exactly like Opaque.
+func TestOpaqueBorrowAliasing(t *testing.T) {
+	e := NewEncoder()
+	e.Opaque([]byte("hello!!")) // 7 bytes + 1 pad
+	e.Uint32(0xDEADBEEF)
+	buf := e.Bytes()
+
+	d := NewDecoder(buf)
+	got, err := d.OpaqueBorrow()
+	if err != nil {
+		t.Fatalf("OpaqueBorrow: %v", err)
+	}
+	if !bytes.Equal(got, []byte("hello!!")) {
+		t.Fatalf("borrowed bytes = %q", got)
+	}
+	// No copy: the slice must point into the decoder's buffer.
+	if &got[0] != &buf[4] {
+		t.Fatal("OpaqueBorrow copied; the slice must alias the buffer")
+	}
+	// The borrow is capacity-clipped: an append must reallocate, not
+	// overwrite the padding/next field in place.
+	if cap(got) != len(got) {
+		t.Fatalf("cap = %d, want %d (clipped to the payload)", cap(got), len(got))
+	}
+	next, err := d.Uint32()
+	if err != nil || next != 0xDEADBEEF {
+		t.Fatalf("field after borrow = %x, %v", next, err)
+	}
+	// Writes through the borrow are visible in the buffer — which is
+	// why the contract forbids them; pin the aliasing direction too.
+	got[0] = 'H'
+	if buf[4] != 'H' {
+		t.Fatal("borrow stopped aliasing the buffer")
+	}
+
+	// Truncated: nothing consumed, same as Opaque.
+	d2 := NewDecoder(buf[:6])
+	if _, err := d2.OpaqueBorrow(); err == nil {
+		t.Fatal("truncated borrow succeeded")
+	}
+	if d2.Remaining() != 6 {
+		t.Fatalf("failed borrow consumed bytes: %d remaining", d2.Remaining())
+	}
+}
+
 func TestScalarRoundTrip(t *testing.T) {
 	e := NewEncoder()
 	e.Uint32(0xDEADBEEF)
