@@ -27,30 +27,31 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all")
-		scaleName = flag.String("scale", "paper", "experiment scale: paper or quick")
-		duration  = flag.Duration("duration", 0, "override trace duration (e.g. 10m)")
-		seed      = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
-		seeds     = flag.Int("seeds", 1, "replication: run every cell at this many seeds and report mean ± stderr")
-		workers   = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
-		seq       = flag.Bool("seq", false, "use the pre-engine sequential path (reference for A/B timing)")
-		ablations = flag.Bool("ablations", false, "run the ablation suite instead of figures")
-		fullCDF   = flag.Bool("cdf", false, "dump the full CDF tables (plottable)")
-		intervals = flag.Bool("intervals", false, "print 15-minute interval reports")
-		serving   = flag.Bool("serving", false, "run the hot-path serving study (sharded cache, pipelined NFS, readahead) instead of figures")
-		servingC  = flag.String("servingclients", "4", "client counts for the serving study's real-kernel cells")
-		disks     = flag.String("disks", "", "array-scaling study: comma-separated array widths (e.g. 1,2,4,8) to replay -scaletrace on, under all four write policies")
-		scTrace   = flag.String("scaletrace", "1a", "trace for the array-scaling study")
-		placement = flag.String("placement", "striped", "array placement for the scaling study: striped or affinity")
-		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for the scaling study")
-		reliab    = flag.Bool("reliability", false, "run the crash-reliability study (power cut + recovery per policy × layout × width) instead of figures")
-		relVols   = flag.String("relvolumes", "1,2", "array widths for the reliability study")
-		relOut    = flag.String("relout", "BENCH_4.json", "write the reliability study as JSON here (empty = don't)")
-		clust     = flag.Bool("clustering", false, "run the I/O clustering study (run-size cap × layout, requests vs blocks) instead of figures")
-		clTrace   = flag.String("cltrace", "1b", "trace for the clustering study (1b's large writers exercise the write runs)")
-		clCaps    = flag.String("clcaps", "0,8,32", "run-size caps for the clustering study (0 = off)")
-		clReal    = flag.Bool("clreal", false, "append the real-kernel pfsbench cells (clustering off vs on) to the clustering study")
-		clOut     = flag.String("clout", "BENCH_5.json", "write the clustering study as JSON here (empty = don't)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, all")
+		scaleName  = flag.String("scale", "paper", "experiment scale: paper or quick")
+		duration   = flag.Duration("duration", 0, "override trace duration (e.g. 10m)")
+		seed       = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
+		seeds      = flag.Int("seeds", 1, "replication: run every cell at this many seeds and report mean ± stderr")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+		seq        = flag.Bool("seq", false, "use the pre-engine sequential path (reference for A/B timing)")
+		ablations  = flag.Bool("ablations", false, "run the ablation suite instead of figures")
+		fullCDF    = flag.Bool("cdf", false, "dump the full CDF tables (plottable)")
+		intervals  = flag.Bool("intervals", false, "print 15-minute interval reports")
+		serving    = flag.Bool("serving", false, "run the hot-path serving study (sharded cache, pipelined NFS, readahead) instead of figures")
+		servingC   = flag.String("servingclients", "4", "client counts for the serving study's real-kernel cells")
+		disks      = flag.String("disks", "", "array-scaling study: comma-separated array widths (e.g. 1,2,4,8) to replay -scaletrace on, under all four write policies")
+		scTrace    = flag.String("scaletrace", "1a", "trace for the array-scaling study")
+		placement  = flag.String("placement", "striped", "array placement for the scaling study: striped or affinity")
+		stripe     = flag.Int("stripe", 8, "stripe width in 4KB blocks for the scaling study")
+		reliab     = flag.Bool("reliability", false, "run the crash-reliability study (power cut + recovery per policy × layout × width) instead of figures")
+		relVols    = flag.String("relvolumes", "1,2", "array widths for the reliability study")
+		relOut     = flag.String("relout", "BENCH_4.json", "write the reliability study as JSON here (empty = don't; -relintents defaults to BENCH_6.json)")
+		relIntents = flag.Bool("relintents", false, "attach the metadata intent log to the reliability study: cells gain the namespace-op loss column (BENCH_6 revision)")
+		clust      = flag.Bool("clustering", false, "run the I/O clustering study (run-size cap × layout, requests vs blocks) instead of figures")
+		clTrace    = flag.String("cltrace", "1b", "trace for the clustering study (1b's large writers exercise the write runs)")
+		clCaps     = flag.String("clcaps", "0,8,32", "run-size caps for the clustering study (0 = off)")
+		clReal     = flag.Bool("clreal", false, "append the real-kernel pfsbench cells (clustering off vs on) to the clustering study")
+		clOut      = flag.String("clout", "BENCH_5.json", "write the clustering study as JSON here (empty = don't)")
 	)
 	flag.Parse()
 
@@ -104,8 +105,23 @@ func main() {
 	if *reliab {
 		widths, err := parseWidths(*relVols)
 		die(err)
+		run := experiments.RunReliabilityStudy
+		if *relIntents {
+			run = experiments.RunReliabilityIntentStudy
+			// The intent-log revision is a different artifact; don't
+			// clobber BENCH_4 unless -relout was given explicitly.
+			relOutSet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "relout" {
+					relOutSet = true
+				}
+			})
+			if !relOutSet {
+				*relOut = "BENCH_6.json"
+			}
+		}
 		start := time.Now()
-		st, err := experiments.RunReliabilityStudy(engine, scale, *scTrace, *seed, nil, widths)
+		st, err := run(engine, scale, *scTrace, *seed, nil, widths)
 		die(err)
 		fmt.Println(experiments.ReliabilityTable(st))
 		if *relOut != "" {

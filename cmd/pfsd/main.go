@@ -40,6 +40,7 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:20490", "listen address")
 		policy    = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
 		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
+		noIntents = flag.Bool("nointentlog", false, "disable the metadata intent log (exposes the historical create+write+crash drop)")
 		statsOut  = flag.Bool("stats", false, "print statistics on shutdown")
 	)
 	flag.Parse()
@@ -71,6 +72,7 @@ func main() {
 		ReadaheadBlocks:  *readahead,
 		ClusterRunBlocks: *cluster,
 		Flush:            fc,
+		NoIntentLog:      *noIntents,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

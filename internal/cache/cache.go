@@ -101,6 +101,11 @@ type Config struct {
 	// as one flush job — per-block striping would shred every run
 	// across the shards and no multi-block write could ever form.
 	ShardChunk int
+	// IntentSlots, when positive, attaches a metadata intent log of
+	// that many ring slots to the cache's persistence domain (see
+	// intent.go). Zero leaves namespace operations unlogged — the
+	// pre-intent-log behavior.
+	IntentSlots int
 }
 
 // Stats is the cache statistics plug-in.
@@ -146,12 +151,13 @@ func (s *Stats) Register(set *stats.Set) {
 // shard count, so a streaming file spreads across every shard. With
 // one shard the behavior is exactly the paper's single-lock cache.
 type Cache struct {
-	k      sched.Kernel
-	cfg    Config
-	store  BackingStore
-	shards []*shard
-	arena  []byte
-	st     *Stats
+	k       sched.Kernel
+	cfg     Config
+	store   BackingStore
+	shards  []*shard
+	arena   []byte
+	st      *Stats
+	intents *IntentLog // nil unless Config.IntentSlots > 0
 
 	// dirtyMu orders the cross-shard dirty-block total (and its
 	// high-water stat): shard mutexes cover only their own counts.
@@ -170,6 +176,10 @@ type Cache struct {
 // when the fault plan's cut trips (or from the crash path) — the
 // dirty state stays exactly as the cut left it for Crash to capture.
 func (c *Cache) PowerOff() { c.off.Store(true) }
+
+// Intents returns the metadata intent log, or nil when the cache was
+// built without one (Config.IntentSlots == 0).
+func (c *Cache) Intents() *IntentLog { return c.intents }
 
 // shard is one lock-striped unit of the cache.
 type shard struct {
@@ -230,6 +240,9 @@ func New(k sched.Kernel, cfg Config, store BackingStore) *Cache {
 			DirtyHW:        stats.NewCounter("cache.dirty_highwater"),
 			ReadaheadFills: stats.NewCounter("cache.readahead_fills"),
 		},
+	}
+	if cfg.IntentSlots > 0 {
+		c.intents = NewIntentLog(cfg.IntentSlots)
 	}
 	if !cfg.Simulated {
 		c.arena = make([]byte, cfg.Blocks*core.BlockSize)

@@ -44,6 +44,17 @@ type CrashReport struct {
 	// back acknowledged writes may be missing after recovery. The
 	// write-delay policy bounds it by MaxAge + ScanInterval.
 	LossWindow time.Duration
+	// Intents holds the unretired metadata intents the persistence
+	// domain preserved, in Seq order (nil without an intent log or
+	// under a volatile policy — the ring lives in the same domain as
+	// the dirty blocks and dies with them).
+	Intents []Intent
+	// LostIntents counts unretired intents lost with the volatile
+	// memory: acknowledged namespace operations recovery cannot
+	// restore.
+	LostIntents int
+	// IntentLossWindow is the age of the oldest lost intent.
+	IntentLossWindow time.Duration
 }
 
 // Crash captures the power-cut state of the cache: every dirty block
@@ -84,6 +95,19 @@ func (c *Cache) Crash(t sched.Task) *CrashReport {
 			rep.Survivors = append(rep.Survivors, s)
 		}
 		sh.mu.Unlock(t)
+	}
+	if c.intents != nil {
+		un := c.intents.Unretired()
+		if rep.Persistent {
+			rep.Intents = un
+		} else {
+			rep.LostIntents = len(un)
+			for _, it := range un {
+				if age := now.Sub(it.At); age > rep.IntentLossWindow {
+					rep.IntentLossWindow = age
+				}
+			}
+		}
 	}
 	sort.Slice(rep.Survivors, func(i, j int) bool {
 		a, b := rep.Survivors[i].Key, rep.Survivors[j].Key

@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// The metadata intent log closes the paper's last acknowledged-loss
+// hole: data blocks of a freshly created file survive a power cut in
+// NVRAM, but the namespace operation that names the file rides the
+// layout checkpoint and can be lost with it — recovery then has
+// survivors pointing at an inode that never became durable and must
+// drop them. The log records each acknowledged namespace operation
+// as a compact intent in the same battery-backed domain the dirty
+// blocks live in: it survives Cache.Crash exactly when the survivors
+// do (and is lost with them under volatile policies, where it only
+// meters the loss). Intents retire once the covering layout
+// checkpoint / log barrier is durable; replay re-executes the
+// unretired tail against the recovered layout before survivors are
+// written back.
+
+// IntentOp is the namespace operation class an intent records.
+type IntentOp uint8
+
+const (
+	// IntentCreate covers regular-file and directory creation.
+	IntentCreate IntentOp = iota + 1
+	// IntentSymlink is a symlink creation; Name2 carries the target.
+	IntentSymlink
+	// IntentRemove unlinks a file or removes an empty directory.
+	IntentRemove
+	// IntentRename moves Parent/Name to Parent2/Name2.
+	IntentRename
+	// IntentTruncate records a size change (truncate or setattr);
+	// Size is the resulting length.
+	IntentTruncate
+)
+
+// String names the op for dumps and logs.
+func (op IntentOp) String() string {
+	switch op {
+	case IntentCreate:
+		return "create"
+	case IntentSymlink:
+		return "symlink"
+	case IntentRemove:
+		return "remove"
+	case IntentRename:
+		return "rename"
+	case IntentTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("op#%d", int(op))
+}
+
+// Intent is one recorded namespace operation. The fields are the
+// minimum replay needs: the subject inode, the containing directory
+// and leaf name (two of each for rename), the type for re-creation
+// and the size for truncation.
+type Intent struct {
+	// Seq orders intents across the whole cache; assigned by Record.
+	Seq uint64
+	// At is when the operation was acknowledged.
+	At sched.Time
+	// Op is the operation class.
+	Op IntentOp
+	// Vol is the volume the operation applied to.
+	Vol core.VolumeID
+	// File is the subject inode.
+	File core.FileID
+	// Parent is the containing directory (the source directory for
+	// rename).
+	Parent core.FileID
+	// Parent2 is the destination directory of a rename.
+	Parent2 core.FileID
+	// Name is the leaf name (the source name for rename).
+	Name string
+	// Name2 is the rename destination name, or the symlink target.
+	Name2 string
+	// Type is the created file's type.
+	Type core.FileType
+	// Size is the resulting length of a truncate.
+	Size int64
+	// Gen is the subject inode's generation at the operation (layout
+	// Version). Replay uses it to tell whether a durable inode under
+	// File is the acknowledged incarnation — safe to adopt — or a
+	// different life of a recycled slot.
+	Gen uint64
+}
+
+// IntentLog is the bounded ring of unretired intents. It is its own
+// lock domain (a plain mutex, not a kernel one): recording happens
+// under the volume namespace lock on whatever task performed the
+// operation, and retirement from the sync path.
+type IntentLog struct {
+	mu      sync.Mutex
+	slots   int
+	seq     uint64
+	total   uint64
+	ring    []Intent                 // unretired, ascending Seq
+	retired map[core.VolumeID]uint64 // per-volume durable watermark
+}
+
+// NewIntentLog builds a log with the given ring capacity.
+func NewIntentLog(slots int) *IntentLog {
+	if slots <= 0 {
+		slots = 256
+	}
+	return &IntentLog{slots: slots, retired: make(map[core.VolumeID]uint64)}
+}
+
+// Record appends an intent (assigning its Seq) and reports whether
+// the ring is under pressure — near its bound — in which case the
+// caller should force a sync so the covering checkpoint retires the
+// backlog. The ring never drops an unretired intent: pressure is the
+// signal, the sync is the relief valve.
+func (l *IntentLog) Record(now sched.Time, it Intent) (seq uint64, pressure bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.total++
+	it.Seq = l.seq
+	it.At = now
+	l.ring = append(l.ring, it)
+	return it.Seq, len(l.ring) >= l.slots*3/4
+}
+
+// Total returns the number of intents ever recorded (retired or not).
+func (l *IntentLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Seq returns the last assigned sequence number.
+func (l *IntentLog) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// RetireVol marks every intent of vol with Seq <= seq as covered by
+// a durable checkpoint and drops it from the ring.
+func (l *IntentLog) RetireVol(vol core.VolumeID, seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.retired[vol] {
+		return
+	}
+	l.retired[vol] = seq
+	kept := l.ring[:0]
+	for _, it := range l.ring {
+		if it.Seq > l.retired[it.Vol] {
+			kept = append(kept, it)
+		}
+	}
+	l.ring = kept
+}
+
+// Unretired returns a copy of the unretired intents in Seq order.
+func (l *IntentLog) Unretired() []Intent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]Intent(nil), l.ring...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Len is the number of unretired intents.
+func (l *IntentLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// The serialized form ("NVRAM intent dump") lets tooling — cmd/fsck
+// -intents — inspect and verify what the battery-backed domain held
+// at a crash. Header: magic, version, count. Each record is
+// length-prefixed and carries an FNV-1a checksum of its body, so a
+// torn or corrupted dump is detected record by record.
+
+const (
+	intentMagic   = 0x50464954 // "PFIT"
+	intentVersion = 1
+)
+
+// EncodeIntents serializes intents (with per-record checksums).
+func EncodeIntents(ints []Intent) []byte {
+	le := binary.LittleEndian
+	buf := make([]byte, 12)
+	le.PutUint32(buf[0:], intentMagic)
+	le.PutUint32(buf[4:], intentVersion)
+	le.PutUint32(buf[8:], uint32(len(ints)))
+	for i := range ints {
+		body := encodeIntentBody(&ints[i])
+		h := fnv.New64a()
+		h.Write(body)
+		var rec [4]byte
+		le.PutUint32(rec[:], uint32(len(body)))
+		buf = append(buf, rec[:]...)
+		buf = append(buf, body...)
+		var sum [8]byte
+		le.PutUint64(sum[:], h.Sum64())
+		buf = append(buf, sum[:]...)
+	}
+	return buf
+}
+
+func encodeIntentBody(it *Intent) []byte {
+	le := binary.LittleEndian
+	body := make([]byte, 66, 66+len(it.Name)+len(it.Name2))
+	le.PutUint64(body[0:], it.Seq)
+	le.PutUint64(body[8:], uint64(it.At))
+	body[16] = byte(it.Op)
+	body[17] = byte(it.Type)
+	le.PutUint32(body[18:], uint32(it.Vol))
+	le.PutUint64(body[22:], uint64(it.File))
+	le.PutUint64(body[30:], uint64(it.Parent))
+	le.PutUint64(body[38:], uint64(it.Parent2))
+	le.PutUint64(body[46:], uint64(it.Size))
+	le.PutUint64(body[54:], it.Gen)
+	le.PutUint16(body[62:], uint16(len(it.Name)))
+	le.PutUint16(body[64:], uint16(len(it.Name2)))
+	body = append(body, it.Name...)
+	body = append(body, it.Name2...)
+	return body
+}
+
+// DecodeIntents parses and verifies a serialized intent dump. Every
+// record's checksum must match and the sequence numbers must be
+// strictly increasing.
+func DecodeIntents(buf []byte) ([]Intent, error) {
+	le := binary.LittleEndian
+	if len(buf) < 12 {
+		return nil, fmt.Errorf("intent dump: truncated header")
+	}
+	if le.Uint32(buf[0:]) != intentMagic {
+		return nil, fmt.Errorf("intent dump: bad magic %#x", le.Uint32(buf[0:]))
+	}
+	if v := le.Uint32(buf[4:]); v != intentVersion {
+		return nil, fmt.Errorf("intent dump: unsupported version %d", v)
+	}
+	n := int(le.Uint32(buf[8:]))
+	out := make([]Intent, 0, n)
+	off := 12
+	var last uint64
+	for i := 0; i < n; i++ {
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("intent dump: record %d truncated", i)
+		}
+		bl := int(le.Uint32(buf[off:]))
+		off += 4
+		if bl < 66 || off+bl+8 > len(buf) {
+			return nil, fmt.Errorf("intent dump: record %d has bad length %d", i, bl)
+		}
+		body := buf[off : off+bl]
+		off += bl
+		h := fnv.New64a()
+		h.Write(body)
+		if got := le.Uint64(buf[off:]); got != h.Sum64() {
+			return nil, fmt.Errorf("intent dump: record %d checksum mismatch", i)
+		}
+		off += 8
+		it, err := decodeIntentBody(body)
+		if err != nil {
+			return nil, fmt.Errorf("intent dump: record %d: %w", i, err)
+		}
+		if it.Seq <= last {
+			return nil, fmt.Errorf("intent dump: record %d sequence %d not increasing", i, it.Seq)
+		}
+		last = it.Seq
+		out = append(out, it)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("intent dump: %d trailing bytes", len(buf)-off)
+	}
+	return out, nil
+}
+
+func decodeIntentBody(body []byte) (Intent, error) {
+	le := binary.LittleEndian
+	var it Intent
+	it.Seq = le.Uint64(body[0:])
+	it.At = sched.Time(le.Uint64(body[8:]))
+	it.Op = IntentOp(body[16])
+	it.Type = core.FileType(body[17])
+	it.Vol = core.VolumeID(le.Uint32(body[18:]))
+	it.File = core.FileID(le.Uint64(body[22:]))
+	it.Parent = core.FileID(le.Uint64(body[30:]))
+	it.Parent2 = core.FileID(le.Uint64(body[38:]))
+	it.Size = int64(le.Uint64(body[46:]))
+	it.Gen = le.Uint64(body[54:])
+	n1 := int(le.Uint16(body[62:]))
+	n2 := int(le.Uint16(body[64:]))
+	if 66+n1+n2 != len(body) {
+		return it, fmt.Errorf("name lengths %d+%d disagree with body size %d", n1, n2, len(body))
+	}
+	it.Name = string(body[66 : 66+n1])
+	it.Name2 = string(body[66+n1:])
+	return it, nil
+}

@@ -180,6 +180,17 @@ func (d *driver) perform(t sched.Task, r *Request) {
 		torn.Blocks = dec.TornBlocks
 		torn.done = nil
 		d.be.perform(t, &torn)
+	} else if r.Op == OpWrite && r.Blocks == 1 && dec.TornBytes > 0 &&
+		dec.TornBytes < core.BlockSize && r.Data != nil {
+		// Sub-block tear: splice the new byte prefix onto the old
+		// block contents (read-modify-write against the back-end).
+		old := &Request{Op: OpRead, Addr: r.Addr, Blocks: 1, Data: make([]byte, core.BlockSize)}
+		d.be.perform(t, old)
+		if old.Err == nil {
+			copy(old.Data[:dec.TornBytes], r.Data[:dec.TornBytes])
+			torn := &Request{Op: OpWrite, Addr: r.Addr, Blocks: 1, Data: old.Data}
+			d.be.perform(t, torn)
+		}
 	}
 	r.Err = dec.Err
 }

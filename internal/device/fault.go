@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // This file is the storage stack's fault/persistence seam. The
@@ -35,6 +37,11 @@ type Decision struct {
 	// request that still reaches the media before the failure — the
 	// torn-write model. Zero means nothing was written.
 	TornBlocks int
+	// TornBytes, with a non-nil Err on a single-block write, is the
+	// byte prefix of the block that reaches the media; the rest of
+	// the block keeps its old contents — the sub-block tear that
+	// splices half an inode-table or bitmap update onto stale bytes.
+	TornBytes int
 }
 
 // Interceptor observes every request at the driver/hardware boundary
@@ -66,6 +73,12 @@ type FaultConfig struct {
 	// whole when it is a multi-block write — the torn final segment
 	// or checkpoint a real power cut leaves behind.
 	CutTearsWrite bool
+	// CutTearsSubBlock extends CutTearsWrite to single-block writes:
+	// the cut request persists only a byte prefix of its one block,
+	// modeling a sector-granular tear through an inode table or
+	// allocation bitmap. Only meaningful with real (data-carrying)
+	// back-ends; simulated stacks ignore the byte prefix.
+	CutTearsSubBlock bool
 }
 
 // FaultPlan is the standard Interceptor: I/O error rates, torn
@@ -102,6 +115,8 @@ func (p *FaultPlan) Intercept(r *Request) Decision {
 		dec := Decision{Err: ErrPowerCut}
 		if p.cfg.CutTearsWrite && r.Op == OpWrite && r.Blocks > 1 {
 			dec.TornBlocks = 1 + p.rng.Intn(r.Blocks-1)
+		} else if p.cfg.CutTearsSubBlock && r.Op == OpWrite && r.Blocks == 1 {
+			dec.TornBytes = 1 + p.rng.Intn(core.BlockSize-1)
 		}
 		fns := p.cutLocked()
 		p.mu.Unlock()

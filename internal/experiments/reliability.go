@@ -38,6 +38,24 @@ type ReliabilityCell struct {
 	// Context.
 	CrashAtMS float64 `json:"crash_at_ms"`
 	Ops       int     `json:"ops"`
+	// Namespace is the intent log's crash exposure — present only in
+	// intent-log studies (BENCH_6); its absence keeps the pre-intent
+	// BENCH_4 artifact byte-identical.
+	Namespace *NamespaceCell `json:"namespace,omitempty"`
+}
+
+// NamespaceCell measures acknowledged namespace operations (create,
+// remove, rename, truncate, symlink) across the cut: intents the
+// battery-backed domain preserved or volatile memory lost, the age of
+// the oldest lost one, and what replay did with the survivors.
+type NamespaceCell struct {
+	Ops             uint64  `json:"ops"`
+	SurvivorIntents int     `json:"survivor_intents"`
+	LostIntents     int     `json:"lost_intents"`
+	LossWindowMS    float64 `json:"loss_window_ms"`
+	Replayed        int     `json:"replayed"`
+	Noop            int     `json:"noop"`
+	Dropped         int     `json:"dropped"`
 }
 
 // ReliabilityStudy is the full grid plus its provenance.
@@ -59,6 +77,19 @@ type ReliabilityStudy struct {
 // recovery played and timed inside each simulation. One engine
 // matrix; deterministic per seed at any worker count.
 func RunReliabilityStudy(e *Engine, s Scale, traceName string, seed int64, layouts []string, widths []int) (*ReliabilityStudy, error) {
+	return runReliability(e, s, traceName, seed, layouts, widths, false)
+}
+
+// RunReliabilityIntentStudy is the intent-log revision of the study
+// (BENCH_6): the same grid with the metadata intent log attached, so
+// every cell also measures acknowledged-namespace-op exposure — zero
+// loss under the persistent policies, a bounded window under
+// write-delay.
+func RunReliabilityIntentStudy(e *Engine, s Scale, traceName string, seed int64, layouts []string, widths []int) (*ReliabilityStudy, error) {
+	return runReliability(e, s, traceName, seed, layouts, widths, true)
+}
+
+func runReliability(e *Engine, s Scale, traceName string, seed int64, layouts []string, widths []int, intents bool) (*ReliabilityStudy, error) {
 	if len(layouts) == 0 {
 		layouts = []string{"lfs", "ffs"}
 	}
@@ -80,6 +111,7 @@ func RunReliabilityStudy(e *Engine, s Scale, traceName string, seed int64, layou
 					cfg.Fault = &device.FaultConfig{Seed: seed}
 					cfg.CrashAt = crashAt
 					cfg.CrashRecover = true
+					cfg.IntentLog = intents
 				},
 			})
 		}
@@ -103,6 +135,10 @@ func RunReliabilityStudy(e *Engine, s Scale, traceName string, seed int64, layou
 		Kind:     "reliability",
 		Revision: 4,
 	}
+	if intents {
+		study.Revision = 6
+		study.Note = "metadata intent log attached: namespace column measures acknowledged-op exposure"
+	}
 	for _, r := range results {
 		c := r.Report.Crash
 		if c == nil {
@@ -111,7 +147,7 @@ func RunReliabilityStudy(e *Engine, s Scale, traceName string, seed int64, layou
 		parts := strings.SplitN(r.Cell.Variant, "-", 2)
 		width := 0
 		fmt.Sscanf(parts[1], "%dvol", &width)
-		study.Cells = append(study.Cells, ReliabilityCell{
+		cell := ReliabilityCell{
 			Policy:            r.Cell.Policy,
 			Layout:            parts[0],
 			Volumes:           width,
@@ -126,7 +162,19 @@ func RunReliabilityStudy(e *Engine, s Scale, traceName string, seed int64, layou
 			DroppedBlocks:     c.DroppedBlocks,
 			CrashAtMS:         float64(c.At) / 1e6,
 			Ops:               r.Report.WallOps,
-		})
+		}
+		if ns := c.Namespace; ns != nil {
+			cell.Namespace = &NamespaceCell{
+				Ops:             ns.Ops,
+				SurvivorIntents: ns.SurvivorIntents,
+				LostIntents:     ns.LostIntents,
+				LossWindowMS:    float64(ns.LossWindow) / 1e6,
+				Replayed:        ns.Replayed,
+				Noop:            ns.Noop,
+				Dropped:         ns.Dropped,
+			}
+		}
+		study.Cells = append(study.Cells, cell)
 	}
 	return study, nil
 }
@@ -138,18 +186,36 @@ func ReliabilityTable(st *ReliabilityStudy) string {
 		st.Trace, st.CrashAt)
 	fmt.Fprintf(&b, "(lost = dirty blocks volatile memory dropped; window = age of oldest lost write;\n")
 	fmt.Fprintf(&b, " NVRAM/UPS cells must lose nothing; write-delay's window is bounded by the 30s+scan rule)\n\n")
-	fmt.Fprintf(&b, "%-14s %-6s %4s %6s %10s %10s %8s %10s %8s %9s\n",
-		"policy", "layout", "vols", "lost", "window", "survivors", "diskKB", "recovery", "replayed", "dropped")
+	withNS := false
 	for _, c := range st.Cells {
-		fmt.Fprintf(&b, "%-14s %-6s %4d %6d %9.0fms %10d %8.1f %8.1fms %8d %9d\n",
+		if c.Namespace != nil {
+			withNS = true
+			break
+		}
+	}
+	fmt.Fprintf(&b, "%-14s %-6s %4s %6s %10s %10s %8s %10s %8s %9s",
+		"policy", "layout", "vols", "lost", "window", "survivors", "diskKB", "recovery", "replayed", "dropped")
+	if withNS {
+		fmt.Fprintf(&b, " %7s %7s %10s", "nsLost", "nsRepl", "nsWindow")
+	}
+	b.WriteByte('\n')
+	for _, c := range st.Cells {
+		fmt.Fprintf(&b, "%-14s %-6s %4d %6d %9.0fms %10d %8.1f %8.1fms %8d %9d",
 			c.Policy, c.Layout, c.Volumes, c.LostBlocks, c.LossWindowMS,
 			c.SurvivorBlocks, float64(c.DiskVolatileBytes)/1024, c.RecoveryMS,
 			c.ReplayedBlocks, c.DroppedBlocks)
+		if ns := c.Namespace; ns != nil {
+			fmt.Fprintf(&b, " %7d %7d %8.0fms", ns.LostIntents, ns.Replayed, ns.LossWindowMS)
+		} else if withNS {
+			fmt.Fprintf(&b, " %7s %7s %10s", "-", "-", "-")
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
-// ReliabilityJSON is the committed-artifact form (BENCH_4.json).
+// ReliabilityJSON is the committed-artifact form (BENCH_4.json, or
+// BENCH_6.json for the intent-log revision).
 func ReliabilityJSON(st *ReliabilityStudy) ([]byte, error) {
 	out, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {

@@ -68,6 +68,47 @@ func TestReliabilityStudyGuarantees(t *testing.T) {
 	}
 }
 
+// TestReliabilityIntentStudy runs the intent-log revision of the grid
+// and checks the namespace half of the paper's guarantee: persistent
+// policies lose no acknowledged namespace operation, replay accounts
+// for every surviving intent, and volatile policies keep none.
+func TestReliabilityIntentStudy(t *testing.T) {
+	st, err := RunReliabilityIntentStudy(Parallel(), reliabilityScale(), "1a", DefaultSeed,
+		[]string{"lfs", "ffs"}, []int{1, 2})
+	if err != nil {
+		t.Fatalf("RunReliabilityIntentStudy: %v", err)
+	}
+	if st.Revision != 6 {
+		t.Fatalf("revision = %d, want 6", st.Revision)
+	}
+	sawOps := false
+	for _, c := range st.Cells {
+		ns := c.Namespace
+		if ns == nil {
+			t.Fatalf("%s/%s/%dvol: intent study cell has no namespace column", c.Policy, c.Layout, c.Volumes)
+		}
+		if ns.Ops > 0 {
+			sawOps = true
+		}
+		if c.Persistent {
+			if ns.LostIntents != 0 || ns.LossWindowMS != 0 {
+				t.Errorf("%s/%s/%dvol: persistent policy lost %d intents (window %.0fms)",
+					c.Policy, c.Layout, c.Volumes, ns.LostIntents, ns.LossWindowMS)
+			}
+			if ns.Replayed+ns.Noop+ns.Dropped != ns.SurvivorIntents {
+				t.Errorf("%s/%s/%dvol: %d surviving intents but %d replayed + %d noop + %d dropped",
+					c.Policy, c.Layout, c.Volumes, ns.SurvivorIntents, ns.Replayed, ns.Noop, ns.Dropped)
+			}
+		} else if ns.SurvivorIntents != 0 {
+			t.Errorf("%s/%s/%dvol: volatile policy kept %d intents",
+				c.Policy, c.Layout, c.Volumes, ns.SurvivorIntents)
+		}
+	}
+	if !sawOps {
+		t.Error("no cell recorded any namespace operation — the trace replay created nothing?")
+	}
+}
+
 // TestReliabilityStudyDeterministic pins the study's JSON byte-for-
 // byte across worker counts — the engine contract.
 func TestReliabilityStudyDeterministic(t *testing.T) {

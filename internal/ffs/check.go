@@ -37,6 +37,11 @@ func (f *FFS) Check(t sched.Task) []error {
 		errs = append(errs, fmt.Errorf("ffs %s: "+format, append([]any{f.name}, args...)...))
 	}
 
+	// Torn bitmap writes found at Mount (checksum mismatches).
+	for _, m := range f.tornMeta {
+		bad("%s", m)
+	}
+
 	owner := map[int64]string{}
 	claimed := map[int64]bool{}
 	claim := func(addr int64, what string) {
@@ -276,6 +281,10 @@ func (f *FFS) Repair(t sched.Task) ([]string, error) {
 			}
 		}
 	}
+	if len(f.tornMeta) > 0 {
+		notef("rewrote %d torn bitmap blocks from the inode table", len(f.tornMeta))
+		f.tornMeta = nil
+	}
 	f.inoBits = newIno
 	f.dataBits = newData
 	f.freeData = 0
@@ -346,6 +355,14 @@ func (f *FFS) GrowSize(t sched.Task, ino *layout.Inode, size int64) {
 	if size > ino.Size {
 		ino.Size = size
 	}
+}
+
+// WithInode implements layout.InodeLocker: fn runs under f.mu, the
+// lock the inode writer holds when it encodes the record.
+func (f *FFS) WithInode(t sched.Task, ino *layout.Inode, fn func()) {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	fn()
 }
 
 // LiveInodes implements layout.InodeEnumerator.

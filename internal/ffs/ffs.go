@@ -11,6 +11,7 @@ package ffs
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/core"
 	"repro/internal/layout"
@@ -57,6 +58,11 @@ type FFS struct {
 	inoBits   []bitset // per group
 	dataBits  []bitset
 	bitsDirty bool
+	tornMeta  []string // bitmap checksum mismatches found at Mount
+
+	// durSeq counts synchronous metadata writes (inode records and
+	// bitmap syncs) — the layout's durability watermark.
+	durSeq uint64
 
 	inodes  map[core.FileID]*layout.Inode
 	mounted bool
@@ -70,8 +76,20 @@ type FFS struct {
 	freeData      int64
 }
 
-// bitset is a simple block-sized bitmap.
+// bitset is a simple block-sized bitmap. The last 8 bytes of the
+// block are reserved for an FNV-1a checksum of the rest, stamped at
+// every bitmap write: a sub-block tear of an in-place bitmap update
+// would otherwise splice stale and fresh allocation state together
+// undetectably. bitmapBits caps the usable bit space accordingly.
 type bitset []byte
+
+const bitmapBits = (core.BlockSize - 8) * 8
+
+func bitmapSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b[:core.BlockSize-8])
+	return h.Sum64()
+}
 
 func (b bitset) get(i int) bool { return b[i/8]&(1<<(i%8)) != 0 }
 func (b bitset) set(i int)      { b[i/8] |= 1 << (i % 8) }
@@ -87,6 +105,13 @@ func New(k sched.Kernel, name string, part *layout.Partition, cfg Config) *FFS {
 	}
 	if cfg.InodesPerGroup%layout.InodesPerBlk != 0 {
 		cfg.InodesPerGroup += layout.InodesPerBlk - cfg.InodesPerGroup%layout.InodesPerBlk
+	}
+	// The checksum tail of each bitmap block bounds the bit space.
+	if cfg.BlocksPerGroup > bitmapBits {
+		cfg.BlocksPerGroup = bitmapBits
+	}
+	if cfg.InodesPerGroup > bitmapBits {
+		cfg.InodesPerGroup = bitmapBits
 	}
 	f := &FFS{
 		name:      name,
@@ -201,6 +226,7 @@ func (f *FFS) Mount(t sched.Task) error {
 	f.ngroups = int(le.Uint32(buf[12:]))
 	f.inoBits = make([]bitset, f.ngroups)
 	f.dataBits = make([]bitset, f.ngroups)
+	f.tornMeta = nil
 	f.freeData = 0
 	for g := 0; g < f.ngroups; g++ {
 		f.inoBits[g] = make(bitset, core.BlockSize)
@@ -210,6 +236,17 @@ func (f *FFS) Mount(t sched.Task) error {
 		}
 		if err := f.part.Read(t, f.groupBase(g)+gDataBitmap, 1, f.dataBits[g]); err != nil {
 			return err
+		}
+		// A checksum mismatch marks a torn bitmap write. The mount
+		// proceeds (the bits may still be mostly right) but Check
+		// reports it and Repair rebuilds from the inode table.
+		if got := binary.LittleEndian.Uint64(f.inoBits[g][core.BlockSize-8:]); got != bitmapSum(f.inoBits[g]) {
+			f.tornMeta = append(f.tornMeta,
+				fmt.Sprintf("group %d inode bitmap checksum mismatch (torn write)", g))
+		}
+		if got := binary.LittleEndian.Uint64(f.dataBits[g][core.BlockSize-8:]); got != bitmapSum(f.dataBits[g]) {
+			f.tornMeta = append(f.tornMeta,
+				fmt.Sprintf("group %d data bitmap checksum mismatch (torn write)", g))
 		}
 		for i := f.dataStart; i < f.cfg.BlocksPerGroup; i++ {
 			if !f.dataBits[g].get(i) {
@@ -234,12 +271,16 @@ func (f *FFS) writeSuper(t sched.Task) error {
 	return f.part.Write(t, 0, 1, buf)
 }
 
-// syncBitmaps writes every group's bitmaps.
+// syncBitmaps writes every group's bitmaps, stamping each block's
+// checksum tail.
 func (f *FFS) syncBitmaps(t sched.Task) error {
+	le := binary.LittleEndian
 	for g := 0; g < f.ngroups; g++ {
 		var ib, db []byte
 		if !f.part.Simulated {
 			ib, db = f.inoBits[g], f.dataBits[g]
+			le.PutUint64(ib[core.BlockSize-8:], bitmapSum(ib))
+			le.PutUint64(db[core.BlockSize-8:], bitmapSum(db))
 		}
 		if err := f.part.Write(t, f.groupBase(g)+gInoBitmap, 1, ib); err != nil {
 			return err
@@ -249,7 +290,17 @@ func (f *FFS) syncBitmaps(t sched.Task) error {
 		}
 	}
 	f.bitsDirty = false
+	f.durSeq++
 	return nil
+}
+
+// DurableSeq implements layout.DurableWatermark: FFS metadata is
+// written synchronously, so the watermark is simply a count of the
+// synchronous metadata writes performed.
+func (f *FFS) DurableSeq(t sched.Task) uint64 {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	return f.durSeq
 }
 
 // Sync flushes bitmaps (inodes are written synchronously already).

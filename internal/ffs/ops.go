@@ -40,11 +40,21 @@ func (f *FFS) AllocInode(t sched.Task, typ core.FileType) (*layout.Inode, error)
 		ID:    id,
 		Type:  typ,
 		Nlink: 1,
-		MTime: int64(f.k.Now()),
-		CTime: int64(f.k.Now()),
+		// The generation number: FFS reuses freed inode numbers, so a
+		// fresh Version is what distinguishes the new file from stale
+		// handles (NFS) naming the old one.
+		Version: uint64(f.k.Now()),
+		MTime:   int64(f.k.Now()),
+		CTime:   int64(f.k.Now()),
 	}
 	f.inodes[id] = ino
 	if err := f.writeInode(t, ino); err != nil {
+		// The synchronous inode write is the commit point. Roll the
+		// slot back on failure (a power cut mid-allocation), or this
+		// member's bitmap drifts from its peers' and the array's
+		// lockstep allocator breaks on the next create.
+		f.inoBits[g].clear(idx)
+		delete(f.inodes, id)
 		return nil, err
 	}
 	return ino, nil
@@ -193,6 +203,7 @@ func (f *FFS) writeInode(t sched.Task, ino *layout.Inode) error {
 		layout.EncodeInode(di, buf[slot*layout.InodeSize:])
 	}
 	f.inoWrites.Inc()
+	f.durSeq++
 	return f.part.Write(t, blk, 1, buf)
 }
 
@@ -295,6 +306,7 @@ func (f *FFS) clearInodeRecord(t sched.Task, id core.FileID) error {
 		}
 	}
 	f.inoWrites.Inc()
+	f.durSeq++
 	return f.part.Write(t, blk, 1, buf)
 }
 

@@ -3,6 +3,7 @@ package fsys
 import (
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/sched"
 )
@@ -80,8 +81,8 @@ func (v *Volume) CreateIn(t sched.Task, dir core.FileID, name string, typ core.F
 	v.files[ino.ID] = f
 	d.entries[name] = ino.ID
 	if typ == core.TypeDirectory {
-		d.ino.Nlink++
-		ino.Nlink = 2
+		v.mutateIno(t, d.ino, func() { d.ino.Nlink++ })
+		v.mutateIno(t, ino, func() { ino.Nlink = 2 })
 		if err := v.lay.UpdateInode(t, d.ino); err != nil {
 			return FileAttr{}, err
 		}
@@ -90,6 +91,10 @@ func (v *Volume) CreateIn(t sched.Task, dir core.FileID, name string, typ core.F
 		return FileAttr{}, err
 	}
 	v.fs.st.Creates.Inc()
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentCreate, File: ino.ID, Gen: ino.Version,
+		Parent: d.ino.ID, Name: name, Type: typ,
+	})
 	return attrOf(ino), nil
 }
 
@@ -113,16 +118,22 @@ func (v *Volume) RemoveIn(t sched.Task, dir core.FileID, name string) error {
 		if len(f.entries) != 0 {
 			return core.ErrNotEmpty
 		}
-		d.ino.Nlink--
+		v.mutateIno(t, d.ino, func() { d.ino.Nlink-- })
 	}
 	delete(d.entries, name)
 	if err := v.writeDir(t, d); err != nil {
 		return err
 	}
 	v.fs.st.Removes.Inc()
-	if f.ino.Nlink > 0 {
-		f.ino.Nlink--
-	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentRemove, File: id,
+		Parent: d.ino.ID, Name: name, Type: f.ino.Type,
+	})
+	v.mutateIno(t, f.ino, func() {
+		if f.ino.Nlink > 0 {
+			f.ino.Nlink--
+		}
+	})
 	if f.refs > 0 {
 		f.unlinked = true
 		return nil
@@ -155,8 +166,15 @@ func (v *Volume) RenameIn(t sched.Task, fromDir core.FileID, fromName string, to
 		return err
 	}
 	if td != fd {
-		return v.writeDir(t, td)
+		if err := v.writeDir(t, td); err != nil {
+			return err
+		}
 	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentRename, File: id,
+		Parent: fd.ino.ID, Name: fromName,
+		Parent2: td.ino.ID, Name2: toName,
+	})
 	return nil
 }
 
@@ -198,6 +216,9 @@ func (v *Volume) SymlinkIn(t sched.Task, dir core.FileID, name, target string) (
 	if err := v.writeSymlink(t, f); err != nil {
 		return attr, err
 	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentSymlink, File: f.ino.ID, Name2: target,
+	})
 	return attrOf(f.ino), nil
 }
 
@@ -231,11 +252,14 @@ func (v *Volume) SetSizeByID(t sched.Task, id core.FileID, size int64) (FileAttr
 			return FileAttr{}, err
 		}
 	} else {
-		f.ino.Size = size
+		v.mutateIno(t, f.ino, func() { f.ino.Size = size })
 		if err := v.lay.UpdateInode(t, f.ino); err != nil {
 			return FileAttr{}, err
 		}
 	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentTruncate, File: f.ino.ID, Size: size,
+	})
 	return attrOf(f.ino), nil
 }
 

@@ -83,7 +83,7 @@ func (v *Volume) writeDir(t sched.Task, d *File) error {
 			return err
 		}
 	}
-	d.ino.Size = size
+	v.mutateIno(t, d.ino, func() { d.ino.Size = size })
 	return v.lay.UpdateInode(t, d.ino)
 }
 
@@ -101,10 +101,58 @@ func (v *Volume) loadDirectory(t sched.Task, d *File) error {
 	}
 	ents, err := decodeDir(buf)
 	if err != nil {
-		return err
+		// A torn log tail can leave a newer directory image on disk
+		// than the durable inode size covers (the data block hardened,
+		// the inode record with the grown size did not). The image is
+		// self-describing, so re-read whole blocks and keep the entries
+		// that parse — the crash discipline's loss, not a mount error.
+		ents, err = v.loadDirTorn(t, d)
+		if err != nil {
+			return err
+		}
 	}
 	d.entries = ents
 	return nil
+}
+
+// loadDirTorn re-reads a directory whose image outgrew its durable
+// size, block-aligned and straight from the layout, and prefix-decodes
+// whatever complete entries survive.
+func (v *Volume) loadDirTorn(t sched.Task, d *File) (map[string]core.FileID, error) {
+	nb := (d.ino.Size + core.BlockSize - 1) / core.BlockSize
+	buf := make([]byte, nb*core.BlockSize)
+	for b := int64(0); b < nb; b++ {
+		if err := v.lay.ReadBlock(t, d.ino, core.BlockNo(b),
+			buf[b*core.BlockSize:(b+1)*core.BlockSize]); err != nil {
+			return nil, err
+		}
+	}
+	return decodeDirPrefix(buf), nil
+}
+
+// decodeDirPrefix parses a directory image, stopping (without error)
+// at the first entry the buffer cannot complete.
+func decodeDirPrefix(buf []byte) map[string]core.FileID {
+	out := make(map[string]core.FileID)
+	if len(buf) < 4 {
+		return out
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(buf[0:]))
+	off := 4
+	for i := 0; i < n; i++ {
+		if off+10 > len(buf) {
+			return out
+		}
+		id := core.FileID(le.Uint64(buf[off:]))
+		nl := int(le.Uint16(buf[off+8:]))
+		if off+10+nl > len(buf) {
+			return out
+		}
+		out[string(buf[off+10:off+10+nl])] = id
+		off += 10 + nl
+	}
+	return out
 }
 
 // writeSymlink persists a symlink target as the file's content.
@@ -117,7 +165,7 @@ func (v *Volume) writeSymlink(t sched.Task, f *File) error {
 	if err := v.writeData(t, f, 0, data, size); err != nil {
 		return err
 	}
-	f.ino.Size = size
+	v.mutateIno(t, f.ino, func() { f.ino.Size = size })
 	return v.lay.UpdateInode(t, f.ino)
 }
 

@@ -188,6 +188,10 @@ type FileAttr struct {
 	Mode  uint32
 	MTime int64
 	CTime int64
+	// Gen is the inode generation (layout Version): it changes when
+	// an inode number is reused, so stateless file handles embedding
+	// it go stale instead of aliasing the new file.
+	Gen uint64
 }
 
 func attrOf(ino *layout.Inode) FileAttr {
@@ -199,5 +203,6 @@ func attrOf(ino *layout.Inode) FileAttr {
 		Mode:  ino.Mode,
 		MTime: ino.MTime,
 		CTime: ino.CTime,
+		Gen:   ino.Version,
 	}
 }

@@ -14,6 +14,7 @@ package fsys
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/cache"
@@ -33,6 +34,10 @@ type FS struct {
 	vols  map[core.VolumeID]*Volume
 	ra    int
 	st    *Stats
+
+	// replaying suppresses the intent log's pressure sync while
+	// ReplayNVRAM re-records replayed operations.
+	replaying bool
 }
 
 // SetReadahead turns on sequential-read readahead: once a file is
@@ -191,13 +196,46 @@ func (v *Volume) Root() core.FileID { return v.root.ino.ID }
 // Volumes returns the number of mounted volumes.
 func (fs *FS) Volumes() int { return len(fs.vols) }
 
-// SyncAll flushes the cache and checkpoints every volume.
+// SyncAll flushes the cache and checkpoints every volume. With an
+// intent log attached this is also the retirement barrier: the log
+// sequence is snapshotted before the flush, and a volume's intents up
+// to that snapshot retire once its checkpoint is durable — every
+// operation they cover is older than the flush, so its directory
+// blocks and inode records just became stable. Retirement is gated on
+// the flush actually emptying the cache (a failed flush leaves its
+// blocks dirty; retiring then would unprotect them) and, for layouts
+// exposing a durability watermark, on the watermark not regressing
+// across the checkpoint.
 func (fs *FS) SyncAll(t sched.Task) error {
+	log := fs.cache.Intents()
+	var hi uint64
+	if log != nil {
+		hi = log.Seq()
+	}
 	fs.cache.FlushAll(t)
-	for _, v := range fs.vols {
+	ids := make([]core.VolumeID, 0, len(fs.vols))
+	for id := range fs.vols {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	clean := fs.cache.DirtyCount() == 0
+	for _, id := range ids {
+		v := fs.vols[id]
+		var wm0 uint64
+		wm, hasWM := v.lay.(layout.DurableWatermark)
+		if hasWM {
+			wm0 = wm.DurableSeq(t)
+		}
 		if err := v.lay.Sync(t); err != nil {
 			return err
 		}
+		if log == nil || !clean {
+			continue
+		}
+		if hasWM && wm.DurableSeq(t) < wm0 {
+			continue // watermark regressed: do not trust this checkpoint
+		}
+		log.RetireVol(id, hi)
 	}
 	return nil
 }

@@ -1,0 +1,52 @@
+package fsys
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Namespace operations are acknowledged the moment they return, but
+// their durability rides the layout checkpoint — the one hole left
+// in the battery-backed no-loss guarantee (a created file's data
+// survives in NVRAM while the create itself is lost). Each mutating
+// namespace operation therefore records a compact intent into the
+// cache's intent log (the same persistence domain the dirty blocks
+// live in) right after it succeeds: an operation is acknowledged iff
+// its intent is recorded. SyncAll retires intents once the covering
+// flush + checkpoint is durable; ReplayNVRAM re-executes the
+// unretired tail at remount.
+
+// logIntent records one acknowledged namespace operation. A nil
+// intent log (Config.IntentSlots == 0) makes this a no-op — the
+// pre-intent-log configuration, byte-identical for the simulator.
+// Ring pressure forces a SyncAll so retirement keeps the ring
+// bounded; replayed operations re-record (protecting them against a
+// second cut) but must not recurse into sync.
+func (v *Volume) logIntent(t sched.Task, it cache.Intent) {
+	log := v.fs.cache.Intents()
+	if log == nil {
+		return
+	}
+	it.Vol = v.ID
+	if _, pressure := log.Record(v.fs.k.Now(), it); pressure && !v.fs.replaying {
+		// The relief valve: flush + checkpoint retires everything
+		// recorded so far. Holds only cache and layout locks, so it
+		// is safe under the namespace or file lock.
+		_ = v.fs.SyncAll(t)
+	}
+}
+
+// GenOf returns the inode generation number (layout Version) for id
+// — the NFS server validates file handles against it so a reused
+// inode number yields a stale-handle error instead of aliasing a
+// different file.
+func (v *Volume) GenOf(t sched.Task, id core.FileID) (uint64, error) {
+	v.mu.Lock(t)
+	defer v.mu.Unlock(t)
+	f, err := v.getLocked(t, id)
+	if err != nil {
+		return 0, err
+	}
+	return f.ino.Version, nil
+}

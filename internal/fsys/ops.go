@@ -3,6 +3,7 @@ package fsys
 import (
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/sched"
 )
@@ -51,8 +52,8 @@ func (v *Volume) createLocked(t sched.Task, path string, typ core.FileType) (*Ha
 	v.files[ino.ID] = f
 	parent.entries[name] = ino.ID
 	if typ == core.TypeDirectory {
-		parent.ino.Nlink++
-		ino.Nlink = 2
+		v.mutateIno(t, parent.ino, func() { parent.ino.Nlink++ })
+		v.mutateIno(t, ino, func() { ino.Nlink = 2 })
 		if err := v.lay.UpdateInode(t, parent.ino); err != nil {
 			return nil, err
 		}
@@ -61,6 +62,10 @@ func (v *Volume) createLocked(t sched.Task, path string, typ core.FileType) (*Ha
 		return nil, err
 	}
 	f.refs++
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentCreate, File: ino.ID, Gen: ino.Version,
+		Parent: parent.ino.ID, Name: name, Type: typ,
+	})
 	return &Handle{f: f}, nil
 }
 
@@ -86,6 +91,11 @@ func (v *Volume) Symlink(t sched.Task, path, target string) error {
 		return err
 	}
 	h.f.refs--
+	// The create intent above recorded the link's birth; this one
+	// carries the target so replay can rebuild the link body.
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentSymlink, File: h.f.ino.ID, Name2: target,
+	})
 	return nil
 }
 
@@ -164,7 +174,13 @@ func (v *Volume) WriteAt(t sched.Task, h *Handle, off int64, data []byte, n int6
 func (v *Volume) Truncate(t sched.Task, h *Handle, size int64) error {
 	h.f.mu.Lock(t)
 	defer h.f.mu.Unlock(t)
-	return v.truncateLocked(t, h.f, size)
+	if err := v.truncateLocked(t, h.f, size); err != nil {
+		return err
+	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentTruncate, File: h.f.ino.ID, Size: size,
+	})
+	return nil
 }
 
 // Fsync writes the file's dirty blocks and the volume metadata.
@@ -199,9 +215,15 @@ func (v *Volume) Remove(t sched.Task, path string) error {
 		return err
 	}
 	v.fs.st.Removes.Inc()
-	if f.ino.Nlink > 0 {
-		f.ino.Nlink--
-	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentRemove, File: id,
+		Parent: parent.ino.ID, Name: name,
+	})
+	v.mutateIno(t, f.ino, func() {
+		if f.ino.Nlink > 0 {
+			f.ino.Nlink--
+		}
+	})
 	if f.refs > 0 {
 		f.unlinked = true
 		return nil
@@ -232,13 +254,17 @@ func (v *Volume) Rmdir(t sched.Task, path string) error {
 		return core.ErrNotEmpty
 	}
 	delete(parent.entries, name)
-	parent.ino.Nlink--
+	v.mutateIno(t, parent.ino, func() { parent.ino.Nlink-- })
 	if err := v.writeDir(t, parent); err != nil {
 		return err
 	}
 	if err := v.lay.UpdateInode(t, parent.ino); err != nil {
 		return err
 	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentRemove, File: id,
+		Parent: parent.ino.ID, Name: name, Type: core.TypeDirectory,
+	})
 	return v.destroyLocked(t, d)
 }
 
@@ -267,8 +293,15 @@ func (v *Volume) Rename(t sched.Task, from, to string) error {
 		return err
 	}
 	if tp != fp {
-		return v.writeDir(t, tp)
+		if err := v.writeDir(t, tp); err != nil {
+			return err
+		}
 	}
+	v.logIntent(t, cache.Intent{
+		Op: cache.IntentRename, File: id,
+		Parent: fp.ino.ID, Name: fname,
+		Parent2: tp.ino.ID, Name2: tname,
+	})
 	return nil
 }
 

@@ -143,6 +143,21 @@ func (v *Volume) prefetchBlock(t sched.Task, f *File, blk core.BlockNo) {
 	v.fs.cache.Release(t, b)
 }
 
+// mutateIno applies a scalar inode-field update (Nlink, exact size)
+// under the layout's metadata lock on the real kernel, where the
+// cache flusher may be encoding the same inode concurrently — the
+// GrowSize publication rule, generalized. The virtual kernel is
+// cooperative: direct call, simulated schedules untouched. fn must
+// only touch inode fields; persisting the change (UpdateInode) stays
+// with the caller.
+func (v *Volume) mutateIno(t sched.Task, ino *layout.Inode, fn func()) {
+	if il, ok := v.lay.(layout.InodeLocker); ok && !v.fs.k.Virtual() {
+		il.WithInode(t, ino, fn)
+		return
+	}
+	fn()
+}
+
 // truncateLocked shrinks file data: cached blocks past the boundary
 // are discarded (dirty ones count as saved writes) and the layout
 // frees the storage. Caller holds v.mu or f.mu appropriately.

@@ -3,6 +3,7 @@ package layout
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/core"
 )
@@ -23,6 +24,19 @@ const (
 )
 
 const inodeMagic = 0x50464931 // "PFI1"
+
+// The record tail carries an FNV-1a checksum of the encoded bytes,
+// mirroring the LFS segment-summary scheme: a sub-block tear that
+// splices half an old record onto half a new one (the classic FFS
+// inode-table hazard — the records are smaller than the device
+// block) is caught at decode instead of silently serving a chimera.
+const inodeSumOff = 176
+
+func inodeSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
 
 // DiskInode is the serialized inode form: meta-data plus the root
 // pointers of the block map.
@@ -56,6 +70,7 @@ func EncodeInode(d *DiskInode, buf []byte) {
 	}
 	le.PutUint64(buf[off:], uint64(d.Ind))
 	le.PutUint64(buf[off+8:], uint64(d.DInd))
+	le.PutUint64(buf[inodeSumOff:], inodeSum(buf[:inodeSumOff]))
 }
 
 // DecodeInode parses an inode record.
@@ -66,6 +81,9 @@ func DecodeInode(buf []byte) (*DiskInode, error) {
 	le := binary.LittleEndian
 	if le.Uint32(buf[0:]) != inodeMagic {
 		return nil, fmt.Errorf("layout: bad inode magic %#x", le.Uint32(buf[0:]))
+	}
+	if got, want := le.Uint64(buf[inodeSumOff:]), inodeSum(buf[:inodeSumOff]); got != want {
+		return nil, fmt.Errorf("layout: torn inode record (checksum %#x, want %#x)", got, want)
 	}
 	d := &DiskInode{}
 	d.Ino.Type = core.FileType(buf[4])

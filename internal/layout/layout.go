@@ -196,6 +196,19 @@ type Sizer interface {
 	GrowSize(t sched.Task, ino *Inode, size int64)
 }
 
+// InodeLocker generalizes Sizer: fn runs under the same lock the
+// layout's concurrent inode readers hold (the LFS segment packer,
+// the FFS inode encoder, the array's home-shadow mirror), so a flush
+// racing a namespace operation never encodes a half-applied field
+// update. The front-end wraps its Nlink and exact-size mutations in
+// it on the real kernel; the virtual kernel calls fn directly, per
+// the Sizer rule. ino picks the lock (an array routes to the home
+// member); fn must only touch inode fields — calling back into the
+// layout would self-deadlock.
+type InodeLocker interface {
+	WithInode(t sched.Task, ino *Inode, fn func())
+}
+
 // Barrier is a layout whose accepted writes may still sit in a
 // volatile staging buffer (the LFS open segment). WriteBarrier
 // pushes them to stable storage without the full checkpoint a Sync
@@ -206,6 +219,17 @@ type Sizer interface {
 // write in place durably (FFS) simply don't implement it.
 type Barrier interface {
 	WriteBarrier(t sched.Task) error
+}
+
+// DurableWatermark is a layout that exposes a monotonically
+// increasing durability sequence: it advances only when staged
+// metadata actually reaches stable storage (the LFS log/checkpoint
+// sequence, FFS's count of synchronous metadata writes; an array
+// reports the minimum over its members). The intent-log retirement
+// path snapshots it around a sync to prove the covering checkpoint
+// is durable before unretiring acknowledged namespace operations.
+type DurableWatermark interface {
+	DurableSeq(t sched.Task) uint64
 }
 
 // Recoverer is a layout that can bring a crashed volume to a

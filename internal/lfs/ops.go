@@ -24,8 +24,12 @@ func (l *LFS) AllocInode(t sched.Task, typ core.FileType) (*layout.Inode, error)
 		ID:    id,
 		Type:  typ,
 		Nlink: 1,
-		MTime: int64(l.k.Now()),
-		CTime: int64(l.k.Now()),
+		// The generation number: a reused inode id gets a fresh
+		// Version, so stale handles (NFS) can be told from the new
+		// file after recovery reallocates the slot.
+		Version: uint64(l.k.Now()),
+		MTime:   int64(l.k.Now()),
+		CTime:   int64(l.k.Now()),
 	}
 	ent := &imapEnt{addr: -1}
 	if old := l.imap[id]; old != nil {
@@ -173,12 +177,16 @@ func (l *LFS) FreeInode(t sched.Task, id core.FileID) error {
 			l.deadBlock(a)
 		}
 	}
-	if ent.addr >= 0 {
-		l.noteInodeSlotDead(ent.addr)
-	}
+	// Invalidate the imap slot before the dead-slot scan: the scan
+	// walks the block's inode list against the imap, and this entry
+	// must not keep its own (now dead) block alive.
+	addr := ent.addr
 	ent.addr = -1
 	ent.version++
 	l.imapDirty[int(id)/imapPerChunk] = true
+	if addr >= 0 {
+		l.noteInodeSlotDead(addr)
+	}
 	delete(l.inodes, id)
 	delete(l.dirtyInodes, id)
 	return nil

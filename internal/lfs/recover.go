@@ -364,14 +364,37 @@ func (l *LFS) GrowSize(t sched.Task, ino *layout.Inode, size int64) {
 	}
 }
 
+// WithInode implements layout.InodeLocker: fn runs under l.mu, so
+// the segment packer never encodes the inode mid-mutation.
+func (l *LFS) WithInode(t sched.Task, ino *layout.Inode, fn func()) {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	fn()
+}
+
 // WriteBarrier implements layout.Barrier: the open segment (with the
 // blocks WriteBlocks has staged so far) goes to disk as a partial
-// segment. Data made durable this way needs no checkpoint to
-// survive — roll-forward re-attaches it from the segment summary.
+// segment, together with every dirty inode record. Packing the
+// inodes matters for the paper's no-acknowledged-loss argument: a
+// barrier that flushed only data would leave the records volatile,
+// and roll-forward would count the just-hardened blocks of a fresh
+// file as orphans of an inode that never reached the log. With the
+// records in the same barrier, data made durable this way needs no
+// checkpoint to survive.
 func (l *LFS) WriteBarrier(t sched.Task) error {
 	l.mu.Lock(t)
 	defer l.mu.Unlock(t)
-	return l.flushSegBuf(t)
+	return l.writeCurSegment(t, true)
+}
+
+// DurableSeq implements layout.DurableWatermark: the log sequence
+// number advances with every segment flush and checkpoint, so a
+// caller that snapshots it around a sync can tell the covering
+// barrier really reached the disk.
+func (l *LFS) DurableSeq(t sched.Task) uint64 {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	return l.seq
 }
 
 // LiveInodes implements layout.InodeEnumerator.

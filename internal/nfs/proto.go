@@ -122,16 +122,23 @@ func ErrorOf(status uint32) error {
 	}
 }
 
-// FH is the stateless file handle: volume plus inode number.
+// FH is the stateless file handle: volume, inode number and the
+// inode's generation. The generation pins the handle to one life of
+// the inode slot — layouts that recycle inode numbers (FFS after a
+// remove, any layout after crash recovery re-creates a file) mint a
+// fresh generation, and the server answers ErrStale for the old one
+// instead of silently serving the new file's bytes.
 type FH struct {
 	Vol  core.VolumeID
 	File core.FileID
+	Gen  uint64
 }
 
 // encodeFH appends the handle.
 func encodeFH(e *xdr.Encoder, h FH) {
 	e.Uint32(uint32(h.Vol))
 	e.Uint64(uint64(h.File))
+	e.Uint64(h.Gen)
 }
 
 // decodeFH reads a handle.
@@ -144,7 +151,11 @@ func decodeFH(d *xdr.Decoder) (FH, error) {
 	if err != nil {
 		return FH{}, err
 	}
-	return FH{Vol: core.VolumeID(v), File: core.FileID(f)}, nil
+	g, err := d.Uint64()
+	if err != nil {
+		return FH{}, err
+	}
+	return FH{Vol: core.VolumeID(v), File: core.FileID(f), Gen: g}, nil
 }
 
 // encodeAttr appends file attributes.
@@ -156,6 +167,7 @@ func encodeAttr(e *xdr.Encoder, a fsys.FileAttr) {
 	e.Uint32(a.Mode)
 	e.Int64(a.MTime)
 	e.Int64(a.CTime)
+	e.Uint64(a.Gen)
 }
 
 // decodeAttr reads file attributes.
@@ -189,6 +201,11 @@ func decodeAttr(d *xdr.Decoder) (fsys.FileAttr, error) {
 	if err != nil {
 		return a, err
 	}
+	gen, err := d.Uint64()
+	if err != nil {
+		return a, err
+	}
+	a.Gen = gen
 	a.ID = core.FileID(id)
 	a.Type = core.FileType(typ)
 	a.Size = size

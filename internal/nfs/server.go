@@ -251,6 +251,28 @@ func (s *Server) finishCall(conn net.Conn) {
 	}
 }
 
+// resolve maps a handle to its volume and validates the generation:
+// a handle minted for an earlier life of the inode slot (removed and
+// re-created, or re-allocated by crash recovery) is cleanly stale,
+// never an alias for the slot's current file. Handles without a
+// generation (zero) skip the check.
+func (s *Server) resolve(t sched.Task, fh FH) (*fsys.Volume, uint32) {
+	v := s.fs.Vol(fh.Vol)
+	if v == nil {
+		return nil, ErrStale
+	}
+	if fh.Gen != 0 {
+		gen, err := v.GenOf(t, fh.File)
+		if err != nil {
+			return nil, StatusOf(err)
+		}
+		if gen != fh.Gen {
+			return nil, ErrStale
+		}
+	}
+	return v, OK
+}
+
 // dispatch decodes args from d, performs the procedure, encodes
 // results into e (after an 8-byte placeholder the caller strips),
 // and returns the status.
@@ -273,7 +295,7 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return StatusOf(err)
 		}
-		encodeFH(e, FH{Vol: core.VolumeID(volID), File: root})
+		encodeFH(e, FH{Vol: core.VolumeID(volID), File: root, Gen: attr.Gen})
 		encodeAttr(e, attr)
 		return OK
 
@@ -282,9 +304,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		attr, err := v.StatByID(t, fh.File)
 		if err != nil {
@@ -302,9 +324,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		attr, err := v.SetSizeByID(t, fh.File, size)
 		if err != nil {
@@ -322,15 +344,15 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		attr, err := v.LookupIn(t, fh.File, name)
 		if err != nil {
 			return StatusOf(err)
 		}
-		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID})
+		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID, Gen: attr.Gen})
 		encodeAttr(e, attr)
 		return OK
 
@@ -350,9 +372,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if count > MaxIO {
 			count = MaxIO
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		h, err := v.OpenByID(t, fh.File)
 		if err != nil {
@@ -384,9 +406,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		h, err := v.OpenByID(t, fh.File)
 		if err != nil {
@@ -409,9 +431,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		typ := core.TypeRegular
 		if proc == ProcMkdir {
@@ -421,7 +443,7 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return StatusOf(err)
 		}
-		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID})
+		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID, Gen: attr.Gen})
 		encodeAttr(e, attr)
 		return OK
 
@@ -434,9 +456,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		return StatusOf(v.RemoveIn(t, fh.File, name))
 
@@ -460,9 +482,12 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if from.Vol != to.Vol {
 			return ErrInval
 		}
-		v := s.fs.Vol(from.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, from)
+		if st != OK {
+			return st
+		}
+		if _, st := s.resolve(t, to); st != OK {
+			return st
 		}
 		return StatusOf(v.RenameIn(t, from.File, fromName, to.File, toName))
 
@@ -471,9 +496,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		ents, err := v.ReaddirByID(t, fh.File)
 		if err != nil {
@@ -499,15 +524,15 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		attr, err := v.SymlinkIn(t, fh.File, name, target)
 		if err != nil {
 			return StatusOf(err)
 		}
-		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID})
+		encodeFH(e, FH{Vol: fh.Vol, File: attr.ID, Gen: attr.Gen})
 		encodeAttr(e, attr)
 		return OK
 
@@ -516,9 +541,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		target, err := v.ReadlinkByID(t, fh.File)
 		if err != nil {
@@ -532,9 +557,9 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		if err != nil {
 			return ErrInval
 		}
-		v := s.fs.Vol(fh.Vol)
-		if v == nil {
-			return ErrStale
+		v, st := s.resolve(t, fh)
+		if st != OK {
+			return st
 		}
 		e.Uint32(core.BlockSize)
 		e.Int64(v.FreeBlocks())

@@ -37,6 +37,14 @@ func (s *System) crashTask(t sched.Task, rep *trace.Replayer) *CrashInfo {
 		LostBlocks:     cr.LostBlocks,
 		LossWindow:     cr.LossWindow,
 	}
+	if log := s.Cache.Intents(); log != nil {
+		info.Namespace = &NamespaceCrashInfo{
+			Ops:             log.Total(),
+			SurvivorIntents: len(cr.Intents),
+			LostIntents:     cr.LostIntents,
+			LossWindow:      cr.IntentLossWindow,
+		}
+	}
 	for _, d := range s.Disks {
 		info.DiskVolatileBytes += d.VolatileBytes()
 	}
@@ -58,8 +66,13 @@ func (s *System) crashTask(t sched.Task, rep *trace.Replayer) *CrashInfo {
 			}
 		}
 	}
-	replayed, dropped, err := s.FS.ReplayNVRAM(t, cr.Survivors)
-	info.ReplayedBlocks, info.DroppedBlocks = replayed, dropped
+	st, err := s.FS.ReplayNVRAM(t, cr.Survivors, cr.Intents)
+	info.ReplayedBlocks, info.DroppedBlocks = st.Replayed, st.Dropped
+	if info.Namespace != nil {
+		info.Namespace.Replayed = st.IntentsApplied
+		info.Namespace.Noop = st.IntentsNoop
+		info.Namespace.Dropped = st.IntentsDropped
+	}
 	if err != nil {
 		return info
 	}

@@ -110,6 +110,10 @@ type Config struct {
 	CrashAt time.Duration
 	// CrashRecover runs (and times) recovery after the cut.
 	CrashRecover bool
+	// IntentLog attaches the namespace intent log to the cache, so a
+	// crash study also measures acknowledged-namespace-op exposure.
+	// Off by default: the pre-intent-log studies stay byte-identical.
+	IntentLog bool
 }
 
 // CrashInfo is what a crash-instrumented run observed at (and after)
@@ -133,6 +137,32 @@ type CrashInfo struct {
 	RecoveryTime   time.Duration `json:"recovery_time"`
 	ReplayedBlocks int           `json:"replayed_blocks"`
 	DroppedBlocks  int           `json:"dropped_blocks"`
+	// Namespace is the intent log's crash exposure, present only when
+	// Config.IntentLog is on (pre-intent-log study output is
+	// byte-identical otherwise).
+	Namespace *NamespaceCrashInfo `json:"namespace,omitempty"`
+}
+
+// NamespaceCrashInfo measures acknowledged namespace operations
+// (create/remove/rename/truncate/symlink) across a power cut: how
+// many unretired intents the battery-backed domain preserved or a
+// volatile policy lost, and what the replay did with the survivors.
+type NamespaceCrashInfo struct {
+	Ops             uint64        `json:"ops"`
+	SurvivorIntents int           `json:"survivor_intents"`
+	LostIntents     int           `json:"lost_intents"`
+	LossWindow      time.Duration `json:"loss_window"`
+	Replayed        int           `json:"replayed"`
+	Noop            int           `json:"noop"`
+	Dropped         int           `json:"dropped"`
+}
+
+// intentSlotsIf maps the IntentLog switch to the cache knob.
+func intentSlotsIf(on bool) int {
+	if on {
+		return 1024
+	}
+	return 0
 }
 
 // DefaultConfig is the paper's Sprite replay setup with the flush
@@ -255,7 +285,8 @@ func Build(cfg Config) (*System, error) {
 		Shards:    cfg.CacheShards,
 		// With clustering on, shard by run-sized chunks so dirty
 		// runs stay whole; chunk 1 (the default) is the classic map.
-		ShardChunk: cfg.ClusterRunBlocks,
+		ShardChunk:  cfg.ClusterRunBlocks,
+		IntentSlots: intentSlotsIf(cfg.IntentLog),
 	}, store)
 	c.Stats(sys.Set)
 	mover := &core.SimMover{BytesPerSec: orDefault64(cfg.CopyBytesPerSec, 80<<20), FixedNS: 2000}

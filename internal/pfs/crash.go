@@ -10,7 +10,9 @@ package pfs
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +46,24 @@ type CrashSpec struct {
 	// (0 = off: the classic one-block-per-request stack; > 1 makes
 	// multi-block data writes — and so torn data runs — possible).
 	ClusterRunBlocks int
+	// Namespace interleaves journaled namespace operations (create+
+	// write, rename, remove) with the data workload — the
+	// create+write+crash cell. Verification then also checks that no
+	// acknowledged namespace operation is lost or resurrected.
+	Namespace bool
+	// NoIntentLog disables the server's metadata intent log, exposing
+	// the historical drop-acknowledged-creates behavior for A/B runs.
+	NoIntentLog bool
+	// RecoverCut, when positive, cuts the power a second time at the
+	// Nth device I/O of the recovery itself (remount, intent replay,
+	// survivor write-back), then recovers again from the merged crash
+	// state — the crash-under-recovery sweep. Replay must be
+	// idempotent for this to converge.
+	RecoverCut int64
+	// TearSubBlock makes the cut tear single-block writes to a random
+	// byte prefix — the sector-granular tear through an inode table or
+	// allocation bitmap that the per-record checksums must catch.
+	TearSubBlock bool
 }
 
 // CrashResult is what one exercise observed.
@@ -61,6 +81,24 @@ type CrashResult struct {
 	LossWindow time.Duration
 	// Survivors/Replayed/Dropped trace the NVRAM replay path.
 	Survivors, Replayed, Dropped int
+	// DirBlocks counts directory/symlink survivors superseded by the
+	// intent replay (their content is rebuilt from intents instead).
+	DirBlocks int
+	// Intents counts unretired namespace intents that survived the cut
+	// in battery-backed memory; LostIntents those a volatile policy
+	// lost, with IntentLossWindow the age of the oldest.
+	Intents          int
+	LostIntents      int
+	IntentLossWindow time.Duration
+	// IntentsApplied/IntentsNoop/IntentsDropped classify the replay of
+	// the surviving intents.
+	IntentsApplied, IntentsNoop, IntentsDropped int
+	// NamespaceOps counts acknowledged namespace operations;
+	// NamespaceLost those missing (or resurrected) after recovery —
+	// must be zero under a persistent policy with the intent log on.
+	NamespaceOps, NamespaceLost int
+	// SecondCutIO is the recovery-time cut ordinal (RecoverCut runs).
+	SecondCutIO int64
 	// Recovery reports the layouts' own recovery work.
 	Recovery layout.RecoveryStats
 	// FsckErrors holds post-recovery consistency violations (must be
@@ -80,6 +118,86 @@ type journal struct {
 }
 
 func crashPath(i int) string { return fmt.Sprintf("/crash-f%d", i) }
+
+// nsOp is one journaled namespace operation. A create carries a
+// one-block body (tagged with tag) written right after — the
+// create+write sequence whose durability the intent log guarantees.
+type nsOp struct {
+	kind        string // create, rename, remove
+	path, path2 string
+	tag         byte
+}
+
+// nsJournal drives and records the namespace workload. The workload
+// is a single task, so the ops are totally ordered and at most the
+// final ones are issued-but-unacknowledged.
+type nsJournal struct {
+	mu    sync.Mutex
+	ops   []nsOp
+	acked int      // ops[:acked] were acknowledged before the cut
+	queue []string // live paths of the issued model, oldest first
+	tags  map[string]byte
+	next  int
+}
+
+func newNSJournal() *nsJournal { return &nsJournal{tags: map[string]byte{}} }
+
+// step issues the next namespace operation and journals its outcome.
+func (nj *nsJournal) step(t sched.Task, v *fsys.Volume, plan *device.FaultPlan) {
+	nj.mu.Lock()
+	k := nj.next
+	nj.next++
+	var op nsOp
+	switch {
+	case k%4 == 2 && len(nj.queue) > 0:
+		p := nj.queue[0]
+		op = nsOp{kind: "rename", path: p, path2: p + "m", tag: nj.tags[p]}
+	case k%4 == 3 && len(nj.queue) > 0:
+		p := nj.queue[0]
+		op = nsOp{kind: "remove", path: p, tag: nj.tags[p]}
+	default:
+		op = nsOp{kind: "create", path: fmt.Sprintf("/ns-%d", k), tag: byte(100 + k%100)}
+	}
+	nj.ops = append(nj.ops, op)
+	wasAcked := nj.acked == len(nj.ops)-1
+	nj.mu.Unlock()
+
+	var err error
+	switch op.kind {
+	case "create":
+		var h *fsys.Handle
+		h, err = v.Create(t, op.path, core.TypeRegular)
+		if err == nil {
+			buf := crashBlock(int(op.tag), 0, 1)
+			err = v.WriteAt(t, h, 0, buf, core.BlockSize)
+			if cerr := v.Close(t, h); err == nil {
+				err = cerr
+			}
+		}
+	case "rename":
+		err = v.Rename(t, op.path, op.path2)
+	case "remove":
+		err = v.Remove(t, op.path)
+	}
+	if err != nil || plan.HasCut() || !wasAcked {
+		return // not acknowledged
+	}
+	nj.mu.Lock()
+	switch op.kind {
+	case "create":
+		nj.queue = append(nj.queue, op.path)
+		nj.tags[op.path] = op.tag
+	case "rename":
+		nj.queue[0] = op.path2
+		nj.tags[op.path2] = op.tag
+		delete(nj.tags, op.path)
+	case "remove":
+		nj.queue = nj.queue[1:]
+		delete(nj.tags, op.path)
+	}
+	nj.acked = len(nj.ops)
+	nj.mu.Unlock()
+}
 
 func crashBlock(file, blk int, ver byte) []byte {
 	buf := make([]byte, core.BlockSize)
@@ -119,7 +237,8 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 		ClusterRunBlocks: cluster,
 		// The plan is installed with the cut disarmed; the workload
 		// arms it after the baseline is durable.
-		Fault: &device.FaultConfig{Seed: spec.Seed},
+		Fault:       &device.FaultConfig{Seed: spec.Seed},
+		NoIntentLog: spec.NoIntentLog,
 	}
 	srv, err := Open(cfg)
 	if err != nil {
@@ -156,6 +275,7 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 	// Arm the cut, counting I/Os from here.
 	plan := device.NewFaultPlan(device.FaultConfig{
 		Seed: spec.Seed, CutAfterIO: spec.CutAfterIO, CutTearsWrite: true,
+		CutTearsSubBlock: spec.TearSubBlock,
 	})
 	plan.OnCut(srv.Cache.PowerOff)
 	for _, drv := range srv.Drivers {
@@ -175,6 +295,7 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 		}
 	}
 
+	nj := newNSJournal()
 	cutCh := make(chan struct{})
 	plan.OnCut(func() { close(cutCh) })
 	done := make(chan struct{})
@@ -190,6 +311,12 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 			handles[f] = h
 		}
 		for r := 0; r < spec.Rounds && !plan.HasCut(); r++ {
+			if spec.Namespace && r%3 == 2 {
+				nj.step(t, v, plan)
+				if plan.HasCut() {
+					break
+				}
+			}
 			f := r % spec.Files
 			b := (r / spec.Files) % crashFileBlocks
 			key := [2]int{f, b}
@@ -224,17 +351,31 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 	crashAt := time.Now()
 	rep := srv.Crash()
 	res := &CrashResult{
-		CutIO:     plan.CutIO(),
-		Survivors: len(rep.Survivors),
+		CutIO:            plan.CutIO(),
+		Survivors:        len(rep.Survivors),
+		Intents:          len(rep.Intents),
+		LostIntents:      rep.LostIntents,
+		IntentLossWindow: rep.IntentLossWindow,
 	}
 	j.mu.Lock()
 	res.Acked = len(j.acked)
 	res.Issued = len(j.issued)
 	j.mu.Unlock()
 
+	// Dump the battery-backed intents the way an NVRAM region would be
+	// read off at boot — the artifact cmd/fsck -intents verifies.
+	if len(rep.Intents) > 0 && spec.Dir != "" {
+		_ = os.WriteFile(filepath.Join(spec.Dir, "intents.bin"),
+			cache.EncodeIntents(rep.Intents), 0o644)
+	}
+
 	// Power restored: recover on a fresh server over the same images.
 	cfg.Fault = nil
 	cfg.Recover = true
+	surv, intents := rep.Survivors, rep.Intents
+	if spec.RecoverCut > 0 {
+		surv, intents = crashUnderRecovery(cfg, spec, rep, res)
+	}
 	srv2, err := Open(cfg)
 	if err != nil {
 		return res, fmt.Errorf("recovery mount: %w", err)
@@ -244,8 +385,10 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 		res.Recovery = *srv2.Recovery
 	}
 	err = srv2.Do(func(t sched.Task) error {
-		replayed, dropped, err := srv2.FS.ReplayNVRAM(t, rep.Survivors)
-		res.Replayed, res.Dropped = replayed, dropped
+		st, err := srv2.FS.ReplayNVRAM(t, surv, intents)
+		res.Replayed, res.Dropped, res.DirBlocks = st.Replayed, st.Dropped, st.DirBlocks
+		res.IntentsApplied, res.IntentsNoop, res.IntentsDropped =
+			st.IntentsApplied, st.IntentsNoop, st.IntentsDropped
 		if err != nil {
 			return err
 		}
@@ -269,12 +412,178 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 				}
 			}
 		}
-		return verifyJournal(t, srv2, spec, j, crashAt, res)
+		if err := verifyJournal(t, srv2, spec, j, crashAt, res); err != nil {
+			return err
+		}
+		if spec.Namespace {
+			verifyNamespace(t, srv2, spec, nj, res)
+		}
+		return nil
 	})
 	if err != nil {
 		return res, err
 	}
 	return res, nil
+}
+
+// crashUnderRecovery runs the recovery with a second armed power cut
+// and returns the crash state the *final* recovery must work from:
+// the original report if the second cut preempted everything, or the
+// merge of both reports if the cut interrupted the replay midway.
+func crashUnderRecovery(cfg Config, spec CrashSpec, rep *cache.CrashReport, res *CrashResult) ([]cache.Survivor, []cache.Intent) {
+	cfg.Fault = &device.FaultConfig{
+		Seed: spec.Seed + 1, CutAfterIO: spec.RecoverCut, CutTearsWrite: true,
+	}
+	mid, err := Open(cfg)
+	if err != nil {
+		// The cut tripped inside the recovery mount itself: nothing
+		// new was acknowledged, the original report stands.
+		res.SecondCutIO = spec.RecoverCut
+		return rep.Survivors, rep.Intents
+	}
+	rerr := mid.Do(func(t sched.Task) error {
+		if _, err := mid.FS.ReplayNVRAM(t, rep.Survivors, rep.Intents); err != nil {
+			return err
+		}
+		return mid.FS.SyncAll(t)
+	})
+	if rerr == nil && !mid.Fault.HasCut() {
+		// Recovery outran the cut point; close cleanly. The final
+		// recovery re-replays over finished state — the idempotence
+		// case.
+		mid.Close()
+		return rep.Survivors, rep.Intents
+	}
+	res.SecondCutIO = mid.Fault.CutIO()
+	rep2 := mid.Crash()
+	return mergeCrashState(rep, rep2)
+}
+
+// mergeCrashState combines two crash reports: the later report's
+// survivors win per block, and its intents (re-recorded during the
+// interrupted replay) are renumbered after the first report's so the
+// concatenation replays in chronological order.
+func mergeCrashState(a, b *cache.CrashReport) ([]cache.Survivor, []cache.Intent) {
+	idx := map[core.BlockKey]int{}
+	surv := append([]cache.Survivor(nil), a.Survivors...)
+	for i, s := range surv {
+		idx[s.Key] = i
+	}
+	for _, s := range b.Survivors {
+		if i, ok := idx[s.Key]; ok {
+			surv[i] = s
+		} else {
+			idx[s.Key] = len(surv)
+			surv = append(surv, s)
+		}
+	}
+	sort.Slice(surv, func(i, j int) bool {
+		x, y := surv[i].Key, surv[j].Key
+		if x.Vol != y.Vol {
+			return x.Vol < y.Vol
+		}
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		return x.Blk < y.Blk
+	})
+	var base uint64
+	for _, it := range a.Intents {
+		if it.Seq > base {
+			base = it.Seq
+		}
+	}
+	intents := append([]cache.Intent(nil), a.Intents...)
+	for _, it := range b.Intents {
+		it.Seq += base
+		intents = append(intents, it)
+	}
+	return surv, intents
+}
+
+// verifyNamespace checks every journaled namespace operation against
+// the recovered tree. Acknowledged state must be exactly present: a
+// created file exists with its full tagged body, a removed or
+// renamed-away path stays absent. Paths the unacknowledged tail
+// touched may land either way. Violations count as NamespaceLost and
+// — under a persistent policy with the intent log on — as errors.
+func verifyNamespace(t sched.Task, srv *Server, spec CrashSpec, nj *nsJournal, res *CrashResult) {
+	nj.mu.Lock()
+	ops := append([]nsOp(nil), nj.ops...)
+	acked := nj.acked
+	nj.mu.Unlock()
+	res.NamespaceOps = acked
+
+	type fstate struct {
+		exists bool
+		tag    byte
+	}
+	want := map[string]fstate{}
+	for _, op := range ops[:acked] {
+		switch op.kind {
+		case "create":
+			want[op.path] = fstate{exists: true, tag: op.tag}
+		case "rename":
+			want[op.path] = fstate{}
+			want[op.path2] = fstate{exists: true, tag: op.tag}
+		case "remove":
+			want[op.path] = fstate{}
+		}
+	}
+	loose := map[string]bool{}
+	for _, op := range ops[acked:] {
+		loose[op.path] = true
+		if op.path2 != "" {
+			loose[op.path2] = true
+		}
+	}
+	paths := make([]string, 0, len(want))
+	for p := range want {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	v := srv.Vol
+	strict := spec.Flush.Persistent && !spec.NoIntentLog
+	fail := func(format string, args ...any) {
+		res.NamespaceLost++
+		if strict {
+			res.FsckErrors = append(res.FsckErrors, fmt.Sprintf(format, args...))
+		}
+	}
+	for _, p := range paths {
+		if loose[p] {
+			continue
+		}
+		w := want[p]
+		h, err := v.Open(t, p)
+		if !w.exists {
+			if err == nil {
+				v.Close(t, h)
+				fail("policy %s resurrected removed path %s after recovery", spec.Flush.Name, p)
+			}
+			continue
+		}
+		if err != nil {
+			fail("policy %s lost acknowledged namespace op: %s missing after recovery",
+				spec.Flush.Name, p)
+			continue
+		}
+		buf := make([]byte, core.BlockSize)
+		n, rerr := v.ReadAt(t, h, 0, buf, core.BlockSize)
+		bad := rerr != nil || n != core.BlockSize || buf[0] != w.tag || buf[1] != 0
+		if !bad {
+			for i := 2; i < core.BlockSize; i++ {
+				if buf[i] != 1 {
+					bad = true
+					break
+				}
+			}
+		}
+		v.Close(t, h)
+		if bad {
+			fail("policy %s lost the acknowledged body of created file %s", spec.Flush.Name, p)
+		}
+	}
 }
 
 // verifyJournal reads every journaled block back and classifies it.

@@ -53,6 +53,7 @@ func TestCrashMatrix(t *testing.T) {
 							CutAfterIO:       cut,
 							Seed:             cut,
 							ClusterRunBlocks: cl,
+							Namespace:        true,
 						})
 						if err != nil {
 							t.Fatalf("%s vol=%d cut=%d: %v", name, w, cut, err)
@@ -64,9 +65,17 @@ func TestCrashMatrix(t *testing.T) {
 							t.Fatalf("%s vol=%d cut=%d: %d acknowledged writes lost under a persistent policy",
 								name, w, cut, res.LostAcked)
 						}
+						if fc.Persistent && res.NamespaceLost != 0 {
+							t.Fatalf("%s vol=%d cut=%d: %d acknowledged namespace ops lost under a persistent policy",
+								name, w, cut, res.NamespaceLost)
+						}
 						if !fc.Persistent && res.Survivors != 0 {
 							t.Fatalf("%s vol=%d cut=%d: volatile policy returned %d survivors",
 								name, w, cut, res.Survivors)
+						}
+						if !fc.Persistent && res.Intents != 0 {
+							t.Fatalf("%s vol=%d cut=%d: volatile policy returned %d surviving intents",
+								name, w, cut, res.Intents)
 						}
 					}
 				}
@@ -134,5 +143,162 @@ func TestCrashQuiescentNVRAMReplay(t *testing.T) {
 	}
 	if len(res.FsckErrors) != 0 {
 		t.Fatalf("fsck errors: %v", res.FsckErrors)
+	}
+}
+
+// TestCrashCreateWriteCut is the regression cell for the paper's last
+// acknowledged-loss hole: files created and written just before the
+// cut, under the policies that promise zero acknowledged loss. With
+// the intent log on, every acknowledged create/rename/remove must be
+// reflected after recovery — across both layouts and array widths.
+func TestCrashCreateWriteCut(t *testing.T) {
+	layouts := []string{"lfs", "ffs"}
+	widths := []int{1, 2}
+	cuts := []int64{3, 11, 19}
+	if testing.Short() {
+		widths = []int{1}
+		cuts = []int64{11}
+	}
+	policies := []cache.FlushConfig{cache.UPS(), cache.NVRAMWhole(12)}
+	for _, lay := range layouts {
+		for _, w := range widths {
+			for _, fc := range policies {
+				for _, cut := range cuts {
+					res, err := RunCrashPoint(CrashSpec{
+						Dir:        t.TempDir(),
+						Layout:     lay,
+						Volumes:    w,
+						Flush:      fc,
+						CutAfterIO: cut,
+						Seed:       7000 + cut,
+						Namespace:  true,
+					})
+					if err != nil {
+						t.Fatalf("%s/%s vol=%d cut=%d: %v", lay, fc.Name, w, cut, err)
+					}
+					if len(res.FsckErrors) != 0 {
+						t.Fatalf("%s/%s vol=%d cut=%d: %v", lay, fc.Name, w, cut, res.FsckErrors)
+					}
+					if res.NamespaceLost != 0 {
+						t.Fatalf("%s/%s vol=%d cut=%d: %d acknowledged namespace ops lost (intent log on)",
+							lay, fc.Name, w, cut, res.NamespaceLost)
+					}
+					if res.LostAcked != 0 {
+						t.Fatalf("%s/%s vol=%d cut=%d: %d acknowledged writes lost",
+							lay, fc.Name, w, cut, res.LostAcked)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrashNamespaceDropWithoutIntentLog pins the historical bug the
+// intent log fixes: with the log disabled, the same create+write+cut
+// cells must show acknowledged namespace loss (dropped survivors or
+// missing files) at some cut point — otherwise the regression cell
+// above is not actually exercising the hole.
+func TestCrashNamespaceDropWithoutIntentLog(t *testing.T) {
+	cuts := []int64{3, 7, 11, 19, 27}
+	if testing.Short() {
+		cuts = []int64{7, 19}
+	}
+	lost := 0
+	for _, cut := range cuts {
+		res, err := RunCrashPoint(CrashSpec{
+			Dir:         t.TempDir(),
+			Layout:      "lfs",
+			Volumes:     1,
+			Flush:       cache.NVRAMWhole(12),
+			CutAfterIO:  cut,
+			Seed:        8000 + cut,
+			Namespace:   true,
+			NoIntentLog: true,
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		lost += res.NamespaceLost + res.Dropped
+	}
+	if lost == 0 {
+		t.Fatalf("expected the checkpoint-only discipline to drop acknowledged namespace state at some cut point")
+	}
+}
+
+// TestCrashDoubleCut cuts the power a second time during recovery
+// itself — at a sweep of recovery I/O ordinals — then recovers from
+// the merged crash state. Intent replay re-records what it applies,
+// so the double cut must converge to the same fsck-clean, zero-loss
+// state a single recovery reaches.
+func TestCrashDoubleCut(t *testing.T) {
+	recuts := []int64{1, 2, 4, 8, 16, 32}
+	if testing.Short() {
+		recuts = []int64{2, 8}
+	}
+	for _, lay := range []string{"lfs", "ffs"} {
+		for _, rc := range recuts {
+			res, err := RunCrashPoint(CrashSpec{
+				Dir:        t.TempDir(),
+				Layout:     lay,
+				Volumes:    1,
+				Flush:      cache.NVRAMWhole(12),
+				CutAfterIO: 9,
+				Seed:       9000 + rc,
+				Namespace:  true,
+				RecoverCut: rc,
+			})
+			if err != nil {
+				t.Fatalf("%s recut=%d: %v", lay, rc, err)
+			}
+			if len(res.FsckErrors) != 0 {
+				t.Fatalf("%s recut=%d: fsck errors after double cut: %v", lay, rc, res.FsckErrors)
+			}
+			if res.NamespaceLost != 0 {
+				t.Fatalf("%s recut=%d: %d acknowledged namespace ops lost after double cut",
+					lay, rc, res.NamespaceLost)
+			}
+			if res.LostAcked != 0 {
+				t.Fatalf("%s recut=%d: %d acknowledged writes lost after double cut",
+					lay, rc, res.LostAcked)
+			}
+		}
+	}
+}
+
+// TestCrashTornMetadataWrite aims the cut at FFS's synchronous
+// metadata writes: the cut request tears its single block to a random
+// byte prefix, splicing half an inode-table or bitmap update onto
+// stale bytes. The per-record checksums must catch the tear at
+// recovery and repair must rebuild — still with zero acknowledged
+// loss under NVRAM, since the intent log re-creates what the torn
+// record lost.
+func TestCrashTornMetadataWrite(t *testing.T) {
+	cuts := []int64{2, 5, 9, 14, 21}
+	if testing.Short() {
+		cuts = []int64{5, 14}
+	}
+	for _, cut := range cuts {
+		res, err := RunCrashPoint(CrashSpec{
+			Dir:          t.TempDir(),
+			Layout:       "ffs",
+			Volumes:      1,
+			Flush:        cache.NVRAMWhole(12),
+			CutAfterIO:   cut,
+			Seed:         5000 + cut,
+			Namespace:    true,
+			TearSubBlock: true,
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(res.FsckErrors) != 0 {
+			t.Fatalf("cut=%d: fsck errors after torn metadata write: %v", cut, res.FsckErrors)
+		}
+		if res.NamespaceLost != 0 {
+			t.Fatalf("cut=%d: %d acknowledged namespace ops lost", cut, res.NamespaceLost)
+		}
+		if res.LostAcked != 0 {
+			t.Fatalf("cut=%d: %d acknowledged writes lost", cut, res.LostAcked)
+		}
 	}
 }

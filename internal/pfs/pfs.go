@@ -82,6 +82,12 @@ type Config struct {
 	// instead of the plain mount; the result lands in
 	// Server.Recovery. Fresh image sets are formatted as usual.
 	Recover bool
+	// NoIntentLog disables the metadata intent log. By default the
+	// on-line server records every acknowledged namespace operation
+	// into a battery-backed intent ring (it survives Crash with the
+	// dirty blocks), closing the create+write+crash loss hole; this
+	// switch restores the checkpoint-only discipline for A/B runs.
+	NoIntentLog bool
 }
 
 // Server is a running PFS.
@@ -219,7 +225,8 @@ func Open(cfg Config) (*Server, error) {
 		Shards:  cfg.CacheShards,
 		// Shard by cluster-sized chunks so a file's contiguous dirty
 		// run flushes from one shard as one multi-block write.
-		ShardChunk: cfg.ClusterRunBlocks,
+		ShardChunk:  cfg.ClusterRunBlocks,
+		IntentSlots: intentSlots(cfg.NoIntentLog),
 	}, store)
 	fs := fsys.New(k, c, core.RealMover{})
 	store.Bind(fs)
@@ -283,6 +290,14 @@ func orDefault(s, d string) string {
 		return d
 	}
 	return s
+}
+
+// intentSlots maps the NoIntentLog switch to the cache knob.
+func intentSlots(off bool) int {
+	if off {
+		return 0
+	}
+	return 1024
 }
 
 // isFresh reports whether path is missing or empty (needs Format).

@@ -99,6 +99,35 @@ func (a *Array) GrowSize(t sched.Task, ino *layout.Inode, size int64) {
 	af.mu.Unlock(t)
 }
 
+// WithInode implements layout.InodeLocker with the same routing as
+// GrowSize: affinity mode runs fn under the home member's lock (the
+// global inode is the member's own), striped mode under af.mu, the
+// lock the home-size mirror reads under.
+func (a *Array) WithInode(t sched.Task, ino *layout.Inode, fn func()) {
+	if a.single != nil {
+		if il, ok := a.single.(layout.InodeLocker); ok {
+			il.WithInode(t, ino, fn)
+			return
+		}
+		fn()
+		return
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		fn()
+		return
+	}
+	if !a.striped {
+		if il, ok := a.subs[af.home].(layout.InodeLocker); ok {
+			il.WithInode(t, af.global, fn)
+			return
+		}
+	}
+	af.mu.Lock(t)
+	fn()
+	af.mu.Unlock(t)
+}
+
 // WriteBarrier implements layout.Barrier: every member that stages
 // writes flushes them to stable storage.
 func (a *Array) WriteBarrier(t sched.Task) error {
@@ -116,6 +145,32 @@ func (a *Array) WriteBarrier(t sched.Task) error {
 		}
 	}
 	return nil
+}
+
+// DurableSeq implements layout.DurableWatermark for the array: the
+// minimum over the members, so the watermark only advances when
+// every member's covering checkpoint is durable. Members without a
+// watermark contribute nothing (the array then reports zero, and
+// retirement falls back to trusting Sync's success).
+func (a *Array) DurableSeq(t sched.Task) uint64 {
+	if a.single != nil {
+		if w, ok := a.single.(layout.DurableWatermark); ok {
+			return w.DurableSeq(t)
+		}
+		return 0
+	}
+	var minSeq uint64
+	for i, sub := range a.subs {
+		w, ok := sub.(layout.DurableWatermark)
+		if !ok {
+			return 0
+		}
+		s := w.DurableSeq(t)
+		if i == 0 || s < minSeq {
+			minSeq = s
+		}
+	}
+	return minSeq
 }
 
 // resyncLockstep restores the invariant that every live inode exists

@@ -353,7 +353,7 @@ func (a *Array) allocLocked(t sched.Task, typ core.FileType) (*afile, error) {
 		h := shadows[af.home]
 		af.global = &layout.Inode{
 			ID: id, Type: h.Type, Nlink: h.Nlink, Mode: h.Mode,
-			MTime: h.MTime, CTime: h.CTime,
+			Version: h.Version, MTime: h.MTime, CTime: h.CTime,
 		}
 	} else {
 		af.global = shadows[af.home]
