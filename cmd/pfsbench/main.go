@@ -44,6 +44,7 @@ func main() {
 		cluster   = flag.Int("cluster", 0, "clustered-transfer run cap in blocks (0 = instantiation default: 16 real, off virtual; -1 = off)")
 		think     = flag.Duration("think", 0, "per-op client think time")
 		seed      = flag.Int64("seed", 1996, "workload seed")
+		scrape    = flag.Bool("scrape", false, "boot the admin endpoint per real cell and embed /metrics deltas in the JSON")
 		out       = flag.String("out", "", "write the JSON result file here (default stdout)")
 		dir       = flag.String("dir", "", "directory for real-kernel image files (default TMPDIR)")
 		note      = flag.String("note", "", "free-form note recorded in the file")
@@ -79,6 +80,7 @@ func main() {
 		cfg.Pipeline = *pipeline
 		cfg.Readahead = *readahead
 		cfg.Cluster = *cluster
+		cfg.Scrape = *scrape
 		if *ops > 0 {
 			cfg.Ops = *ops
 		}

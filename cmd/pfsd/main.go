@@ -38,6 +38,8 @@ func main() {
 		readahead = flag.Int("readahead", 0, "sequential readahead window in blocks (0 = default 8, -1 = off)")
 		cluster   = flag.Int("cluster", 0, "clustered-transfer run cap in blocks (0 = default 16, -1 = off)")
 		addr      = flag.String("addr", "127.0.0.1:20490", "listen address")
+		admin     = flag.String("admin", "", "admin HTTP endpoint: /metrics, /healthz, /statusz, pprof (empty = disabled)")
+		slowOp    = flag.Duration("slowop", 0, "slow-op log capture threshold (0 = default 100ms)")
 		policy    = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
 		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
 		noIntents = flag.Bool("nointentlog", false, "disable the metadata intent log (exposes the historical create+write+crash drop)")
@@ -72,6 +74,7 @@ func main() {
 		ReadaheadBlocks:  *readahead,
 		ClusterRunBlocks: *cluster,
 		Flush:            fc,
+		SlowOpThreshold:  *slowOp,
 		NoIntentLog:      *noIntents,
 	})
 	if err != nil {
@@ -86,6 +89,14 @@ func main() {
 	layoutName := srv.Vol.LayoutName()
 	fmt.Printf("pfsd: serving volume 1 (%s, %d×%d blocks, layout %s, policy %s) on %s\n",
 		*image, *volumes, *blocks, layoutName, fc.Name, bound)
+	if *admin != "" {
+		adminBound, err := srv.ServeAdmin(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pfsd: admin endpoint (metrics, healthz, statusz, pprof) on http://%s\n", adminBound)
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

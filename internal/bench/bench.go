@@ -63,6 +63,10 @@ type Config struct {
 	// request: 0 = instantiation default (real kernel on at
 	// layout.DefaultClusterRun, virtual off), -1 = off, > 1 = cap.
 	Cluster int
+	// Scrape, on the real kernel, boots the admin endpoint and
+	// embeds the /metrics deltas of the measurement phase in the
+	// result (Result.Scrape).
+	Scrape bool
 }
 
 // Quick is the CI smoke cell: a working set twice the cache (8 MB
@@ -126,6 +130,10 @@ type Result struct {
 	P99MS     float64        `json:"p99_ms"`
 	Cache     CacheCounters  `json:"cache"`
 	Volume    VolumeCounters `json:"volume"`
+	// Scrape holds the measurement-phase /metrics deltas when the
+	// cell ran with Config.Scrape (family-level series only; the
+	// le=/quantile= expansions stay on the endpoint).
+	Scrape map[string]float64 `json:"scrape,omitempty"`
 }
 
 // Key identifies a cell for baseline comparison.

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -30,7 +32,7 @@ func TestSimDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("virtual runs differ:\n%+v\n%+v", a, b)
 	}
 	if a.Ops != 80 || a.OpsPerSec <= 0 || a.P50MS <= 0 || a.SimMS <= 0 {
@@ -101,6 +103,48 @@ func TestRealClassicKnobs(t *testing.T) {
 	}
 	if res.Cache.ReadaheadFills != 0 {
 		t.Fatalf("readahead fills with readahead off: %d", res.Cache.ReadaheadFills)
+	}
+}
+
+// With Scrape on, the real cell embeds /metrics deltas that agree
+// with the natively snapshotted counters over the same window.
+func TestRealScrapeEmbed(t *testing.T) {
+	cfg := tiny()
+	cfg.Scrape = true
+	res, err := RunReal(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scrape) == 0 {
+		t.Fatal("no scrape deltas embedded")
+	}
+	if d := res.Scrape["pfs_cache_lookups_total"]; d != float64(res.Cache.Lookups) {
+		t.Fatalf("scrape lookups delta %v != native %d", d, res.Cache.Lookups)
+	}
+	if d := res.Scrape[`pfs_nfs_calls_total{op="read"}`] + res.Scrape[`pfs_nfs_calls_total{op="write"}`]; int64(d) != res.Ops {
+		t.Fatalf("scrape call delta %v != ops %d", d, res.Ops)
+	}
+	for k := range res.Scrape {
+		if strings.Contains(k, `le="`) || strings.Contains(k, `quantile="`) {
+			t.Fatalf("distribution expansion leaked into the embed: %s", k)
+		}
+	}
+	// The embed survives the JSON round trip.
+	data, err := (&File{Runs: []Result{res}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Runs[0].Scrape, res.Scrape) {
+		t.Fatal("scrape map did not round-trip")
+	}
+	// An unscraped cell stays scrape-free (omitempty keeps old files
+	// byte-compatible).
+	if plain, err := RunReal(t.TempDir(), tiny()); err != nil || plain.Scrape != nil {
+		t.Fatalf("plain cell scrape = %v (err %v)", plain.Scrape, err)
 	}
 }
 

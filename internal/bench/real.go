@@ -91,6 +91,16 @@ func RunReal(dir string, cfg Config) (Result, error) {
 	}
 	base := cacheCounters(srv.Cache.CacheStats())
 	baseVol := volumeCounters(srv.Drivers)
+	var adminAddr string
+	var baseScrape map[string]float64
+	if cfg.Scrape {
+		if adminAddr, err = srv.ServeAdmin("127.0.0.1:0"); err != nil {
+			return Result{}, err
+		}
+		if baseScrape, err = scrapeMetrics(adminAddr); err != nil {
+			return Result{}, err
+		}
+	}
 
 	// Closed loop: every client connection keeps Depth calls in
 	// flight; each worker owns a deterministic operation stream.
@@ -171,6 +181,13 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		Volume:    volumeCounters(srv.Drivers).sub(baseVol),
 	}
 	res.MeanMS, res.P50MS, res.P95MS, res.P99MS = quantilesMS(lat)
+	if cfg.Scrape {
+		after, err := scrapeMetrics(adminAddr)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Scrape = scrapeDelta(baseScrape, after)
+	}
 	done = true
 	return res, srv.Shutdown()
 }

@@ -1,0 +1,68 @@
+package bench
+
+// Scrape support: with Config.Scrape set, RunReal boots the server's
+// admin endpoint, scrapes /metrics at the same points the native
+// counters snapshot (post-prefill and post-measurement), and embeds
+// the per-series deltas in the result cell. The embed keeps family-
+// level series (counters, gauges, histogram/summary _sum and _count)
+// and drops the le= / quantile= expansions — the full distributions
+// stay on the endpoint; the JSON carries the deltas a trajectory
+// wants to diff.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// scrapeMetrics GETs http://addr/metrics and parses the Prometheus
+// text exposition into series -> value.
+func scrapeMetrics(addr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("bench: scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("bench: scrape: %s", resp.Status)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue // +Inf / NaN samples are not embeddable
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: scrape: %w", err)
+	}
+	return out, nil
+}
+
+// scrapeDelta returns after-minus-base per series, dropping bucket
+// and quantile expansions and zero deltas.
+func scrapeDelta(base, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range after {
+		if strings.Contains(k, `le="`) || strings.Contains(k, `quantile="`) {
+			continue
+		}
+		if d := v - base[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}

@@ -196,7 +196,11 @@ type shard struct {
 	replace     ReplacePolicy
 	dirtyCount  int
 	flushing    int
-	maxDirty    int // this shard's share of Flush.MaxDirtyBlocks (0 = unlimited)
+	// dirtyGauge shadows dirtyCount for telemetry: the real count
+	// lives under the kernel mutex, which a scrape (a plain HTTP
+	// goroutine with no kernel task) can never take.
+	dirtyGauge atomic.Int64
+	maxDirty   int // this shard's share of Flush.MaxDirtyBlocks (0 = unlimited)
 
 	flushQ    [][]*Block
 	flushWork sched.Event
@@ -314,6 +318,21 @@ func (c *Cache) Policy() FlushConfig { return c.cfg.Flush }
 
 // Shards returns the lock-stripe width.
 func (c *Cache) Shards() int { return len(c.shards) }
+
+// Capacity returns the cache size in blocks.
+func (c *Cache) Capacity() int { return c.cfg.Blocks }
+
+// MaxDirtyBlocks returns the policy's dirty bound (the modeled NVRAM
+// size), 0 when unlimited.
+func (c *Cache) MaxDirtyBlocks() int { return c.cfg.Flush.MaxDirtyBlocks }
+
+// Off reports whether the cache has been powered off.
+func (c *Cache) Off() bool { return c.off.Load() }
+
+// ShardDirty returns shard i's dirty-block count from the telemetry
+// shadow gauge — safe from plain goroutines, eventually consistent
+// with the kernel-mutex-guarded truth.
+func (c *Cache) ShardDirty(i int) int64 { return c.shards[i].dirtyGauge.Load() }
 
 // DirtyCount returns the number of dirty blocks across all shards.
 func (c *Cache) DirtyCount() int {
@@ -615,6 +634,7 @@ func (c *Cache) MarkDirty(t sched.Task, b *Block) {
 	}
 	m[b.Key.Blk] = b
 	sh.dirtyCount++
+	sh.dirtyGauge.Add(1)
 	c.addDirty(1)
 }
 
@@ -716,6 +736,7 @@ func (sh *shard) flusherLoop(t sched.Task) {
 			sh.dirty.remove(b)
 			sh.removeDirtyIndexLocked(b)
 			sh.dirtyCount--
+			sh.dirtyGauge.Add(-1)
 			sh.c.addDirty(-1)
 			sh.c.st.FlushedBlocks.Inc()
 			if b.Pins == 0 && b.Valid {
@@ -853,6 +874,7 @@ func (c *Cache) DiscardFile(t sched.Task, vol core.VolumeID, file core.FileID, f
 					sh.dirty.remove(b)
 					sh.removeDirtyIndexLocked(b)
 					sh.dirtyCount--
+					sh.dirtyGauge.Add(-1)
 					c.addDirty(-1)
 					saved++
 					c.st.SavedWrites.Inc()

@@ -131,6 +131,13 @@ func (l *IntentLog) Record(now sched.Time, it Intent) (seq uint64, pressure bool
 	return it.Seq, len(l.ring) >= l.slots*3/4
 }
 
+// Cap returns the ring capacity (the pressure bound's denominator).
+func (l *IntentLog) Cap() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slots
+}
+
 // Total returns the number of intents ever recorded (retired or not).
 func (l *IntentLog) Total() uint64 {
 	l.mu.Lock()

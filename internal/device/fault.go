@@ -95,6 +95,9 @@ type FaultPlan struct {
 	cut   bool
 	cutIO int64
 	onCut []func()
+
+	// Injection telemetry, by outcome kind.
+	injRead, injWrite, injTorn, cutRejects int64
 }
 
 // NewFaultPlan builds a plan from cfg.
@@ -106,6 +109,7 @@ func NewFaultPlan(cfg FaultConfig) *FaultPlan {
 func (p *FaultPlan) Intercept(r *Request) Decision {
 	p.mu.Lock()
 	if p.cut {
+		p.cutRejects++
 		p.mu.Unlock()
 		return Decision{Err: ErrPowerCut}
 	}
@@ -130,10 +134,16 @@ func (p *FaultPlan) Intercept(r *Request) Decision {
 		rate = p.cfg.WriteErrRate
 	}
 	if rate > 0 && p.rng.Float64() < rate {
+		if r.Op == OpWrite {
+			p.injWrite++
+		} else {
+			p.injRead++
+		}
 		p.mu.Unlock()
 		return Decision{Err: ErrInjected}
 	}
 	if r.Op == OpWrite && r.Blocks > 1 && p.cfg.TornRate > 0 && p.rng.Float64() < p.cfg.TornRate {
+		p.injTorn++
 		dec := Decision{Err: ErrTornWrite, TornBlocks: 1 + p.rng.Intn(r.Blocks-1)}
 		p.mu.Unlock()
 		return dec
@@ -197,6 +207,14 @@ func (p *FaultPlan) HasCut() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cut
+}
+
+// Injected returns the injection tallies: transient read and write
+// errors, torn writes, and requests rejected after a power cut.
+func (p *FaultPlan) Injected() (readErrs, writeErrs, torn, cutRejects int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injRead, p.injWrite, p.injTorn, p.cutRejects
 }
 
 // IOs returns the number of requests intercepted so far.

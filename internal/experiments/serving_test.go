@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestServingStudyVirtualCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != after {
+	if !reflect.DeepEqual(again, after) {
 		t.Fatal("virtual study cell is not deterministic")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // FS is the abstract client interface over a set of mounted volumes
@@ -34,6 +35,7 @@ type FS struct {
 	vols  map[core.VolumeID]*Volume
 	ra    int
 	st    *Stats
+	tr    *telemetry.Tracer // nil = untraced (the simulator)
 
 	// replaying suppresses the intent log's pressure sync while
 	// ReplayNVRAM re-records replayed operations.
@@ -57,6 +59,14 @@ func (fs *FS) SetReadahead(n int) {
 // Readahead returns the readahead window in blocks (0 = off).
 func (fs *FS) Readahead() int { return fs.ra }
 
+// SetTracer attaches the per-op tracer: read and write paths charge
+// their cache and disk time to the op bound to the calling task. A
+// nil tracer (the default) keeps every path hook a no-op.
+func (fs *FS) SetTracer(tr *telemetry.Tracer) { fs.tr = tr }
+
+// Tracer returns the attached tracer, or nil.
+func (fs *FS) Tracer() *telemetry.Tracer { return fs.tr }
+
 // Stats is the front-end statistics plug-in.
 type Stats struct {
 	Opens, Closes    *stats.Counter
@@ -67,6 +77,9 @@ type Stats struct {
 	ReadLookups      *stats.Counter
 	ReadHits         *stats.Counter
 	Readaheads       *stats.Counter // readahead batches issued
+	RAStreams        *stats.Counter // detector verdicts: a stream formed
+	RARandoms        *stats.Counter // detector verdicts: a tracked sequence broke
+	IntentSyncs      *stats.Counter // syncs forced by intent-ring pressure
 }
 
 // ReadHitRate returns the fraction of read block lookups served from
@@ -91,6 +104,9 @@ func (s *Stats) Register(set *stats.Set) {
 	set.Add(s.ReadLookups)
 	set.Add(s.ReadHits)
 	set.Add(s.Readaheads)
+	set.Add(s.RAStreams)
+	set.Add(s.RARandoms)
+	set.Add(s.IntentSyncs)
 }
 
 // New creates a file-system front-end. mover separates PFS from
@@ -113,6 +129,9 @@ func New(k sched.Kernel, c *cache.Cache, mover core.DataMover) *FS {
 			ReadLookups:  stats.NewCounter("fs.read_lookups"),
 			ReadHits:     stats.NewCounter("fs.read_hits"),
 			Readaheads:   stats.NewCounter("fs.readaheads"),
+			RAStreams:    stats.NewCounter("fs.ra_stream_verdicts"),
+			RARandoms:    stats.NewCounter("fs.ra_random_verdicts"),
+			IntentSyncs:  stats.NewCounter("fs.intent_forced_syncs"),
 		},
 	}
 }

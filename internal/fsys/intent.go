@@ -33,6 +33,7 @@ func (v *Volume) logIntent(t sched.Task, it cache.Intent) {
 		// The relief valve: flush + checkpoint retires everything
 		// recorded so far. Holds only cache and layout locks, so it
 		// is safe under the namespace or file lock.
+		v.fs.st.IntentSyncs.Inc()
 		_ = v.fs.SyncAll(t)
 	}
 }

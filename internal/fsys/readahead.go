@@ -33,6 +33,9 @@ func (v *Volume) maybeReadahead(t sched.Task, f *File, off, n int64) {
 	if off == 0 || off != f.raNext {
 		// A rewind resets the detector; anything else breaks the
 		// streak (offset 0 starts a fresh stream).
+		if f.raStreak > 0 {
+			v.fs.st.RARandoms.Inc()
+		}
 		f.raStreak = 0
 		if off == 0 {
 			f.raIssued = 0
@@ -42,6 +45,9 @@ func (v *Volume) maybeReadahead(t sched.Task, f *File, off, n int64) {
 	f.raNext = off + n
 	if f.raStreak < 2 {
 		return // one read is a point, two make a stream
+	}
+	if f.raStreak == 2 {
+		v.fs.st.RAStreams.Inc()
 	}
 	lastBlk := core.BlockNo((off + n - 1) / core.BlockSize)
 	eofBlk := core.BlockNo((f.ino.Size - 1) / core.BlockSize)

@@ -3,10 +3,25 @@ package fsys
 import (
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
+
+// charge runs fn and adds its elapsed kernel time to op's stage s.
+// With no op bound (nil tracer, or an untraced task) fn runs bare —
+// the hot path reads no clock.
+func (fs *FS) charge(t sched.Task, op *telemetry.Op, s telemetry.Stage, fn func() error) error {
+	if op == nil {
+		return fn()
+	}
+	t0 := fs.k.Now()
+	err := fn()
+	op.Add(s, fs.k.Now().Sub(t0))
+	return err
+}
 
 // readData moves n bytes at offset off from file f into buf (nil in
 // the simulator) through the block cache. It returns the byte count
@@ -23,6 +38,7 @@ func (v *Volume) readData(t sched.Task, f *File, off int64, buf []byte, n int64)
 	// Kick the readahead pipeline before fetching our own blocks, so
 	// the background fills overlap with this read's misses too.
 	v.maybeReadahead(t, f, off, n)
+	op := fs.tr.Current(t)
 	var done int64
 	for done < n {
 		pos := off + done
@@ -34,11 +50,18 @@ func (v *Volume) readData(t sched.Task, f *File, off int64, buf []byte, n int64)
 		}
 		key := core.BlockKey{Vol: v.ID, File: f.ino.ID, Blk: blk}
 		fs.st.ReadLookups.Inc()
-		b, hit := fs.cache.GetBlock(t, key)
+		var b *cache.Block
+		var hit bool
+		_ = fs.charge(t, op, telemetry.StageCache, func() error {
+			b, hit = fs.cache.GetBlock(t, key)
+			return nil
+		})
 		if hit {
 			fs.st.ReadHits.Inc()
 		} else {
-			if err := v.lay.ReadBlock(t, f.ino, blk, b.Data); err != nil {
+			if err := fs.charge(t, op, telemetry.StageDisk, func() error {
+				return v.lay.ReadBlock(t, f.ino, blk, b.Data)
+			}); err != nil {
 				fs.cache.FillFailed(t, b)
 				return done, err
 			}
@@ -67,6 +90,7 @@ func (v *Volume) readData(t sched.Task, f *File, off int64, buf []byte, n int64)
 // data may be nil in the simulator.
 func (v *Volume) writeData(t sched.Task, f *File, off int64, data []byte, n int64) error {
 	fs := v.fs
+	op := fs.tr.Current(t)
 	var done int64
 	for done < n {
 		pos := off + done
@@ -77,13 +101,20 @@ func (v *Volume) writeData(t sched.Task, f *File, off int64, data []byte, n int6
 			chunk = n - done
 		}
 		key := core.BlockKey{Vol: v.ID, File: f.ino.ID, Blk: blk}
-		b, hit := fs.cache.GetBlock(t, key)
+		var b *cache.Block
+		var hit bool
+		_ = fs.charge(t, op, telemetry.StageCache, func() error {
+			b, hit = fs.cache.GetBlock(t, key)
+			return nil
+		})
 		if !hit {
 			partial := bo != 0 || chunk < core.BlockSize
 			within := int64(blk)*core.BlockSize < f.ino.Size
 			if partial && within {
 				// Read-modify-write of an existing block.
-				if err := v.lay.ReadBlock(t, f.ino, blk, b.Data); err != nil {
+				if err := fs.charge(t, op, telemetry.StageDisk, func() error {
+					return v.lay.ReadBlock(t, f.ino, blk, b.Data)
+				}); err != nil {
 					fs.cache.FillFailed(t, b)
 					return err
 				}
@@ -109,7 +140,12 @@ func (v *Volume) writeData(t sched.Task, f *File, off int64, data []byte, n int6
 			b.Size = sz
 		}
 		b.NoCache = f.behavior.dropBehind()
-		fs.cache.MarkDirty(t, b)
+		// MarkDirty is where a full NVRAM parks the writer — cache
+		// stage, the paper's dirty-drain bottleneck.
+		_ = fs.charge(t, op, telemetry.StageCache, func() error {
+			fs.cache.MarkDirty(t, b)
+			return nil
+		})
 		fs.cache.Release(t, b)
 		done += chunk
 	}

@@ -38,7 +38,26 @@ const (
 	ProcSymlink
 	ProcReadlink
 	ProcStatFS
+	// NumProcs bounds the procedure space (per-proc stat arrays).
+	NumProcs = int(ProcStatFS) + 1
 )
+
+// procNames indexes procedure names by number — the `op` label of
+// the exported per-procedure metrics.
+var procNames = [NumProcs]string{
+	"null", "mount", "getattr", "setattr", "lookup", "read", "write",
+	"create", "remove", "rename", "mkdir", "rmdir", "readdir",
+	"symlink", "readlink", "statfs",
+}
+
+// ProcName names a procedure ("read", "write", ...), or "proc<N>"
+// for an unknown number.
+func ProcName(proc uint32) string {
+	if int(proc) < NumProcs {
+		return procNames[proc]
+	}
+	return fmt.Sprintf("proc%d", proc)
+}
 
 // Message directions.
 const (

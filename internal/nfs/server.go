@@ -7,6 +7,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsys"
 	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/xdr"
 )
 
@@ -26,12 +28,22 @@ type Server struct {
 	k      sched.Kernel
 	ln     net.Listener
 	window int
+	st     *ServerStats
+	tracer *telemetry.Tracer // nil = untraced
 
-	mu       sync.Mutex
-	closed   bool
-	draining bool
-	conns    map[net.Conn]*connState
-	inflight sync.WaitGroup
+	mu        sync.Mutex
+	closed    bool
+	draining  bool
+	conns     map[net.Conn]*connState
+	inflightN int // admitted calls not yet replied, server-wide
+	inflight  sync.WaitGroup
+}
+
+// call is one admitted request: the decoded frame plus its admission
+// time, from which the executor derives the pipeline-queue wait.
+type call struct {
+	frame []byte
+	at    sched.Time
 }
 
 // connState counts a connection's admitted calls (decoded, queued or
@@ -48,6 +60,10 @@ type Options struct {
 	// queued). 1 disables pipelining — the classic one-call-at-a-
 	// time loop; 0 means DefaultPipeline.
 	Pipeline int
+	// Tracer, when non-nil, traces every call: the executor binds an
+	// op to its task so the layers below charge their stage time, and
+	// slow calls land in the tracer's ring.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultPipeline is the per-connection window Serve uses.
@@ -69,13 +85,42 @@ func ServeOpts(k sched.Kernel, fs *fsys.FS, addr string, o Options) (*Server, er
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{fs: fs, k: k, ln: ln, window: o.Pipeline, conns: make(map[net.Conn]*connState)}
+	s := &Server{fs: fs, k: k, ln: ln, window: o.Pipeline, st: newServerStats(),
+		tracer: o.Tracer, conns: make(map[net.Conn]*connState)}
 	k.Go("nfs.accept", s.acceptLoop)
 	return s, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ServerStats returns the statistics plug-in.
+func (s *Server) ServerStats() *ServerStats { return s.st }
+
+// Stats registers the server's sources with set.
+func (s *Server) Stats(set *stats.Set) { s.st.Register(set) }
+
+// Connections returns the number of open connections.
+func (s *Server) Connections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// InflightCalls returns the number of admitted calls whose reply has
+// not been written yet, across all connections.
+func (s *Server) InflightCalls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflightN
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
 
 // Close stops the listener and all connections immediately,
 // dropping whatever is in flight.
@@ -156,7 +201,7 @@ func (s *Server) acceptLoop(t sched.Task) {
 // with a window of 1 the reader does not even touch the socket while
 // a call executes, exactly the classic one-call-at-a-time loop.
 func (s *Server) serveConn(t sched.Task, conn net.Conn) {
-	queue := make(chan []byte, s.window) // slots bounds it; sends never block
+	queue := make(chan call, s.window) // slots bounds it; sends never block
 	slots := make(chan struct{}, s.window)
 	done := make(chan struct{})
 	s.k.Go("nfs.conn.exec", func(et sched.Task) {
@@ -177,9 +222,12 @@ func (s *Server) serveConn(t sched.Task, conn net.Conn) {
 			break
 		}
 		st.inflight++
+		depth := st.inflight
+		s.inflightN++
 		s.inflight.Add(1)
 		s.mu.Unlock()
-		queue <- frame
+		s.st.Depth.Observe(int64(depth))
+		queue <- call{frame: frame, at: s.k.Now()}
 	}
 	close(queue)
 	<-done
@@ -191,11 +239,11 @@ func (s *Server) serveConn(t sched.Task, conn net.Conn) {
 // protocol or write error it keeps consuming the queue (so the
 // reader is never stuck on a full window) but only settles the
 // accounting.
-func (s *Server) execLoop(t sched.Task, conn net.Conn, queue chan []byte, slots chan struct{}, done chan struct{}) {
+func (s *Server) execLoop(t sched.Task, conn net.Conn, queue chan call, slots chan struct{}, done chan struct{}) {
 	defer close(done)
 	failed := false
-	for frame := range queue {
-		if !failed && !s.execute(t, conn, frame) {
+	for c := range queue {
+		if !failed && !s.execute(t, conn, c) {
 			failed = true
 			conn.Close() // unblocks the reader; repeat closes are harmless
 		}
@@ -207,8 +255,8 @@ func (s *Server) execLoop(t sched.Task, conn net.Conn, queue chan []byte, slots 
 // execute runs one call: decode, dispatch onto the abstract client
 // interface, write the reply. It reports whether the connection is
 // still usable.
-func (s *Server) execute(t sched.Task, conn net.Conn, frame []byte) bool {
-	d := xdr.NewDecoder(frame)
+func (s *Server) execute(t sched.Task, conn net.Conn, c call) bool {
+	d := xdr.NewDecoder(c.frame)
 	xid, err := d.Uint32()
 	if err != nil {
 		return false
@@ -221,10 +269,30 @@ func (s *Server) execute(t sched.Task, conn net.Conn, frame []byte) bool {
 	if err != nil {
 		return false
 	}
+	// The traced op starts at admission, so the pipeline-queue wait
+	// (dispatch start minus admission) is its first stage; the layers
+	// below find the op through the task binding.
+	op := s.tracer.Begin(ProcName(proc), c.at)
+	if op != nil {
+		op.Add(telemetry.StageQueue, s.k.Now().Sub(c.at))
+		s.tracer.Bind(t, op)
+	}
 	e := xdr.NewEncoder()
 	e.Uint32(xid)
 	e.Uint32(MsgReply)
 	status := s.dispatch(t, proc, d, e)
+	if op != nil {
+		s.tracer.Unbind(t)
+	}
+	end := s.k.Now()
+	s.tracer.Finish(op, end)
+	if int(proc) < NumProcs {
+		s.st.Calls.Add(int(proc), 1)
+		s.st.Latency[proc].Observe(end.Sub(c.at))
+	}
+	if status != OK {
+		s.st.Errors.Inc()
+	}
 	// Splice the status in after (xid, MsgReply): rebuild with the
 	// final status word.
 	out := xdr.NewEncoder()
@@ -244,6 +312,7 @@ func (s *Server) finishCall(conn net.Conn) {
 		st.inflight--
 		closeNow = s.draining && st.inflight == 0
 	}
+	s.inflightN--
 	s.mu.Unlock()
 	s.inflight.Done()
 	if closeNow {

@@ -10,6 +10,7 @@ package pfs
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/nfs"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/volume"
 )
 
@@ -82,6 +84,9 @@ type Config struct {
 	// instead of the plain mount; the result lands in
 	// Server.Recovery. Fresh image sets are formatted as usual.
 	Recover bool
+	// SlowOpThreshold sets the tracer's slow-op capture threshold
+	// (0 = telemetry.DefaultSlowThreshold).
+	SlowOpThreshold time.Duration
 	// NoIntentLog disables the metadata intent log. By default the
 	// on-line server records every acknowledged namespace operation
 	// into a battery-backed intent ring (it survives Crash with the
@@ -106,10 +111,14 @@ type Server struct {
 	// Recovery reports what the recovery mount repaired (nil unless
 	// Config.Recover ran against an existing image set).
 	Recovery *layout.RecoveryStats
+	// Tracer carries per-operation latency breakdowns from the NFS
+	// executor down through the cache and disk paths.
+	Tracer *telemetry.Tracer
 
 	pipeline int
 	cluster  int
 	net      *nfs.Server
+	admin    *telemetry.Server
 }
 
 // ClusterRun reports the effective run-size cap (1 = clustering off).
@@ -235,7 +244,10 @@ func Open(cfg Config) (*Server, error) {
 	}
 	c.Start()
 
-	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, pipeline: cfg.Pipeline, cluster: cfg.ClusterRunBlocks}
+	tr := telemetry.NewTracer(k, cfg.SlowOpThreshold)
+	fs.SetTracer(tr)
+
+	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, Tracer: tr, pipeline: cfg.Pipeline, cluster: cfg.ClusterRunBlocks}
 	if plan != nil {
 		// The instant the cut trips, the cache stops issuing flushes:
 		// a dead machine writes nothing more.
@@ -315,11 +327,12 @@ func isFresh(path string) (bool, error) {
 // ServeNFS exposes the volume over the network protocol; addr
 // "127.0.0.1:0" picks a free port. Returns the bound address.
 func (s *Server) ServeNFS(addr string) (string, error) {
-	srv, err := nfs.ServeOpts(s.K, s.FS, addr, nfs.Options{Pipeline: s.pipeline})
+	srv, err := nfs.ServeOpts(s.K, s.FS, addr, nfs.Options{Pipeline: s.pipeline, Tracer: s.Tracer})
 	if err != nil {
 		return "", err
 	}
 	s.net = srv
+	srv.Stats(s.Set)
 	return srv.Addr(), nil
 }
 
@@ -340,12 +353,19 @@ func (s *Server) Sync() error {
 // connections are cut; use Shutdown for a graceful exit.
 func (s *Server) Close() error {
 	err := s.Sync()
+	s.closeAdmin()
 	if s.net != nil {
 		s.net.Close()
 	}
 	s.K.Stop()
 	s.closeDrivers()
 	return err
+}
+
+func (s *Server) closeAdmin() {
+	if s.admin != nil {
+		_ = s.admin.Close()
+	}
 }
 
 func (s *Server) closeDrivers() {
@@ -370,6 +390,7 @@ func (s *Server) Crash() *cache.CrashReport {
 		repc <- s.Cache.Crash(t)
 	})
 	rep := <-repc
+	s.closeAdmin()
 	if s.net != nil {
 		s.net.Close()
 	}
@@ -387,6 +408,7 @@ func (s *Server) Shutdown() error {
 		s.net.Drain()
 	}
 	err := s.Sync()
+	s.closeAdmin()
 	if s.net != nil {
 		s.net.Close()
 	}

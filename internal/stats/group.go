@@ -59,6 +59,13 @@ func (g *Group) Total() int64 {
 	return sum
 }
 
+// Labels snapshots the member labels in creation order.
+func (g *Group) Labels() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.labels...)
+}
+
 // Values snapshots the member values in creation order.
 func (g *Group) Values() []int64 {
 	g.mu.Lock()

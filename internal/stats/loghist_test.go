@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram("t", time.Millisecond, 2, 4) // bounds 1,2,4,8 ms
+	h.Observe(-time.Second)                           // clamps to 0 -> first bucket
+	h.Observe(time.Millisecond)                       // on the bound -> first bucket
+	h.Observe(3 * time.Millisecond)                   // -> 4ms bucket
+	h.Observe(time.Hour)                              // -> +Inf overflow
+	bounds, counts, total, sum := h.Snapshot()
+	if len(bounds) != 4 || len(counts) != 5 {
+		t.Fatalf("shape: %d bounds, %d counts", len(bounds), len(counts))
+	}
+	if total != 4 {
+		t.Fatalf("total = %d", total)
+	}
+	if want := time.Millisecond + 3*time.Millisecond + time.Hour; sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	if counts[0] != 2 || counts[2] != 1 || counts[4] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n != total {
+		t.Fatalf("counts sum %d != total %d", n, total)
+	}
+}
+
+func TestLogHistogramQuantile(t *testing.T) {
+	h := NewLatencyHistogram("t")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 <= 0 || p99 <= p50 {
+		t.Fatalf("p50=%v p99=%v not increasing", p50, p99)
+	}
+	// Bucketed estimates stay inside the right bucket: the true p50 is
+	// ~500ms, whose owning bucket is (256ms, 512ms]; p99 ~990ms lands
+	// in (512ms, 1.024s].
+	if p50 < 256*time.Millisecond || p50 > 512*time.Millisecond {
+		t.Fatalf("p50=%v outside its bucket", p50)
+	}
+	if p99 < 512*time.Millisecond || p99 > 1100*time.Millisecond {
+		t.Fatalf("p99=%v outside its bucket", p99)
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+}
+
+func TestLogHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram("t")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Quantile(0.9)
+					h.Snapshot()
+					_ = h.String()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Total() != 4000 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}

@@ -212,6 +212,15 @@ func (h *Histogram) meanLocked() float64 {
 	return float64(h.sum) / float64(h.total)
 }
 
+// Snapshot returns the bucket upper bounds (shared, immutable), a
+// copy of the per-bucket counts (len(bounds)+1), the total count and
+// the value sum — one consistent view for exporters.
+func (h *Histogram) Snapshot() (bounds []int64, counts []int64, total int64, sum int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bounds, append([]int64(nil), h.counts...), h.total, h.sum
+}
+
 // Bucket returns the count in bucket i (len(bounds)+1 buckets).
 func (h *Histogram) Bucket(i int) int64 {
 	h.mu.Lock()

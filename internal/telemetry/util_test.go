@@ -1,0 +1,24 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+)
+
+var errTest = errors.New("test failure")
+
+func httpGet(t *testing.T, addr, path string) (string, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.StatusCode
+}

@@ -711,6 +711,18 @@ func (a *Array) Stats(set *stats.Set) {
 	set.Add(a.syncs)
 }
 
+// ReadGroup returns the per-member routed-read counters, nil for a
+// width-1 passthrough array.
+func (a *Array) ReadGroup() *stats.Group { return a.reads }
+
+// WriteGroup returns the per-member routed-write counters, nil for a
+// width-1 passthrough array.
+func (a *Array) WriteGroup() *stats.Group { return a.writes }
+
+// SyncCounter returns the array-sync counter, nil for a width-1
+// passthrough array.
+func (a *Array) SyncCounter() *stats.Counter { return a.syncs }
+
 // RoutedBlocks reports the per-sub-volume block counts the array has
 // routed so far — the raw material of the per-volume report.
 func (a *Array) RoutedBlocks() (reads, writes []int64) {
