@@ -52,6 +52,10 @@ func main() {
 		clCaps     = flag.String("clcaps", "0,8,32", "run-size caps for the clustering study (0 = off)")
 		clReal     = flag.Bool("clreal", false, "append the real-kernel pfsbench cells (clustering off vs on) to the clustering study")
 		clOut      = flag.String("clout", "BENCH_5.json", "write the clustering study as JSON here (empty = don't)")
+		degraded   = flag.Bool("degraded", false, "run the degraded-serving study (healthy vs degraded vs rebuilding per redundant placement) instead of figures")
+		degPlace   = flag.String("degplacements", "mirrored,parity", "redundant placements for the degraded study")
+		degWidth   = flag.Int("degwidth", 3, "array width for the degraded study")
+		degOut     = flag.String("degout", "BENCH_8.json", "write the degraded study as JSON here (empty = don't)")
 	)
 	flag.Parse()
 
@@ -99,6 +103,27 @@ func main() {
 		}
 		fmt.Printf("(wall time %v, scale %s, trace duration %v)\n",
 			time.Since(start).Round(time.Millisecond), scale.Name, scale.Duration)
+		return
+	}
+
+	if *degraded {
+		var placements []string
+		for _, p := range strings.Split(*degPlace, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				placements = append(placements, p)
+			}
+		}
+		start := time.Now()
+		st, err := experiments.RunDegradedStudy(*seed, placements, *degWidth)
+		die(err)
+		fmt.Println(experiments.DegradedTable(st))
+		if *degOut != "" {
+			out, err := experiments.DegradedJSON(st)
+			die(err)
+			die(os.WriteFile(*degOut, out, 0o644))
+			fmt.Printf("(wrote %s)\n", *degOut)
+		}
+		fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

@@ -19,8 +19,19 @@
 // its images) whose records are checksummed, sequence-checked, and
 // printed one per line.
 //
+// For a redundant array (the label says mirrored or parity), one
+// missing member image is not fatal: the member is declared dead, the
+// geometry is read off the first surviving member, and the set is
+// reported degraded (`"degraded"` / `"dead_member"` in -json). The
+// check then mounts the whole array and walks the redundancy
+// invariant — mirror copies agree, parity equals the XOR of its
+// stripe — reporting the scrub counters under `"scrub"`; columns that
+// need the dead member are skipped (they are exactly what a rebuild
+// recomputes). Any mismatch marks the set dirty.
+//
 // Exit codes: 0 the image (set) is clean — including after a
-// successful repair — or the intent dump verifies; 1 inconsistencies
+// successful repair, and including a degraded-but-consistent
+// redundant set — or the intent dump verifies; 1 inconsistencies
 // remain or the dump is corrupt; 2 an image or dump could not be
 // read at all.
 package main
@@ -48,17 +59,32 @@ type volReport struct {
 	Blocks     int64    `json:"blocks"`
 	FreeBlocks int64    `json:"free_blocks"`
 	Layout     string   `json:"layout"`
+	Dead       bool     `json:"dead,omitempty"`
 	Repairs    []string `json:"repairs,omitempty"`
 	Errors     []string `json:"errors"`
 }
 
 // report is the machine-readable summary.
 type report struct {
-	Image     string      `json:"image"`
-	Volumes   []volReport `json:"volumes"`
-	Label     *labelInfo  `json:"label,omitempty"`
-	Clean     bool        `json:"clean"`
-	ErrorText string      `json:"error,omitempty"`
+	Image      string      `json:"image"`
+	Volumes    []volReport `json:"volumes"`
+	Label      *labelInfo  `json:"label,omitempty"`
+	Degraded   bool        `json:"degraded,omitempty"`
+	DeadMember *int        `json:"dead_member,omitempty"`
+	Scrub      *scrubInfo  `json:"scrub,omitempty"`
+	Clean      bool        `json:"clean"`
+	ErrorText  string      `json:"error,omitempty"`
+}
+
+// scrubInfo is the redundancy cross-check result: every file's data
+// columns walked, mirror copies compared, parity XOR verified.
+// Skipped counts columns that need the dead member and so cannot be
+// verified until a rebuild.
+type scrubInfo struct {
+	Files      int64 `json:"files"`
+	Blocks     int64 `json:"blocks"`
+	Skipped    int64 `json:"skipped"`
+	Mismatches int64 `json:"mismatches"`
 }
 
 // labelInfo is the array geometry read off member 0.
@@ -122,15 +148,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// allocation, shadow sizes, labels) unrepaired.
 		fatal = recoverArray(k, o, &rep)
 	} else {
-		for i := 0; i < o.volumes; i++ {
-			path := o.image
+		paths := make([]string, o.volumes)
+		for i := range paths {
+			paths[i] = o.image
 			if o.volumes > 1 {
-				path = fmt.Sprintf("%s.v%d", o.image, i)
+				paths[i] = fmt.Sprintf("%s.v%d", o.image, i)
 			}
-			vr, f := checkVolume(k, path, o, i == 0 && o.volumes > 1, &rep)
-			fatal = fatal || f
-			rep.Volumes = append(rep.Volumes, vr)
 		}
+		// One missing member image is the single-fault the redundant
+		// placements are built to survive (the disk died and took its
+		// image with it): skip it here, check the survivors, and judge
+		// it once the label has told us whether its share is still
+		// represented. Two or more missing stay fatal as before.
+		missing := -1
+		if o.volumes > 1 {
+			for i, p := range paths {
+				if _, err := os.Stat(p); err == nil {
+					continue
+				}
+				if missing >= 0 {
+					missing = -2 // beyond the single-fault model
+					break
+				}
+				missing = i
+			}
+		}
+		vrs := make([]volReport, o.volumes)
+		for i, path := range paths {
+			if i == missing {
+				vrs[i] = volReport{Image: path, Layout: o.layoutName, Errors: []string{}}
+				continue
+			}
+			// The geometry label lives on every member, so the first
+			// surviving one can supply it even when member 0 is gone.
+			vr, f := checkVolume(k, path, o, o.volumes > 1 && rep.Label == nil, &rep)
+			fatal = fatal || f
+			vrs[i] = vr
+		}
+		redundant := rep.Label != nil &&
+			(rep.Label.Placement == volume.PlacementMirrored || rep.Label.Placement == volume.PlacementParity)
+		if missing >= 0 {
+			if redundant {
+				vrs[missing].Dead = true
+				rep.Degraded = true
+				m := missing
+				rep.DeadMember = &m
+			} else {
+				vrs[missing].Errors = append(vrs[missing].Errors, fmt.Sprintf(
+					"%s: member image missing and the placement is not redundant", paths[missing]))
+				fatal = true
+			}
+		}
+		if !fatal && redundant {
+			fatal = crossCheck(k, o, paths, missing, &rep, vrs)
+		}
+		rep.Volumes = append(rep.Volumes, vrs...)
 	}
 	for _, vr := range rep.Volumes {
 		if len(vr.Errors) > 0 {
@@ -298,6 +370,88 @@ func recoverArray(k *sched.RKernel, o options, rep *report) bool {
 	return fatal
 }
 
+// crossCheck mounts the whole redundant array over the member images
+// and walks the redundancy invariant: mirror copies agree, parity
+// equals the XOR of its stripe. A dead member is stood in for by a
+// blank placeholder that is never read — the array mounts around it —
+// and the columns that need it are counted as skipped, not verified:
+// they are exactly what a rebuild recomputes. Mismatches mark the set
+// dirty (exit 1); returns whether the array could not be mounted at
+// all.
+func crossCheck(k *sched.RKernel, o options, paths []string, dead int, rep *report, vrs []volReport) bool {
+	subs := make([]layout.Layout, o.volumes)
+	var blocks int64
+	for i, path := range paths {
+		if i == dead {
+			continue
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			vrs[i].Errors = append(vrs[i].Errors, err.Error())
+			return true
+		}
+		n := fi.Size() / core.BlockSize
+		drv, err := device.NewFileDriver(k, "fsck.x:"+path, path, n, nil)
+		if err != nil {
+			vrs[i].Errors = append(vrs[i].Errors, err.Error())
+			return true
+		}
+		defer drv.Close()
+		subs[i] = newLayout(k, fmt.Sprintf("fsck.x%d", i), o.layoutName,
+			layout.NewPartition(drv, i, 0, n, false))
+		if blocks == 0 {
+			blocks = n
+		}
+	}
+	if dead >= 0 {
+		drv := device.NewMemDriver(k, "fsck.dead", blocks, nil)
+		subs[dead] = newLayout(k, fmt.Sprintf("fsck.x%d", dead), o.layoutName,
+			layout.NewPartition(drv, dead, 0, blocks, false))
+	}
+	arr, err := volume.New(k, "fsck", subs,
+		volume.Config{Placement: rep.Label.Placement, StripeBlocks: rep.Label.StripeBlocks})
+	if err != nil {
+		rep.ErrorText = fmt.Sprintf("redundancy cross-check: %v", err)
+		return true
+	}
+	if dead >= 0 {
+		if err := arr.KillMember(dead); err != nil {
+			rep.ErrorText = fmt.Sprintf("redundancy cross-check: %v", err)
+			return true
+		}
+	}
+	fatal := false
+	done := make(chan struct{})
+	k.Go("fsck.crosscheck", func(t sched.Task) {
+		defer close(done)
+		if err := arr.Mount(t); err != nil {
+			rep.ErrorText = fmt.Sprintf("redundancy cross-check: mount: %v", err)
+			fatal = true
+			return
+		}
+		st, err := arr.Scrub(t, false)
+		if err != nil {
+			rep.ErrorText = fmt.Sprintf("redundancy cross-check: %v", err)
+			fatal = true
+			return
+		}
+		rep.Scrub = &scrubInfo{
+			Files:      st.Files,
+			Blocks:     st.Blocks,
+			Skipped:    st.Skipped,
+			Mismatches: st.Mismatches,
+		}
+		if st.Mismatches > 0 {
+			rep.Clean = false
+			rep.ErrorText = fmt.Sprintf(
+				"redundancy cross-check: %d mismatched columns (run fsck -rollforward, or rebuild the member)",
+				st.Mismatches)
+		}
+	})
+	<-done
+	return fatal
+}
+
 // checkFn returns the layout's fsck pass.
 func checkFn(lay layout.Layout) func(t sched.Task) []error {
 	switch l := lay.(type) {
@@ -310,10 +464,10 @@ func checkFn(lay layout.Layout) func(t sched.Task) []error {
 	}
 }
 
-// checkVolume mounts (or recovers) and checks one image; on the
-// first member of an array it also reads the geometry label into
-// rep. The second result reports whether the image could not be
-// checked at all.
+// checkVolume mounts (or recovers) and checks one image; with
+// wantLabel set (the first surviving member of an array) it also
+// reads the geometry label into rep. The second result reports
+// whether the image could not be checked at all.
 func checkVolume(k *sched.RKernel, path string, o options, wantLabel bool, rep *report) (volReport, bool) {
 	vr := volReport{Image: path, Layout: o.layoutName, Errors: []string{}}
 	fatal := false
@@ -399,6 +553,10 @@ func emit(rep *report, o options, stdout, stderr io.Writer, fatal bool) int {
 		}
 	} else {
 		for _, v := range rep.Volumes {
+			if v.Dead {
+				fmt.Fprintf(stdout, "%s: missing — member dead, share served from redundancy\n", v.Image)
+				continue
+			}
 			if o.verbose {
 				fmt.Fprintf(stdout, "%s: %d blocks, %d free\n", v.Image, v.Blocks, v.FreeBlocks)
 			}
@@ -417,6 +575,13 @@ func emit(rep *report, o options, stdout, stderr io.Writer, fatal bool) int {
 		if rep.Label != nil {
 			fmt.Fprintf(stdout, "array label: %d volumes, %s placement, stripe %d blocks\n",
 				rep.Label.Volumes, rep.Label.Placement, rep.Label.StripeBlocks)
+		}
+		if rep.Degraded && rep.DeadMember != nil {
+			fmt.Fprintf(stdout, "array degraded: member %d dead\n", *rep.DeadMember)
+		}
+		if rep.Scrub != nil {
+			fmt.Fprintf(stdout, "redundancy cross-check: %d files, %d blocks, %d skipped (dead member), %d mismatches\n",
+				rep.Scrub.Files, rep.Scrub.Blocks, rep.Scrub.Skipped, rep.Scrub.Mismatches)
 		}
 		if rep.ErrorText != "" {
 			fmt.Fprintln(stdout, "fsck:", rep.ErrorText)

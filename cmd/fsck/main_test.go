@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -82,6 +83,86 @@ func mkImage(t *testing.T, dir, layout string, volumes int, shutdown string) str
 	return path
 }
 
+// mkRedundantImage builds a width-3 mirrored or parity array image
+// set with one known-content file and closes it cleanly.
+func mkRedundantImage(t *testing.T, dir, placement string) string {
+	t.Helper()
+	path := filepath.Join(dir, "img")
+	srv, err := pfs.Open(pfs.Config{
+		Path:         path,
+		Blocks:       2048,
+		Volumes:      3,
+		Layout:       "lfs",
+		SegBlocks:    32,
+		CacheBlocks:  96,
+		Flush:        cache.UPS(),
+		Placement:    placement,
+		StripeBlocks: 2,
+	})
+	if err != nil {
+		t.Fatalf("pfs.Open(%s): %v", placement, err)
+	}
+	err = srv.Do(func(tk sched.Task) error {
+		v := srv.Vol
+		h, err := v.Create(tk, "/a", core.TypeRegular)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, core.BlockSize)
+		for i := range buf {
+			buf[i] = 0x3C
+		}
+		for b := 0; b < 6; b++ {
+			if err := v.WriteAt(tk, h, int64(b)*core.BlockSize, buf, core.BlockSize); err != nil {
+				return err
+			}
+		}
+		return v.Close(tk, h)
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+// flipDataByte corrupts one byte inside a data block of the image
+// set: it scans the members for a block-aligned run holding the test
+// file's fill byte and flips its first byte. The per-member check
+// cannot see this (data blocks carry no member-local checksum) — only
+// the redundancy cross-check can.
+func flipDataByte(t *testing.T, base string) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		path := fmt.Sprintf("%s.v%d", base, i)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := int64(0); off+core.BlockSize <= int64(len(buf)); off += core.BlockSize {
+			blk := buf[off : off+core.BlockSize]
+			full := true
+			for _, b := range blk {
+				if b != 0x3C {
+					full = false
+					break
+				}
+			}
+			if !full {
+				continue
+			}
+			blk[0] ^= 0xFF
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatal("no data block found to corrupt")
+}
+
 // TestExitCodeTable is the golden table: every (image state, flags)
 // row must produce its documented exit code and output.
 func TestExitCodeTable(t *testing.T) {
@@ -89,6 +170,22 @@ func TestExitCodeTable(t *testing.T) {
 	crashedLFS := mkImage(t, t.TempDir(), "lfs", 1, "crash")
 	crashedFFS := mkImage(t, t.TempDir(), "ffs", 1, "crash")
 	array3 := mkImage(t, t.TempDir(), "lfs", 3, "close")
+	mirror3 := mkRedundantImage(t, t.TempDir(), "mirrored")
+	parity3 := mkRedundantImage(t, t.TempDir(), "parity")
+	degraded := mkRedundantImage(t, t.TempDir(), "parity")
+	if err := os.Remove(degraded + ".v1"); err != nil {
+		t.Fatal(err)
+	}
+	lost2 := mkRedundantImage(t, t.TempDir(), "mirrored")
+	for _, m := range []string{".v1", ".v2"} {
+		if err := os.Remove(lost2 + m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	affinityLost := mkImage(t, t.TempDir(), "lfs", 3, "close")
+	if err := os.Remove(affinityLost + ".v2"); err != nil {
+		t.Fatal(err)
+	}
 	garbage := filepath.Join(t.TempDir(), "garbage")
 	if err := os.WriteFile(garbage, make([]byte, 1<<20), 0o644); err != nil {
 		t.Fatal(err)
@@ -125,6 +222,11 @@ func TestExitCodeTable(t *testing.T) {
 		{"crashed-ffs-repaired", []string{"-image", crashedFFS, "-layout", "ffs", "-repair"}, 0, "repaired"},
 		{"crashed-lfs-rollforward", []string{"-image", crashedLFS, "-rollforward"}, 0, "rolled forward"},
 		{"clean-array", []string{"-image", array3, "-volumes", "3"}, 0, "array label: 3 volumes"},
+		{"mirrored-array-clean", []string{"-image", mirror3, "-volumes", "3"}, 0, "redundancy cross-check:"},
+		{"parity-array-clean", []string{"-image", parity3, "-volumes", "3"}, 0, "0 mismatches"},
+		{"parity-member-dead", []string{"-image", degraded, "-volumes", "3"}, 0, "member dead"},
+		{"two-members-missing", []string{"-image", lost2, "-volumes", "3"}, 2, ""},
+		{"nonredundant-member-missing", []string{"-image", affinityLost, "-volumes", "3"}, 2, "not redundant"},
 		{"array-rollforward", []string{"-image", array3, "-volumes", "3", "-rollforward"}, 0, "array label: 3 volumes"},
 		{"array-width-mismatch", []string{"-image", array3, "-volumes", "2"}, 1, "label says 3 volumes, checked 2"},
 		{"repair-on-lfs-misuse", []string{"-image", cleanLFS, "-repair"}, 2, ""},
@@ -156,6 +258,37 @@ func TestExitCodeTable(t *testing.T) {
 	out.Reset()
 	if got := run([]string{"-image", crashedLFS}, &out, &out); got != 0 {
 		t.Fatalf("lfs image dirty after rollforward (exit %d):\n%s", got, out.String())
+	}
+
+	// The degraded JSON shape: the dead member is called out, the
+	// cross-check skips its columns, and the set is still clean.
+	out.Reset()
+	if got := run([]string{"-image", degraded, "-volumes", "3", "-json"}, &out, &out); got != 0 {
+		t.Fatalf("degraded set not clean (exit %d):\n%s", got, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	switch {
+	case !rep.Clean || !rep.Degraded:
+		t.Fatalf("degraded set: clean=%v degraded=%v", rep.Clean, rep.Degraded)
+	case rep.DeadMember == nil || *rep.DeadMember != 1 || !rep.Volumes[1].Dead:
+		t.Fatalf("dead member not reported: %+v", rep)
+	case rep.Scrub == nil || rep.Scrub.Skipped == 0 || rep.Scrub.Mismatches != 0:
+		t.Fatalf("cross-check stats: %+v", rep.Scrub)
+	}
+
+	// A silently diverged copy: the per-member checks pass, but the
+	// cross-check finds the mismatch and the set exits dirty.
+	corrupt := mkRedundantImage(t, t.TempDir(), "mirrored")
+	flipDataByte(t, corrupt)
+	out.Reset()
+	if got := run([]string{"-image", corrupt, "-volumes", "3"}, &out, &out); got != 1 {
+		t.Fatalf("corrupted mirror exit %d, want 1:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "mismatched columns") {
+		t.Fatalf("output lacks mismatch report:\n%s", out.String())
 	}
 }
 

@@ -37,8 +37,8 @@ func main() {
 		layoutN   = flag.String("layout", "lfs", "storage layout: lfs or ffs")
 		diskModel = flag.String("disk", "hp97560", "disk model: hp97560 or naive")
 		volumes   = flag.Int("volumes", 0, "volume-array width: build this many bus+disk+layout stacks behind one volume manager (0 = classic multi-volume topology)")
-		placement = flag.String("placement", "affinity", "array placement policy: affinity or striped")
-		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for -placement striped")
+		placement = flag.String("placement", "affinity", "array placement policy: affinity, striped, mirrored, or parity")
+		stripe    = flag.Int("stripe", 8, "stripe/chunk width in 4KB blocks for striped and redundant placements")
 		cluster   = flag.Int("cluster", 0, "clustered-transfer run cap in blocks (0 or 1 = off, the classic simulator)")
 		showCDF   = flag.Bool("cdf", false, "print the full latency CDF")
 		showInt   = flag.Bool("intervals", false, "print 15-minute interval reports")

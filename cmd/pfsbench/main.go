@@ -45,6 +45,13 @@ func main() {
 		think     = flag.Duration("think", 0, "per-op client think time")
 		seed      = flag.Int64("seed", 1996, "workload seed")
 		scrape    = flag.Bool("scrape", false, "boot the admin endpoint per real cell and embed /metrics deltas in the JSON")
+		placement = flag.String("placement", "", "redundant array placement for every cell: mirrored or parity (empty = classic single stack)")
+		width     = flag.Int("width", 3, "array width when -placement is set")
+		stripe    = flag.Int("stripeblocks", 0, "chunk width for redundant placements (0 = volume default)")
+		degraded  = flag.Bool("degraded", false, "kill a member after the prefill so cells measure degraded serving (needs -placement)")
+		degMember = flag.Int("degmember", 1, "which member -degraded kills")
+		rebuild   = flag.Bool("rebuild", false, "run the online rebuild concurrently with the measurement (implies -degraded)")
+		redundant = flag.Bool("redundant", false, "append the redundant-serving cells (mirrored+parity x healthy+degraded, 4 clients) to the matrix — the CI gate's degraded coverage")
 		out       = flag.String("out", "", "write the JSON result file here (default stdout)")
 		dir       = flag.String("dir", "", "directory for real-kernel image files (default TMPDIR)")
 		note      = flag.String("note", "", "free-form note recorded in the file")
@@ -81,6 +88,12 @@ func main() {
 		cfg.Readahead = *readahead
 		cfg.Cluster = *cluster
 		cfg.Scrape = *scrape
+		cfg.Placement = *placement
+		cfg.Width = *width
+		cfg.StripeBlocks = *stripe
+		cfg.Degrade = *degraded
+		cfg.DegradeMember = *degMember
+		cfg.Rebuild = *rebuild
 		if *ops > 0 {
 			cfg.Ops = *ops
 		}
@@ -97,6 +110,40 @@ func main() {
 			die(err)
 			file.Runs = append(file.Runs, res)
 			progress(res, time.Since(start))
+		}
+	}
+	if *redundant {
+		// The fixed redundant matrix: mirrored and parity at width 3,
+		// healthy and degraded, 4 clients — the cells the committed
+		// baseline pins so a degraded-path slowdown fails the gate.
+		for _, pl := range []string{"mirrored", "parity"} {
+			for _, degr := range []bool{false, true} {
+				cfg := bench.Quick(4)
+				if !*quick {
+					cfg.Ops = 1000
+					cfg.Files = 16
+					cfg.FileBlocks = 256
+					cfg.CacheBlocks = 2048
+				}
+				cfg.Seed = *seed
+				cfg.Placement = pl
+				cfg.Degrade = degr
+				cfg.DegradeMember = 1
+				if *kernel == "virtual" || *kernel == "both" {
+					start := time.Now()
+					res, err := bench.RunSim(cfg)
+					die(err)
+					file.Runs = append(file.Runs, res)
+					progress(res, time.Since(start))
+				}
+				if *kernel == "real" || *kernel == "both" {
+					start := time.Now()
+					res, err := bench.RunReal(imgDir, cfg)
+					die(err)
+					file.Runs = append(file.Runs, res)
+					progress(res, time.Since(start))
+				}
+			}
 		}
 	}
 	data, err := file.Encode()

@@ -8,6 +8,10 @@
 // With -volumes N the server runs on an N-wide volume array backed
 // by images <image>.v0 .. <image>.v(N-1); the on-image label makes a
 // reopen with different -volumes/-placement/-stripe fail loudly.
+// The mirrored and parity placements add redundancy: the array keeps
+// serving reads and writes through a single member death and can
+// rebuild the lost member online (pfs.Server.KillMember /
+// RebuildMember / Scrub drive this programmatically).
 //
 // On SIGINT/SIGTERM the server drains: it stops accepting calls,
 // lets in-flight NFS requests complete, syncs every volume, and only
@@ -30,8 +34,8 @@ func main() {
 		image     = flag.String("image", "pfs.img", "backing image file (base name with -volumes > 1)")
 		blocks    = flag.Int64("blocks", 16384, "per-volume size in 4KB blocks")
 		volumes   = flag.Int("volumes", 1, "volume-array width: one image+driver+LFS stack per member")
-		placement = flag.String("placement", "affinity", "array placement policy: affinity or striped")
-		stripe    = flag.Int("stripe", 8, "stripe width in 4KB blocks for -placement striped")
+		placement = flag.String("placement", "affinity", "array placement policy: affinity, striped, mirrored, or parity")
+		stripe    = flag.Int("stripe", 8, "stripe/chunk width in 4KB blocks for striped and redundant placements")
 		cacheB    = flag.Int("cache", 4096, "cache size in 4KB blocks")
 		shards    = flag.Int("shards", 0, "cache lock stripes (0 = default 8, 1 = classic single-lock cache)")
 		pipeline  = flag.Int("pipeline", 0, "per-connection NFS window (0 = default 8, 1 = no pipelining)")

@@ -67,6 +67,21 @@ type Config struct {
 	// embeds the /metrics deltas of the measurement phase in the
 	// result (Result.Scrape).
 	Scrape bool
+
+	// Redundant-array axes. Placement, when set to "mirrored" or
+	// "parity", runs the cell over a Width-member redundant array
+	// (default width 3); empty keeps the classic single-stack cell —
+	// keys and numbers unchanged, so the committed baseline stays
+	// valid. Degrade kills DegradeMember after the prefill, so the
+	// measurement runs against the degraded read/write paths;
+	// Rebuild (implies Degrade) additionally runs the online rebuild
+	// concurrently with the measurement — the "rebuilding" cell.
+	Placement     string
+	Width         int
+	StripeBlocks  int
+	Degrade       bool
+	DegradeMember int
+	Rebuild       bool
 }
 
 // Quick is the CI smoke cell: a working set twice the cache (8 MB
@@ -134,12 +149,36 @@ type Result struct {
 	// cell ran with Config.Scrape (family-level series only; the
 	// le=/quantile= expansions stay on the endpoint).
 	Scrape map[string]float64 `json:"scrape,omitempty"`
+	// Redundant-array cell identity (empty/false on classic cells,
+	// which keeps their JSON byte-identical).
+	Placement string `json:"placement,omitempty"`
+	Width     int    `json:"width,omitempty"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	Rebuild   bool   `json:"rebuild,omitempty"`
+	// RebuildMS is the online rebuild's duration in the rebuilding
+	// cell (simulated ms on the virtual kernel).
+	RebuildMS float64 `json:"rebuild_ms,omitempty"`
 }
 
-// Key identifies a cell for baseline comparison.
+// Key identifies a cell for baseline comparison. Redundant-array
+// cells append placement and serving-state suffixes; classic cells
+// keep their pre-redundancy keys, so the committed baseline gates
+// them unchanged while the matrix grows.
 func (r Result) Key() string {
-	return fmt.Sprintf("%s/c%d/d%d/s%d/p%d/ra%d/cl%d",
+	k := fmt.Sprintf("%s/c%d/d%d/s%d/p%d/ra%d/cl%d",
 		r.Kernel, r.Clients, r.Depth, r.Shards, r.Pipeline, r.Readahead, r.Cluster)
+	if r.Placement != "" {
+		k += fmt.Sprintf("/%s%d", r.Placement, r.Width)
+		switch {
+		case r.Rebuild:
+			k += "/rebuilding"
+		case r.Degraded:
+			k += "/degraded"
+		default:
+			k += "/healthy"
+		}
+	}
+	return k
 }
 
 // File is the BENCH_*.json format.
@@ -279,10 +318,24 @@ func (c *Config) fill() {
 	if c.CacheBlocks <= 0 {
 		c.CacheBlocks = 1024
 	}
+	if c.Placement != "" && c.Width <= 0 {
+		c.Width = 3
+	}
+	if c.Rebuild {
+		c.Degrade = true
+	}
 }
 
 // fileName names working-set file i.
 func fileName(i int) string { return fmt.Sprintf("bench%03d", i) }
+
+// placementTag distinguishes redundant cells' image files.
+func placementTag(c Config) string {
+	if c.Placement == "" {
+		return ""
+	}
+	return fmt.Sprintf("-%s%d", c.Placement, c.Width)
+}
 
 // quantilesMS extracts the latency summary in milliseconds.
 func quantilesMS(d *stats.LatencyDist) (mean, p50, p95, p99 float64) {

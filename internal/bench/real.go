@@ -20,12 +20,11 @@ import (
 // calls in flight each. Returns the measured cell.
 func RunReal(dir string, cfg Config) (Result, error) {
 	cfg.fill()
-	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d-cl%d.img",
-		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead, cfg.Cluster))
-	os.Remove(img)
-	srv, err := pfs.Open(pfs.Config{
+	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d-cl%d%s.img",
+		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead, cfg.Cluster, placementTag(cfg)))
+	pcfg := pfs.Config{
 		Path:             img,
-		Blocks:           8192, // 32 MB image
+		Blocks:           8192, // 32 MB image (per member on an array)
 		CacheBlocks:      cfg.CacheBlocks,
 		CacheShards:      cfg.Shards,
 		Pipeline:         cfg.Pipeline,
@@ -33,7 +32,20 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		ClusterRunBlocks: cfg.Cluster,
 		Flush:            cache.UPS(),
 		Seed:             cfg.Seed,
-	})
+	}
+	if cfg.Placement != "" {
+		pcfg.Volumes = cfg.Width
+		pcfg.Placement = cfg.Placement
+		pcfg.StripeBlocks = cfg.StripeBlocks
+	}
+	removeImages := func() {
+		os.Remove(img)
+		for i := 0; i < cfg.Width; i++ {
+			os.Remove(fmt.Sprintf("%s.v%d", img, i))
+		}
+	}
+	removeImages()
+	srv, err := pfs.Open(pcfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -42,7 +54,7 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		if !done {
 			srv.Close()
 		}
-		os.Remove(img)
+		removeImages()
 	}()
 	addr, err := srv.ServeNFS("127.0.0.1:0")
 	if err != nil {
@@ -89,6 +101,13 @@ func RunReal(dir string, cfg Config) (Result, error) {
 	if err := srv.Sync(); err != nil {
 		return Result{}, err
 	}
+	if cfg.Degrade {
+		// The member dies after the prefill: the measurement runs
+		// entirely against the degraded serving paths.
+		if err := srv.KillMember(cfg.DegradeMember); err != nil {
+			return Result{}, err
+		}
+	}
 	base := cacheCounters(srv.Cache.CacheStats())
 	baseVol := volumeCounters(srv.Drivers)
 	var adminAddr string
@@ -116,6 +135,18 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		defer clients[i].Close()
 	}
 	start := time.Now()
+	var rebuildDur time.Duration
+	rebuildErr := make(chan error, 1)
+	if cfg.Rebuild {
+		// The online rebuild competes with the client load; the cell
+		// measures serving throughput while the copy runs.
+		go func() {
+			t0 := time.Now()
+			err := srv.RebuildMember(cfg.DegradeMember)
+			rebuildDur = time.Since(t0)
+			rebuildErr <- err
+		}()
+	}
 	var totalOps int64
 	for ci := 0; ci < cfg.Clients; ci++ {
 		for w := 0; w < cfg.Depth; w++ {
@@ -161,6 +192,11 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("bench: client op: %w", err)
 	default:
 	}
+	if cfg.Rebuild {
+		if err := <-rebuildErr; err != nil {
+			return Result{}, fmt.Errorf("bench: rebuild: %w", err)
+		}
+	}
 
 	pipeline := cfg.Pipeline
 	if pipeline == 0 {
@@ -179,6 +215,13 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		OpsPerSec: float64(totalOps) / wall.Seconds(),
 		Cache:     cacheCounters(srv.Cache.CacheStats()).sub(base),
 		Volume:    volumeCounters(srv.Drivers).sub(baseVol),
+	}
+	if cfg.Placement != "" {
+		res.Placement = cfg.Placement
+		res.Width = cfg.Width
+		res.Degraded = cfg.Degrade
+		res.Rebuild = cfg.Rebuild
+		res.RebuildMS = float64(rebuildDur) / float64(time.Millisecond)
 	}
 	res.MeanMS, res.P50MS, res.P95MS, res.P99MS = quantilesMS(lat)
 	if cfg.Scrape {

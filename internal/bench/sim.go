@@ -42,13 +42,19 @@ func RunSim(cfg Config) (Result, error) {
 		ReadaheadBlocks:  cfg.Readahead,
 		ClusterRunBlocks: cluster,
 	}
+	if cfg.Placement != "" {
+		// Redundant cell: one disk stack per array member.
+		pcfg.ArrayVolumes = cfg.Width
+		pcfg.Placement = cfg.Placement
+		pcfg.StripeBlocks = cfg.StripeBlocks
+	}
 	sys, err := patsy.Build(pcfg)
 	if err != nil {
 		return Result{}, err
 	}
 	lat := stats.NewLatencyDist("bench")
 	var runErr error
-	var simDur time.Duration
+	var simDur, rebuildDur time.Duration
 	var base CacheCounters
 	var baseVol VolumeCounters
 	sys.K.Go("bench.main", func(t sched.Task) {
@@ -85,10 +91,32 @@ func RunSim(cfg Config) (Result, error) {
 			runErr = err
 			return
 		}
+		if cfg.Degrade {
+			// The member dies after the prefill: the measurement runs
+			// entirely against the degraded serving paths.
+			if err := sys.KillMember(cfg.DegradeMember); err != nil {
+				runErr = err
+				return
+			}
+		}
 		base = cacheCounters(sys.Cache.CacheStats())
 		baseVol = volumeCounters(sys.Drivers)
 		start := sys.K.Now()
 		done := sys.K.NewEvent("bench.done")
+		rebuilt := sys.K.NewEvent("bench.rebuilt")
+		if cfg.Rebuild {
+			// The online rebuild competes with the client load; the
+			// cell measures serving throughput while the copy runs.
+			sys.K.Go("bench.rebuild", func(rt sched.Task) {
+				defer rebuilt.Signal()
+				t0 := sys.K.Now()
+				if err := sys.RebuildMember(rt, cfg.DegradeMember); err != nil && runErr == nil {
+					runErr = err
+					return
+				}
+				rebuildDur = sys.K.Now().Sub(t0)
+			})
+		}
 		for ci := 0; ci < cfg.Clients; ci++ {
 			gen := newOpGen(&cfg, ci)
 			sys.K.Go(fmt.Sprintf("bench.client%d", ci), func(ct sched.Task) {
@@ -124,6 +152,9 @@ func RunSim(cfg Config) (Result, error) {
 			done.Wait(t)
 		}
 		simDur = sys.K.Now().Sub(start)
+		if cfg.Rebuild {
+			rebuilt.Wait(t)
+		}
 		for _, h := range handles {
 			v.Close(t, h)
 		}
@@ -152,6 +183,13 @@ func RunSim(cfg Config) (Result, error) {
 		OpsPerSec: float64(totalOps) / simDur.Seconds(),
 		Cache:     cacheCounters(sys.Cache.CacheStats()).sub(base),
 		Volume:    volumeCounters(sys.Drivers).sub(baseVol),
+	}
+	if cfg.Placement != "" {
+		res.Placement = cfg.Placement
+		res.Width = cfg.Width
+		res.Degraded = cfg.Degrade
+		res.Rebuild = cfg.Rebuild
+		res.RebuildMS = float64(rebuildDur) / float64(time.Millisecond)
 	}
 	res.MeanMS, res.P50MS, res.P95MS, res.P99MS = quantilesMS(lat)
 	return res, nil

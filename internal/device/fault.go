@@ -26,6 +26,11 @@ var (
 	// ErrPowerCut means the (simulated) machine lost power: the
 	// request, and every request after it, never reaches the media.
 	ErrPowerCut = errors.New("device: power cut")
+	// ErrDiskDead means the request's disk has died permanently:
+	// unlike ErrInjected, no retry will ever succeed. The volume
+	// manager reacts by marking the member dead and serving from
+	// redundancy.
+	ErrDiskDead = errors.New("device: disk dead")
 )
 
 // Decision is an interceptor's verdict on one request.
@@ -79,6 +84,14 @@ type FaultConfig struct {
 	// allocation bitmap. Only meaningful with real (data-carrying)
 	// back-ends; simulated stacks ignore the byte prefix.
 	CutTearsSubBlock bool
+	// KillAfterIO, when positive, kills disk KillMember at the Nth
+	// intercepted I/O (1-based): that request and every later one
+	// addressed to the member fail with ErrDiskDead — the permanent
+	// member-loss fault, as opposed to the transient error rates.
+	KillAfterIO int64
+	// KillMember is the disk index (Request.Addr.Disk) that
+	// KillAfterIO kills.
+	KillMember int
 }
 
 // FaultPlan is the standard Interceptor: I/O error rates, torn
@@ -88,21 +101,24 @@ type FaultConfig struct {
 // requests across members, and once it trips nothing anywhere
 // reaches the media.
 type FaultPlan struct {
-	mu    sync.Mutex
-	cfg   FaultConfig
-	rng   *rand.Rand
-	ios   int64
-	cut   bool
-	cutIO int64
-	onCut []func()
+	mu     sync.Mutex
+	cfg    FaultConfig
+	rng    *rand.Rand
+	ios    int64
+	cut    bool
+	cutIO  int64
+	onCut  []func()
+	dead   int // disk index killed by the death fault, -1 none
+	killIO int64
+	onKill []func(member int)
 
 	// Injection telemetry, by outcome kind.
-	injRead, injWrite, injTorn, cutRejects int64
+	injRead, injWrite, injTorn, cutRejects, deadRejects int64
 }
 
 // NewFaultPlan builds a plan from cfg.
 func NewFaultPlan(cfg FaultConfig) *FaultPlan {
-	return &FaultPlan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &FaultPlan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), dead: -1}
 }
 
 // Intercept implements Interceptor.
@@ -114,6 +130,20 @@ func (p *FaultPlan) Intercept(r *Request) Decision {
 		return Decision{Err: ErrPowerCut}
 	}
 	p.ios++
+	if p.cfg.KillAfterIO > 0 && p.ios >= p.cfg.KillAfterIO && p.dead < 0 {
+		fns := p.killLocked(p.cfg.KillMember)
+		dead := p.dead
+		p.mu.Unlock()
+		for _, fn := range fns {
+			fn(dead)
+		}
+		p.mu.Lock()
+	}
+	if p.dead >= 0 && r.Addr.Disk == p.dead {
+		p.deadRejects++
+		p.mu.Unlock()
+		return Decision{Err: ErrDiskDead}
+	}
 	if p.cfg.CutAfterIO > 0 && p.ios >= p.cfg.CutAfterIO {
 		p.cutIO = p.ios
 		dec := Decision{Err: ErrPowerCut}
@@ -200,6 +230,82 @@ func (p *FaultPlan) OnCut(fn func()) {
 	}
 	p.onCut = append(p.onCut, fn)
 	p.mu.Unlock()
+}
+
+// killLocked marks member dead and returns the callbacks to run with
+// the lock released. The trigger is one-shot.
+func (p *FaultPlan) killLocked(member int) []func(int) {
+	p.dead = member
+	p.killIO = p.ios
+	p.cfg.KillAfterIO = 0
+	fns := p.onKill
+	p.onKill = nil
+	return fns
+}
+
+// Kill declares disk member dead now: every request addressed to it
+// from here on fails with ErrDiskDead. Idempotent; only one member
+// can be dead per plan (single-fault model).
+func (p *FaultPlan) Kill(member int) {
+	p.mu.Lock()
+	if p.dead >= 0 {
+		p.mu.Unlock()
+		return
+	}
+	fns := p.killLocked(member)
+	p.mu.Unlock()
+	for _, fn := range fns {
+		fn(member)
+	}
+}
+
+// OnKill registers fn to run once when the death fault trips (from
+// the task performing the fatal I/O), with the dead member's index.
+// A plan whose member already died runs fn immediately.
+func (p *FaultPlan) OnKill(fn func(member int)) {
+	p.mu.Lock()
+	if p.dead >= 0 {
+		dead := p.dead
+		p.mu.Unlock()
+		fn(dead)
+		return
+	}
+	p.onKill = append(p.onKill, fn)
+	p.mu.Unlock()
+}
+
+// Revive clears the death fault — the harness swaps in a replacement
+// disk for the dead member and lets I/O flow to it again.
+func (p *FaultPlan) Revive() {
+	p.mu.Lock()
+	p.dead = -1
+	p.mu.Unlock()
+}
+
+// DeadMember returns the index of the killed disk, -1 when none.
+func (p *FaultPlan) DeadMember() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// KillIO returns the ordinal of the request that tripped the death
+// fault (0 when it has not tripped).
+func (p *FaultPlan) KillIO() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead < 0 && p.killIO == 0 {
+		return 0
+	}
+	return p.killIO
+}
+
+// DeadRejects returns how many requests were rejected because their
+// disk was dead.
+func (p *FaultPlan) DeadRejects() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deadRejects
 }
 
 // HasCut reports whether the power cut has tripped.

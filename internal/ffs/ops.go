@@ -88,6 +88,41 @@ func (f *FFS) pickInodeGroup(typ core.FileType) int {
 	return best
 }
 
+// RestoreInode implements layout.InodeRestorer: it creates an inode
+// at a caller-chosen number (the group and slot follow from the
+// number). Array rebuild replays a dead member's live inode set this
+// way, since pickInodeGroup on a fresh layout would spread the same
+// creations differently.
+func (f *FFS) RestoreInode(t sched.Task, id core.FileID, typ core.FileType) (*layout.Inode, error) {
+	f.mu.Lock(t)
+	defer f.mu.Unlock(t)
+	g := int(id) / f.cfg.InodesPerGroup
+	idx := int(id) % f.cfg.InodesPerGroup
+	if g >= f.ngroups {
+		return nil, core.ErrNoSpace
+	}
+	if f.inoBits[g].get(idx) {
+		return nil, core.ErrExists
+	}
+	f.inoBits[g].set(idx)
+	f.bitsDirty = true
+	ino := &layout.Inode{
+		ID:      id,
+		Type:    typ,
+		Nlink:   1,
+		Version: uint64(f.k.Now()),
+		MTime:   int64(f.k.Now()),
+		CTime:   int64(f.k.Now()),
+	}
+	f.inodes[id] = ino
+	if err := f.writeInode(t, ino); err != nil {
+		f.inoBits[g].clear(idx)
+		delete(f.inodes, id)
+		return nil, err
+	}
+	return ino, nil
+}
+
 // GetInode fetches an inode from memory or the inode table.
 func (f *FFS) GetInode(t sched.Task, id core.FileID) (*layout.Inode, error) {
 	f.mu.Lock(t)

@@ -255,3 +255,12 @@ type AllocCursor interface {
 	InodeCursor(t sched.Task) uint64
 	SetInodeCursor(t sched.Task, cur uint64)
 }
+
+// InodeRestorer recreates a specific inode number on a mounted
+// layout. Array rebuild uses it to clone a dead member's inode space
+// onto a freshly formatted replacement, where the ordinary allocator
+// (sequential cursor or group spreading) would assign different
+// numbers than the live set being copied.
+type InodeRestorer interface {
+	RestoreInode(t sched.Task, id core.FileID, typ core.FileType) (*Inode, error)
+}

@@ -42,6 +42,43 @@ func (l *LFS) AllocInode(t sched.Task, typ core.FileType) (*layout.Inode, error)
 	return ino, nil
 }
 
+// RestoreInode implements layout.InodeRestorer: it creates an inode
+// at a caller-chosen number, bumping the sequential cursor past it.
+// Array rebuild replays a dead member's live inode set this way.
+func (l *LFS) RestoreInode(t sched.Task, id core.FileID, typ core.FileType) (*layout.Inode, error) {
+	l.mu.Lock(t)
+	defer l.mu.Unlock(t)
+	if int(id) >= l.cfg.MaxInodes {
+		return nil, core.ErrNoSpace
+	}
+	if ent := l.imap[id]; ent != nil && ent.addr >= 0 {
+		return nil, core.ErrExists
+	}
+	if l.inodes[id] != nil {
+		return nil, core.ErrExists
+	}
+	ino := &layout.Inode{
+		ID:      id,
+		Type:    typ,
+		Nlink:   1,
+		Version: uint64(l.k.Now()),
+		MTime:   int64(l.k.Now()),
+		CTime:   int64(l.k.Now()),
+	}
+	ent := &imapEnt{addr: -1}
+	if old := l.imap[id]; old != nil {
+		ent.version = old.version + 1
+	}
+	l.imap[id] = ent
+	l.imapDirty[int(id)/imapPerChunk] = true
+	l.inodes[id] = ino
+	l.dirtyInodes[id] = true
+	if id >= l.nextIno {
+		l.nextIno = id + 1
+	}
+	return ino, nil
+}
+
 // GetInode fetches an inode, from the in-memory table or — on a real
 // volume — from the log.
 func (l *LFS) GetInode(t sched.Task, id core.FileID) (*layout.Inode, error) {

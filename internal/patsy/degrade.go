@@ -1,0 +1,52 @@
+package patsy
+
+// Member-loss operations on a simulated array: the virtual-kernel
+// twins of pfs.Server.KillMember / RebuildMember, so degraded and
+// rebuilding cells can be measured deterministically.
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// KillMember declares array member m dead (array mode only): the
+// array stops routing to it and serves its share from redundancy,
+// and the fault plan (when installed) makes the member's driver
+// reject every request — the full member-loss fault.
+func (s *System) KillMember(m int) error {
+	if s.Array == nil {
+		return fmt.Errorf("patsy: kill member: not in array mode")
+	}
+	if err := s.Array.KillMember(m); err != nil {
+		return err
+	}
+	if s.Fault != nil {
+		s.Fault.Kill(m)
+	}
+	return nil
+}
+
+// RebuildMember rebuilds dead member m online onto a fresh sub-layout
+// over the member's disk stack — the same simulated drive standing in
+// for a swapped replacement, so the rebuild's seeks and transfers are
+// costed like any other traffic. Blocks until the copy completes.
+func (s *System) RebuildMember(t sched.Task, m int) error {
+	if s.Array == nil {
+		return fmt.Errorf("patsy: rebuild member: not in array mode")
+	}
+	if s.Fault != nil {
+		s.Fault.Revive()
+	}
+	size := s.Drivers[m].CapacityBlocks()
+	if s.Cfg.MaxVolBlocks > 0 && size > s.Cfg.MaxVolBlocks {
+		size = s.Cfg.MaxVolBlocks
+	}
+	part := layout.NewPartition(s.Drivers[m], m, 0, size, true)
+	sub, err := s.newLayout(fmt.Sprintf("vol1.d%d", m), part)
+	if err != nil {
+		return err
+	}
+	return s.Array.Rebuild(t, sub)
+}

@@ -92,7 +92,10 @@ type Config struct {
 	// single-stack system.
 	ArrayVolumes int
 	// Placement routes file data across the array: "affinity"
-	// (default) or "striped".
+	// (default), "striped", or the redundant placements "mirrored"
+	// (chained declustering) and "parity" (rotated RAID-5), which
+	// keep serving through a member death (System.KillMember /
+	// RebuildMember).
 	Placement string
 	// StripeBlocks is the striped placement's chunk width.
 	StripeBlocks int

@@ -24,6 +24,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/lfs"
 	"repro/internal/sched"
+	"repro/internal/volume"
 )
 
 // CrashSpec configures one crash-recovery exercise.
@@ -33,6 +34,24 @@ type CrashSpec struct {
 	// Layout is "lfs" (default) or "ffs"; Volumes the array width.
 	Layout  string
 	Volumes int
+	// Placement selects the array placement ("affinity" default,
+	// "striped", "mirrored", "parity"). The redundant placements
+	// enable the member-death axis below.
+	Placement string
+	// StripeBlocks is the redundant/striped chunk width. The default
+	// (8) makes each 8-block crash file a single chunk; 2 gives the
+	// files multiple parity columns with partially-written updates —
+	// the RAID-5 small-write (and, degraded, write-hole) shape.
+	StripeBlocks int
+	// Kill arms the disk-death axis: member KillMember dies at the
+	// KillAfterIO-th device I/O of the crash window (0 = before the
+	// first), and the workload keeps running — degraded — into the
+	// power cut. Requires a redundant Placement. Verification then
+	// reopens the image set with the member declared dead, so every
+	// surviving byte is read back through the redundancy.
+	Kill        bool
+	KillMember  int
+	KillAfterIO int64
 	// Flush is the write policy under test.
 	Flush cache.FlushConfig
 	// CutAfterIO trips the power cut at the Nth device I/O issued
@@ -97,6 +116,15 @@ type CrashResult struct {
 	// NamespaceLost those missing (or resurrected) after recovery —
 	// must be zero under a persistent policy with the intent log on.
 	NamespaceOps, NamespaceLost int
+	// DeadMember is the member the death axis killed (-1 none);
+	// KillIO the device I/O ordinal the death tripped at.
+	DeadMember int
+	KillIO     int64
+	// ParityRecords/ParityApplied trace the battery-backed partial-
+	// parity log across the crash (degraded parity arrays only): how
+	// many in-flight column records survived the cut, and how many
+	// the recovery replayed to close the RAID-5 write hole.
+	ParityRecords, ParityApplied int
 	// SecondCutIO is the recovery-time cut ordinal (RecoverCut runs).
 	SecondCutIO int64
 	// Recovery reports the layouts' own recovery work.
@@ -228,6 +256,8 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 		Path:             filepath.Join(spec.Dir, "crash.img"),
 		Blocks:           2048,
 		Volumes:          spec.Volumes,
+		Placement:        spec.Placement,
+		StripeBlocks:     spec.StripeBlocks,
 		CacheBlocks:      96,
 		CacheShards:      1,
 		Flush:            spec.Flush,
@@ -273,13 +303,29 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 	}
 
 	// Arm the cut, counting I/Os from here.
-	plan := device.NewFaultPlan(device.FaultConfig{
+	fc := device.FaultConfig{
 		Seed: spec.Seed, CutAfterIO: spec.CutAfterIO, CutTearsWrite: true,
 		CutTearsSubBlock: spec.TearSubBlock,
-	})
+	}
+	if spec.Kill && spec.KillAfterIO > 0 {
+		fc.KillAfterIO, fc.KillMember = spec.KillAfterIO, spec.KillMember
+	}
+	plan := device.NewFaultPlan(fc)
 	plan.OnCut(srv.Cache.PowerOff)
+	if spec.Kill {
+		plan.OnKill(func(m int) { _ = srv.Array.KillMember(m) })
+	}
 	for _, drv := range srv.Drivers {
 		drv.SetInjector(plan)
+	}
+	if spec.Kill && spec.KillAfterIO <= 0 {
+		// Death before the window's first I/O: the whole crash window
+		// runs degraded.
+		if err := srv.Array.KillMember(spec.KillMember); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("crash kill: %w", err)
+		}
+		plan.Kill(spec.KillMember)
 	}
 
 	j := &journal{
@@ -350,12 +396,19 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 	}
 	crashAt := time.Now()
 	rep := srv.Crash()
+	// With the kernel halted, dump the battery-backed partial-parity
+	// records next to the cache's survivors: they are what a degraded
+	// parity array needs to close the write hole on recovery.
+	precs := srv.Array.PendingParity()
 	res := &CrashResult{
 		CutIO:            plan.CutIO(),
 		Survivors:        len(rep.Survivors),
 		Intents:          len(rep.Intents),
 		LostIntents:      rep.LostIntents,
 		IntentLossWindow: rep.IntentLossWindow,
+		DeadMember:       srv.Array.DeadMember(),
+		KillIO:           plan.KillIO(),
+		ParityRecords:    len(precs),
 	}
 	j.mu.Lock()
 	res.Acked = len(j.acked)
@@ -370,11 +423,17 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 	}
 
 	// Power restored: recover on a fresh server over the same images.
+	// A member the death axis killed stays dead across the reboot —
+	// its image is stale — so the mount is the degraded reopen and
+	// every verification read goes through the redundancy.
 	cfg.Fault = nil
 	cfg.Recover = true
+	if res.DeadMember >= 0 {
+		cfg.Dead = []int{res.DeadMember}
+	}
 	surv, intents := rep.Survivors, rep.Intents
 	if spec.RecoverCut > 0 {
-		surv, intents = crashUnderRecovery(cfg, spec, rep, res)
+		surv, intents, precs = crashUnderRecovery(cfg, spec, rep, res, precs)
 	}
 	srv2, err := Open(cfg)
 	if err != nil {
@@ -385,6 +444,14 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 		res.Recovery = *srv2.Recovery
 	}
 	err = srv2.Do(func(t sched.Task) error {
+		// The partial-parity records must land before the survivor
+		// replay: they re-establish the degraded columns' parity so the
+		// replay's read-modify-writes fold a consistent parity forward.
+		n, perr := srv2.Array.ReplayParity(t, precs)
+		res.ParityApplied = n
+		if perr != nil {
+			return fmt.Errorf("parity replay: %w", perr)
+		}
 		st, err := srv2.FS.ReplayNVRAM(t, surv, intents)
 		res.Replayed, res.Dropped, res.DirBlocks = st.Replayed, st.Dropped, st.DirBlocks
 		res.IntentsApplied, res.IntentsNoop, res.IntentsDropped =
@@ -398,9 +465,15 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 		return res, fmt.Errorf("NVRAM replay: %w", err)
 	}
 
-	// fsck every member, then verify the journal.
+	// fsck every live member, then verify the journal. The dead
+	// member's image is stale by definition; its share is checked
+	// through the parity/mirror reads the journal verification does.
 	err = srv2.Do(func(t sched.Task) error {
-		for _, sub := range srv2.Array.Subs() {
+		deadm := srv2.Array.DeadMember()
+		for i, sub := range srv2.Array.Subs() {
+			if i == deadm {
+				continue
+			}
 			switch l := sub.(type) {
 			case *lfs.LFS:
 				for _, e := range l.Check(t) {
@@ -430,7 +503,7 @@ func RunCrashPoint(spec CrashSpec) (*CrashResult, error) {
 // and returns the crash state the *final* recovery must work from:
 // the original report if the second cut preempted everything, or the
 // merge of both reports if the cut interrupted the replay midway.
-func crashUnderRecovery(cfg Config, spec CrashSpec, rep *cache.CrashReport, res *CrashResult) ([]cache.Survivor, []cache.Intent) {
+func crashUnderRecovery(cfg Config, spec CrashSpec, rep *cache.CrashReport, res *CrashResult, precs []volume.ParityRecord) ([]cache.Survivor, []cache.Intent, []volume.ParityRecord) {
 	cfg.Fault = &device.FaultConfig{
 		Seed: spec.Seed + 1, CutAfterIO: spec.RecoverCut, CutTearsWrite: true,
 	}
@@ -439,9 +512,12 @@ func crashUnderRecovery(cfg Config, spec CrashSpec, rep *cache.CrashReport, res 
 		// The cut tripped inside the recovery mount itself: nothing
 		// new was acknowledged, the original report stands.
 		res.SecondCutIO = spec.RecoverCut
-		return rep.Survivors, rep.Intents
+		return rep.Survivors, rep.Intents, precs
 	}
 	rerr := mid.Do(func(t sched.Task) error {
+		if _, err := mid.Array.ReplayParity(t, precs); err != nil {
+			return err
+		}
 		if _, err := mid.FS.ReplayNVRAM(t, rep.Survivors, rep.Intents); err != nil {
 			return err
 		}
@@ -452,11 +528,36 @@ func crashUnderRecovery(cfg Config, spec CrashSpec, rep *cache.CrashReport, res 
 		// recovery re-replays over finished state — the idempotence
 		// case.
 		mid.Close()
-		return rep.Survivors, rep.Intents
+		return rep.Survivors, rep.Intents, precs
 	}
 	res.SecondCutIO = mid.Fault.CutIO()
 	rep2 := mid.Crash()
-	return mergeCrashState(rep, rep2)
+	// Parity records torn a second time: the ORIGINAL record for a
+	// column wins (its pp was computed against consistent state; the
+	// interrupted recovery's re-records read possibly-torn cells).
+	precs2 := mergeParity(precs, mid.Array.PendingParity())
+	surv, intents := mergeCrashState(rep, rep2)
+	return surv, intents, precs2
+}
+
+// mergeParity keeps, per column, the earliest record across both
+// crashes — the one computed against consistent media.
+func mergeParity(a, b []volume.ParityRecord) []volume.ParityRecord {
+	type key struct {
+		f    core.FileID
+		s, o int64
+	}
+	seen := map[key]bool{}
+	out := append([]volume.ParityRecord(nil), a...)
+	for _, r := range a {
+		seen[key{r.File, r.Stripe, r.Offset}] = true
+	}
+	for _, r := range b {
+		if !seen[key{r.File, r.Stripe, r.Offset}] {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // mergeCrashState combines two crash reports: the later report's
@@ -499,6 +600,232 @@ func mergeCrashState(a, b *cache.CrashReport) ([]cache.Survivor, []cache.Intent)
 		intents = append(intents, it)
 	}
 	return surv, intents
+}
+
+// RebuildCrashSpec configures one crash-during-rebuild exercise: lose
+// a member, rebuild it online, and cut the power at an arbitrary
+// device I/O of the rebuild itself.
+type RebuildCrashSpec struct {
+	Dir       string
+	Layout    string
+	Volumes   int
+	Placement string
+	// StripeBlocks is the redundant chunk width (0 = default).
+	StripeBlocks int
+	// KillMember is the member declared dead before the rebuild.
+	KillMember int
+	// CutAfterIO trips the power cut at the Nth device I/O issued by
+	// the rebuild (0 = never: the control run, which must converge
+	// without a crash).
+	CutAfterIO int64
+	// Files sizes the dataset (default 4, crashFileBlocks blocks each).
+	Files int
+	Seed  int64
+}
+
+// RebuildCrashResult is what one exercise observed.
+type RebuildCrashResult struct {
+	// CutIO is the rebuild I/O ordinal the cut tripped at (0: the
+	// rebuild outran the cut point).
+	CutIO int64
+	// Interrupted reports whether the power cut tripped mid-rebuild;
+	// RebuildErr carries the first rebuild's error when it failed.
+	Interrupted bool
+	RebuildErr  string
+	// Scrub is the final full-array consistency scan: Mismatches and
+	// Skipped must be zero on the converged array.
+	Scrub volume.ScrubStats
+	// FsckErrors holds post-convergence violations (must be empty).
+	FsckErrors []string
+}
+
+// RunRebuildCrash drives the crash-during-rebuild cell: build a
+// dataset, kill a member, update the survivors degraded, then rebuild
+// the member online with a power cut armed at an arbitrary rebuild
+// I/O. Whatever the cut leaves behind — a half-copied replacement
+// image, a torn survivor checkpoint — recovery reopens (degraded if
+// the rebuild had not completed), rebuilds again from scratch, and
+// must converge to an fsck-clean, scrub-clean array holding exactly
+// the acknowledged data. The rebuild's correctness argument makes
+// this safe at ANY cut point: the replacement is write-only state,
+// the survivors still hold every byte.
+func RunRebuildCrash(spec RebuildCrashSpec) (*RebuildCrashResult, error) {
+	if spec.Files <= 0 {
+		spec.Files = 4
+	}
+	if spec.Volumes <= 0 {
+		spec.Volumes = 3
+	}
+	cfg := Config{
+		Path:         filepath.Join(spec.Dir, "rebuild.img"),
+		Blocks:       2048,
+		Volumes:      spec.Volumes,
+		Placement:    spec.Placement,
+		StripeBlocks: spec.StripeBlocks,
+		CacheBlocks:  96,
+		CacheShards:  1,
+		SegBlocks:    64,
+		Layout:       spec.Layout,
+		Seed:         spec.Seed,
+	}
+	srv, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Versioned dataset: v1 everywhere, then — degraded — v2 over a
+	// deterministic subset. Everything is acknowledged and synced, so
+	// the armed cut counts rebuild I/Os only and recovery has nothing
+	// to replay but the rebuild's own state.
+	want := make(map[[2]int]byte)
+	err = srv.Do(func(t sched.Task) error {
+		v := srv.Vol
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Create(t, crashPath(f), core.TypeRegular)
+			if err != nil {
+				return err
+			}
+			for b := 0; b < crashFileBlocks; b++ {
+				if err := v.WriteAt(t, h, int64(b)*core.BlockSize, crashBlock(f, b, 1), core.BlockSize); err != nil {
+					return err
+				}
+				want[[2]int{f, b}] = 1
+			}
+			if err := v.Close(t, h); err != nil {
+				return err
+			}
+		}
+		return srv.FS.SyncAll(t)
+	})
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("rebuild baseline: %w", err)
+	}
+	if err := srv.KillMember(spec.KillMember); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	err = srv.Do(func(t sched.Task) error {
+		v := srv.Vol
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Open(t, crashPath(f))
+			if err != nil {
+				return err
+			}
+			for b := 0; b < crashFileBlocks; b += 2 {
+				if err := v.WriteAt(t, h, int64(b)*core.BlockSize, crashBlock(f, b, 2), core.BlockSize); err != nil {
+					return err
+				}
+				want[[2]int{f, b}] = 2
+			}
+			if err := v.Close(t, h); err != nil {
+				return err
+			}
+		}
+		return srv.FS.SyncAll(t)
+	})
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("degraded update: %w", err)
+	}
+
+	// Arm the cut over the members' drivers and rebuild. (The
+	// replacement's own driver, stood up mid-rebuild, bypasses the
+	// plan — a torn replacement image is exactly the state the
+	// recovery must shrug off.)
+	plan := device.NewFaultPlan(device.FaultConfig{
+		Seed: spec.Seed, CutAfterIO: spec.CutAfterIO, CutTearsWrite: true,
+	})
+	plan.OnCut(srv.Cache.PowerOff)
+	for _, drv := range srv.Drivers {
+		drv.SetInjector(plan)
+	}
+	res := &RebuildCrashResult{}
+	if rerr := srv.RebuildMember(spec.KillMember); rerr != nil {
+		res.RebuildErr = rerr.Error()
+	}
+	res.CutIO = plan.CutIO()
+	res.Interrupted = plan.HasCut()
+	degraded := srv.Array.Degraded()
+	rep := srv.Crash()
+	precs := srv.Array.PendingParity()
+
+	cfg.Recover = true
+	if degraded {
+		cfg.Dead = []int{spec.KillMember}
+	}
+	srv2, err := Open(cfg)
+	if err != nil {
+		return res, fmt.Errorf("recovery mount: %w", err)
+	}
+	defer srv2.Close()
+	err = srv2.Do(func(t sched.Task) error {
+		if _, err := srv2.Array.ReplayParity(t, precs); err != nil {
+			return err
+		}
+		if _, err := srv2.FS.ReplayNVRAM(t, rep.Survivors, rep.Intents); err != nil {
+			return err
+		}
+		return srv2.FS.SyncAll(t)
+	})
+	if err != nil {
+		return res, fmt.Errorf("recovery replay: %w", err)
+	}
+	if srv2.Array.Degraded() {
+		if err := srv2.RebuildMember(spec.KillMember); err != nil {
+			return res, fmt.Errorf("converging rebuild: %w", err)
+		}
+	}
+
+	// The converged array must be healthy, fsck-clean, scrub-clean and
+	// hold exactly the acknowledged versions.
+	err = srv2.Do(func(t sched.Task) error {
+		for _, sub := range srv2.Array.Subs() {
+			switch l := sub.(type) {
+			case *lfs.LFS:
+				for _, e := range l.Check(t) {
+					res.FsckErrors = append(res.FsckErrors, e.Error())
+				}
+			case *ffs.FFS:
+				for _, e := range l.Check(t) {
+					res.FsckErrors = append(res.FsckErrors, e.Error())
+				}
+			}
+		}
+		st, err := srv2.Array.Scrub(t, false)
+		if err != nil {
+			return err
+		}
+		res.Scrub = st
+		if st.Mismatches > 0 || st.Skipped > 0 {
+			res.FsckErrors = append(res.FsckErrors, fmt.Sprintf(
+				"scrub after rebuild: %d mismatch(es), %d block(s) unverifiable", st.Mismatches, st.Skipped))
+		}
+		v := srv2.Vol
+		buf := make([]byte, core.BlockSize)
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Open(t, crashPath(f))
+			if err != nil {
+				return fmt.Errorf("file %d lost after rebuild: %w", f, err)
+			}
+			for b := 0; b < crashFileBlocks; b++ {
+				if _, err := v.ReadAt(t, h, int64(b)*core.BlockSize, buf, core.BlockSize); err != nil {
+					return fmt.Errorf("read f%d/b%d: %w", f, b, err)
+				}
+				wantv := want[[2]int{f, b}]
+				if buf[0] != byte(f) || buf[1] != byte(b) || buf[2] != wantv {
+					res.FsckErrors = append(res.FsckErrors, fmt.Sprintf(
+						"f%d/b%d: want v%d, have tags %d/%d v%d", f, b, wantv, buf[0], buf[1], buf[2]))
+				}
+			}
+			v.Close(t, h)
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // verifyNamespace checks every journaled namespace operation against

@@ -265,6 +265,153 @@ func TestCrashDoubleCut(t *testing.T) {
 	}
 }
 
+// TestCrashMemberDeath is the disk-death axis of the crash matrix:
+// under a redundant placement, kill any single member mid-workload —
+// the traffic keeps running degraded — and then cut the power. After
+// recovery (which reopens with the member declared dead, so every
+// verification read goes through the mirror copy or the parity
+// column) zero acknowledged data may be missing. For parity arrays
+// this is precisely the RAID-5 write-hole cell: the battery-backed
+// partial-parity records must carry the in-flight degraded columns
+// across the cut.
+func TestCrashMemberDeath(t *testing.T) {
+	layouts := []string{"lfs", "ffs"}
+	placements := []string{"mirrored", "parity"}
+	members := []int{0, 1, 2}
+	kills := []int64{0, 6, 17}
+	if testing.Short() {
+		layouts = []string{"lfs"}
+		members = []int{1}
+		kills = []int64{6}
+	}
+	parityRecords := 0
+	for _, lay := range layouts {
+		for _, pl := range placements {
+			for _, m := range members {
+				for _, kio := range kills {
+					res, err := RunCrashPoint(CrashSpec{
+						Dir:     t.TempDir(),
+						Layout:  lay,
+						Volumes: 3,
+						// Chunk width 2: the 8-block files span several
+						// parity columns, so partially-dirty flushes take
+						// the small-write RMW path — degraded, that is
+						// the write-hole shape the parity log guards.
+						StripeBlocks: 2,
+						Placement:    pl,
+						Flush:        cache.NVRAMWhole(12),
+						Kill:         true,
+						KillMember:   m,
+						KillAfterIO:  kio,
+						CutAfterIO:   40,
+						Seed:         2000 + int64(m)*100 + kio,
+					})
+					name := fmt.Sprintf("%s/%s m=%d killio=%d", lay, pl, m, kio)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if res.DeadMember != m {
+						t.Fatalf("%s: dead member %d after recovery", name, res.DeadMember)
+					}
+					if len(res.FsckErrors) != 0 {
+						t.Fatalf("%s: fsck/policy errors: %v", name, res.FsckErrors)
+					}
+					if res.LostAcked != 0 {
+						t.Fatalf("%s: lost %d acknowledged writes reading through redundancy",
+							name, res.LostAcked)
+					}
+					parityRecords += res.ParityRecords
+					if res.ParityApplied > res.ParityRecords {
+						t.Fatalf("%s: applied %d of %d parity records", name, res.ParityApplied, res.ParityRecords)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("partial-parity records carried across the sweep: %d", parityRecords)
+	if !testing.Short() && parityRecords == 0 {
+		t.Fatalf("the sweep no longer reaches the degraded RMW path: no partial-parity record was ever pending at a cut, so the write-hole cell is not being exercised")
+	}
+}
+
+// TestCrashMemberDeathWriteDelay pins the paper's loss bound on the
+// degraded array: write-delay may lose acknowledged writes at the
+// cut, but never older than the update daemon's age limit — member
+// loss must not widen the window.
+func TestCrashMemberDeathWriteDelay(t *testing.T) {
+	fc := fastWriteDelay()
+	for _, pl := range []string{"mirrored", "parity"} {
+		res, err := RunCrashPoint(CrashSpec{
+			Dir:          t.TempDir(),
+			Layout:       "lfs",
+			Volumes:      3,
+			StripeBlocks: 2,
+			Placement:    pl,
+			Flush:        fc,
+			Kill:         true,
+			KillMember:   1,
+			KillAfterIO:  4,
+			CutAfterIO:   30,
+			Seed:         2600,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pl, err)
+		}
+		if len(res.FsckErrors) != 0 {
+			t.Fatalf("%s: fsck errors: %v", pl, res.FsckErrors)
+		}
+		// The bound is MaxAge + ScanInterval of real time; the slack
+		// absorbs scheduler jitter on a loaded CI machine.
+		if bound := fc.MaxAge + fc.ScanInterval + 2*time.Second; res.LossWindow > bound {
+			t.Fatalf("%s: loss window %v exceeds the write-delay bound %v", pl, res.LossWindow, bound)
+		}
+	}
+}
+
+// TestCrashDuringRebuild sweeps the power cut across the online
+// rebuild itself: at every cut ordinal the recovery — degraded
+// remount, replay, a fresh rebuild — must converge to a healthy,
+// fsck-clean, scrub-clean array holding exactly the acknowledged
+// versions. Cut 0 is the control run (no crash); large ordinals let
+// the rebuild outrun the cut, exercising the heal-then-crash tail.
+func TestCrashDuringRebuild(t *testing.T) {
+	layouts := []string{"lfs", "ffs"}
+	cuts := []int64{0, 1, 3, 9, 33, 90}
+	if testing.Short() {
+		layouts = []string{"lfs"}
+		cuts = []int64{0, 3, 33}
+	}
+	for _, lay := range layouts {
+		for _, pl := range []string{"mirrored", "parity"} {
+			for _, cut := range cuts {
+				res, err := RunRebuildCrash(RebuildCrashSpec{
+					Dir:          t.TempDir(),
+					Layout:       lay,
+					Volumes:      3,
+					StripeBlocks: 2,
+					Placement:    pl,
+					KillMember:   1,
+					CutAfterIO:   cut,
+					Seed:         3000 + cut,
+				})
+				name := fmt.Sprintf("%s/%s cut=%d", lay, pl, cut)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if cut == 0 && (res.Interrupted || res.RebuildErr != "") {
+					t.Fatalf("%s: control run crashed: interrupted=%v err=%q", name, res.Interrupted, res.RebuildErr)
+				}
+				if len(res.FsckErrors) != 0 {
+					t.Fatalf("%s: did not converge: %v", name, res.FsckErrors)
+				}
+				if res.Scrub.Mismatches != 0 || res.Scrub.Skipped != 0 {
+					t.Fatalf("%s: scrub after convergence: %+v", name, res.Scrub)
+				}
+			}
+		}
+	}
+}
+
 // TestCrashTornMetadataWrite aims the cut at FFS's synchronous
 // metadata writes: the cut request tears its single block to a random
 // byte prefix, splicing half an inode-table or bitmap update onto

@@ -10,6 +10,7 @@ package pfs
 import (
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -39,7 +40,10 @@ type Config struct {
 	// classic single-volume server).
 	Volumes int
 	// Placement routes file data across the array: "affinity"
-	// (default) or "striped".
+	// (default), "striped", or the redundant placements "mirrored"
+	// (chained declustering) and "parity" (rotated RAID-5), which
+	// keep serving through a member death (Server.KillMember /
+	// RebuildMember).
 	Placement string
 	// StripeBlocks is the striped placement's chunk width.
 	StripeBlocks int
@@ -79,6 +83,12 @@ type Config struct {
 	// driver: injected I/O errors, torn writes, and the power cut the
 	// crash harness drives. The plan is reachable as Server.Fault.
 	Fault *device.FaultConfig
+	// Dead lists array members to declare dead before the mount — the
+	// degraded reopen after a member loss, when the member's image is
+	// stale (or gone) and its share must be served from redundancy.
+	// Requires a redundant placement; at most one member (the
+	// single-fault model). RebuildMember brings the member back.
+	Dead []int
 	// Recover mounts an existing image set through the crash-recovery
 	// path (LFS roll-forward / FFS repair / array-wide repairs)
 	// instead of the plain mount; the result lands in
@@ -115,10 +125,18 @@ type Server struct {
 	// executor down through the cache and disk paths.
 	Tracer *telemetry.Tracer
 
+	cfg      Config
 	pipeline int
 	cluster  int
 	net      *nfs.Server
 	admin    *telemetry.Server
+
+	// drvMu guards Drivers and retired against a concurrent
+	// RebuildMember swapping in a replacement driver.
+	drvMu sync.Mutex
+	// retired holds drivers of members replaced by RebuildMember;
+	// their unlinked images are released with the server.
+	retired []device.Driver
 }
 
 // ClusterRun reports the effective run-size cap (1 = clustering off).
@@ -143,62 +161,49 @@ func Open(cfg Config) (*Server, error) {
 		cfg.Volumes = 1
 	}
 	k := sched.NewReal(cfg.Seed)
-	lcfg := lfs.DefaultConfig()
-	if cfg.SegBlocks > 0 {
-		lcfg.SegBlocks = cfg.SegBlocks
-	}
+	lcfg := lfsConfigFor(cfg)
 
 	var plan *device.FaultPlan
 	if cfg.Fault != nil {
 		plan = device.NewFaultPlan(*cfg.Fault)
 	}
+	dead := make(map[int]bool, len(cfg.Dead))
+	for _, m := range cfg.Dead {
+		if m < 0 || m >= cfg.Volumes {
+			return nil, fmt.Errorf("pfs: dead member %d out of range (%d volumes)", m, cfg.Volumes)
+		}
+		dead[m] = true
+	}
 	subs := make([]layout.Layout, cfg.Volumes)
 	drvs := make([]device.Driver, cfg.Volumes)
 	freshCount := 0
 	for i := 0; i < cfg.Volumes; i++ {
-		path, name := cfg.Path, "pfs"
-		if cfg.Volumes > 1 {
-			path = fmt.Sprintf("%s.v%d", cfg.Path, i)
-			name = fmt.Sprintf("pfs.d%d", i)
-		}
-		f, err := isFresh(path)
-		if err != nil {
-			return nil, err
-		}
-		if f {
-			freshCount++
-		}
-		q, ok := device.NewScheduler(orDefault(cfg.QueueSched, "clook"))
-		if !ok {
-			return nil, fmt.Errorf("pfs: unknown queue scheduler %q", cfg.QueueSched)
-		}
-		drv, err := device.NewFileDriver(k, name+"disk", path, cfg.Blocks, q)
-		if err != nil {
-			return nil, err
-		}
-		if plan != nil {
-			drv.SetInjector(plan)
-		}
-		drvs[i] = drv
-		part := layout.NewPartition(drv, i, 0, cfg.Blocks, false)
-		switch orDefault(cfg.Layout, "lfs") {
-		case "lfs":
-			subs[i] = lfs.New(k, name, part, lcfg)
-		case "ffs":
-			fcfg := ffs.DefaultConfig()
-			if cfg.Blocks <= int64(fcfg.BlocksPerGroup) {
-				// Small (test-sized) volumes still need >= 1 group.
-				fcfg.BlocksPerGroup = 512
-				fcfg.InodesPerGroup = 64
+		path, _ := memberPath(cfg, i)
+		// A dead member's image is stale or missing; its freshness says
+		// nothing about the array (the driver below recreates a missing
+		// file as an inert placeholder).
+		if !dead[i] {
+			f, err := isFresh(path)
+			if err != nil {
+				return nil, err
 			}
-			subs[i] = ffs.New(k, name, part, fcfg)
-		default:
-			return nil, fmt.Errorf("pfs: unknown layout %q", cfg.Layout)
+			if f {
+				freshCount++
+			}
 		}
+		drv, sub, err := newMember(k, cfg, lcfg, plan, i)
+		if err != nil {
+			return nil, err
+		}
+		drvs[i], subs[i] = drv, sub
 	}
-	if freshCount != 0 && freshCount != cfg.Volumes {
+	alive := cfg.Volumes - len(dead)
+	if freshCount != 0 && freshCount != alive {
 		return nil, fmt.Errorf("pfs: inconsistent array image set under %s: %d of %d members are fresh",
-			cfg.Path, freshCount, cfg.Volumes)
+			cfg.Path, freshCount, alive)
+	}
+	if freshCount != 0 && len(dead) > 0 {
+		return nil, fmt.Errorf("pfs: cannot open a fresh image set under %s with a dead member declared", cfg.Path)
 	}
 	fresh := freshCount == cfg.Volumes
 	lay, err := volume.New(k, "pfs", subs, volume.Config{
@@ -207,6 +212,19 @@ func Open(cfg Config) (*Server, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	for m := range dead {
+		if err := lay.KillMember(m); err != nil {
+			return nil, err
+		}
+	}
+	if plan != nil {
+		// A death fault at the driver seam marks the member dead in the
+		// volume manager the instant it trips, so the very next I/O is
+		// already served from redundancy (the array would also notice
+		// lazily from the first ErrDiskDead). Non-redundant placements
+		// refuse the kill and keep surfacing raw I/O errors.
+		plan.OnKill(func(m int) { _ = lay.KillMember(m) })
 	}
 
 	if cfg.CacheShards == 0 {
@@ -247,7 +265,7 @@ func Open(cfg Config) (*Server, error) {
 	tr := telemetry.NewTracer(k, cfg.SlowOpThreshold)
 	fs.SetTracer(tr)
 
-	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, Tracer: tr, pipeline: cfg.Pipeline, cluster: cfg.ClusterRunBlocks}
+	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, Tracer: tr, cfg: cfg, pipeline: cfg.Pipeline, cluster: cfg.ClusterRunBlocks}
 	if plan != nil {
 		// The instant the cut trips, the cache stops issuing flushes:
 		// a dead machine writes nothing more.
@@ -302,6 +320,61 @@ func orDefault(s, d string) string {
 		return d
 	}
 	return s
+}
+
+// lfsConfigFor derives the per-member LFS configuration.
+func lfsConfigFor(cfg Config) lfs.Config {
+	lcfg := lfs.DefaultConfig()
+	if cfg.SegBlocks > 0 {
+		lcfg.SegBlocks = cfg.SegBlocks
+	}
+	return lcfg
+}
+
+// memberPath names member i's backing image and component prefix.
+func memberPath(cfg Config, i int) (path, name string) {
+	path, name = cfg.Path, "pfs"
+	if cfg.Volumes > 1 {
+		path = fmt.Sprintf("%s.v%d", cfg.Path, i)
+		name = fmt.Sprintf("pfs.d%d", i)
+	}
+	return path, name
+}
+
+// newMember builds one array member's driver + layout stack over its
+// backing image (created and sized if absent). RebuildMember reuses
+// it to stand up a replacement member.
+func newMember(k *sched.RKernel, cfg Config, lcfg lfs.Config, plan *device.FaultPlan, i int) (device.Driver, layout.Layout, error) {
+	path, name := memberPath(cfg, i)
+	q, ok := device.NewScheduler(orDefault(cfg.QueueSched, "clook"))
+	if !ok {
+		return nil, nil, fmt.Errorf("pfs: unknown queue scheduler %q", cfg.QueueSched)
+	}
+	drv, err := device.NewFileDriver(k, name+"disk", path, cfg.Blocks, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan != nil {
+		drv.SetInjector(plan)
+	}
+	part := layout.NewPartition(drv, i, 0, cfg.Blocks, false)
+	var sub layout.Layout
+	switch orDefault(cfg.Layout, "lfs") {
+	case "lfs":
+		sub = lfs.New(k, name, part, lcfg)
+	case "ffs":
+		fcfg := ffs.DefaultConfig()
+		if cfg.Blocks <= int64(fcfg.BlocksPerGroup) {
+			// Small (test-sized) volumes still need >= 1 group.
+			fcfg.BlocksPerGroup = 512
+			fcfg.InodesPerGroup = 64
+		}
+		sub = ffs.New(k, name, part, fcfg)
+	default:
+		drv.Close()
+		return nil, nil, fmt.Errorf("pfs: unknown layout %q", cfg.Layout)
+	}
+	return drv, sub, nil
 }
 
 // intentSlots maps the NoIntentLog switch to the cache knob.
@@ -369,9 +442,15 @@ func (s *Server) closeAdmin() {
 }
 
 func (s *Server) closeDrivers() {
+	s.drvMu.Lock()
+	defer s.drvMu.Unlock()
 	for _, drv := range s.Drivers {
 		drv.Close()
 	}
+	for _, drv := range s.retired {
+		drv.Close()
+	}
+	s.retired = nil
 }
 
 // Crash simulates a power cut: the fault plan (if any) is tripped so

@@ -165,6 +165,21 @@ func registerArray(reg *telemetry.Registry, a *volume.Array) {
 	if sc := a.SyncCounter(); sc != nil {
 		reg.AddCounter("pfs_volume_syncs_total", "Array-wide sync fan-outs.", nil, sc)
 	}
+	// The member-loss families exist only where member loss is
+	// survivable; non-redundant assemblies keep their family set (and
+	// so their exposition) unchanged.
+	if p := a.Placement(); p == volume.PlacementMirrored || p == volume.PlacementParity {
+		reg.AddGaugeFunc("pfs_volume_degraded", "1 while a member is dead and its share is served from redundancy.", nil,
+			func() float64 { return boolGauge(a.Degraded()) })
+		reg.AddGaugeFunc("pfs_volume_dead_member", "Index of the dead member (-1 when healthy).", nil,
+			func() float64 { return float64(a.DeadMember()) })
+		reg.AddCounterFunc("pfs_volume_degraded_reads_total", "Block reads served by redundancy (mirror partner or parity reconstruction).", nil,
+			func() float64 { return float64(a.DegradedReads()) })
+		reg.AddGaugeFunc("pfs_volume_rebuild_done_files", "Files already copied by the current (or last) online rebuild.", nil,
+			func() float64 { done, _ := a.RebuildProgress(); return float64(done) })
+		reg.AddGaugeFunc("pfs_volume_rebuild_total_files", "Files the current (or last) online rebuild covers.", nil,
+			func() float64 { _, total := a.RebuildProgress(); return float64(total) })
+	}
 }
 
 func registerDriver(reg *telemetry.Registry, member string, ds *device.DriverStats) {
@@ -230,12 +245,15 @@ func boolGauge(b bool) float64 {
 // Registry builds the production registry over this server's
 // components. Call after ServeNFS so the NFS families are present.
 func (s *Server) Registry() *telemetry.Registry {
+	s.drvMu.Lock()
+	drvs := append([]device.Driver(nil), s.Drivers...)
+	s.drvMu.Unlock()
 	return NewRegistry(Observables{
 		Cache:    s.Cache,
 		FS:       s.FS,
 		NFS:      s.net,
 		Array:    s.Array,
-		Drivers:  s.Drivers,
+		Drivers:  drvs,
 		Fault:    s.Fault,
 		Recovery: s.Recovery,
 		Tracer:   s.Tracer,
@@ -309,6 +327,11 @@ func (s *Server) renderStatusz() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pfs status\n")
 	fmt.Fprintf(&b, "  array: width=%d cluster_run=%d\n", s.Array.Width(), s.cluster)
+	if s.Array.Degraded() {
+		done, total := s.Array.RebuildProgress()
+		fmt.Fprintf(&b, "  DEGRADED: member %d dead, degraded_reads=%d rebuild=%d/%d\n",
+			s.Array.DeadMember(), s.Array.DegradedReads(), done, total)
+	}
 	fmt.Fprintf(&b, "  cache: blocks=%d shards=%d dirty=%d nvram_limit=%d off=%v\n",
 		s.Cache.Capacity(), s.Cache.Shards(), s.Cache.DirtyCount(), s.Cache.MaxDirtyBlocks(), s.Cache.Off())
 	if il := s.Cache.Intents(); il != nil {

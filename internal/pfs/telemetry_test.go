@@ -453,3 +453,94 @@ func TestConcurrentScrapeHammer(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMetricsRedundantFamilies pins the member-loss families: they
+// appear only for redundant placements (the golden set above proves
+// non-redundant assemblies don't grow them), and they move when a
+// member dies and reads are served from redundancy.
+func TestMetricsRedundantFamilies(t *testing.T) {
+	sys, err := patsy.Build(patsy.Config{
+		Seed:         1,
+		ArrayVolumes: 3,
+		Placement:    "mirrored",
+		DiskModel:    "hp97560",
+		QueueSched:   "clook",
+		CacheBlocks:  64,
+		Replace:      "lru",
+		Flush:        cache.UPS(),
+		SegBlocks:    64,
+		Cleaner:      "cost-benefit",
+		Layout:       "lfs",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	sys.K.Go("workload", func(task sched.Task) {
+		defer sys.K.Stop()
+		if runErr = sys.Init(task); runErr != nil {
+			return
+		}
+		v := sys.FS.Vol(1)
+		var h *fsys.Handle
+		if h, runErr = v.EnsureFile(task, "/redundant", 0, false); runErr != nil {
+			return
+		}
+		// Overflow the 64-block cache so the post-kill reads miss and
+		// actually reach the degraded read path.
+		for blk := int64(0); blk < 128; blk++ {
+			if runErr = v.WriteAt(task, h, blk*core.BlockSize, nil, core.BlockSize); runErr != nil {
+				return
+			}
+		}
+		if runErr = sys.FS.SyncAll(task); runErr != nil {
+			return
+		}
+		if runErr = sys.KillMember(1); runErr != nil {
+			return
+		}
+		if _, runErr = v.ReadAt(task, h, 0, nil, 32*core.BlockSize); runErr != nil {
+			return
+		}
+		v.Close(task, h)
+	})
+	if err := sys.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	reg := NewRegistry(Observables{
+		Cache:   sys.Cache,
+		FS:      sys.FS,
+		Array:   sys.Array,
+		Drivers: sys.Drivers,
+	})
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	fams := parseFamilies(body)
+	for name, typ := range map[string]string{
+		"pfs_volume_degraded":             "gauge",
+		"pfs_volume_dead_member":          "gauge",
+		"pfs_volume_degraded_reads_total": "counter",
+		"pfs_volume_rebuild_done_files":   "gauge",
+		"pfs_volume_rebuild_total_files":  "gauge",
+	} {
+		if fams[name] != typ {
+			t.Errorf("family %s: got type %q, want %q", name, fams[name], typ)
+		}
+	}
+	if v := metricValue(t, body, "pfs_volume_degraded"); v != 1 {
+		t.Errorf("pfs_volume_degraded = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "pfs_volume_dead_member"); v != 1 {
+		t.Errorf("pfs_volume_dead_member = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "pfs_volume_degraded_reads_total"); v <= 0 {
+		t.Errorf("no degraded reads recorded (got %v)", v)
+	}
+}

@@ -25,38 +25,62 @@ const (
 const (
 	placementCodeAffinity = 0
 	placementCodeStriped  = 1
+	placementCodeMirrored = 2
+	placementCodeParity   = 3
 )
 
 func (a *Array) placementCode() uint32 {
-	if a.cfg.Placement == PlacementStriped {
+	switch a.cfg.Placement {
+	case PlacementStriped:
 		return placementCodeStriped
+	case PlacementMirrored:
+		return placementCodeMirrored
+	case PlacementParity:
+		return placementCodeParity
 	}
 	return placementCodeAffinity
 }
 
+// widthCoded reports whether a placement records a meaningful chunk
+// width in the label (everything except affinity, which has none).
+func widthCoded(code uint32) bool { return code != placementCodeAffinity }
+
 // writeLabel persists the geometry label on every member, each copy
 // carrying the member's own index.
 func (a *Array) writeLabel(t sched.Task) error {
-	for i, sub := range a.subs {
-		buf := make([]byte, core.BlockSize)
-		le := binary.LittleEndian
-		le.PutUint32(buf[0:], labelMagic)
-		le.PutUint32(buf[4:], labelVersion)
-		le.PutUint32(buf[8:], uint32(len(a.subs)))
-		le.PutUint32(buf[12:], a.placementCode())
-		le.PutUint32(buf[16:], uint32(a.cfg.StripeBlocks))
-		le.PutUint32(buf[20:], uint32(i))
-		if err := sub.Truncate(t, a.labels[i], labelBytes); err != nil {
-			return fmt.Errorf("volume %s: size label on member %d: %w", a.name, i, err)
+	for i := range a.subs {
+		if !a.writeAlive(i) || a.labels[i] == nil {
+			continue // dead member: rebuild relabels its replacement
 		}
-		if err := sub.WriteBlocks(t, a.labels[i], []layout.BlockWrite{
-			{Blk: 0, Data: buf, Size: labelBytes},
-		}); err != nil {
-			return fmt.Errorf("volume %s: write label on member %d: %w", a.name, i, err)
+		if err := a.writeMemberLabel(t, i); err != nil {
+			return err
 		}
-		if err := sub.UpdateInode(t, a.labels[i]); err != nil {
-			return fmt.Errorf("volume %s: label inode on member %d: %w", a.name, i, err)
-		}
+	}
+	return nil
+}
+
+// writeMemberLabel writes one member's copy of the geometry label
+// (carrying the member's own index).
+func (a *Array) writeMemberLabel(t sched.Task, i int) error {
+	sub := a.sub(i)
+	buf := make([]byte, core.BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], labelMagic)
+	le.PutUint32(buf[4:], labelVersion)
+	le.PutUint32(buf[8:], uint32(len(a.subs)))
+	le.PutUint32(buf[12:], a.placementCode())
+	le.PutUint32(buf[16:], uint32(a.cfg.StripeBlocks))
+	le.PutUint32(buf[20:], uint32(i))
+	if err := sub.Truncate(t, a.labels[i], labelBytes); err != nil {
+		return fmt.Errorf("volume %s: size label on member %d: %w", a.name, i, err)
+	}
+	if err := sub.WriteBlocks(t, a.labels[i], []layout.BlockWrite{
+		{Blk: 0, Data: buf, Size: labelBytes},
+	}); err != nil {
+		return fmt.Errorf("volume %s: write label on member %d: %w", a.name, i, err)
+	}
+	if err := sub.UpdateInode(t, a.labels[i]); err != nil {
+		return fmt.Errorf("volume %s: label inode on member %d: %w", a.name, i, err)
 	}
 	return nil
 }
@@ -70,13 +94,21 @@ func (a *Array) readLabel(t sched.Task) error {
 	labels := make([]*layout.Inode, len(a.subs))
 	empty := 0
 	var want *labelGeom
-	for i, sub := range a.subs {
+	firstAlive := -1
+	for i := range a.subs {
+		if !a.writeAlive(i) {
+			continue // dead member: no image to validate
+		}
+		if firstAlive < 0 {
+			firstAlive = i
+		}
+		sub := a.sub(i)
 		ino, err := sub.GetInode(t, labelFileID)
 		if err == core.ErrNotFound {
-			if i == 0 {
+			if i == firstAlive {
 				return nil // fresh array, labels not yet written
 			}
-			return fmt.Errorf("volume %s: member %d carries no label file (member 0 does)", a.name, i)
+			return fmt.Errorf("volume %s: member %d carries no label file (member %d does)", a.name, i, firstAlive)
 		}
 		if err != nil {
 			return fmt.Errorf("volume %s: label inode on member %d: %w", a.name, i, err)
@@ -106,7 +138,7 @@ func (a *Array) readLabel(t sched.Task) error {
 			return fmt.Errorf("volume %s: image placement %s, mounted with %s",
 				a.name, placementName(g.placement), a.cfg.Placement)
 		}
-		if g.placement == placementCodeStriped && g.stripe != a.cfg.StripeBlocks {
+		if widthCoded(g.placement) && g.stripe != a.cfg.StripeBlocks {
 			return fmt.Errorf("volume %s: image stripe width %d blocks, mounted with %d", a.name, g.stripe, a.cfg.StripeBlocks)
 		}
 		if g.member != i {
@@ -116,7 +148,7 @@ func (a *Array) readLabel(t sched.Task) error {
 		if want == nil {
 			want = &g
 		} else if g.nsubs != want.nsubs || g.placement != want.placement || g.stripe != want.stripe {
-			return fmt.Errorf("volume %s: member %d label disagrees with member 0", a.name, i)
+			return fmt.Errorf("volume %s: member %d label disagrees with member %d", a.name, i, firstAlive)
 		}
 		labels[i] = ino
 	}
@@ -160,8 +192,13 @@ func decodeLabel(buf []byte) (labelGeom, error) {
 }
 
 func placementName(code uint32) string {
-	if code == placementCodeStriped {
+	switch code {
+	case placementCodeStriped:
 		return PlacementStriped
+	case placementCodeMirrored:
+		return PlacementMirrored
+	case placementCodeParity:
+		return PlacementParity
 	}
 	return PlacementAffinity
 }

@@ -1,0 +1,200 @@
+package volume
+
+// The degraded-parity write hole, and the battery-backed record that
+// closes it. A degraded column update that read-modify-writes the
+// parity folds the dead member's implied content forward through
+// parity_old; if a power cut lands some of the column's member writes
+// but not others, parity and data disagree and the dead member's
+// chunk — reachable only through that parity — is garbage. NVRAM
+// survivor replay rewrites the torn data, but RMW against the torn
+// parity preserves the corruption (the delta never cancels).
+//
+// The fix is the paper's own argument applied to parity: battery-
+// backed memory. Before issuing a guarded column update the array
+// records the column's partial parity pp — algebraically the XOR of
+// the column's cells OUTSIDE the written-alive set, dead member's
+// chunk included, at the version being preserved. pp is independent
+// of which member writes land, so after a crash
+//
+//	parity := pp XOR (current disk content of the written slots)
+//
+// restores a parity consistent with whatever landed, preserving the
+// dead chunk exactly; the survivor replay then re-delivers the new
+// data through a now-consistent column. Every degraded column whose
+// parity implies the dead member's chunk is guarded, each case
+// building pp from reads its write path performs anyway:
+//
+//   - RMW (dead slot unwritten): pp = parity_old XOR the old content
+//     of the written slots — the dead chunk rides at its OLD value.
+//   - Reconstruct-write / full-column (dead slot written): the dead
+//     slot's new frame reaches the media only as what the parity
+//     implies, so pp = that frame XOR the unwritten cells' content —
+//     the dead chunk rides at its NEW value, the only copy there is.
+//
+// A column whose parity member is the dead one carries no redundancy
+// to protect, and healthy columns need no record: nothing is
+// reconstructed from them, and a scrub re-syncs parity from data.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// ParitySlot names one written data cell of a guarded column.
+type ParitySlot struct {
+	Member int
+	Local  core.BlockNo
+}
+
+// ParityRecord is one battery-backed partial-parity record: an
+// in-flight degraded column update whose parity must be recomputable
+// whatever subset of its member writes reached the media.
+type ParityRecord struct {
+	File    core.FileID
+	Stripe  int64 // parity stripe index
+	Offset  int64 // block offset within the chunk
+	PMember int
+	PLocal  core.BlockNo
+	Slots   []ParitySlot // the written (alive) data cells
+	PP      []byte       // XOR of the column's cells outside Slots, at their preserved version
+}
+
+// pplKey identifies a column: one record per column may be pending.
+type pplKey struct {
+	file core.FileID
+	s, o int64
+}
+
+// parityLog is the array's battery-backed record set. A plain mutex
+// (not a kernel one): the crash harness snapshots the records after
+// the kernel has stopped, the way it dumps NVRAM survivors.
+type parityLog struct {
+	mu   sync.Mutex
+	recs map[pplKey]*ParityRecord
+}
+
+// recordParity files rec unless the column already has a pending
+// record: a retry after a failed (possibly torn) attempt reads torn
+// cells, so the first attempt's pp — computed against consistent
+// state — is the one that preserves the dead chunk.
+func (a *Array) recordParity(rec *ParityRecord) {
+	a.ppl.mu.Lock()
+	if a.ppl.recs == nil {
+		a.ppl.recs = make(map[pplKey]*ParityRecord)
+	}
+	key := pplKey{rec.File, rec.Stripe, rec.Offset}
+	if _, ok := a.ppl.recs[key]; !ok {
+		a.ppl.recs[key] = rec
+	}
+	a.ppl.mu.Unlock()
+}
+
+// clearParity retires records once their column update is fully on
+// the media (the column is consistent again).
+func (a *Array) clearParity(keys []pplKey) {
+	if len(keys) == 0 {
+		return
+	}
+	a.ppl.mu.Lock()
+	for _, k := range keys {
+		delete(a.ppl.recs, k)
+	}
+	a.ppl.mu.Unlock()
+}
+
+// PendingParity snapshots the outstanding partial-parity records —
+// the battery-backed state a crash harness carries across the power
+// cut next to the cache's survivors. Deterministic order.
+func (a *Array) PendingParity() []ParityRecord {
+	a.ppl.mu.Lock()
+	defer a.ppl.mu.Unlock()
+	out := make([]ParityRecord, 0, len(a.ppl.recs))
+	for _, r := range a.ppl.recs {
+		cp := *r
+		cp.Slots = append([]ParitySlot(nil), r.Slots...)
+		cp.PP = append([]byte(nil), r.PP...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Stripe != out[j].Stripe {
+			return out[i].Stripe < out[j].Stripe
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	return out
+}
+
+// ReplayParity re-establishes every recorded column's parity on a
+// recovered array: parity := pp XOR the current media content of the
+// record's written slots. Idempotent — on a column whose update fully
+// landed it recomputes the same (correct) parity. Run it after the
+// recovery mount and before the NVRAM survivor replay, so the replay
+// RMWs against consistent parity. Records for files freed before the
+// crash are skipped.
+func (a *Array) ReplayParity(t sched.Task, recs []ParityRecord) (applied int, err error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	if a.red == nil || !a.red.parity {
+		return 0, fmt.Errorf("volume %s: parity records on placement %s", a.name, a.cfg.Placement)
+	}
+	scratch := make([]byte, core.BlockSize)
+	for _, rec := range recs {
+		if _, err := a.GetInode(t, rec.File); err == core.ErrNotFound {
+			continue
+		} else if err != nil {
+			return applied, err
+		}
+		af := a.lookup(t, rec.File)
+		if af == nil {
+			continue
+		}
+		if err := a.replayColumn(t, af, rec, scratch); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+func (a *Array) replayColumn(t sched.Task, af *afile, rec ParityRecord, scratch []byte) error {
+	af.mu.Lock(t)
+	defer af.mu.Unlock(t)
+	if !a.writeAlive(rec.PMember) {
+		return fmt.Errorf("volume %s: parity record for inode %d needs dead member %d", a.name, af.id, rec.PMember)
+	}
+	parity := append([]byte(nil), rec.PP...)
+	for _, sl := range rec.Slots {
+		if !a.writeAlive(sl.Member) {
+			return fmt.Errorf("volume %s: parity record for inode %d reads dead member %d", a.name, af.id, sl.Member)
+		}
+		// Holes (a torn shadow growth) read back as zeros, which is
+		// exactly the cell's media content.
+		a.reads.Add(sl.Member, 1)
+		if err := a.sub(sl.Member).ReadBlock(t, af.shadows[sl.Member], sl.Local, scratch); err != nil {
+			return err
+		}
+		xorInto(parity, scratch)
+	}
+	sh := af.shadows[rec.PMember]
+	if end := (int64(rec.PLocal) + 1) * core.BlockSize; !a.isCarrier(af.home, rec.PMember) && end > sh.Size {
+		if err := a.sub(rec.PMember).Truncate(t, sh, end); err != nil {
+			return err
+		}
+	}
+	a.writes.Add(rec.PMember, 1)
+	if err := a.sub(rec.PMember).WriteBlocks(t, sh, []layout.BlockWrite{
+		{Blk: rec.PLocal, Data: parity, Size: core.BlockSize},
+	}); err != nil {
+		return err
+	}
+	return a.sub(rec.PMember).UpdateInode(t, sh)
+}

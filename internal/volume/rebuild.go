@@ -1,0 +1,666 @@
+package volume
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// This file is the array's self-healing machinery: the online rebuild
+// that reconstructs a dead member onto a freshly formatted replacement
+// while the array keeps serving, the scrub that verifies (and repairs)
+// copy/parity consistency, and the post-crash repair pass Recover runs
+// for the redundant placements.
+//
+// Rebuild runs in three phases:
+//
+//  1. Attach (under a.mu): format the replacement, replay the live
+//     inode space onto it with RestoreInode (the ordinary allocators —
+//     the LFS cursor, the FFS group spreader — would assign different
+//     numbers than the set being cloned), align sequential allocation
+//     cursors, swap the in-memory shadows, and publish the replacement
+//     through a.eff/attachIdx. From here on every new write lands on
+//     the replacement too, so the copy phase chases a bounded frontier.
+//  2. Copy: per file, under the file's own lock, reconstruct the dead
+//     member's local share from the survivors (mirror: read the other
+//     copy; parity: XOR the column) and write it to the replacement.
+//     Files born after the attach are complete by construction; each
+//     finished file flips af.rebuilt, re-enabling direct reads of the
+//     member for that file.
+//  3. Complete (atomic): clear the dead mark — the array is healthy,
+//     served entirely by the effective member set — and sync so the
+//     rebuilt state is durable.
+//
+// A crash mid-rebuild loses nothing: the survivors still hold every
+// byte (the replacement was write-only as far as correctness goes),
+// and the rebuild is restarted from scratch on a fresh replacement.
+
+// copyBatch bounds the rebuild's write batches (blocks per fan-out).
+const copyBatch = 64
+
+// Rebuild reconstructs the dead member's contents onto replacement, a
+// freshly constructed (unformatted) layout over a new disk stack, while
+// the array keeps serving. On success the array is healthy again with
+// replacement serving the dead member's index.
+func (a *Array) Rebuild(t sched.Task, replacement layout.Layout) error {
+	if a.red == nil {
+		return fmt.Errorf("volume %s: rebuild needs a redundant placement (have %s)", a.name, a.cfg.Placement)
+	}
+	dead := int(a.deadIdx.Load())
+	if dead < 0 {
+		return fmt.Errorf("volume %s: no dead member to rebuild", a.name)
+	}
+	if !a.rebuilding.CompareAndSwap(false, true) {
+		return fmt.Errorf("volume %s: rebuild already in progress", a.name)
+	}
+	defer a.rebuilding.Store(false)
+
+	if err := replacement.Format(t); err != nil {
+		return fmt.Errorf("volume %s: format replacement for member %d: %w", a.name, dead, err)
+	}
+	if err := replacement.Mount(t); err != nil {
+		return fmt.Errorf("volume %s: mount replacement for member %d: %w", a.name, dead, err)
+	}
+
+	ids, err := a.attachReplacement(t, dead, replacement)
+	if err != nil {
+		return err
+	}
+
+	for _, id := range ids {
+		if id == labelFileID {
+			a.rebuildDone.Add(1)
+			continue // array metadata, rewritten below
+		}
+		if err := a.rebuildFile(t, id, dead); err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				a.rebuildDone.Add(1) // deleted while we were copying
+				continue
+			}
+			return fmt.Errorf("volume %s: rebuild inode %d: %w", a.name, id, err)
+		}
+		a.rebuildDone.Add(1)
+	}
+
+	// Restore the member's geometry label (carries its own index).
+	a.mu.Lock(t)
+	relabel := !a.cfg.Simulated && a.labelDone && a.labels != nil && a.labels[dead] != nil
+	a.mu.Unlock(t)
+	if relabel {
+		if err := a.writeMemberLabel(t, dead); err != nil {
+			return err
+		}
+	}
+
+	a.deadIdx.Store(-1)
+	a.attachIdx.Store(-1)
+	// Durable completion: the replacement checkpoints with the rest.
+	return a.Sync(t)
+}
+
+// attachReplacement is rebuild phase 1: replay the inode space, swap
+// the shadows and publish the replacement. Returns the live inode set
+// to copy.
+func (a *Array) attachReplacement(t sched.Task, dead int, replacement layout.Layout) ([]core.FileID, error) {
+	rest, ok := replacement.(layout.InodeRestorer)
+	if !ok {
+		return nil, fmt.Errorf("volume %s: replacement layout %s cannot restore inode numbers", a.name, replacement.Name())
+	}
+	src := -1
+	for i := range a.subs {
+		if i != dead {
+			src = i
+			break
+		}
+	}
+	en, ok := a.sub(src).(layout.InodeEnumerator)
+	if !ok {
+		return nil, fmt.Errorf("volume %s: member %d cannot enumerate live inodes", a.name, src)
+	}
+
+	a.mu.Lock(t)
+	defer a.mu.Unlock(t)
+
+	ids := en.LiveInodes(t)
+	a.rebuildTotal.Store(int64(len(ids)))
+	a.rebuildDone.Store(0)
+
+	restored := make(map[core.FileID]*layout.Inode, len(ids))
+	for _, id := range ids {
+		sino, err := a.sub(src).GetInode(t, id)
+		if err != nil {
+			return nil, fmt.Errorf("volume %s: member %d inode %d: %w", a.name, src, id, err)
+		}
+		rino, err := rest.RestoreInode(t, id, sino.Type)
+		if err != nil {
+			return nil, fmt.Errorf("volume %s: restore inode %d on replacement: %w", a.name, id, err)
+		}
+		restored[id] = rino
+	}
+
+	// Sequential allocators resume in lockstep with the survivors.
+	if ac, ok := replacement.(layout.AllocCursor); ok {
+		var maxCur uint64
+		all := true
+		for i := range a.subs {
+			if i == dead {
+				continue
+			}
+			c, ok := a.sub(i).(layout.AllocCursor)
+			if !ok {
+				all = false
+				break
+			}
+			if v := c.InodeCursor(t); v > maxCur {
+				maxCur = v
+			}
+		}
+		if all && maxCur > 0 {
+			ac.SetInodeCursor(t, maxCur)
+		}
+	}
+
+	// Swap the in-memory shadows. Files the replacement does not know
+	// (races are excluded: allocation holds a.mu) keep placeholders.
+	for id, af := range a.files {
+		af.rebuilt.Store(false)
+		if r := restored[id]; r != nil {
+			af.shadows[dead] = r
+		}
+	}
+	if a.labels != nil && restored[labelFileID] != nil {
+		a.labels[dead] = restored[labelFileID]
+	}
+
+	// Publish: from here on writes reach the replacement.
+	eff := make([]layout.Layout, len(a.subs))
+	copy(eff, a.effSubs())
+	eff[dead] = replacement
+	a.eff.Store(&eff)
+	a.attachIdx.Store(int32(dead))
+	return ids, nil
+}
+
+// rebuildFile is rebuild phase 2 for one file: reconstruct the dead
+// member's local share from the survivors and write it to the attached
+// replacement, then mark the file rebuilt.
+func (a *Array) rebuildFile(t sched.Task, id core.FileID, dead int) error {
+	if _, err := a.GetInode(t, id); err != nil {
+		return err
+	}
+	af := a.lookup(t, id)
+	if af == nil {
+		return core.ErrNotFound
+	}
+	af.mu.Lock(t)
+	defer af.mu.Unlock(t)
+	if af.rebuilt.Load() {
+		return nil // born after the attach, or already copied
+	}
+
+	g := a.red
+	total := layout.BlocksForSize(af.global.Size)
+	var buf []byte
+	if !a.cfg.Simulated {
+		buf = make([]byte, core.BlockSize)
+	}
+	var batch []layout.BlockWrite
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if !a.isCarrier(af.home, dead) {
+			if end := localExtent(batch); end > af.shadows[dead].Size {
+				if err := a.sub(dead).Truncate(t, af.shadows[dead], end); err != nil {
+					return fmt.Errorf("grow replacement shadow: %w", err)
+				}
+			}
+		}
+		a.writes.Add(dead, int64(len(batch)))
+		err := a.sub(dead).WriteBlocks(t, af.shadows[dead], batch)
+		batch = batch[:0]
+		return err
+	}
+	emit := func(lb core.BlockNo, data []byte) error {
+		w := layout.BlockWrite{Blk: lb, Size: core.BlockSize}
+		if data != nil {
+			w.Data = append([]byte(nil), data...)
+		}
+		batch = append(batch, w)
+		if len(batch) >= copyBatch {
+			return flush()
+		}
+		return nil
+	}
+
+	if !g.parity {
+		// Mirror: the member's share is every chunk whose primary or
+		// secondary role it holds; the content is the surviving copy.
+		for b := core.BlockNo(0); int64(b) < total; b++ {
+			pm, plb := g.primaryLoc(af.home, b)
+			sm, slb := g.secondaryLoc(af.home, b)
+			var lb core.BlockNo
+			var srcm int
+			var srclb core.BlockNo
+			switch dead {
+			case pm:
+				lb, srcm, srclb = plb, sm, slb
+			case sm:
+				lb, srcm, srclb = slb, pm, plb
+			default:
+				continue
+			}
+			if af.shadows[srcm].BlockAddr(srclb) < 0 {
+				continue // hole on the survivor: stays a hole
+			}
+			a.reads.Add(srcm, 1)
+			if err := a.sub(srcm).ReadBlock(t, af.shadows[srcm], srclb, buf); err != nil {
+				return err
+			}
+			if err := emit(lb, buf); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Parity: the member's data chunks are reconstructed from
+		// their columns; its parity chunks are recomputed from the
+		// surviving data.
+		for b := core.BlockNo(0); int64(b) < total; b++ {
+			if m, dlb := g.dataLoc(af.home, b); m == dead {
+				if a.columnIsHole(af, b, total) {
+					continue
+				}
+				if err := a.reconstructData(t, af, b, buf); err != nil {
+					return err
+				}
+				if err := emit(dlb, buf); err != nil {
+					return err
+				}
+			}
+		}
+		w := int64(g.w)
+		d := g.dataChunks()
+		C := (total + w - 1) / w
+		S := (C + d - 1) / d
+		var acc, scratch []byte
+		if buf != nil {
+			acc = make([]byte, core.BlockSize)
+			scratch = make([]byte, core.BlockSize)
+		}
+		for s := int64(0); s < S; s++ {
+			if g.parityMember(af.home, s) != dead {
+				continue
+			}
+			for o := int64(0); o < w; o++ {
+				zero(acc)
+				any := false
+				for j := int64(0); j < d; j++ {
+					b := core.BlockNo((s*d+j)*w + o)
+					if int64(b) >= total {
+						break
+					}
+					m, lb := g.dataLoc(af.home, b)
+					if af.shadows[m].BlockAddr(lb) < 0 {
+						continue // hole XORs as zeros
+					}
+					any = true
+					a.reads.Add(m, 1)
+					if err := a.sub(m).ReadBlock(t, af.shadows[m], lb, scratch); err != nil {
+						return err
+					}
+					xorInto(acc, scratch)
+				}
+				if !any {
+					continue // all-hole column needs no parity
+				}
+				if err := emit(core.BlockNo(s*w+o), acc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Settle the shadow's extent and metadata: carriers record the
+	// global size and the file metadata (so the pair survives the next
+	// loss), non-carriers cover exactly their share.
+	need := g.localBlocks(af.home, dead, total) * core.BlockSize
+	other := af.home
+	if a.isCarrier(af.home, dead) {
+		need = af.global.Size
+		if dead == af.home {
+			other = (af.home + 1) % len(a.subs)
+		}
+		h, o := af.shadows[dead], af.shadows[other]
+		h.Type, h.Nlink, h.Mode = o.Type, o.Nlink, o.Mode
+		h.MTime, h.CTime, h.ATime = o.MTime, o.CTime, o.ATime
+	}
+	if af.shadows[dead].Size < need {
+		if err := a.sub(dead).Truncate(t, af.shadows[dead], need); err != nil {
+			return err
+		}
+	}
+	if err := a.sub(dead).UpdateInode(t, af.shadows[dead]); err != nil {
+		return err
+	}
+	af.rebuilt.Store(true)
+	return nil
+}
+
+// columnIsHole reports whether every surviving trace of block b's
+// parity column — the parity block and the peer data blocks — is a
+// hole, i.e. the column was never written and b reads as zeros.
+func (a *Array) columnIsHole(af *afile, b core.BlockNo, total int64) bool {
+	g := a.red
+	pm, plb := g.parityLoc(af.home, b)
+	if af.shadows[pm].BlockAddr(plb) >= 0 {
+		return false
+	}
+	for _, peer := range g.columnPeers(b, total) {
+		m, lb := g.dataLoc(af.home, peer)
+		if af.shadows[m].BlockAddr(lb) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ScrubStats summarizes one consistency scan over a redundant array.
+type ScrubStats struct {
+	Files      int64 // files scanned
+	Blocks     int64 // global data blocks covered
+	Skipped    int64 // blocks skipped (member dead, not verifiable)
+	Mismatches int64 // copy divergences / parity XOR violations found
+	Repaired   int64 // of those, repaired (repair mode)
+}
+
+// Scrub verifies the redundant invariant online, file by file under
+// each file's own lock: mirrored copies must match, parity columns
+// must XOR to zero. In repair mode a diverged copy is rewritten from
+// its primary and a violated parity block is recomputed from the data
+// (the data blocks are the authority — this is how the torn tail of a
+// crashed degraded write is healed). Blocks whose verification needs a
+// dead member are counted as skipped. Simulated arrays move no data,
+// so the scan issues the reads (costing the modeled time) but cannot
+// compare contents.
+func (a *Array) Scrub(t sched.Task, repair bool) (ScrubStats, error) {
+	var st ScrubStats
+	if a.red == nil {
+		return st, fmt.Errorf("volume %s: scrub needs a redundant placement (have %s)", a.name, a.cfg.Placement)
+	}
+	src := -1
+	for i := range a.subs {
+		if int(a.deadIdx.Load()) != i {
+			src = i
+			break
+		}
+	}
+	en, ok := a.sub(src).(layout.InodeEnumerator)
+	if !ok {
+		return st, fmt.Errorf("volume %s: member %d cannot enumerate live inodes", a.name, src)
+	}
+	for _, id := range en.LiveInodes(t) {
+		if id == labelFileID {
+			continue // per-member content differs by design (member index)
+		}
+		if err := a.scrubFile(t, id, repair, &st); err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				continue // deleted under the scan
+			}
+			return st, fmt.Errorf("volume %s: scrub inode %d: %w", a.name, id, err)
+		}
+		st.Files++
+	}
+	return st, nil
+}
+
+// scrubFile scans one file's redundancy under af.mu.
+func (a *Array) scrubFile(t sched.Task, id core.FileID, repair bool, st *ScrubStats) error {
+	if _, err := a.GetInode(t, id); err != nil {
+		return err
+	}
+	af := a.lookup(t, id)
+	if af == nil {
+		return core.ErrNotFound
+	}
+	af.mu.Lock(t)
+	defer af.mu.Unlock(t)
+
+	g := a.red
+	total := layout.BlocksForSize(af.global.Size)
+	real := !a.cfg.Simulated
+	var pbuf, sbuf []byte
+	if real {
+		pbuf = make([]byte, core.BlockSize)
+		sbuf = make([]byte, core.BlockSize)
+	}
+
+	if !g.parity {
+		for b := core.BlockNo(0); int64(b) < total; b++ {
+			pm, plb := g.primaryLoc(af.home, b)
+			sm, slb := g.secondaryLoc(af.home, b)
+			if !a.readAlive(af, pm) || !a.readAlive(af, sm) {
+				st.Skipped++
+				continue
+			}
+			st.Blocks++
+			if af.shadows[pm].BlockAddr(plb) < 0 && af.shadows[sm].BlockAddr(slb) < 0 {
+				continue // both holes
+			}
+			a.reads.Add(pm, 1)
+			if err := a.sub(pm).ReadBlock(t, af.shadows[pm], plb, pbuf); err != nil {
+				return err
+			}
+			a.reads.Add(sm, 1)
+			if err := a.sub(sm).ReadBlock(t, af.shadows[sm], slb, sbuf); err != nil {
+				return err
+			}
+			if !real || bytes.Equal(pbuf, sbuf) {
+				continue
+			}
+			st.Mismatches++
+			if !repair {
+				continue
+			}
+			// The primary copy wins: both copies hold at least every
+			// acknowledged write, so either direction is safe.
+			a.writes.Add(sm, 1)
+			if err := a.sub(sm).WriteBlocks(t, af.shadows[sm], []layout.BlockWrite{
+				{Blk: slb, Data: append([]byte(nil), pbuf...), Size: core.BlockSize},
+			}); err != nil {
+				return err
+			}
+			st.Repaired++
+		}
+		return nil
+	}
+
+	w := int64(g.w)
+	d := g.dataChunks()
+	C := (total + w - 1) / w
+	S := (C + d - 1) / d
+	var acc []byte
+	if real {
+		acc = make([]byte, core.BlockSize)
+	}
+	for s := int64(0); s < S; s++ {
+		pm := g.parityMember(af.home, s)
+		for o := int64(0); o < w; o++ {
+			first := core.BlockNo(s*d*w + o)
+			if int64(first) >= total {
+				break
+			}
+			plb := core.BlockNo(s*w + o)
+			alive := a.readAlive(af, pm)
+			mapped := 0
+			cells := []struct {
+				m  int
+				lb core.BlockNo
+			}{}
+			for j := int64(0); j < d; j++ {
+				b := core.BlockNo((s*d+j)*w + o)
+				if int64(b) >= total {
+					break
+				}
+				m, lb := g.dataLoc(af.home, b)
+				if !a.readAlive(af, m) {
+					alive = false
+				}
+				cells = append(cells, struct {
+					m  int
+					lb core.BlockNo
+				}{m, lb})
+				if af.shadows[m].BlockAddr(lb) >= 0 {
+					mapped++
+				}
+			}
+			if !alive {
+				st.Skipped += int64(len(cells))
+				continue
+			}
+			st.Blocks += int64(len(cells))
+			if mapped == 0 && af.shadows[pm].BlockAddr(plb) < 0 {
+				continue // untouched column
+			}
+			zero(acc)
+			for _, c := range cells {
+				a.reads.Add(c.m, 1)
+				if err := a.sub(c.m).ReadBlock(t, af.shadows[c.m], c.lb, sbuf); err != nil {
+					return err
+				}
+				xorInto(acc, sbuf)
+			}
+			a.reads.Add(pm, 1)
+			if err := a.sub(pm).ReadBlock(t, af.shadows[pm], plb, pbuf); err != nil {
+				return err
+			}
+			if !real || bytes.Equal(acc, pbuf) {
+				continue
+			}
+			st.Mismatches++
+			if !repair {
+				continue
+			}
+			a.writes.Add(pm, 1)
+			if err := a.sub(pm).WriteBlocks(t, af.shadows[pm], []layout.BlockWrite{
+				{Blk: plb, Data: append([]byte(nil), acc...), Size: core.BlockSize},
+			}); err != nil {
+				return err
+			}
+			st.Repaired++
+		}
+	}
+	return nil
+}
+
+// repairRedundant is the redundant placements' post-crash repair pass:
+// it restores the size invariant (both carriers hold the global size,
+// every member's shadow covers exactly its share — clamping the global
+// size down to the largest fully-backed extent when a member lost its
+// tail), then runs a repairing scrub so copies re-converge and torn
+// parity columns are recomputed from their data.
+func (a *Array) repairRedundant(t sched.Task, st *layout.RecoveryStats) error {
+	dead := int(a.deadIdx.Load())
+	src := -1
+	for i := range a.subs {
+		if i != dead {
+			src = i
+			break
+		}
+	}
+	en, ok := a.sub(src).(layout.InodeEnumerator)
+	if !ok {
+		return nil
+	}
+	for _, id := range en.LiveInodes(t) {
+		if id == core.RootFile || id == labelFileID {
+			continue
+		}
+		home := a.home(id)
+		shadows := make([]*layout.Inode, len(a.subs))
+		missing := false
+		for i := range a.subs {
+			if i == dead {
+				continue
+			}
+			ino, err := a.sub(i).GetInode(t, id)
+			if err != nil {
+				missing = true // rolled back by resyncLockstep
+				break
+			}
+			shadows[i] = ino
+		}
+		if missing {
+			continue
+		}
+		// The global size is whichever carrier got further; clamp it
+		// down to what every surviving member actually backs.
+		c1, c2 := home, (home+1)%len(a.subs)
+		var hsize int64
+		if c1 != dead {
+			hsize = shadows[c1].Size
+		}
+		if c2 != dead && shadows[c2].Size > hsize {
+			hsize = shadows[c2].Size
+		}
+		total := layout.BlocksForSize(hsize)
+		covered := total
+		for covered > 0 {
+			ok := true
+			for s := range a.subs {
+				if s == dead {
+					continue
+				}
+				if a.red.localBlocks(home, s, covered)*core.BlockSize > shadows[s].Size {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+			covered--
+		}
+		newSize := hsize
+		if covered < total {
+			newSize = covered * core.BlockSize
+			st.Repairs = append(st.Repairs, fmt.Sprintf(
+				"inode %d: global size %d not fully backed, clamped to %d (a member lost its share tail)",
+				id, hsize, newSize))
+		}
+		keep := layout.BlocksForSize(newSize)
+		for s := range a.subs {
+			if s == dead {
+				continue
+			}
+			need := a.red.localBlocks(home, s, keep) * core.BlockSize
+			if a.isCarrier(home, s) {
+				need = newSize
+			}
+			if shadows[s].Size != need {
+				if err := a.sub(s).Truncate(t, shadows[s], need); err != nil {
+					return fmt.Errorf("volume %s: repair shadow of inode %d on sub %d: %w", a.name, id, s, err)
+				}
+				if err := a.sub(s).UpdateInode(t, shadows[s]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Copies and parity columns re-converge (data is the authority).
+	sst, err := a.Scrub(t, true)
+	if err != nil {
+		return err
+	}
+	if sst.Mismatches > 0 {
+		st.Repairs = append(st.Repairs, fmt.Sprintf(
+			"scrub: %d redundancy violation(s), %d repaired (torn redundant write)", sst.Mismatches, sst.Repaired))
+	}
+	return nil
+}

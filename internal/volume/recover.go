@@ -32,7 +32,11 @@ func (a *Array) Recover(t sched.Task) (layout.RecoveryStats, error) {
 		}
 		return st, a.single.Mount(t)
 	}
-	for i, sub := range a.subs {
+	for i := range a.subs {
+		if int(a.deadIdx.Load()) == i {
+			continue // dead member: rebuild recovers it onto a replacement
+		}
+		sub := a.sub(i)
 		rec, ok := sub.(layout.Recoverer)
 		if !ok {
 			if err := sub.Mount(t); err != nil {
@@ -55,6 +59,11 @@ func (a *Array) Recover(t sched.Task) (layout.RecoveryStats, error) {
 		}
 		if a.striped {
 			if err := a.repairShadows(t, &st); err != nil {
+				return st, err
+			}
+		}
+		if a.red != nil {
+			if err := a.repairRedundant(t, &st); err != nil {
 				return st, err
 			}
 		}
@@ -86,7 +95,7 @@ func (a *Array) GrowSize(t sched.Task, ino *layout.Inode, size int64) {
 		}
 		return
 	}
-	if !a.striped {
+	if !a.arrayOwned() {
 		if sz, ok := a.subs[af.home].(layout.Sizer); ok {
 			sz.GrowSize(t, af.global, size)
 			return
@@ -117,7 +126,7 @@ func (a *Array) WithInode(t sched.Task, ino *layout.Inode, fn func()) {
 		fn()
 		return
 	}
-	if !a.striped {
+	if !a.arrayOwned() {
 		if il, ok := a.subs[af.home].(layout.InodeLocker); ok {
 			il.WithInode(t, af.global, fn)
 			return
@@ -137,8 +146,11 @@ func (a *Array) WriteBarrier(t sched.Task) error {
 		}
 		return nil
 	}
-	for i, sub := range a.subs {
-		if b, ok := sub.(layout.Barrier); ok {
+	for i := range a.subs {
+		if !a.writeAlive(i) {
+			continue
+		}
+		if b, ok := a.sub(i).(layout.Barrier); ok {
 			if err := b.WriteBarrier(t); err != nil {
 				return fmt.Errorf("volume %s: barrier sub %d: %w", a.name, i, err)
 			}
@@ -160,14 +172,22 @@ func (a *Array) DurableSeq(t sched.Task) uint64 {
 		return 0
 	}
 	var minSeq uint64
-	for i, sub := range a.subs {
-		w, ok := sub.(layout.DurableWatermark)
+	first := true
+	for i := range a.subs {
+		if !a.writeAlive(i) {
+			// A dead member can never checkpoint again; waiting on it
+			// would stall intent retirement forever. The survivors'
+			// durability is what the redundant array's data rests on.
+			continue
+		}
+		w, ok := a.sub(i).(layout.DurableWatermark)
 		if !ok {
 			return 0
 		}
 		s := w.DurableSeq(t)
-		if i == 0 || s < minSeq {
+		if first || s < minSeq {
 			minSeq = s
+			first = false
 		}
 	}
 	return minSeq
@@ -176,9 +196,13 @@ func (a *Array) DurableSeq(t sched.Task) uint64 {
 // resyncLockstep restores the invariant that every live inode exists
 // on the members that need it and that sequential allocators agree.
 func (a *Array) resyncLockstep(t sched.Task, st *layout.RecoveryStats) error {
+	dead := int(a.deadIdx.Load())
 	present := make([]map[core.FileID]bool, len(a.subs))
-	for i, sub := range a.subs {
-		en, ok := sub.(layout.InodeEnumerator)
+	for i := range a.subs {
+		if i == dead {
+			continue // dead member: nothing to enumerate (nil entry)
+		}
+		en, ok := a.sub(i).(layout.InodeEnumerator)
 		if !ok {
 			return nil // layout without enumeration: nothing to repair
 		}
@@ -208,6 +232,9 @@ func (a *Array) resyncLockstep(t sched.Task, st *layout.RecoveryStats) error {
 		home := a.home(id)
 		missingAny, missingHome := false, false
 		for i := range a.subs {
+			if i == dead {
+				continue // the rebuild recreates its shadows
+			}
 			if !present[i][id] {
 				missingAny = true
 				if i == home {
@@ -216,14 +243,14 @@ func (a *Array) resyncLockstep(t sched.Task, st *layout.RecoveryStats) error {
 			}
 		}
 		// A file is unusable when its home copy is gone (affinity: all
-		// data lives there) or, striped, when any member's share is
+		// data lives there) or, array-owned, when any member's share is
 		// gone. Roll the half-made allocation back everywhere.
-		if (a.striped && missingAny) || (!a.striped && missingHome) {
-			for i, sub := range a.subs {
+		if (a.arrayOwned() && missingAny) || (!a.arrayOwned() && missingHome) {
+			for i := range a.subs {
 				if !present[i][id] {
 					continue
 				}
-				if err := sub.FreeInode(t, id); err != nil && !errors.Is(err, core.ErrNotFound) {
+				if err := a.sub(i).FreeInode(t, id); err != nil && !errors.Is(err, core.ErrNotFound) {
 					return fmt.Errorf("volume %s: roll back inode %d on sub %d: %w", a.name, id, i, err)
 				}
 			}
@@ -242,19 +269,26 @@ func (a *Array) resyncLockstep(t sched.Task, st *layout.RecoveryStats) error {
 	// Align sequential allocation cursors to the furthest member so
 	// lockstep allocation resumes identically everywhere.
 	var maxCur uint64
-	nCur := 0
-	for _, sub := range a.subs {
-		if ac, ok := sub.(layout.AllocCursor); ok {
+	nCur, alive := 0, 0
+	for i := range a.subs {
+		if i == dead {
+			continue
+		}
+		alive++
+		if ac, ok := a.sub(i).(layout.AllocCursor); ok {
 			if c := ac.InodeCursor(t); c > maxCur {
 				maxCur = c
 			}
 			nCur++
 		}
 	}
-	if nCur == len(a.subs) && nCur > 0 {
+	if nCur == alive && nCur > 0 {
 		moved := false
-		for _, sub := range a.subs {
-			ac := sub.(layout.AllocCursor)
+		for i := range a.subs {
+			if i == dead {
+				continue
+			}
+			ac := a.sub(i).(layout.AllocCursor)
 			if ac.InodeCursor(t) != maxCur {
 				moved = true
 			}

@@ -1,0 +1,779 @@
+package volume
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// This file is the redundant half of the placement policy point: the
+// mirrored and rotated-parity geometries, the degraded read path
+// (serve a dead member's blocks from its peers), and the redundant
+// write path (keep the copies / the parity column consistent with
+// every flush). The rebuild machinery that reconstructs a replacement
+// member from the survivors lives in rebuild.go.
+//
+// Both geometries reuse the striped placement's frame: file data is
+// cut into w-block chunks, chunk placement rotates with the file's
+// home member, and every member packs its share densely from local
+// block 0 (nothing else records a shadow's extent, so density is what
+// keeps the shadow-size invariant decidable).
+//
+//   - mirrored: chunk c's primary copy lives on (home+c) mod n, its
+//     secondary on the next member — chained declustering, so after a
+//     member dies its read load splits over two neighbors instead of
+//     doubling on one. A member holds two chunks per period of n
+//     (one primary, one secondary), in chunk order, so local slots
+//     stay dense.
+//   - parity: chunks are grouped into stripes of n-1, the parity
+//     block of stripe s lives on (home+s) mod n and the data chunks
+//     rotate behind it (RAID-5). Every stripe places exactly one
+//     chunk — data or parity — on every member, so a member's local
+//     slot for stripe s is simply s.
+//
+// ErrDegraded is what a non-redundant placement reports when an I/O
+// needs a dead member: there is no second copy to serve from.
+var ErrDegraded = errors.New("volume: member dead and placement holds no redundancy")
+
+// rgeom is the redundant-placement geometry.
+type rgeom struct {
+	n      int  // members
+	w      int  // chunk width in blocks
+	parity bool // rotated parity (RAID-5) vs mirrored pairs
+}
+
+// dataChunks is the number of data chunks per parity stripe.
+func (g rgeom) dataChunks() int64 { return int64(g.n - 1) }
+
+// --- mirrored geometry ---
+
+// mirrorSlot returns the local slot of chunk c on the member holding
+// its role copy: 2*(c/n) plus one when the role's residue is the
+// larger of the member's two residues (so the member's two chunks per
+// period land in chunk order and the packing stays dense).
+func mirrorSlots(c int64, n int64) (primary, secondary int64) {
+	base := 2 * (c / n)
+	primary, secondary = base, base
+	if c%n != 0 {
+		primary++
+	}
+	if c%n == n-1 {
+		secondary++
+	}
+	return primary, secondary
+}
+
+// primaryLoc maps a global file block to its primary copy.
+func (g rgeom) primaryLoc(home int, blk core.BlockNo) (int, core.BlockNo) {
+	c := int64(blk) / int64(g.w)
+	m := (home + int(c%int64(g.n))) % g.n
+	sp, _ := mirrorSlots(c, int64(g.n))
+	return m, core.BlockNo(sp*int64(g.w) + int64(blk)%int64(g.w))
+}
+
+// secondaryLoc maps a global file block to its mirror copy.
+func (g rgeom) secondaryLoc(home int, blk core.BlockNo) (int, core.BlockNo) {
+	c := int64(blk) / int64(g.w)
+	m := (home + int(c%int64(g.n)) + 1) % g.n
+	_, ss := mirrorSlots(c, int64(g.n))
+	return m, core.BlockNo(ss*int64(g.w) + int64(blk)%int64(g.w))
+}
+
+// --- parity geometry ---
+
+// parityMember returns the member holding stripe s's parity block.
+func (g rgeom) parityMember(home int, s int64) int {
+	return (home + int(s%int64(g.n))) % g.n
+}
+
+// dataLoc maps a global file block to the member and local block
+// holding its (single) data copy under the parity placement.
+func (g rgeom) dataLoc(home int, blk core.BlockNo) (int, core.BlockNo) {
+	c := int64(blk) / int64(g.w)
+	d := g.dataChunks()
+	s, j := c/d, c%d
+	p := g.parityMember(home, s)
+	m := (p + 1 + int(j)) % g.n
+	return m, core.BlockNo(s*int64(g.w) + int64(blk)%int64(g.w))
+}
+
+// parityLoc maps a global file block to the parity block covering its
+// column.
+func (g rgeom) parityLoc(home int, blk core.BlockNo) (int, core.BlockNo) {
+	c := int64(blk) / int64(g.w)
+	s := c / g.dataChunks()
+	return g.parityMember(home, s), core.BlockNo(s*int64(g.w) + int64(blk)%int64(g.w))
+}
+
+// columnPeers returns the global block numbers of the other data
+// blocks in blk's parity column that exist within a file of total
+// blocks (the parity block XORs exactly these plus blk itself).
+func (g rgeom) columnPeers(blk core.BlockNo, total int64) []core.BlockNo {
+	d := g.dataChunks()
+	c := int64(blk) / int64(g.w)
+	s, j := c/d, c%d
+	o := int64(blk) % int64(g.w)
+	var peers []core.BlockNo
+	for jj := int64(0); jj < d; jj++ {
+		if jj == j {
+			continue
+		}
+		b := (s*d+jj)*int64(g.w) + o
+		if b < total {
+			peers = append(peers, core.BlockNo(b))
+		}
+	}
+	return peers
+}
+
+// localBlocks returns how many local blocks member sub holds of a
+// file of total global blocks (its dense share length), parity or
+// copy blocks included.
+func (g rgeom) localBlocks(home, sub int, total int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	w := int64(g.w)
+	C := (total + w - 1) / w // chunks
+	lastLen := total - (C-1)*w
+	if g.parity {
+		d := g.dataChunks()
+		S := (C + d - 1) / d // stripes
+		for s := S - 1; s >= 0; s-- {
+			p := g.parityMember(home, s)
+			if sub == p {
+				// Parity length = the stripe's longest data chunk.
+				pl := total - s*d*w
+				if pl > w {
+					pl = w
+				}
+				return s*w + pl
+			}
+			j := int64((sub - p - 1 + g.n) % g.n)
+			c := s*d + j
+			if j < d && c < C {
+				clen := total - c*w
+				if clen > w {
+					clen = w
+				}
+				return s*w + clen
+			}
+			// Partial tail stripe without a chunk for sub: its share
+			// ends with the previous (full) stripe.
+			if s > 0 {
+				return s * w
+			}
+		}
+		return 0
+	}
+	// Mirrored: the member's share ends with the larger of its last
+	// primary and last secondary chunk slots.
+	n := int64(g.n)
+	rP := int64((sub - home + g.n) % g.n)
+	rC := int64((sub - 1 - home + 2*g.n) % g.n)
+	var ext int64
+	for _, role := range []struct {
+		r       int64
+		primary bool
+	}{{rP, true}, {rC, false}} {
+		if role.r > C-1 {
+			continue
+		}
+		c := C - 1 - (C-1-role.r)%n
+		length := w
+		if c == C-1 {
+			length = lastLen
+		}
+		sp, ss := mirrorSlots(c, n)
+		slot := sp
+		if !role.primary {
+			slot = ss
+		}
+		if e := slot*w + length; e > ext {
+			ext = e
+		}
+	}
+	return ext
+}
+
+// --- degraded state ---
+
+// DeadMember returns the index of the array's dead member, -1 when
+// the array is healthy.
+func (a *Array) DeadMember() int { return int(a.deadIdx.Load()) }
+
+// Degraded reports whether a member is dead.
+func (a *Array) Degraded() bool { return a.deadIdx.Load() >= 0 }
+
+// KillMember declares member m dead: reads of its blocks reconstruct
+// from peers, writes stop touching it. Only redundant placements can
+// keep serving; other placements refuse (their data has no second
+// home). The model is single-fault: a second death while one member
+// is already dead is rejected.
+func (a *Array) KillMember(m int) error {
+	if a.single != nil || a.red == nil {
+		return fmt.Errorf("%w (placement %s)", ErrDegraded, a.cfg.Placement)
+	}
+	if m < 0 || m >= len(a.subs) {
+		return fmt.Errorf("volume %s: kill member %d of %d", a.name, m, len(a.subs))
+	}
+	if a.deadIdx.CompareAndSwap(-1, int32(m)) {
+		return nil
+	}
+	if int(a.deadIdx.Load()) == m {
+		return nil // idempotent
+	}
+	return fmt.Errorf("volume %s: member %d already dead, cannot also lose %d (single-fault model)",
+		a.name, a.DeadMember(), m)
+}
+
+// sub returns the effective layout serving member i: the original
+// sub-layout, or the replacement attached by an ongoing or completed
+// rebuild.
+func (a *Array) sub(i int) layout.Layout {
+	if eff := a.eff.Load(); eff != nil {
+		return (*eff)[i]
+	}
+	return a.subs[i]
+}
+
+// effSubs returns the effective member layouts (rebuild replacements
+// swapped in).
+func (a *Array) effSubs() []layout.Layout {
+	if eff := a.eff.Load(); eff != nil {
+		return *eff
+	}
+	return a.subs
+}
+
+// writeAlive reports whether member i accepts writes: it is not dead,
+// or a rebuild has attached its replacement.
+func (a *Array) writeAlive(i int) bool {
+	return int(a.deadIdx.Load()) != i || int(a.attachIdx.Load()) == i
+}
+
+// readAlive reports whether member i can serve reads for file af: it
+// is not dead, or af's share has been rebuilt onto the attached
+// replacement.
+func (a *Array) readAlive(af *afile, i int) bool {
+	if int(a.deadIdx.Load()) != i {
+		return true
+	}
+	return int(a.attachIdx.Load()) == i && af.rebuilt.Load()
+}
+
+// degradedFor returns the member the file must treat as missing for
+// parity/mirror arithmetic (-1 when none): the dead member, unless
+// this file's share is already rebuilt on an attached replacement.
+func (a *Array) degradedFor(af *afile) int {
+	dead := int(a.deadIdx.Load())
+	if dead < 0 {
+		return -1
+	}
+	if int(a.attachIdx.Load()) == dead && af.rebuilt.Load() {
+		return -1
+	}
+	return dead
+}
+
+// noteDeadErr inspects an I/O error from member m; a disk-death error
+// marks the member dead (when the placement can take it) so the
+// caller retries degraded. It reports whether the caller may retry.
+func (a *Array) noteDeadErr(m int, err error) bool {
+	if !errors.Is(err, device.ErrDiskDead) {
+		return false
+	}
+	if a.red == nil {
+		return false
+	}
+	return a.KillMember(m) == nil || a.DeadMember() == m
+}
+
+// --- degraded read path ---
+
+// xorInto accumulates b into acc byte-wise. Nil slices (simulated
+// stacks) are no-ops: the I/O pattern is modeled, the math skipped.
+func xorInto(acc, b []byte) {
+	if acc == nil || b == nil {
+		return
+	}
+	n := len(b)
+	if len(acc) < n {
+		n = len(acc)
+	}
+	for i := 0; i < n; i++ {
+		acc[i] ^= b[i]
+	}
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// readRedundant serves one block under a redundant placement,
+// reconstructing from peers when its member is dead.
+func (a *Array) readRedundant(t sched.Task, af *afile, blk core.BlockNo, data []byte) error {
+	g := a.red
+	if !g.parity {
+		pm, plb := g.primaryLoc(af.home, blk)
+		if a.readAlive(af, pm) {
+			a.reads.Add(pm, 1)
+			err := a.sub(pm).ReadBlock(t, af.shadows[pm], plb, data)
+			if err == nil || !a.noteDeadErr(pm, err) {
+				return err
+			}
+		}
+		sm, slb := g.secondaryLoc(af.home, blk)
+		if !a.readAlive(af, sm) {
+			return fmt.Errorf("volume %s: block %d of inode %d: both copies unavailable", a.name, blk, af.id)
+		}
+		a.reads.Add(sm, 1)
+		a.degraded.Inc()
+		return a.sub(sm).ReadBlock(t, af.shadows[sm], slb, data)
+	}
+	dm, dlb := g.dataLoc(af.home, blk)
+	if a.readAlive(af, dm) {
+		a.reads.Add(dm, 1)
+		err := a.sub(dm).ReadBlock(t, af.shadows[dm], dlb, data)
+		if err == nil || !a.noteDeadErr(dm, err) {
+			return err
+		}
+	}
+	return a.reconstructData(t, af, blk, data)
+}
+
+// reconstructData rebuilds the content of global block blk (whose
+// data member is unavailable) by XOR-ing the parity block with the
+// column's surviving data blocks.
+func (a *Array) reconstructData(t sched.Task, af *afile, blk core.BlockNo, data []byte) error {
+	g := a.red
+	total := layout.BlocksForSize(af.global.Size)
+	zero(data)
+	var scratch []byte
+	if data != nil {
+		scratch = make([]byte, core.BlockSize)
+	}
+	pm, plb := g.parityLoc(af.home, blk)
+	if !a.readAlive(af, pm) {
+		return fmt.Errorf("volume %s: block %d of inode %d: data and parity members both unavailable", a.name, blk, af.id)
+	}
+	a.reads.Add(pm, 1)
+	if err := a.sub(pm).ReadBlock(t, af.shadows[pm], plb, scratch); err != nil {
+		return err
+	}
+	xorInto(data, scratch)
+	for _, peer := range g.columnPeers(blk, total) {
+		m, lb := g.dataLoc(af.home, peer)
+		if !a.readAlive(af, m) {
+			return fmt.Errorf("volume %s: block %d of inode %d: column peer %d unavailable", a.name, blk, af.id, peer)
+		}
+		a.reads.Add(m, 1)
+		if err := a.sub(m).ReadBlock(t, af.shadows[m], lb, scratch); err != nil {
+			return err
+		}
+		xorInto(data, scratch)
+	}
+	a.degraded.Inc()
+	return nil
+}
+
+// --- redundant write path ---
+
+// writeRedundant applies one file's dirty-block batch under a
+// redundant placement, keeping the mirror copies / parity columns
+// consistent. Caller holds af.mu.
+func (a *Array) writeRedundant(t sched.Task, af *afile, writes []layout.BlockWrite) error {
+	g := a.red
+	per := make([][]layout.BlockWrite, len(a.subs))
+	deadm := a.degradedFor(af)
+
+	var guarded []pplKey
+	if !g.parity {
+		for _, w := range writes {
+			pm, plb := g.primaryLoc(af.home, w.Blk)
+			sm, slb := g.secondaryLoc(af.home, w.Blk)
+			if a.writeAlive(pm) {
+				per[pm] = append(per[pm], layout.BlockWrite{Blk: plb, Data: w.Data, Size: w.Size})
+			}
+			if a.writeAlive(sm) {
+				per[sm] = append(per[sm], layout.BlockWrite{Blk: slb, Data: w.Data, Size: w.Size})
+			}
+		}
+	} else {
+		var err error
+		guarded, err = a.planParityWrites(t, af, writes, per, deadm)
+		if err != nil {
+			return err
+		}
+	}
+	if err := a.issueRedundant(t, af, per); err != nil {
+		// A failed fan may have torn the guarded columns on the media;
+		// their records stay pending until a retry (or the crash
+		// recovery's ReplayParity) makes the columns consistent again.
+		return err
+	}
+	a.clearParity(guarded)
+	return nil
+}
+
+// planParityWrites turns a global write batch into per-member local
+// writes including the parity updates. For every touched parity
+// column it picks, deterministically, the cheapest correct strategy:
+//
+//   - full column written → parity is the XOR of the new frames, no
+//     reads (the full-stripe write path);
+//   - a written data member is unavailable → reconstruct-write:
+//     parity = XOR(new frames, surviving unwritten frames) — never
+//     read the missing member;
+//   - otherwise → read-modify-write: parity ^= old ^ new for each
+//     written block (the RAID-5 small-write penalty: two reads and
+//     two writes per block).
+//
+// The parity frame carries the whole block (Size = BlockSize);
+// file-size granularity lives in the global inode, not the column.
+//
+// Every degraded column whose parity implies the dead member's chunk
+// gets a battery-backed partial-parity record (see paritylog.go); the
+// returned keys are retired once the whole fan is on the media.
+func (a *Array) planParityWrites(t sched.Task, af *afile, writes []layout.BlockWrite, per [][]layout.BlockWrite, deadm int) ([]pplKey, error) {
+	g := a.red
+	w := int64(g.w)
+	d := g.dataChunks()
+	total := layout.BlocksForSize(af.global.Size)
+	if e := globalExtent(writes); e > total {
+		total = e
+	}
+
+	type colref struct {
+		s, o int64
+	}
+	latest := map[core.BlockNo]layout.BlockWrite{}
+	var cols []colref
+	seen := map[colref]bool{}
+	for _, bw := range writes {
+		latest[bw.Blk] = bw
+		c := int64(bw.Blk) / w
+		key := colref{s: c / d, o: int64(bw.Blk) % w}
+		if !seen[key] {
+			seen[key] = true
+			cols = append(cols, key)
+		}
+	}
+
+	real := false
+	for _, bw := range writes {
+		if bw.Data != nil {
+			real = true
+			break
+		}
+	}
+	var scratch []byte
+	if real {
+		scratch = make([]byte, core.BlockSize)
+	}
+
+	var guarded []pplKey
+	for _, col := range cols {
+		pmem := g.parityMember(af.home, col.s)
+		plb := core.BlockNo(col.s*w + col.o)
+		// Column membership: every data slot whose global block falls
+		// inside the (possibly just-grown) file extent.
+		type slot struct {
+			blk     core.BlockNo
+			member  int
+			local   core.BlockNo
+			written bool
+			frame   []byte
+			size    int
+		}
+		var slots []slot
+		unwritten := 0
+		for j := int64(0); j < d; j++ {
+			b := core.BlockNo((col.s*d+j)*w + col.o)
+			if int64(b) >= total {
+				continue
+			}
+			m, lb := g.dataLoc(af.home, b)
+			sl := slot{blk: b, member: m, local: lb}
+			if bw, ok := latest[b]; ok {
+				sl.written, sl.frame, sl.size = true, bw.Data, bw.Size
+			} else {
+				unwritten++
+			}
+			slots = append(slots, sl)
+		}
+
+		// Data writes (the dead member's slot is simply skipped: its
+		// content is representable through the parity from here on).
+		writtenOnDead, unwrittenOnDead := false, false
+		nwritten := 0
+		for _, sl := range slots {
+			if !sl.written {
+				if sl.member == deadm {
+					unwrittenOnDead = true
+				}
+				continue
+			}
+			nwritten++
+			if sl.member == deadm {
+				writtenOnDead = true
+				if !a.writeAlive(sl.member) {
+					continue
+				}
+			}
+			per[sl.member] = append(per[sl.member], layout.BlockWrite{Blk: sl.local, Data: sl.frame, Size: sl.size})
+		}
+
+		if deadm == pmem {
+			// The parity member is the missing one: data writes stand
+			// alone; the column's redundancy returns with the rebuild.
+			continue
+		}
+
+		var parity []byte
+		if real {
+			parity = make([]byte, core.BlockSize)
+		}
+		switch {
+		case unwritten == 0:
+			// Full column: parity from the new frames alone. When the
+			// dead member's slot is among them, its frame reaches the
+			// media only as what this parity implies — guard the
+			// column (pp = the dead frame itself) so a torn fan
+			// replays to a parity implying exactly that frame over
+			// whatever landed (see paritylog.go).
+			guard := writtenOnDead && scratch != nil
+			var pp []byte
+			var ppSlots []ParitySlot
+			if guard {
+				pp = make([]byte, core.BlockSize)
+			}
+			for _, sl := range slots {
+				xorInto(parity, sl.frame)
+				if !guard {
+					continue
+				}
+				if sl.member == deadm {
+					xorInto(pp, sl.frame)
+				} else {
+					ppSlots = append(ppSlots, ParitySlot{Member: sl.member, Local: sl.local})
+				}
+			}
+			if guard {
+				a.recordParity(&ParityRecord{
+					File: af.id, Stripe: col.s, Offset: col.o,
+					PMember: pmem, PLocal: plb, Slots: ppSlots, PP: pp,
+				})
+				guarded = append(guarded, pplKey{af.id, col.s, col.o})
+			}
+		case writtenOnDead || (unwritten <= nwritten && !unwrittenOnDead):
+			// Reconstruct-write: XOR of the column's current content,
+			// reading only surviving unwritten slots. Mandatory when
+			// the missing member's slot is written (its old content is
+			// unreadable); otherwise chosen when it costs fewer reads
+			// than RMW — but never when an unwritten slot sits on the
+			// missing member, whose old content only RMW (through the
+			// parity) can represent. A written dead slot makes this
+			// column write-hole-exposed exactly like RMW does — its
+			// new frame exists nowhere but in the parity — so it is
+			// guarded too: pp = the dead frame XOR the unwritten
+			// cells' content, built from the reads this path performs
+			// anyway.
+			guard := writtenOnDead && scratch != nil
+			var pp []byte
+			var ppSlots []ParitySlot
+			if guard {
+				pp = make([]byte, core.BlockSize)
+			}
+			for _, sl := range slots {
+				if sl.written {
+					xorInto(parity, sl.frame)
+					if guard {
+						if sl.member == deadm {
+							xorInto(pp, sl.frame)
+						} else {
+							ppSlots = append(ppSlots, ParitySlot{Member: sl.member, Local: sl.local})
+						}
+					}
+					continue
+				}
+				if sl.member == deadm {
+					return nil, fmt.Errorf("volume %s: inode %d column (%d,%d): unwritten slot on dead member needs RMW, but a written slot is dead too",
+						a.name, af.id, col.s, col.o)
+				}
+				a.reads.Add(sl.member, 1)
+				if err := a.sub(sl.member).ReadBlock(t, af.shadows[sl.member], sl.local, scratch); err != nil {
+					return nil, err
+				}
+				xorInto(parity, scratch)
+				if guard {
+					xorInto(pp, scratch)
+				}
+			}
+			if guard {
+				a.recordParity(&ParityRecord{
+					File: af.id, Stripe: col.s, Offset: col.o,
+					PMember: pmem, PLocal: plb, Slots: ppSlots, PP: pp,
+				})
+				guarded = append(guarded, pplKey{af.id, col.s, col.o})
+			}
+		default:
+			// RMW: parity_new = parity_old ^ Σ (old ^ new) over the
+			// written slots. The dead member (if any) holds only an
+			// unwritten slot here, which parity_old already covers —
+			// which is the write-hole exposure: guard the column with a
+			// partial-parity record (pp = parity_old ^ Σ old), built
+			// from the very reads RMW performs anyway.
+			var pp []byte
+			guard := unwrittenOnDead && scratch != nil
+			if guard {
+				pp = make([]byte, core.BlockSize)
+			}
+			a.reads.Add(pmem, 1)
+			if err := a.sub(pmem).ReadBlock(t, af.shadows[pmem], plb, scratch); err != nil {
+				return nil, err
+			}
+			xorInto(parity, scratch)
+			xorInto(pp, scratch)
+			var ppSlots []ParitySlot
+			for _, sl := range slots {
+				if !sl.written {
+					continue
+				}
+				a.reads.Add(sl.member, 1)
+				if err := a.sub(sl.member).ReadBlock(t, af.shadows[sl.member], sl.local, scratch); err != nil {
+					return nil, err
+				}
+				xorInto(parity, scratch)
+				xorInto(pp, scratch)
+				xorInto(parity, sl.frame)
+				if guard {
+					ppSlots = append(ppSlots, ParitySlot{Member: sl.member, Local: sl.local})
+				}
+			}
+			if guard {
+				a.recordParity(&ParityRecord{
+					File: af.id, Stripe: col.s, Offset: col.o,
+					PMember: pmem, PLocal: plb, Slots: ppSlots, PP: pp,
+				})
+				guarded = append(guarded, pplKey{af.id, col.s, col.o})
+			}
+		}
+		per[pmem] = append(per[pmem], layout.BlockWrite{Blk: plb, Data: parity, Size: core.BlockSize})
+	}
+	return guarded, nil
+}
+
+// globalExtent is one past the highest global block of a write batch.
+func globalExtent(ws []layout.BlockWrite) int64 {
+	var end int64
+	for _, w := range ws {
+		if e := int64(w.Blk) + 1; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// issueRedundant grows the shadows and fans the per-member batches
+// out, mirroring the striped write path's task structure, then
+// records the global size on the carrier shadows.
+func (a *Array) issueRedundant(t sched.Task, af *afile, per [][]layout.BlockWrite) error {
+	writeSub := func(st sched.Task, s int) error {
+		// Non-carrier shadows must keep covering their share of the
+		// local block map (see the striped path); carriers hold the
+		// global size, which covers any share by construction.
+		if !a.isCarrier(af.home, s) {
+			if end := localExtent(per[s]); end > af.shadows[s].Size {
+				if err := a.sub(s).Truncate(st, af.shadows[s], end); err != nil {
+					return fmt.Errorf("volume %s: grow sub %d shadow: %w", a.name, s, err)
+				}
+			}
+		}
+		a.writes.Add(s, int64(len(per[s])))
+		if err := a.sub(s).WriteBlocks(st, af.shadows[s], per[s]); err != nil {
+			return fmt.Errorf("volume %s: write sub %d: %w", a.name, s, err)
+		}
+		return nil
+	}
+	var targets []int
+	for s := range a.subs {
+		if len(per[s]) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	if a.k.Virtual() || len(targets) <= 1 {
+		for _, s := range targets {
+			if err := writeSub(t, s); err != nil {
+				return err
+			}
+		}
+		return a.mirrorCarrierSizes(t, af)
+	}
+	errs := make([]error, len(targets))
+	done := a.k.NewEvent(a.name + ".writefan")
+	for i, s := range targets {
+		i, s := i, s
+		a.k.Go(fmt.Sprintf("%s.write.d%d", a.name, s), func(st sched.Task) {
+			errs[i] = writeSub(st, s)
+			done.Signal()
+		})
+	}
+	for range targets {
+		done.Wait(t)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return a.mirrorCarrierSizes(t, af)
+}
+
+// isCarrier reports whether member s is one of the file's two
+// size/metadata carriers: the home member and its successor, so the
+// global size survives the loss of either.
+func (a *Array) isCarrier(home, s int) bool {
+	return s == home || s == (home+1)%len(a.subs)
+}
+
+// carrierFor returns a live carrier member for the file (preferring
+// home), or -1 when both carriers are unavailable — impossible under
+// the single-fault model.
+func (a *Array) carrierFor(home int) int {
+	dead := int(a.deadIdx.Load())
+	if home != dead {
+		return home
+	}
+	next := (home + 1) % len(a.subs)
+	if next != dead {
+		return next
+	}
+	return -1
+}
+
+// mirrorCarrierSizes records the global size on both carrier shadows
+// (via their sub-layouts' Truncate, so the write happens under each
+// member's lock) — a real-mode remount recovers the size from
+// whichever carrier survives.
+func (a *Array) mirrorCarrierSizes(t sched.Task, af *afile) error {
+	for _, s := range []int{af.home, (af.home + 1) % len(a.subs)} {
+		if !a.writeAlive(s) {
+			continue
+		}
+		h := af.shadows[s]
+		if h.Size == af.global.Size {
+			continue
+		}
+		if err := a.sub(s).Truncate(t, h, af.global.Size); err != nil {
+			return fmt.Errorf("volume %s: mirror size on carrier %d: %w", a.name, s, err)
+		}
+	}
+	return nil
+}

@@ -7,7 +7,7 @@ const KindPlacement = "volume-placement"
 
 func init() {
 	r := core.Components()
-	for _, name := range []string{PlacementAffinity, PlacementStriped} {
+	for _, name := range []string{PlacementAffinity, PlacementStriped, PlacementMirrored, PlacementParity} {
 		n := name
 		r.Register(KindPlacement, n, func() string { return n })
 	}

@@ -9,7 +9,7 @@
 // sub-layouts are ordinary LFS or FFS instances, each formatted onto
 // its own partition, and the array is just one more layout component
 // an assembly mounts with fsys.AddVolume. Placement is a policy
-// point with two implementations:
+// point with four implementations:
 //
 //   - "affinity": every file lives wholly on one sub-volume chosen
 //     by a hash of its inode number — the paper's many-file-systems-
@@ -17,6 +17,18 @@
 //   - "striped": file data is striped across every sub-volume in
 //     chunks of StripeBlocks, rotated by the file's home volume, so
 //     large files spread their I/O over all disks.
+//   - "mirrored": every chunk is written to two members (chained
+//     declustering: the copy lives on the primary's successor), so
+//     the array serves through the loss of any single member.
+//   - "parity": RAID-5-style rotated parity — stripes of n-1 data
+//     chunks plus one parity chunk whose member rotates with the
+//     stripe, tolerating any single member loss at 1/n capacity
+//     overhead instead of mirroring's 1/2.
+//
+// The redundant placements serve degraded reads by reconstruction,
+// keep copies/parity consistent on every write (including while a
+// member is down), and support online rebuild of a replacement
+// member from the survivors (rebuild.go).
 //
 // Inode numbers stay in lockstep across the sub-layouts: every
 // allocation and free is applied to all of them in order, so a
@@ -39,6 +51,7 @@ package volume
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/layout"
@@ -50,6 +63,8 @@ import (
 const (
 	PlacementAffinity = "affinity"
 	PlacementStriped  = "striped"
+	PlacementMirrored = "mirrored"
+	PlacementParity   = "parity"
 )
 
 // DefaultStripeBlocks is the stripe width used when none is given:
@@ -58,10 +73,12 @@ const DefaultStripeBlocks = 8
 
 // Config selects the array's policies.
 type Config struct {
-	// Placement routes file data: "affinity" (default) or "striped".
+	// Placement routes file data: "affinity" (default), "striped",
+	// "mirrored" (needs ≥ 2 members) or "parity" (needs ≥ 3).
 	Placement string
 	// StripeBlocks is the stripe chunk width in file-system blocks
-	// for the striped placement (default DefaultStripeBlocks).
+	// for the striped and redundant placements (default
+	// DefaultStripeBlocks).
 	StripeBlocks int
 	// Simulated marks an array whose partitions move no data; it
 	// gates the simulator-only PlaceExisting path and skips label
@@ -83,10 +100,18 @@ type afile struct {
 	mu   sched.Mutex // serializes write/truncate/free fan-outs
 
 	// global is the inode the front-end holds. In affinity mode it
-	// is the home sub-volume's inode itself; in striped mode it is
-	// array-owned and shadows carry the per-sub block maps.
+	// is the home sub-volume's inode itself; in striped and redundant
+	// modes it is array-owned and shadows carry the per-sub block
+	// maps.
 	global  *layout.Inode
 	shadows []*layout.Inode // indexed by sub; affinity loads home only
+
+	// rebuilt, during an online rebuild, marks that this file's share
+	// on the dead member has been reconstructed onto the attached
+	// replacement: reads of that member may go direct again and
+	// parity updates may read-modify-write it. Written under af.mu;
+	// read locklessly on the read path, hence atomic.
+	rebuilt atomic.Bool
 }
 
 // Array is the volume manager. It implements layout.Layout.
@@ -98,20 +123,42 @@ type Array struct {
 
 	striped bool
 	stripe  geom
+	red     *rgeom // non-nil for the mirrored/parity placements
 
 	// single short-circuits a width-1 array into a pure passthrough:
 	// every method delegates directly, so a one-volume array is
 	// byte-identical to mounting the sub-layout itself.
 	single layout.Layout
 
+	// Degraded/rebuild state. deadIdx is the dead member (-1 none);
+	// attachIdx is the member whose rebuild replacement is attached
+	// and receiving writes (-1 none); eff, when non-nil, is the
+	// effective member slice with replacements swapped in (a.subs
+	// itself stays immutable so lock-free readers never race a swap).
+	deadIdx   atomic.Int32
+	attachIdx atomic.Int32
+	eff       atomic.Pointer[[]layout.Layout]
+
+	// Rebuild/scrub progress, exported to telemetry. rebuilding
+	// excludes concurrent Rebuild calls.
+	rebuilding   atomic.Bool
+	rebuildDone  atomic.Int64
+	rebuildTotal atomic.Int64
+
+	// ppl is the battery-backed partial-parity log guarding in-flight
+	// degraded column updates against the RAID-5 write hole (see
+	// paritylog.go).
+	ppl parityLog
+
 	mu        sched.Mutex
 	files     map[core.FileID]*afile
 	labels    []*layout.Inode // per-member shadows of the label file
 	labelDone bool
 
-	reads  *stats.Group
-	writes *stats.Group
-	syncs  *stats.Counter
+	reads    *stats.Group
+	writes   *stats.Group
+	syncs    *stats.Counter
+	degraded *stats.Counter // reads served by reconstruction
 }
 
 // New builds an array over subs. The sub-layouts must be freshly
@@ -126,6 +173,14 @@ func New(k sched.Kernel, name string, subs []layout.Layout, cfg Config) (*Array,
 	case "", PlacementAffinity:
 		cfg.Placement = PlacementAffinity
 	case PlacementStriped:
+	case PlacementMirrored:
+		if len(subs) < 2 {
+			return nil, fmt.Errorf("volume %s: mirrored placement needs at least 2 members, have %d", name, len(subs))
+		}
+	case PlacementParity:
+		if len(subs) < 3 {
+			return nil, fmt.Errorf("volume %s: parity placement needs at least 3 members, have %d", name, len(subs))
+		}
 	default:
 		return nil, fmt.Errorf("volume %s: unknown placement %q", name, cfg.Placement)
 	}
@@ -139,6 +194,11 @@ func New(k sched.Kernel, name string, subs []layout.Layout, cfg Config) (*Array,
 		cfg:     cfg,
 		striped: cfg.Placement == PlacementStriped && len(subs) > 1,
 		stripe:  geom{n: len(subs), w: cfg.StripeBlocks},
+	}
+	a.deadIdx.Store(-1)
+	a.attachIdx.Store(-1)
+	if cfg.Placement == PlacementMirrored || cfg.Placement == PlacementParity {
+		a.red = &rgeom{n: len(subs), w: cfg.StripeBlocks, parity: cfg.Placement == PlacementParity}
 	}
 	if len(subs) == 1 {
 		a.single = subs[0]
@@ -154,6 +214,11 @@ func New(k sched.Kernel, name string, subs []layout.Layout, cfg Config) (*Array,
 		a.writes.Member(lbl)
 	}
 	a.syncs = stats.NewCounter(name + ".array_syncs")
+	if a.red != nil {
+		// Registered only for redundant placements so the existing
+		// placements' stats output stays byte-identical.
+		a.degraded = stats.NewCounter(name + ".array_degraded_reads")
+	}
 	return a, nil
 }
 
@@ -179,8 +244,9 @@ func (a *Array) ClusterRun() int {
 // Placement returns the placement policy in effect.
 func (a *Array) Placement() string { return a.cfg.Placement }
 
-// Subs returns the sub-layouts (read-only use: checks, reports).
-func (a *Array) Subs() []layout.Layout { return a.subs }
+// Subs returns the effective sub-layouts — rebuild replacements
+// swapped in (read-only use: checks, reports).
+func (a *Array) Subs() []layout.Layout { return a.effSubs() }
 
 // Name identifies the array and its shape; a width-1 array is
 // transparent and reports the sub-layout's own name.
@@ -191,8 +257,16 @@ func (a *Array) Name() string {
 	if a.striped {
 		return fmt.Sprintf("array(%dx%s,striped:%d)", len(a.subs), a.subs[0].Name(), a.cfg.StripeBlocks)
 	}
+	if a.red != nil {
+		return fmt.Sprintf("array(%dx%s,%s:%d)", len(a.subs), a.subs[0].Name(), a.cfg.Placement, a.cfg.StripeBlocks)
+	}
 	return fmt.Sprintf("array(%dx%s,affinity)", len(a.subs), a.subs[0].Name())
 }
+
+// arrayOwned reports whether the array (not the home member) owns the
+// global inode: true for the striped and redundant placements, where
+// shadows carry per-member block maps.
+func (a *Array) arrayOwned() bool { return a.striped || a.red != nil }
 
 // home hashes an inode number onto its home sub-volume with a
 // splitmix64-style finalizer, so consecutive IDs spread evenly and
@@ -227,6 +301,9 @@ func (a *Array) Mount(t sched.Task) error {
 		return a.single.Mount(t)
 	}
 	for i, sub := range a.subs {
+		if int(a.deadIdx.Load()) == i {
+			continue // dead member: mounted by rebuild onto a replacement
+		}
 		if err := sub.Mount(t); err != nil {
 			return fmt.Errorf("volume %s: mount sub %d: %w", a.name, i, err)
 		}
@@ -248,7 +325,7 @@ func (a *Array) Sync(t sched.Task) error {
 		return a.single.Sync(t)
 	}
 	a.mu.Lock(t)
-	needLabel := !a.cfg.Simulated && !a.labelDone && a.labels != nil && a.labels[0].ID == labelFileID
+	needLabel := !a.cfg.Simulated && !a.labelDone && a.labelReady()
 	if needLabel {
 		a.labelDone = true // claimed; concurrent syncs skip it
 	}
@@ -263,8 +340,11 @@ func (a *Array) Sync(t sched.Task) error {
 	}
 	a.syncs.Inc()
 	if a.k.Virtual() {
-		for i, sub := range a.subs {
-			if err := sub.Sync(t); err != nil {
+		for i := range a.subs {
+			if !a.writeAlive(i) {
+				continue // dead member with no replacement attached
+			}
+			if err := a.sub(i).Sync(t); err != nil {
 				return fmt.Errorf("volume %s: sync sub %d: %w", a.name, i, err)
 			}
 		}
@@ -272,14 +352,19 @@ func (a *Array) Sync(t sched.Task) error {
 	}
 	errs := make([]error, len(a.subs))
 	done := a.k.NewEvent(a.name + ".syncfan")
+	n := 0
 	for i := range a.subs {
+		if !a.writeAlive(i) {
+			continue
+		}
 		i := i
+		n++
 		a.k.Go(fmt.Sprintf("%s.sync.d%d", a.name, i), func(st sched.Task) {
-			errs[i] = a.subs[i].Sync(st)
+			errs[i] = a.sub(i).Sync(st)
 			done.Signal()
 		})
 	}
-	for range a.subs {
+	for j := 0; j < n; j++ {
 		done.Wait(t)
 	}
 	for i, err := range errs {
@@ -288,6 +373,21 @@ func (a *Array) Sync(t sched.Task) error {
 		}
 	}
 	return nil
+}
+
+// labelReady reports (under a.mu) whether the label shadows exist and
+// carry the reserved ID — i.e. the label file can be written. Dead
+// members' entries may be nil placeholders.
+func (a *Array) labelReady() bool {
+	if a.labels == nil {
+		return false
+	}
+	for _, l := range a.labels {
+		if l != nil {
+			return l.ID == labelFileID
+		}
+	}
+	return false
 }
 
 // AllocInode creates a file on every sub-volume in lockstep and
@@ -318,30 +418,50 @@ func (a *Array) AllocInode(t sched.Task, typ core.FileType) (*layout.Inode, erro
 }
 
 // allocLocked applies one allocation to every sub-volume, keeping
-// their inode spaces in lockstep. Caller holds a.mu.
+// their inode spaces in lockstep. A dead member is skipped (its
+// shadow becomes an in-memory placeholder that rebuild makes real).
+// Caller holds a.mu.
 func (a *Array) allocLocked(t sched.Task, typ core.FileType) (*afile, error) {
 	shadows := make([]*layout.Inode, len(a.subs))
 	var id core.FileID
-	for i, sub := range a.subs {
-		ino, err := sub.AllocInode(t, typ)
+	got := false
+	undo := func(upto int) {
+		for j := 0; j < upto; j++ {
+			if !a.writeAlive(j) || shadows[j] == nil {
+				continue
+			}
+			_ = a.sub(j).FreeInode(t, shadows[j].ID)
+		}
+	}
+	for i := range a.subs {
+		if !a.writeAlive(i) {
+			continue
+		}
+		ino, err := a.sub(i).AllocInode(t, typ)
 		if err != nil {
 			// Restore lockstep: undo the allocations already made.
-			for j := 0; j < i; j++ {
-				_ = a.subs[j].FreeInode(t, shadows[j].ID)
-			}
+			undo(i)
 			return nil, err
 		}
-		if i == 0 {
-			id = ino.ID
+		if !got {
+			id, got = ino.ID, true
 		} else if ino.ID != id {
-			_ = sub.FreeInode(t, ino.ID)
-			for j := 0; j < i; j++ {
-				_ = a.subs[j].FreeInode(t, shadows[j].ID)
-			}
+			_ = a.sub(i).FreeInode(t, ino.ID)
+			undo(i)
 			return nil, fmt.Errorf("volume %s: sub-volume %d allocated inode %d, want %d (lockstep broken)",
 				a.name, i, ino.ID, id)
 		}
 		shadows[i] = ino
+	}
+	if !got {
+		return nil, fmt.Errorf("volume %s: no live member to allocate on", a.name)
+	}
+	for i := range a.subs {
+		if shadows[i] == nil {
+			// Dead member: an unpersisted placeholder holds the slot so
+			// routing and rebuild have a shadow object to work with.
+			shadows[i] = &layout.Inode{ID: id, Type: typ, Nlink: 1}
+		}
 	}
 	af := &afile{
 		id:      id,
@@ -349,8 +469,17 @@ func (a *Array) allocLocked(t sched.Task, typ core.FileType) (*afile, error) {
 		mu:      a.k.NewMutex(fmt.Sprintf("%s.f%d", a.name, id)),
 		shadows: shadows,
 	}
-	if a.striped {
-		h := shadows[af.home]
+	// A file born while a replacement is attached is fully written
+	// there from its first block; nothing needs rebuilding.
+	af.rebuilt.Store(a.attachIdx.Load() >= 0)
+	if a.arrayOwned() {
+		c := af.home
+		if a.red != nil {
+			if lc := a.carrierFor(af.home); lc >= 0 {
+				c = lc
+			}
+		}
+		h := shadows[c]
 		af.global = &layout.Inode{
 			ID: id, Type: h.Type, Nlink: h.Nlink, Mode: h.Mode,
 			Version: h.Version, MTime: h.MTime, CTime: h.CTime,
@@ -383,7 +512,13 @@ func (a *Array) GetInode(t sched.Task, id core.FileID) (*layout.Inode, error) {
 		return af.global, nil
 	}
 	home := a.home(id)
-	h, err := a.subs[home].GetInode(t, id)
+	carrier := home
+	if a.red != nil {
+		if lc := a.carrierFor(home); lc >= 0 {
+			carrier = lc
+		}
+	}
+	h, err := a.sub(carrier).GetInode(t, id)
 	if err != nil {
 		return nil, err
 	}
@@ -393,19 +528,25 @@ func (a *Array) GetInode(t sched.Task, id core.FileID) (*layout.Inode, error) {
 		mu:      a.k.NewMutex(fmt.Sprintf("%s.f%d", a.name, id)),
 		shadows: make([]*layout.Inode, len(a.subs)),
 	}
-	af.shadows[home] = h
-	if a.striped {
-		for i, sub := range a.subs {
-			if i == home {
+	af.shadows[carrier] = h
+	if a.arrayOwned() {
+		for i := range a.subs {
+			if i == carrier {
 				continue
 			}
-			s, err := sub.GetInode(t, id)
+			if a.red != nil && !a.writeAlive(i) {
+				// Dead member: placeholder shadow; reads reconstruct.
+				af.shadows[i] = &layout.Inode{ID: id, Type: h.Type, Nlink: 1}
+				continue
+			}
+			s, err := a.sub(i).GetInode(t, id)
 			if err != nil {
 				return nil, fmt.Errorf("volume %s: sub %d shadow of inode %d: %w", a.name, i, id, err)
 			}
 			af.shadows[i] = s
 		}
-		// The home shadow's size field carries the global size.
+		// The carrier shadow's size field carries the global size
+		// (striped: the home; redundant: home and its successor).
 		af.global = &layout.Inode{
 			ID: id, Type: h.Type, Size: h.Size, Nlink: h.Nlink, Mode: h.Mode,
 			Version: h.Version, MTime: h.MTime, CTime: h.CTime, ATime: h.ATime,
@@ -427,17 +568,58 @@ func (a *Array) UpdateInode(t sched.Task, ino *layout.Inode) error {
 	if af == nil {
 		return core.ErrStale
 	}
-	if !a.striped {
+	if !a.arrayOwned() {
 		return a.subs[af.home].UpdateInode(t, ino)
 	}
+	if a.red != nil {
+		// Metadata rides on both carriers so it survives either.
+		for _, s := range []int{af.home, (af.home + 1) % len(a.subs)} {
+			if !a.writeAlive(s) {
+				continue
+			}
+			h := af.shadows[s]
+			a.mutateShadow(t, s, h, func() {
+				h.Type, h.Nlink, h.Mode = ino.Type, ino.Nlink, ino.Mode
+				h.MTime, h.CTime, h.ATime = ino.MTime, ino.CTime, ino.ATime
+			})
+		}
+		if err := a.mirrorCarrierSizes(t, af); err != nil {
+			return err
+		}
+		for _, s := range []int{af.home, (af.home + 1) % len(a.subs)} {
+			if !a.writeAlive(s) {
+				continue
+			}
+			if err := a.sub(s).UpdateInode(t, af.shadows[s]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	h := af.shadows[af.home]
-	h.Type, h.Nlink, h.Mode = ino.Type, ino.Nlink, ino.Mode
-	h.MTime, h.CTime, h.ATime = ino.MTime, ino.CTime, ino.ATime
+	a.mutateShadow(t, af.home, h, func() {
+		h.Type, h.Nlink, h.Mode = ino.Type, ino.Nlink, ino.Mode
+		h.MTime, h.CTime, h.ATime = ino.MTime, ino.CTime, ino.ATime
+	})
 	// The global size rides in the home shadow; see mirrorHomeSize.
 	if err := a.mirrorHomeSize(t, af); err != nil {
 		return err
 	}
 	return a.subs[af.home].UpdateInode(t, h)
+}
+
+// mutateShadow applies scalar field updates to a member's shadow
+// inode under that member's inode lock on the real kernel, where the
+// member's segment packer may be encoding the shadow concurrently —
+// the fsys mutateIno publication rule pushed down a layer. The
+// virtual kernel is cooperative: direct call, simulated schedules
+// untouched.
+func (a *Array) mutateShadow(t sched.Task, s int, h *layout.Inode, fn func()) {
+	if il, ok := a.sub(s).(layout.InodeLocker); ok && !a.k.Virtual() {
+		il.WithInode(t, h, fn)
+		return
+	}
+	fn()
 }
 
 // FreeInode removes the file from every sub-volume in lockstep.
@@ -452,8 +634,11 @@ func (a *Array) FreeInode(t sched.Task, id core.FileID) error {
 	}
 	home := a.home(id)
 	var homeErr, otherErr error
-	for i, sub := range a.subs {
-		err := sub.FreeInode(t, id)
+	for i := range a.subs {
+		if !a.writeAlive(i) {
+			continue // dead member: nothing persisted there to free
+		}
+		err := a.sub(i).FreeInode(t, id)
 		switch {
 		case i == home:
 			homeErr = err
@@ -479,6 +664,9 @@ func (a *Array) ReadBlock(t sched.Task, ino *layout.Inode, blk core.BlockNo, dat
 	if af == nil {
 		return core.ErrStale
 	}
+	if a.red != nil {
+		return a.readRedundant(t, af, blk, data)
+	}
 	s, lb := af.home, blk
 	if a.striped {
 		s, lb = a.stripe.locate(af.home, blk)
@@ -500,6 +688,33 @@ func (a *Array) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int
 	if af == nil {
 		return 0, core.ErrStale
 	}
+	if a.red != nil {
+		// Clamp the run at the chunk boundary (within a chunk global
+		// and local blocks advance in lockstep), route to the member
+		// holding the data copy; a dead member degrades to block-wise
+		// reconstruction.
+		g := a.red
+		if rem := g.w - int(int64(blk)%int64(g.w)); n > rem {
+			n = rem
+		}
+		s, lb := g.primaryLoc(af.home, blk)
+		if g.parity {
+			s, lb = g.dataLoc(af.home, blk)
+		}
+		if a.readAlive(af, s) {
+			got, err := a.sub(s).ReadRun(t, af.shadows[s], lb, n, data)
+			if got > 0 {
+				a.reads.Add(s, int64(got))
+			}
+			if err == nil || !a.noteDeadErr(s, err) {
+				return got, err
+			}
+		}
+		if err := a.readRedundant(t, af, blk, firstBlock(data)); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
 	s, lb := af.home, blk
 	if a.striped {
 		s, lb = a.stripe.locate(af.home, blk)
@@ -512,6 +727,18 @@ func (a *Array) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int
 		a.reads.Add(s, int64(got))
 	}
 	return got, err
+}
+
+// firstBlock clips a run buffer to its first block (nil stays nil for
+// simulated stacks).
+func firstBlock(data []byte) []byte {
+	if data == nil {
+		return nil
+	}
+	if len(data) > core.BlockSize {
+		return data[:core.BlockSize]
+	}
+	return data
 }
 
 // WriteBlocks splits one file's dirty blocks by target sub-volume
@@ -530,6 +757,9 @@ func (a *Array) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.Blo
 	}
 	af.mu.Lock(t)
 	defer af.mu.Unlock(t)
+	if a.red != nil {
+		return a.writeRedundant(t, af, writes)
+	}
 	if !a.striped {
 		a.writes.Add(af.home, int64(len(writes)))
 		return a.subs[af.home].WriteBlocks(t, af.global, writes)
@@ -634,21 +864,32 @@ func (a *Array) Truncate(t sched.Task, ino *layout.Inode, newSize int64) error {
 	}
 	af.mu.Lock(t)
 	defer af.mu.Unlock(t)
-	if !a.striped {
+	if !a.arrayOwned() {
 		return a.subs[af.home].Truncate(t, af.global, newSize)
 	}
 	keep := layout.BlocksForSize(newSize)
 	for s := range a.subs {
-		lk := a.stripe.localBlocks(af.home, s, keep)
-		if err := a.subs[s].Truncate(t, af.shadows[s], lk*core.BlockSize); err != nil {
+		if a.red != nil && !a.writeAlive(s) {
+			continue
+		}
+		var lk int64
+		if a.red != nil {
+			lk = a.red.localBlocks(af.home, s, keep)
+		} else {
+			lk = a.stripe.localBlocks(af.home, s, keep)
+		}
+		if err := a.sub(s).Truncate(t, af.shadows[s], lk*core.BlockSize); err != nil {
 			return fmt.Errorf("volume %s: truncate sub %d: %w", a.name, s, err)
 		}
 	}
 	af.global.Size = newSize
 	af.global.MTime = int64(a.k.Now())
-	// Re-truncate the home to the global size: its local map is
-	// already trimmed, so this only records the size (see
-	// mirrorHomeSize).
+	// Re-truncate the carriers to the global size: their local maps
+	// are already trimmed, so this only records the size (see
+	// mirrorHomeSize / mirrorCarrierSizes).
+	if a.red != nil {
+		return a.mirrorCarrierSizes(t, af)
+	}
 	return a.mirrorHomeSize(t, af)
 }
 
@@ -667,16 +908,24 @@ func (a *Array) PlaceExisting(t sched.Task, ino *layout.Inode, size int64) error
 	}
 	af.mu.Lock(t)
 	defer af.mu.Unlock(t)
-	if !a.striped {
+	if !a.arrayOwned() {
 		return a.subs[af.home].PlaceExisting(t, af.global, size)
 	}
 	total := layout.BlocksForSize(size)
 	for s := range a.subs {
-		lk := a.stripe.localBlocks(af.home, s, total)
+		if a.red != nil && !a.writeAlive(s) {
+			continue
+		}
+		var lk int64
+		if a.red != nil {
+			lk = a.red.localBlocks(af.home, s, total)
+		} else {
+			lk = a.stripe.localBlocks(af.home, s, total)
+		}
 		if lk == 0 {
 			continue
 		}
-		if err := a.subs[s].PlaceExisting(t, af.shadows[s], lk*core.BlockSize); err != nil {
+		if err := a.sub(s).PlaceExisting(t, af.shadows[s], lk*core.BlockSize); err != nil {
 			return err
 		}
 	}
@@ -709,6 +958,24 @@ func (a *Array) Stats(set *stats.Set) {
 	set.Add(a.reads)
 	set.Add(a.writes)
 	set.Add(a.syncs)
+	if a.degraded != nil {
+		set.Add(a.degraded)
+	}
+}
+
+// DegradedReads returns the count of reads served by reconstruction
+// (0 for non-redundant placements).
+func (a *Array) DegradedReads() int64 {
+	if a.degraded == nil {
+		return 0
+	}
+	return a.degraded.Value()
+}
+
+// RebuildProgress reports the online rebuild's progress: files copied
+// and the total in the current pass (both zero when no rebuild ran).
+func (a *Array) RebuildProgress() (done, total int64) {
+	return a.rebuildDone.Load(), a.rebuildTotal.Load()
 }
 
 // ReadGroup returns the per-member routed-read counters, nil for a
