@@ -42,6 +42,9 @@ func main() {
 		pipeline  = flag.Int("pipeline", 0, "per-connection NFS window (0 = default, 1 = no pipelining)")
 		readahead = flag.Int("readahead", 0, "readahead blocks (0 = instantiation default: 8 real, off virtual; -1 = off)")
 		cluster   = flag.Int("cluster", 0, "clustered-transfer run cap in blocks (0 = instantiation default: 16 real, off virtual; -1 = off)")
+		novector  = flag.Bool("novector", false, "real cells run the flat staging-buffer I/O paths instead of vectored scatter-gather (the zero-copy 'before' engine)")
+		ab        = flag.Bool("ab", false, "append the flat-path (-novector) twin of every real-kernel cell — the zero-copy A/B pair in one file")
+		workload  = flag.String("workload", "", "comma-separated canned workloads per cell: coldstream (pure streaming reads), writeburst (pure random writes); empty = the classic 80/20 mix")
 		think     = flag.Duration("think", 0, "per-op client think time")
 		seed      = flag.Int64("seed", 1996, "workload seed")
 		scrape    = flag.Bool("scrape", false, "boot the admin endpoint per real cell and embed /metrics deltas in the JSON")
@@ -55,6 +58,7 @@ func main() {
 		out       = flag.String("out", "", "write the JSON result file here (default stdout)")
 		dir       = flag.String("dir", "", "directory for real-kernel image files (default TMPDIR)")
 		note      = flag.String("note", "", "free-form note recorded in the file")
+		zeroStage = flag.String("assertzerostaged", "", "assert mode: every clustered vectored real-kernel classic cell in this result file must report zero staged-copy bytes")
 		compare   = flag.String("compare", "", "compare mode: gate this result file against -baseline")
 		baseline  = flag.String("baseline", "bench_baseline.json", "baseline file for -compare")
 		threshold = flag.Float64("threshold", 0.25, "max allowed ops/sec regression for -compare")
@@ -64,8 +68,13 @@ func main() {
 	if *compare != "" {
 		os.Exit(runCompare(*compare, *baseline, *threshold))
 	}
+	if *zeroStage != "" {
+		os.Exit(runZeroStaged(*zeroStage))
+	}
 
 	counts, err := parseCounts(*clients)
+	die(err)
+	workloads, err := parseWorkloads(*workload)
 	die(err)
 	file := &bench.File{Bench: 3, GOMAXPROCS: runtime.GOMAXPROCS(0), Note: *note}
 	imgDir := *dir
@@ -73,43 +82,58 @@ func main() {
 		imgDir = os.TempDir()
 	}
 	for _, c := range counts {
-		cfg := bench.Quick(c)
-		if !*quick {
-			cfg.Ops = 1000
-			cfg.Files = 16
-			cfg.FileBlocks = 256
-			cfg.CacheBlocks = 2048
-		}
-		cfg.Depth = *depth
-		cfg.Seed = *seed
-		cfg.Think = *think
-		cfg.Shards = *shards
-		cfg.Pipeline = *pipeline
-		cfg.Readahead = *readahead
-		cfg.Cluster = *cluster
-		cfg.Scrape = *scrape
-		cfg.Placement = *placement
-		cfg.Width = *width
-		cfg.StripeBlocks = *stripe
-		cfg.Degrade = *degraded
-		cfg.DegradeMember = *degMember
-		cfg.Rebuild = *rebuild
-		if *ops > 0 {
-			cfg.Ops = *ops
-		}
-		if *kernel == "virtual" || *kernel == "both" {
-			start := time.Now()
-			res, err := bench.RunSim(cfg)
-			die(err)
-			file.Runs = append(file.Runs, res)
-			progress(res, time.Since(start))
-		}
-		if *kernel == "real" || *kernel == "both" {
-			start := time.Now()
-			res, err := bench.RunReal(imgDir, cfg)
-			die(err)
-			file.Runs = append(file.Runs, res)
-			progress(res, time.Since(start))
+		for _, wl := range workloads {
+			cfg := bench.Quick(c)
+			if !*quick {
+				cfg.Ops = 1000
+				cfg.Files = 16
+				cfg.FileBlocks = 256
+				cfg.CacheBlocks = 2048
+			}
+			cfg.Depth = *depth
+			cfg.Seed = *seed
+			cfg.Think = *think
+			cfg.Shards = *shards
+			cfg.Pipeline = *pipeline
+			cfg.Readahead = *readahead
+			cfg.Cluster = *cluster
+			cfg.NoVector = *novector
+			cfg.Workload = wl
+			cfg.Scrape = *scrape
+			cfg.Placement = *placement
+			cfg.Width = *width
+			cfg.StripeBlocks = *stripe
+			cfg.Degrade = *degraded
+			cfg.DegradeMember = *degMember
+			cfg.Rebuild = *rebuild
+			if *ops > 0 {
+				cfg.Ops = *ops
+			}
+			if *kernel == "virtual" || *kernel == "both" {
+				start := time.Now()
+				res, err := bench.RunSim(cfg)
+				die(err)
+				file.Runs = append(file.Runs, res)
+				progress(res, time.Since(start))
+			}
+			if *kernel == "real" || *kernel == "both" {
+				start := time.Now()
+				res, err := bench.RunReal(imgDir, cfg)
+				die(err)
+				file.Runs = append(file.Runs, res)
+				progress(res, time.Since(start))
+				if *ab && !cfg.NoVector {
+					// The flat-path twin: same cell, staging-buffer
+					// engine — the zero-copy comparison pair.
+					cfgB := cfg
+					cfgB.NoVector = true
+					start := time.Now()
+					res, err := bench.RunReal(imgDir, cfgB)
+					die(err)
+					file.Runs = append(file.Runs, res)
+					progress(res, time.Since(start))
+				}
+			}
 		}
 	}
 	if *redundant {
@@ -157,8 +181,51 @@ func main() {
 }
 
 func progress(r bench.Result, wall time.Duration) {
-	fmt.Fprintf(os.Stderr, "%-32s %10.1f ops/sec  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  hit %4.1f%%  blk/req %5.2f  (%v)\n",
-		r.Key(), r.OpsPerSec, r.P50MS, r.P95MS, r.P99MS, 100*r.Cache.HitRate, r.Volume.BlocksPerReq, wall.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "%-32s %10.1f ops/sec %8.1f MB/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  hit %4.1f%%  blk/req %5.2f  staged %s  (%v)\n",
+		r.Key(), r.OpsPerSec, r.MBPerSec, r.P50MS, r.P95MS, r.P99MS, 100*r.Cache.HitRate, r.Volume.BlocksPerReq,
+		sizeStr(r.StagedCopyBytes), wall.Round(time.Millisecond))
+}
+
+// sizeStr renders a byte count compactly for the progress line.
+func sizeStr(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// runZeroStaged is the zero-copy gate: on a vectored real-kernel cell
+// with clustering on, payload must flow cache-frame-to-iovec with no
+// flat staging memcpy, so staged_copy_bytes must be exactly zero.
+// Flat (-novector) cells, virtual cells (no payload in the sim), and
+// redundant placements (parity arithmetic stages by construction) are
+// exempt.
+func runZeroStaged(path string) int {
+	f, err := readFile(path)
+	die(err)
+	checked, bad := 0, 0
+	for _, r := range f.Runs {
+		if r.Kernel != "real" || r.NoVector || r.Cluster < 2 || r.Placement != "" {
+			continue
+		}
+		checked++
+		if r.StagedCopyBytes != 0 {
+			fmt.Printf("STAGED COPIES %s: %d bytes memcpy'd on a vectored cell\n", r.Key(), r.StagedCopyBytes)
+			bad++
+		}
+	}
+	fmt.Printf("pfsbench zero-staged: %d clustered vectored real cells checked, %d dirty\n", checked, bad)
+	if bad > 0 {
+		return 1
+	}
+	if checked == 0 {
+		fmt.Println("WARNING: no cells matched the zero-staged gate")
+	}
+	return 0
 }
 
 func runCompare(currentPath, baselinePath string, threshold float64) int {
@@ -212,6 +279,27 @@ func parseCounts(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("-clients is empty")
+	}
+	return out, nil
+}
+
+func parseWorkloads(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return []string{""}, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		switch part {
+		case "coldstream", "writeburst":
+			out = append(out, part)
+		case "":
+		default:
+			return nil, fmt.Errorf("bad -workload entry %q (want coldstream or writeburst)", part)
+		}
+	}
+	if len(out) == 0 {
+		return []string{""}, nil
 	}
 	return out, nil
 }

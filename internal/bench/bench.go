@@ -46,6 +46,12 @@ type Config struct {
 	// ReadFrac is the fraction of operations that stream reads
 	// (the rest are random block-aligned writes).
 	ReadFrac float64
+	// Workload names a canned ReadFrac: "coldstream" pins 1.0 (pure
+	// streaming reads over a working set twice the cache, so the
+	// stream keeps missing), "writeburst" pins 0.0 (pure random
+	// block-aligned writes). Empty keeps ReadFrac as configured — the
+	// classic 80/20 mix — and the cell key unchanged.
+	Workload string
 	// Seed drives the per-client operation streams.
 	Seed int64
 	// Think is per-op client think time. Zero is the pure
@@ -63,6 +69,11 @@ type Config struct {
 	// request: 0 = instantiation default (real kernel on at
 	// layout.DefaultClusterRun, virtual off), -1 = off, > 1 = cap.
 	Cluster int
+	// NoVector, on the real kernel, restores the flat staging-buffer
+	// I/O paths (the pre-vectoring engine) — the "before" cell of the
+	// zero-copy A/B pair. The virtual kernel always runs flat (no
+	// payload moves in the sim), so the knob is ignored there.
+	NoVector bool
 	// Scrape, on the real kernel, boots the admin endpoint and
 	// embeds the /metrics deltas of the measurement phase in the
 	// result (Result.Scrape).
@@ -138,13 +149,28 @@ type Result struct {
 	SimMS     float64 `json:"sim_ms,omitempty"`
 	// OpsPerSec is ops over wall time on the real kernel and ops
 	// over simulated time on the virtual kernel.
-	OpsPerSec float64        `json:"ops_per_sec"`
-	MeanMS    float64        `json:"mean_ms"`
-	P50MS     float64        `json:"p50_ms"`
-	P95MS     float64        `json:"p95_ms"`
-	P99MS     float64        `json:"p99_ms"`
-	Cache     CacheCounters  `json:"cache"`
-	Volume    VolumeCounters `json:"volume"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// MBPerSec is the payload volume the clients moved (ops times
+	// transfer size) over the same denominator as OpsPerSec.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// StagedCopyBytes counts payload bytes the server memcpy'd into
+	// flat staging buffers during the measurement phase. Zero on a
+	// fully vectored real-kernel cell — the zero-copy claim, as a
+	// number. Virtual cells report 0 (the sim carries no payload).
+	StagedCopyBytes int64 `json:"staged_copy_bytes"`
+	// NoVector marks a real-kernel cell that ran the flat staging
+	// paths (Config.NoVector); keyed separately so the A/B pair can
+	// live in one file.
+	NoVector bool `json:"no_vector,omitempty"`
+	// Workload is the canned-ReadFrac name when the cell ran one
+	// (Config.Workload); empty on classic mixed cells.
+	Workload string         `json:"workload,omitempty"`
+	MeanMS   float64        `json:"mean_ms"`
+	P50MS    float64        `json:"p50_ms"`
+	P95MS    float64        `json:"p95_ms"`
+	P99MS    float64        `json:"p99_ms"`
+	Cache    CacheCounters  `json:"cache"`
+	Volume   VolumeCounters `json:"volume"`
 	// Scrape holds the measurement-phase /metrics deltas when the
 	// cell ran with Config.Scrape (family-level series only; the
 	// le=/quantile= expansions stay on the endpoint).
@@ -167,6 +193,15 @@ type Result struct {
 func (r Result) Key() string {
 	k := fmt.Sprintf("%s/c%d/d%d/s%d/p%d/ra%d/cl%d",
 		r.Kernel, r.Clients, r.Depth, r.Shards, r.Pipeline, r.Readahead, r.Cluster)
+	if r.Workload != "" {
+		k += "/" + r.Workload
+	}
+	if r.NoVector {
+		// Only the flat-path cells grow a suffix: vectored cells keep
+		// the pre-vectoring keys, so the committed baseline gates the
+		// default engine unchanged.
+		k += "/novec"
+	}
 	if r.Placement != "" {
 		k += fmt.Sprintf("/%s%d", r.Placement, r.Width)
 		switch {
@@ -314,6 +349,12 @@ func (c *Config) fill() {
 	}
 	if c.ReadFrac < 0 || c.ReadFrac > 1 {
 		c.ReadFrac = 0.8
+	}
+	switch c.Workload {
+	case "coldstream":
+		c.ReadFrac = 1
+	case "writeburst":
+		c.ReadFrac = 0
 	}
 	if c.CacheBlocks <= 0 {
 		c.CacheBlocks = 1024

@@ -20,8 +20,15 @@ import (
 // calls in flight each. Returns the measured cell.
 func RunReal(dir string, cfg Config) (Result, error) {
 	cfg.fill()
-	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d-cl%d%s.img",
-		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead, cfg.Cluster, placementTag(cfg)))
+	vecTag := ""
+	if cfg.NoVector {
+		vecTag = "-novec"
+	}
+	if cfg.Workload != "" {
+		vecTag += "-" + cfg.Workload
+	}
+	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d-cl%d%s%s.img",
+		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead, cfg.Cluster, placementTag(cfg), vecTag))
 	pcfg := pfs.Config{
 		Path:             img,
 		Blocks:           8192, // 32 MB image (per member on an array)
@@ -32,6 +39,7 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		ClusterRunBlocks: cfg.Cluster,
 		Flush:            cache.UPS(),
 		Seed:             cfg.Seed,
+		NoVectorIO:       cfg.NoVector,
 	}
 	if cfg.Placement != "" {
 		pcfg.Volumes = cfg.Width
@@ -110,6 +118,7 @@ func RunReal(dir string, cfg Config) (Result, error) {
 	}
 	base := cacheCounters(srv.Cache.CacheStats())
 	baseVol := volumeCounters(srv.Drivers)
+	baseStaged := srv.StagedCopyBytes()
 	var adminAddr string
 	var baseScrape map[string]float64
 	if cfg.Scrape {
@@ -203,18 +212,22 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		pipeline = nfs.DefaultPipeline
 	}
 	res := Result{
-		Kernel:    "real",
-		Clients:   cfg.Clients,
-		Depth:     cfg.Depth,
-		Shards:    srv.Cache.Shards(),
-		Pipeline:  pipeline,
-		Readahead: srv.FS.Readahead(),
-		Cluster:   srv.ClusterRun(),
-		Ops:       totalOps,
-		WallMS:    float64(wall) / float64(time.Millisecond),
-		OpsPerSec: float64(totalOps) / wall.Seconds(),
-		Cache:     cacheCounters(srv.Cache.CacheStats()).sub(base),
-		Volume:    volumeCounters(srv.Drivers).sub(baseVol),
+		Kernel:          "real",
+		Clients:         cfg.Clients,
+		Depth:           cfg.Depth,
+		Shards:          srv.Cache.Shards(),
+		Pipeline:        pipeline,
+		Readahead:       srv.FS.Readahead(),
+		Cluster:         srv.ClusterRun(),
+		Ops:             totalOps,
+		WallMS:          float64(wall) / float64(time.Millisecond),
+		OpsPerSec:       float64(totalOps) / wall.Seconds(),
+		MBPerSec:        float64(totalOps) * float64(cfg.IOBytes) / (1 << 20) / wall.Seconds(),
+		StagedCopyBytes: srv.StagedCopyBytes() - baseStaged,
+		NoVector:        cfg.NoVector,
+		Workload:        cfg.Workload,
+		Cache:           cacheCounters(srv.Cache.CacheStats()).sub(base),
+		Volume:          volumeCounters(srv.Drivers).sub(baseVol),
 	}
 	if cfg.Placement != "" {
 		res.Placement = cfg.Placement

@@ -181,6 +181,8 @@ func RunSim(cfg Config) (Result, error) {
 		Ops:       totalOps,
 		SimMS:     float64(simDur) / float64(time.Millisecond),
 		OpsPerSec: float64(totalOps) / simDur.Seconds(),
+		MBPerSec:  float64(totalOps) * float64(cfg.IOBytes) / (1 << 20) / simDur.Seconds(),
+		Workload:  cfg.Workload,
 		Cache:     cacheCounters(sys.Cache.CacheStats()).sub(base),
 		Volume:    volumeCounters(sys.Drivers).sub(baseVol),
 	}

@@ -40,6 +40,12 @@ type Block struct {
 	// MarkDirty); the flusher skips such blocks so it never copies a
 	// half-updated frame.
 	Writing int
+	// Borrows counts read-side loans of Data to in-flight zero-copy
+	// I/O (an NFS read reply writev'ing the frame to a socket).
+	// Writers wait in BeginWrite until the loans are returned; each
+	// borrow also holds a pin, so the frame cannot be evicted or
+	// discarded out from under the I/O.
+	Borrows int
 	// NoCache blocks (multimedia drop-behind) go to the free list
 	// as soon as they are released.
 	NoCache bool

@@ -579,10 +579,45 @@ func (c *Cache) BeginWrite(t sched.Task, b *Block) {
 	if b.Pins <= 0 {
 		panic("cache: BeginWrite on unpinned block " + b.Key.String())
 	}
-	for b.Flushing {
+	for b.Flushing || b.Borrows > 0 {
 		sh.cleaned.Wait(t, sh.mu)
 	}
 	b.Writing++
+}
+
+// Borrow loans a pinned block's Data to an in-flight zero-copy I/O —
+// an NFS read reply that writev's the frame straight to the socket.
+// The loan waits out any in-place mutation (BeginWrite..MarkDirty) so
+// it never captures a half-updated frame, then keeps writers out of
+// BeginWrite until Unborrow. The caller must already hold a pin and
+// keep holding it for the life of the loan; a stalled consumer (a
+// slow client socket) therefore delays writers to this block, which
+// is the price of lending the frame instead of copying it.
+func (c *Cache) Borrow(t sched.Task, b *Block) {
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
+	if b.Pins <= 0 {
+		panic("cache: Borrow of unpinned block " + b.Key.String())
+	}
+	for b.Writing > 0 {
+		sh.cleaned.Wait(t, sh.mu)
+	}
+	b.Borrows++
+}
+
+// Unborrow returns a Borrow loan; writers parked in BeginWrite wake.
+func (c *Cache) Unborrow(t sched.Task, b *Block) {
+	sh := c.shardOf(b.Key)
+	sh.mu.Lock(t)
+	defer sh.mu.Unlock(t)
+	if b.Borrows <= 0 {
+		panic("cache: Unborrow without Borrow " + b.Key.String())
+	}
+	b.Borrows--
+	if b.Borrows == 0 {
+		sh.cleaned.Broadcast()
+	}
 }
 
 // MarkDirty moves a pinned block to the dirty set, honoring the

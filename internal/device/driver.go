@@ -45,6 +45,11 @@ type DriverStats struct {
 	Reads, Writes *stats.Counter
 	BlocksRead    *stats.Counter
 	BlocksWritten *stats.Counter
+	// VecReads/VecWrites count the requests that carried a
+	// scatter-gather vector (a vectored request is one request —
+	// these are a subset of Reads/Writes, never an addition).
+	VecReads      *stats.Counter
+	VecWrites     *stats.Counter
 	QueueHist     *stats.Histogram
 	WaitMS        *stats.Moments
 	ServiceMS     *stats.Moments
@@ -57,6 +62,8 @@ func newDriverStats(name string) *DriverStats {
 		Writes:        stats.NewCounter(name + ".writes"),
 		BlocksRead:    stats.NewCounter(name + ".blocks_read"),
 		BlocksWritten: stats.NewCounter(name + ".blocks_written"),
+		VecReads:      stats.NewCounter(name + ".vec_reads"),
+		VecWrites:     stats.NewCounter(name + ".vec_writes"),
 		QueueHist:     stats.NewHistogram(name+".queue_len", 0, 1, 2, 4, 8, 16, 32, 64),
 		WaitMS:        stats.NewMoments(name + ".wait_ms"),
 		ServiceMS:     stats.NewMoments(name + ".service_ms"),
@@ -87,6 +94,8 @@ func (s *DriverStats) Register(set *stats.Set) {
 	set.Add(s.Writes)
 	set.Add(s.BlocksRead)
 	set.Add(s.BlocksWritten)
+	set.Add(s.VecReads)
+	set.Add(s.VecWrites)
 	set.Add(s.QueueHist)
 	set.Add(s.WaitMS)
 	set.Add(s.ServiceMS)
@@ -178,16 +187,25 @@ func (d *driver) perform(t sched.Task, r *Request) {
 	if r.Op == OpWrite && dec.TornBlocks > 0 && dec.TornBlocks < r.Blocks {
 		torn := *r
 		torn.Blocks = dec.TornBlocks
+		if r.Vec != nil {
+			// The persisted prefix of a vectored write may end
+			// mid-iovec; ClipVec trims the last segment to fit.
+			torn.Vec = ClipVec(r.Vec, dec.TornBlocks*core.BlockSize)
+		}
 		torn.done = nil
 		d.be.perform(t, &torn)
 	} else if r.Op == OpWrite && r.Blocks == 1 && dec.TornBytes > 0 &&
-		dec.TornBytes < core.BlockSize && r.Data != nil {
+		dec.TornBytes < core.BlockSize && (r.Data != nil || r.Vec != nil) {
 		// Sub-block tear: splice the new byte prefix onto the old
 		// block contents (read-modify-write against the back-end).
 		old := &Request{Op: OpRead, Addr: r.Addr, Blocks: 1, Data: make([]byte, core.BlockSize)}
 		d.be.perform(t, old)
 		if old.Err == nil {
-			copy(old.Data[:dec.TornBytes], r.Data[:dec.TornBytes])
+			if r.Vec != nil {
+				copyVecPrefix(old.Data[:dec.TornBytes], r.Vec)
+			} else {
+				copy(old.Data[:dec.TornBytes], r.Data[:dec.TornBytes])
+			}
 			torn := &Request{Op: OpWrite, Addr: r.Addr, Blocks: 1, Data: old.Data}
 			d.be.perform(t, torn)
 		}
@@ -250,9 +268,15 @@ func (d *driver) workerLoop(t sched.Task) {
 		if r.Op == OpRead {
 			d.st.Reads.Inc()
 			d.st.BlocksRead.Add(int64(r.Blocks))
+			if r.Vec != nil {
+				d.st.VecReads.Inc()
+			}
 		} else {
 			d.st.Writes.Inc()
 			d.st.BlocksWritten.Add(int64(r.Blocks))
+			if r.Vec != nil {
+				d.st.VecWrites.Inc()
+			}
 		}
 		if r.CacheHit {
 			d.st.DiskCacheHits.Inc()

@@ -24,12 +24,25 @@ func (b *fileBackend) Close() error { return b.f.Close() }
 
 func (b *fileBackend) perform(t sched.Task, r *Request) {
 	want := r.Blocks * core.BlockSize
+	off := r.Addr.LBA * core.BlockSize
+	if r.Vec != nil {
+		if got := VecLen(r.Vec); got != want {
+			r.Err = fmt.Errorf("device: request %s %v has %d vector bytes, need %d",
+				r.Op, r.Addr, got, want)
+			return
+		}
+		if r.Op == OpRead {
+			r.Err = readVec(b.f, r.Vec, off)
+		} else {
+			r.Err = writeVec(b.f, r.Vec, off)
+		}
+		return
+	}
 	if len(r.Data) < want {
 		r.Err = fmt.Errorf("device: request %s %v has %d data bytes, need %d",
 			r.Op, r.Addr, len(r.Data), want)
 		return
 	}
-	off := r.Addr.LBA * core.BlockSize
 	var err error
 	if r.Op == OpRead {
 		_, err = b.f.ReadAt(r.Data[:want], off)
@@ -68,14 +81,31 @@ func (b *memBackend) capacityBlocks() int64 { return b.blocks }
 
 func (b *memBackend) perform(t sched.Task, r *Request) {
 	want := r.Blocks * core.BlockSize
-	if len(r.Data) < want {
-		r.Err = fmt.Errorf("device: request %s %v has %d data bytes, need %d",
-			r.Op, r.Addr, len(r.Data), want)
-		return
-	}
 	off := r.Addr.LBA * core.BlockSize
 	if off < 0 || off+int64(want) > int64(len(b.data)) {
 		r.Err = fmt.Errorf("device: %s %v beyond capacity", r.Op, r.Addr)
+		return
+	}
+	if r.Vec != nil {
+		if got := VecLen(r.Vec); got != want {
+			r.Err = fmt.Errorf("device: request %s %v has %d vector bytes, need %d",
+				r.Op, r.Addr, got, want)
+			return
+		}
+		pos := off
+		for _, s := range r.Vec {
+			if r.Op == OpRead {
+				copy(s, b.data[pos:])
+			} else {
+				copy(b.data[pos:], s)
+			}
+			pos += int64(len(s))
+		}
+		return
+	}
+	if len(r.Data) < want {
+		r.Err = fmt.Errorf("device: request %s %v has %d data bytes, need %d",
+			r.Op, r.Addr, len(r.Data), want)
 		return
 	}
 	if r.Op == OpRead {

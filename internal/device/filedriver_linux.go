@@ -1,0 +1,103 @@
+//go:build linux
+
+package device
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// iovMax is the kernel's per-call iovec limit (UIO_MAXIOV); longer
+// vectors go out as several preadv/pwritev calls.
+const iovMax = 1024
+
+// readVec fills vec from f starting at off using preadv, looping over
+// iovec-limit chunks and short transfers. A zero-length transfer is
+// an error: the image is truncated to capacity up front, so every
+// block address is readable in full.
+func readVec(f *os.File, vec [][]byte, off int64) error {
+	return vecSyscall(f, vec, off, syscall.SYS_PREADV, "preadv")
+}
+
+// writeVec writes vec to f starting at off using pwritev.
+func writeVec(f *os.File, vec [][]byte, off int64) error {
+	return vecSyscall(f, vec, off, syscall.SYS_PWRITEV, "pwritev")
+}
+
+func vecSyscall(f *os.File, vec [][]byte, off int64, trap uintptr, name string) error {
+	// SyscallConn pins the descriptor for the duration of the
+	// transfer: a concurrent Close (server crash teardown with a
+	// request still in flight) waits instead of racing the raw
+	// syscalls below, matching the safety os.File gives ReadAt.
+	sc, err := f.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var ioErr error
+	if cerr := sc.Control(func(fd uintptr) {
+		ioErr = vecLoop(fd, vec, off, trap, name)
+	}); cerr != nil {
+		return cerr
+	}
+	return ioErr
+}
+
+func vecLoop(fd uintptr, vec [][]byte, off int64, trap uintptr, name string) error {
+	// Work on a copy of the segment headers: short transfers advance
+	// the front segment in place.
+	segs := make([][]byte, 0, len(vec))
+	for _, s := range vec {
+		if len(s) > 0 {
+			segs = append(segs, s)
+		}
+	}
+	iov := make([]syscall.Iovec, 0, min(len(segs), iovMax))
+	for len(segs) > 0 {
+		iov = iov[:0]
+		for _, s := range segs {
+			if len(iov) == iovMax {
+				break
+			}
+			v := syscall.Iovec{Base: &s[0]}
+			v.SetLen(len(s))
+			iov = append(iov, v)
+		}
+		// preadv/pwritev split the offset across two registers; the
+		// kernel ORs (pos_h << 32) with pos_l, so passing the full
+		// offset as pos_l is correct on 64-bit too.
+		got, _, errno := syscall.Syscall6(trap, fd,
+			uintptr(unsafe.Pointer(&iov[0])), uintptr(len(iov)),
+			uintptr(off), uintptr(off>>32), 0)
+		runtime.KeepAlive(segs)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			return os.NewSyscallError(name, errno)
+		}
+		if got == 0 {
+			return fmt.Errorf("device: %s: unexpected EOF at offset %d", name, off)
+		}
+		off += int64(got)
+		segs = advanceVec(segs, int(got))
+	}
+	return nil
+}
+
+// advanceVec drops n transferred bytes off the front of segs,
+// trimming the first remaining segment on a mid-segment stop.
+func advanceVec(segs [][]byte, n int) [][]byte {
+	for n > 0 && len(segs) > 0 {
+		if n >= len(segs[0]) {
+			n -= len(segs[0])
+			segs = segs[1:]
+			continue
+		}
+		segs[0] = segs[0][n:]
+		n = 0
+	}
+	return segs
+}

@@ -1,0 +1,34 @@
+//go:build !linux
+
+package device
+
+import "os"
+
+// Portable scatter-gather fallback: one positioned transfer per
+// segment, no gather copy.
+
+func readVec(f *os.File, vec [][]byte, off int64) error {
+	for _, s := range vec {
+		if len(s) == 0 {
+			continue
+		}
+		if _, err := f.ReadAt(s, off); err != nil {
+			return err
+		}
+		off += int64(len(s))
+	}
+	return nil
+}
+
+func writeVec(f *os.File, vec [][]byte, off int64) error {
+	for _, s := range vec {
+		if len(s) == 0 {
+			continue
+		}
+		if _, err := f.WriteAt(s, off); err != nil {
+			return err
+		}
+		off += int64(len(s))
+	}
+	return nil
+}

@@ -23,6 +23,17 @@ type Request struct {
 	// the simulator. For reads the driver fills it, for writes the
 	// driver consumes it.
 	Data []byte
+	// Vec is the scatter-gather form of Data: when non-nil the
+	// back-end transfers into/out of the segments in order (preadv/
+	// pwritev) and Data is ignored. The segments' total length must
+	// equal Blocks*BlockSize. The caller must keep every segment
+	// resident — and, for writes, unmodified — from Submit until the
+	// request completes: segments typically alias cache frames, and
+	// the pinning that guarantees this (frame Flushing/fill-claim
+	// state, borrow counts) is the caller's responsibility. Fault
+	// injection may persist a prefix of a vectored write that ends
+	// mid-segment.
+	Vec [][]byte
 	// Deadline, when nonzero, is used by the scan-EDF scheduler for
 	// requests with real-time constraints (continuous media).
 	Deadline sched.Time

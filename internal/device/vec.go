@@ -1,0 +1,46 @@
+package device
+
+// Helpers for scatter-gather request vectors.
+
+// VecLen is the total byte length of a request vector.
+func VecLen(vec [][]byte) int {
+	n := 0
+	for _, s := range vec {
+		n += len(s)
+	}
+	return n
+}
+
+// copyVecPrefix gathers vec's leading bytes into dst, stopping when
+// dst is full or vec runs out; it returns the bytes copied.
+func copyVecPrefix(dst []byte, vec [][]byte) int {
+	n := 0
+	for _, s := range vec {
+		if n == len(dst) {
+			break
+		}
+		n += copy(dst[n:], s)
+	}
+	return n
+}
+
+// ClipVec returns a prefix of vec totalling exactly n bytes; the last
+// returned segment may be a partial slice of one of vec's segments
+// (a torn vectored write ends mid-iovec). The returned segments alias
+// vec's backing arrays.
+func ClipVec(vec [][]byte, n int) [][]byte {
+	out := make([][]byte, 0, len(vec))
+	for _, s := range vec {
+		if n <= 0 {
+			break
+		}
+		if len(s) > n {
+			out = append(out, s[:n])
+			n = 0
+			break
+		}
+		out = append(out, s)
+		n -= len(s)
+	}
+	return out
+}

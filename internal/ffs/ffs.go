@@ -70,9 +70,15 @@ type FFS struct {
 	// clusterRun caps multi-block transfers (see layout.Clustered);
 	// <= 1 keeps the classic one-block-per-request behavior.
 	clusterRun int
+	// vectored routes clustered transfers through scatter-gather
+	// device requests built straight from the caller's per-block
+	// buffers (see layout.Vectored); never set on simulated
+	// partitions.
+	vectored bool
 
 	reads, writes *stats.Counter
 	inoWrites     *stats.Counter
+	staged        *stats.Counter // bytes memcpy'd through staging buffers
 	freeData      int64
 }
 
@@ -123,6 +129,7 @@ func New(k sched.Kernel, name string, part *layout.Partition, cfg Config) *FFS {
 		reads:     stats.NewCounter(name + ".data_reads"),
 		writes:    stats.NewCounter(name + ".data_writes"),
 		inoWrites: stats.NewCounter(name + ".inode_writes"),
+		staged:    stats.NewCounter(name + ".staged_copy_bytes"),
 	}
 	f.deriveGeometry()
 	return f
@@ -155,6 +162,20 @@ func (f *FFS) ClusterRun() int {
 	}
 	return f.clusterRun
 }
+
+// SetVectored implements layout.Vectored: clustered writes gather
+// straight from the per-block buffers and vectored run reads scatter
+// straight into them. Simulated partitions move no data, so the flag
+// stays off there.
+func (f *FFS) SetVectored(on bool) {
+	f.vectored = on && !f.part.Simulated
+}
+
+// VectoredIO implements layout.Vectored.
+func (f *FFS) VectoredIO() bool { return f.vectored }
+
+// StagedCopyBytes implements layout.StagedCopy.
+func (f *FFS) StagedCopyBytes() int64 { return f.staged.Value() }
 
 // groupBase returns the first block of group g (block 0 is the
 // superblock).
@@ -314,13 +335,22 @@ func (f *FFS) Sync(t sched.Task) error {
 }
 
 // FreeBlocks reports free data blocks.
-func (f *FFS) FreeBlocks() int64 { return f.freeData }
+func (f *FFS) FreeBlocks() int64 {
+	// Same publication rule as the LFS log head: allocators move
+	// freeData under f.mu on the real kernel.
+	if !f.k.Virtual() {
+		f.mu.Lock(nil)
+		defer f.mu.Unlock(nil)
+	}
+	return f.freeData
+}
 
 // Stats registers the layout's counters.
 func (f *FFS) Stats(set *stats.Set) {
 	set.Add(f.reads)
 	set.Add(f.writes)
 	set.Add(f.inoWrites)
+	set.Add(f.staged)
 }
 
 func (f *FFS) String() string {

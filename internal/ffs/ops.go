@@ -493,6 +493,44 @@ func (f *FFS) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, 
 	return run, f.part.Read(t, addr, run, data)
 }
 
+// ReadRunVec implements layout.VecRunReader: the clustered read with
+// the run scattered directly into per-block buffers (cache frames the
+// caller has claimed), no staging buffer. Same run discovery and
+// return convention as ReadRun.
+func (f *FFS) ReadRunVec(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, bufs [][]byte) (int, error) {
+	if lim := f.ClusterRun(); n > lim {
+		n = lim
+	}
+	if n > len(bufs) {
+		n = len(bufs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	f.mu.Lock(t)
+	addr := ino.BlockAddr(blk)
+	run := 1
+	for addr >= 0 && run < n && ino.BlockAddr(blk+core.BlockNo(run)) == addr+int64(run) {
+		run++
+	}
+	f.mu.Unlock(t)
+	if addr < 0 {
+		for i := range bufs[0][:core.BlockSize] {
+			bufs[0][i] = 0
+		}
+		return 1, nil
+	}
+	f.reads.Add(int64(run))
+	if run == 1 {
+		return 1, f.part.Read(t, addr, 1, bufs[0][:core.BlockSize])
+	}
+	vec := make([][]byte, run)
+	for i := 0; i < run; i++ {
+		vec[i] = bufs[i][:core.BlockSize]
+	}
+	return run, f.part.ReadVec(t, addr, run, vec)
+}
+
 // WriteBlocks writes the dirty blocks in place and then the inode
 // synchronously. Missing blocks are allocated first, as contiguous
 // forward runs off the file's tail, so sequential appends land
@@ -537,6 +575,21 @@ func (f *FFS) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.Block
 			ino.BlockAddr(writes[i+run].Blk) == addr+int64(run) {
 			run++
 		}
+		if run > 1 && f.vectored {
+			// Scatter-gather straight from the callers' block buffers
+			// (cache frames held Flushing-stable for this call): one
+			// device request, zero staging copies.
+			vec := make([][]byte, run)
+			for j := 0; j < run; j++ {
+				vec[j] = writes[i+j].Data[:core.BlockSize]
+			}
+			f.writes.Add(int64(run))
+			if err := f.part.WriteVec(t, addr, run, vec); err != nil {
+				return err
+			}
+			i += run
+			continue
+		}
 		var data []byte
 		if run == 1 {
 			data = writes[i].Data
@@ -550,6 +603,7 @@ func (f *FFS) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.Block
 			for j := 0; j < run; j++ {
 				copy(data[j*core.BlockSize:(j+1)*core.BlockSize], writes[i+j].Data)
 			}
+			f.staged.Add(int64(run) * core.BlockSize)
 		}
 		f.writes.Add(int64(run))
 		if err := f.part.Write(t, addr, run, data); err != nil {

@@ -36,7 +36,7 @@ func (v *Volume) StatByID(t sched.Task, id core.FileID) (FileAttr, error) {
 	if err != nil {
 		return FileAttr{}, err
 	}
-	return attrOf(f.ino), nil
+	return v.attrIno(t, f.ino), nil
 }
 
 // LookupIn resolves one name within directory dir.
@@ -55,7 +55,7 @@ func (v *Volume) LookupIn(t sched.Task, dir core.FileID, name string) (FileAttr,
 	if err != nil {
 		return FileAttr{}, err
 	}
-	return attrOf(f.ino), nil
+	return v.attrIno(t, f.ino), nil
 }
 
 // CreateIn makes a file inside directory dir and returns its
@@ -95,7 +95,7 @@ func (v *Volume) CreateIn(t sched.Task, dir core.FileID, name string, typ core.F
 		Op: cache.IntentCreate, File: ino.ID, Gen: ino.Version,
 		Parent: d.ino.ID, Name: name, Type: typ,
 	})
-	return attrOf(ino), nil
+	return v.attrIno(t, ino), nil
 }
 
 // RemoveIn unlinks name from directory dir.
@@ -219,7 +219,7 @@ func (v *Volume) SymlinkIn(t sched.Task, dir core.FileID, name, target string) (
 	v.logIntent(t, cache.Intent{
 		Op: cache.IntentSymlink, File: f.ino.ID, Name2: target,
 	})
-	return attrOf(f.ino), nil
+	return v.attrIno(t, f.ino), nil
 }
 
 // ReadlinkByID returns a symlink's target by inode number.
@@ -260,7 +260,7 @@ func (v *Volume) SetSizeByID(t sched.Task, id core.FileID, size int64) (FileAttr
 	v.logIntent(t, cache.Intent{
 		Op: cache.IntentTruncate, File: f.ino.ID, Size: size,
 	})
-	return attrOf(f.ino), nil
+	return v.attrIno(t, f.ino), nil
 }
 
 // dirLocked fetches a directory by id, checking its type.

@@ -194,6 +194,20 @@ type FileAttr struct {
 	Gen uint64
 }
 
+// attrIno snapshots a live inode's attributes under the layout's
+// inode publication lock — mutateIno's counterpart for readers. The
+// cache flusher and the by-id mutators update these scalar fields
+// under that lock, not under any lock a stat path holds, so an
+// unlocked read would race them on the real kernel.
+func (v *Volume) attrIno(t sched.Task, ino *layout.Inode) FileAttr {
+	if il, ok := v.lay.(layout.InodeLocker); ok && !v.fs.k.Virtual() {
+		var a FileAttr
+		il.WithInode(t, ino, func() { a = attrOf(ino) })
+		return a
+	}
+	return attrOf(ino)
+}
+
 func attrOf(ino *layout.Inode) FileAttr {
 	return FileAttr{
 		ID:    ino.ID,

@@ -147,6 +147,24 @@ func (v *Volume) ReadAt(t sched.Task, h *Handle, off int64, buf []byte, n int64)
 	return v.readData(t, h.f, off, buf, n)
 }
 
+// ReadBorrowAt is the zero-copy form of ReadAt: instead of copying
+// into a caller buffer it returns segments that alias the cache
+// frames, each frame pinned and loaned for the duration. The caller
+// transmits the segments (writev to a socket) and then calls release
+// exactly once — until then writers to those blocks wait, though
+// flushes still proceed. ok is false when vectored I/O is off or the
+// volume moves no real data; use ReadAt then.
+func (v *Volume) ReadBorrowAt(t sched.Task, h *Handle, off, n int64) (segs [][]byte, got int64, release func(sched.Task), ok bool, err error) {
+	if !v.fs.vectored || v.sim {
+		return nil, 0, nil, false, nil
+	}
+	h.f.mu.Lock(t)
+	defer h.f.mu.Unlock(t)
+	v.fs.st.Reads.Inc()
+	segs, got, release, err = v.readBorrow(t, h.f, off, n)
+	return segs, got, release, true, err
+}
+
 // Write stores n bytes at the handle position, advancing it.
 func (v *Volume) Write(t sched.Task, h *Handle, data []byte, n int64) error {
 	h.f.mu.Lock(t)
@@ -332,12 +350,12 @@ func (v *Volume) Stat(t sched.Task, path string) (FileAttr, error) {
 	if err != nil {
 		return FileAttr{}, err
 	}
-	return attrOf(f.ino), nil
+	return v.attrIno(t, f.ino), nil
 }
 
 // StatHandle returns attributes through an open handle.
 func (v *Volume) StatHandle(t sched.Task, h *Handle) FileAttr {
-	return attrOf(h.f.ino)
+	return v.attrIno(t, h.f.ino)
 }
 
 // EnsureFile guarantees path exists (creating parents), used by the

@@ -130,8 +130,11 @@ func (v *Volume) maybeReadahead(t sched.Task, f *File, off, n int64) {
 
 // readRunInto reads one clustered run covering a prefix of the
 // claimed frames and distributes the bytes into them, returning how
-// many frames were filled. Single-block runs (and the simulator,
-// which moves no bytes) go straight through without staging.
+// many frames were filled. With vectored I/O on, the frames' own
+// buffers form the scatter-gather vector and the device DMAs into
+// them directly; otherwise a multi-frame run stages through a
+// scratch buffer and pays one copy per block. Single-block runs (and
+// the simulator, which moves no bytes) go straight through.
 func (v *Volume) readRunInto(t sched.Task, ino *layout.Inode, blk core.BlockNo, frames []*cache.Block, scratch *[]byte) (int, error) {
 	n := len(frames)
 	if frames[0].Data == nil {
@@ -139,6 +142,15 @@ func (v *Volume) readRunInto(t sched.Task, ino *layout.Inode, blk core.BlockNo, 
 	}
 	if n == 1 {
 		return v.lay.ReadRun(t, ino, blk, 1, frames[0].Data)
+	}
+	if v.fs.vectored {
+		bufs := make([][]byte, n)
+		for i, b := range frames {
+			bufs[i] = b.Data
+		}
+		if got, ok, err := layout.ReadRunVec(t, v.lay, ino, blk, n, bufs); ok {
+			return got, err
+		}
 	}
 	if len(*scratch) < n*core.BlockSize {
 		*scratch = make([]byte, n*core.BlockSize)
@@ -150,6 +162,7 @@ func (v *Volume) readRunInto(t sched.Task, ino *layout.Inode, blk core.BlockNo, 
 	if got > n {
 		got = n
 	}
+	v.fs.st.StagedCopy.Add(int64(got) * core.BlockSize)
 	for i := 0; i < got; i++ {
 		copy(frames[i].Data, (*scratch)[i*core.BlockSize:(i+1)*core.BlockSize])
 	}

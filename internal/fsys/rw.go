@@ -60,7 +60,7 @@ func (v *Volume) readData(t sched.Task, f *File, off int64, buf []byte, n int64)
 			fs.st.ReadHits.Inc()
 		} else {
 			if err := fs.charge(t, op, telemetry.StageDisk, func() error {
-				return v.lay.ReadBlock(t, f.ino, blk, b.Data)
+				return v.readMissRun(t, f, blk, b, bo+(n-done))
 			}); err != nil {
 				fs.cache.FillFailed(t, b)
 				return done, err
@@ -83,6 +83,152 @@ func (v *Volume) readData(t sched.Task, f *File, off int64, buf []byte, n int64)
 	}
 	fs.st.BytesRead.Add(done)
 	return done, nil
+}
+
+// demandRunMax bounds how many blocks one clustered cold miss
+// fetches; the layout clamps further at its own run and clustering
+// boundaries.
+const demandRunMax = 32
+
+// readMissRun fills demand-miss frame b (block blk of f). With
+// vectored I/O on and the read covering more blocks — or the file
+// being streamed sequentially — it also claims the following frames
+// and fills the whole on-disk run with one scatter-gather request,
+// so a cold stream gets clustering before the readahead pipeline has
+// warmed up. Extra frames are completed here; b stays Busy for the
+// caller's Filled/FillFailed. want is how many bytes from the start
+// of blk the current read still covers. Caller holds f's data lock.
+func (v *Volume) readMissRun(t sched.Task, f *File, blk core.BlockNo, b *cache.Block, want int64) error {
+	fs := v.fs
+	if !fs.vectored || b.Data == nil {
+		return v.lay.ReadBlock(t, f.ino, blk, b.Data)
+	}
+	nblks := int((want + core.BlockSize - 1) / core.BlockSize)
+	if f.raStreak >= 2 && nblks < demandRunMax {
+		nblks = demandRunMax // streaming: fetch the whole run
+	}
+	if max := int((f.ino.Size-1)/core.BlockSize) - int(blk) + 1; nblks > max {
+		nblks = max
+	}
+	if nblks > demandRunMax {
+		nblks = demandRunMax
+	}
+	if nblks <= 1 {
+		return v.lay.ReadBlock(t, f.ino, blk, b.Data)
+	}
+	// Claim follow-on frames; a cached block or frame shortage ends
+	// the run early (TryStartFill never blocks or evicts dirty data).
+	extra := make([]*cache.Block, 0, nblks-1)
+	for i := 1; i < nblks; i++ {
+		key := core.BlockKey{Vol: v.ID, File: f.ino.ID, Blk: blk + core.BlockNo(i)}
+		eb, ok := fs.cache.TryStartFill(t, key)
+		if !ok {
+			break
+		}
+		extra = append(extra, eb)
+	}
+	abandon := func(from int, cause error) {
+		for _, eb := range extra[from:] {
+			fs.cache.FinishFill(t, eb, 0, cause)
+		}
+	}
+	if len(extra) == 0 {
+		return v.lay.ReadBlock(t, f.ino, blk, b.Data)
+	}
+	bufs := make([][]byte, 1+len(extra))
+	bufs[0] = b.Data
+	for i, eb := range extra {
+		bufs[i+1] = eb.Data
+	}
+	got, ok, err := layout.ReadRunVec(t, v.lay, f.ino, blk, len(bufs), bufs)
+	if !ok {
+		abandon(0, core.ErrInval)
+		return v.lay.ReadBlock(t, f.ino, blk, b.Data)
+	}
+	if err != nil {
+		abandon(0, err)
+		return err
+	}
+	for i := 1; i < got && i-1 < len(extra); i++ {
+		size := core.BlockSize
+		if rem := f.ino.Size - int64(blk+core.BlockNo(i))*core.BlockSize; rem < int64(size) {
+			size = int(rem)
+		}
+		fs.cache.FinishFill(t, extra[i-1], size, nil)
+	}
+	if got-1 < len(extra) {
+		abandon(got-1, core.ErrInval) // short run: free the unfilled claims
+	}
+	return nil
+}
+
+// readBorrow reads like readData but hands the bytes back as
+// segments aliasing the cache frames instead of copying them out:
+// every covered frame stays pinned and loaned (cache.Borrow) so a
+// zero-copy reply can writev it to the socket. The returned release
+// must be called exactly once, after the bytes have left the
+// process; until then writers to those blocks wait in BeginWrite
+// (flushes still proceed — reads and flushes share the frame
+// read-only). Caller holds f's data lock for the call itself; the
+// loans outlive it.
+func (v *Volume) readBorrow(t sched.Task, f *File, off, n int64) (segs [][]byte, got int64, release func(sched.Task), err error) {
+	fs := v.fs
+	if off >= f.ino.Size {
+		return nil, 0, func(sched.Task) {}, nil
+	}
+	if off+n > f.ino.Size {
+		n = f.ino.Size - off
+	}
+	v.maybeReadahead(t, f, off, n)
+	op := fs.tr.Current(t)
+	var frames []*cache.Block
+	release = func(rt sched.Task) {
+		for _, b := range frames {
+			fs.cache.Unborrow(rt, b)
+			fs.cache.Release(rt, b)
+		}
+	}
+	var done int64
+	for done < n {
+		pos := off + done
+		blk := core.BlockNo(pos / core.BlockSize)
+		bo := pos % core.BlockSize
+		chunk := int64(core.BlockSize) - bo
+		if chunk > n-done {
+			chunk = n - done
+		}
+		key := core.BlockKey{Vol: v.ID, File: f.ino.ID, Blk: blk}
+		fs.st.ReadLookups.Inc()
+		var b *cache.Block
+		var hit bool
+		_ = fs.charge(t, op, telemetry.StageCache, func() error {
+			b, hit = fs.cache.GetBlock(t, key)
+			return nil
+		})
+		if hit {
+			fs.st.ReadHits.Inc()
+		} else {
+			if err := fs.charge(t, op, telemetry.StageDisk, func() error {
+				return v.readMissRun(t, f, blk, b, bo+(n-done))
+			}); err != nil {
+				fs.cache.FillFailed(t, b)
+				release(t)
+				return nil, 0, nil, err
+			}
+			size := core.BlockSize
+			if rem := f.ino.Size - int64(blk)*core.BlockSize; rem < int64(size) {
+				size = int(rem)
+			}
+			fs.cache.Filled(t, b, size)
+		}
+		b.NoCache = f.behavior.dropBehind()
+		fs.cache.Borrow(t, b)
+		frames = append(frames, b) // keep the pin until release
+		segs = append(segs, b.Data[bo:bo+chunk])
+		done += chunk
+	}
+	fs.st.BytesRead.Add(done)
+	return segs, done, release, nil
 }
 
 // writeData moves n bytes into file f at offset off through the

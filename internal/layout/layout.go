@@ -155,6 +155,71 @@ func SetClusterRun(lay Layout, n int) bool {
 	return ok
 }
 
+// Vectored is a layout that can exchange data with the device layer
+// through scatter-gather vectors — clustered writes gather straight
+// from the caller's per-block buffers (cache frames) and vectored run
+// reads scatter straight into them, with no staging copy. Off (the
+// zero value) everything goes through the flat staging path; the
+// simulator never turns it on, keeping figure output byte-identical.
+// Turning it on also commits the caller to the device contract: the
+// per-block buffers handed to WriteBlocks must stay resident and
+// unmodified for the whole call (the cache flusher's Flushing state
+// guarantees exactly this).
+type Vectored interface {
+	SetVectored(on bool)
+	VectoredIO() bool
+}
+
+// SetVectored switches lay's scatter-gather path when it supports one
+// (a volume array forwards to every member) and reports whether it
+// did.
+func SetVectored(lay Layout, on bool) bool {
+	v, ok := lay.(Vectored)
+	if ok {
+		v.SetVectored(on)
+	}
+	return ok
+}
+
+// VecRunReader is a layout that can serve a clustered read by
+// scattering directly into per-block buffers — cache frames claimed
+// by the readahead filler or a demand read — instead of a flat
+// staging buffer. bufs must hold at least n segments of BlockSize
+// bytes each; like ReadRun it returns how many blocks the call
+// covered, always at least 1, and only bufs[:covered] are filled.
+type VecRunReader interface {
+	ReadRunVec(t sched.Task, ino *Inode, blk core.BlockNo, n int, bufs [][]byte) (int, error)
+}
+
+// ReadRunVec routes a vectored run read to lay when it supports one;
+// ok=false means the caller must fall back to the flat ReadRun path.
+func ReadRunVec(t sched.Task, lay Layout, ino *Inode, blk core.BlockNo, n int, bufs [][]byte) (got int, ok bool, err error) {
+	vr, ok := lay.(VecRunReader)
+	if !ok {
+		return 0, false, nil
+	}
+	got, err = vr.ReadRunVec(t, ino, blk, n, bufs)
+	return got, true, err
+}
+
+// StagedCopy is a layout that counts the bytes it still moves through
+// staging buffers on clustered transfers (the memcpy the vectored
+// path eliminates). An array reports the sum over its members; the
+// telemetry layer exports it so a zero on clustered real-kernel cells
+// proves the zero-copy path is engaged.
+type StagedCopy interface {
+	StagedCopyBytes() int64
+}
+
+// StagedCopyBytes reports lay's staged-copy byte count, 0 when it
+// doesn't track one.
+func StagedCopyBytes(lay Layout) int64 {
+	if s, ok := lay.(StagedCopy); ok {
+		return s.StagedCopyBytes()
+	}
+	return 0
+}
+
 // RecoveryStats summarizes one layout's crash-recovery pass.
 type RecoveryStats struct {
 	// RolledSegments counts post-checkpoint log segments replayed

@@ -71,6 +71,40 @@ func (p *Partition) Write(t sched.Task, lba int64, count int, data []byte) error
 	return p.Drv.Do(t, r)
 }
 
+// ReadVec reads count blocks at partition-relative lba, scattering
+// into vec's segments in order. The segments must total
+// count*BlockSize bytes and stay resident until the call returns;
+// they typically alias pinned cache frames.
+func (p *Partition) ReadVec(t sched.Task, lba int64, count int, vec [][]byte) error {
+	if err := p.check(lba, count); err != nil {
+		return err
+	}
+	r := &device.Request{
+		Op:     device.OpRead,
+		Addr:   core.DiskAddr{Disk: p.Disk, LBA: p.Start + lba},
+		Blocks: count,
+		Vec:    vec,
+	}
+	return p.Drv.Do(t, r)
+}
+
+// WriteVec writes count blocks at partition-relative lba, gathering
+// from vec's segments in order. The segments must total
+// count*BlockSize bytes and stay resident and unmodified until the
+// call returns.
+func (p *Partition) WriteVec(t sched.Task, lba int64, count int, vec [][]byte) error {
+	if err := p.check(lba, count); err != nil {
+		return err
+	}
+	r := &device.Request{
+		Op:     device.OpWrite,
+		Addr:   core.DiskAddr{Disk: p.Disk, LBA: p.Start + lba},
+		Blocks: count,
+		Vec:    vec,
+	}
+	return p.Drv.Do(t, r)
+}
+
 // WriteDeadline is Write with a scan-EDF deadline attached.
 func (p *Partition) WriteDeadline(t sched.Task, lba int64, count int, data []byte, dl sched.Time) error {
 	if err := p.check(lba, count); err != nil {

@@ -90,12 +90,44 @@ const (
 	segCurrent
 )
 
-// segBuf is the in-memory open segment.
+// segBuf is the in-memory open segment. Real mode stages blocks one
+// of two ways: flat (data holds the whole segment, every appended
+// block is copied in) or vectored (vec holds one segment per block —
+// vec[0] an owned summary buffer, vec[1+i] slot i's bytes, which for
+// full data blocks alias the appender's buffer: a Flushing-stable
+// cache frame or the cleaner's immutable victim read). A cache-frame
+// alias is only stable while its flush job is in flight, so vectored
+// slots are written through to the device before the job returns
+// (writeThrough); done and sums record how far that has progressed
+// and the checksums captured from the bytes the device actually saw.
 type segBuf struct {
 	seg     int
 	entries []sumEntry
-	data    []byte // real mode: (SegBlocks)*BlockSize, block 0 = summary
-	used    int    // data slots filled (slot i lives at segment block 1+i)
+	data    []byte   // flat real mode: (SegBlocks)*BlockSize, block 0 = summary
+	vec     [][]byte // vectored real mode: SegBlocks per-block segments
+	used    int      // data slots filled (slot i lives at segment block 1+i)
+	done    int      // slots already written through to the device (vectored)
+	sums    []uint32 // per-slot checksums, captured at device-write time (vectored)
+}
+
+// real reports that the open segment carries bytes (either staging
+// form); false on simulated partitions.
+func (s *segBuf) real() bool { return s.data != nil || s.vec != nil }
+
+// summary returns the summary block's buffer.
+func (s *segBuf) summary() []byte {
+	if s.data != nil {
+		return s.data[:core.BlockSize]
+	}
+	return s.vec[0]
+}
+
+// slot returns data slot i's buffer.
+func (s *segBuf) slot(i int) []byte {
+	if s.data != nil {
+		return s.data[(1+i)*core.BlockSize : (2+i)*core.BlockSize]
+	}
+	return s.vec[1+i]
 }
 
 // LFS is the segmented log-structured layout.
@@ -138,12 +170,17 @@ type LFS struct {
 	// clusterRun caps multi-block read transfers (segment writes are
 	// clustered by construction); <= 1 keeps one-block requests.
 	clusterRun int
+	// vectored stages open segments as scatter-gather vectors that
+	// alias full data blocks in place of copying them (see
+	// layout.Vectored); never set on simulated partitions.
+	vectored bool
 
 	segsWritten *stats.Counter
 	partialSegs *stats.Counter
 	segsCleaned *stats.Counter
 	liveCopied  *stats.Counter
 	blocksOut   *stats.Counter
+	staged      *stats.Counter // data bytes memcpy'd into the open segment
 	cleanerUtil *stats.Moments
 }
 
@@ -185,6 +222,7 @@ func New(k sched.Kernel, name string, part *layout.Partition, cfg Config) *LFS {
 		segsCleaned:   stats.NewCounter(name + ".segs_cleaned"),
 		liveCopied:    stats.NewCounter(name + ".live_blocks_copied"),
 		blocksOut:     stats.NewCounter(name + ".log_blocks_written"),
+		staged:        stats.NewCounter(name + ".staged_copy_bytes"),
 		cleanerUtil:   stats.NewMoments(name + ".cleaned_utilization"),
 	}
 }
@@ -209,6 +247,24 @@ func (l *LFS) ClusterRun() int {
 	}
 	return l.clusterRun
 }
+
+// SetVectored implements layout.Vectored: open segments become
+// scatter-gather vectors whose full data blocks alias the appender's
+// buffers instead of being copied. The aliases live in the pending
+// map until the segment reaches disk, so vectored mode requires the
+// flusher to barrier every flush job (the durable store does) — that
+// keeps every cache-frame alias inside the window the frame is
+// Flushing-stable. Simulated partitions move no data; the flag stays
+// off there.
+func (l *LFS) SetVectored(on bool) {
+	l.vectored = on && !l.part.Simulated
+}
+
+// VectoredIO implements layout.Vectored.
+func (l *LFS) VectoredIO() bool { return l.vectored }
+
+// StagedCopyBytes implements layout.StagedCopy.
+func (l *LFS) StagedCopyBytes() int64 { return l.staged.Value() }
 
 // geometry computes the reserved-area sizes for the partition.
 func (l *LFS) geometry() {
@@ -288,6 +344,12 @@ func (l *LFS) Mount(t sched.Task) error {
 // FreeBlocks reports allocatable capacity: free segments plus the
 // open segment's remaining slots.
 func (l *LFS) FreeBlocks() int64 {
+	// On the real kernel a StatFS-driven call races the log head
+	// moving under l.mu; the cooperative virtual kernel cannot.
+	if !l.k.Virtual() {
+		l.mu.Lock(nil)
+		defer l.mu.Unlock(nil)
+	}
 	free := int64(len(l.freeSegs)) * int64(l.dataSlots)
 	if l.cur != nil {
 		free += int64(l.dataSlots - l.cur.used)
@@ -302,6 +364,7 @@ func (l *LFS) Stats(set *stats.Set) {
 	set.Add(l.segsCleaned)
 	set.Add(l.liveCopied)
 	set.Add(l.blocksOut)
+	set.Add(l.staged)
 	set.Add(l.cleanerUtil)
 }
 

@@ -400,7 +400,7 @@ func TestStatsRegistered(t *testing.T) {
 	r := newRealRig(15, 2048)
 	set := stats.NewSet()
 	r.l.Stats(set)
-	if set.Len() != 6 {
+	if set.Len() != 7 {
 		t.Fatalf("stat sources = %d", set.Len())
 	}
 	if r.l.Name() != "lfs" || r.l.String() == "" {

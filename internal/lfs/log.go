@@ -27,14 +27,39 @@ func (l *LFS) appendBlock(t sched.Task, kind uint8, file core.FileID, blk int64,
 	s := l.cur
 	slot := s.used
 	addr := l.segStart(s.seg) + 1 + int64(slot)
-	if s.data != nil {
+	switch {
+	case s.vec != nil:
+		if kind == kindData && len(data) == core.BlockSize {
+			// Zero-copy: the slot aliases the appender's block — a
+			// Flushing-stable cache frame or the cleaner's immutable
+			// victim read. A frame alias must not outlive its flush
+			// job (a front-end rewrite of the block mutates the frame
+			// the moment the job's Flushing window closes), so
+			// WriteBlocks drains its slots to the device before
+			// returning (writeThrough). Metadata kinds never alias:
+			// their appenders reuse one scratch buffer across blocks.
+			s.vec[1+slot] = data
+			l.pending[addr] = data
+		} else {
+			dst := make([]byte, core.BlockSize)
+			copy(dst, data)
+			s.vec[1+slot] = dst
+			l.pending[addr] = dst
+			if kind == kindData {
+				l.staged.Add(int64(len(data)))
+			}
+		}
+	case s.data != nil:
 		dst := s.data[(1+slot)*core.BlockSize : (2+slot)*core.BlockSize]
 		for i := range dst {
 			dst[i] = 0
 		}
 		copy(dst, data)
 		l.pending[addr] = dst
-	} else if l.part.Mover != nil {
+		if kind == kindData {
+			l.staged.Add(int64(len(data)))
+		}
+	case l.part.Mover != nil:
 		// Simulated: charge the memory-copy cost of staging the
 		// block into the segment buffer.
 		t.Sleep(timeNS(l.part.Mover.CopyCost(core.BlockSize)))
@@ -61,7 +86,13 @@ func (l *LFS) openSegment(t sched.Task) error {
 	l.freeSegs = l.freeSegs[1:]
 	sb := &segBuf{seg: seg}
 	if !l.part.Simulated {
-		sb.data = make([]byte, l.cfg.SegBlocks*core.BlockSize)
+		if l.vectored {
+			sb.vec = make([][]byte, l.cfg.SegBlocks)
+			sb.vec[0] = make([]byte, core.BlockSize) // owned summary block
+			sb.sums = make([]uint32, l.cfg.SegBlocks)
+		} else {
+			sb.data = make([]byte, l.cfg.SegBlocks*core.BlockSize)
+		}
 	}
 	l.sut[seg] = segInfo{live: 0, seq: uint32(l.seq), state: segCurrent}
 	l.cur = sb
@@ -117,7 +148,7 @@ func (l *LFS) packInodes(t sched.Task) {
 		oldAddrs := map[int64]bool{}
 		for i, id := range blkIDs {
 			ino := l.inodes[id]
-			if l.cur.data != nil {
+			if l.cur.real() {
 				di := l.toDiskInode(ino)
 				layout.EncodeInode(di, buf[i*layout.InodeSize:])
 			}
@@ -130,7 +161,7 @@ func (l *LFS) packInodes(t sched.Task) {
 			l.imapDirty[int(id)/imapPerChunk] = true
 			delete(l.dirtyInodes, id)
 		}
-		if l.cur.data != nil {
+		if l.cur.real() {
 			copy(l.pending[addr], buf)
 		}
 		l.inodeBlockIDs[addr] = blkIDs
@@ -178,7 +209,15 @@ func (l *LFS) appendBlockNoRefill(kind uint8, file core.FileID, blk int64, data 
 	s := l.cur
 	slot := s.used
 	addr := l.segStart(s.seg) + 1 + int64(slot)
-	if s.data != nil {
+	if s.vec != nil {
+		// Metadata blocks always get an owned copy: the callers
+		// (packInodes, writeIndirects) reuse one scratch buffer across
+		// blocks and write into l.pending[addr] after the append.
+		dst := make([]byte, core.BlockSize)
+		copy(dst, data)
+		s.vec[1+slot] = dst
+		l.pending[addr] = dst
+	} else if s.data != nil {
 		dst := s.data[(1+slot)*core.BlockSize : (2+slot)*core.BlockSize]
 		for i := range dst {
 			dst[i] = 0
@@ -254,6 +293,71 @@ func (l *LFS) writeIndirects(t sched.Task, ino *layout.Inode) error {
 	return nil
 }
 
+// writeThrough pushes the open segment's not-yet-written slots to
+// the device as one scatter-gather request. Cache-frame aliases are
+// only stable while their flush job holds the blocks Flushing
+// (BeginWrite waits on that window), so every vectored WriteBlocks
+// drains its slots here before returning: the frame's bytes — and
+// the checksum the summary will carry for them — are read inside the
+// stable window, never after it. Caller holds l.mu.
+func (l *LFS) writeThrough(t sched.Task) error {
+	s := l.cur
+	if s == nil || s.vec == nil || s.done >= s.used {
+		return nil
+	}
+	for i := s.done; i < s.used; i++ {
+		s.sums[i] = blockSum(s.vec[1+i])
+	}
+	start := l.segStart(s.seg) + 1 + int64(s.done)
+	if err := l.part.WriteVec(t, start, s.used-s.done, s.vec[1+s.done:1+s.used]); err != nil {
+		// The slots stay staged for a retry, but the job's Flushing
+		// window closes when this error surfaces — clients may then
+		// rewrite the frames, so the staged slots must own their
+		// bytes from here on.
+		l.materializeCur()
+		return err
+	}
+	// The bytes are on the media: drop the aliases (the frames may
+	// be rewritten freely now) and serve readers from the device.
+	base := l.segStart(s.seg) + 1
+	for i := s.done; i < s.used; i++ {
+		delete(l.pending, base+int64(i))
+		s.vec[1+i] = nil
+	}
+	s.done = s.used
+	return nil
+}
+
+// materializeCur replaces every not-yet-written-through slot of the
+// open segment with an owned copy of its bytes. Vectored slots alias
+// cache frames, and those aliases are only safe inside the flush
+// job's Flushing window — when an error aborts the job before
+// writeThrough drains the slots, the window closes with the slots
+// still staged, and the retry (or the next job's writeThrough) must
+// read the bytes the job appended, not whatever the frames hold by
+// then. The copies count as staged bytes: they are exactly the flat
+// engine's memcpy, paid only on failed writes. Caller holds l.mu.
+func (l *LFS) materializeCur() {
+	s := l.cur
+	if s == nil || s.vec == nil {
+		return
+	}
+	base := l.segStart(s.seg) + 1
+	for i := s.done; i < s.used; i++ {
+		src := s.vec[1+i]
+		if src == nil {
+			continue
+		}
+		cp := make([]byte, len(src))
+		copy(cp, src)
+		l.staged.Add(int64(len(cp)))
+		s.vec[1+i] = cp
+		if _, ok := l.pending[base+int64(i)]; ok {
+			l.pending[base+int64(i)] = cp
+		}
+	}
+}
+
 // flushSegBuf writes the open segment (summary + used slots) to the
 // device and retires it.
 func (l *LFS) flushSegBuf(t sched.Task) error {
@@ -268,16 +372,28 @@ func (l *LFS) flushSegBuf(t sched.Task) error {
 		l.cur = nil
 		return nil
 	}
-	if s.data != nil {
-		// The on-disk summary must carry the same seq the usage table
-		// records below: roll-forward dates segments by it.
-		l.encodeSummary(s, l.seq)
+	var err error
+	if s.vec != nil {
+		// Data slots went out as they were appended (writeThrough);
+		// drain any remainder (inode packs, cleaner copies), then
+		// commit the segment with its summary block — data before
+		// summary, so a cut between the two reads as a torn tail.
+		// The summary carries the seq the usage table records below:
+		// roll-forward dates segments by it.
+		if err = l.writeThrough(t); err == nil {
+			l.encodeSummary(s, l.seq)
+			err = l.part.Write(t, l.segStart(s.seg), 1, s.vec[0])
+		}
+	} else {
+		if s.real() {
+			l.encodeSummary(s, l.seq)
+		}
+		var data []byte
+		if s.data != nil {
+			data = s.data[:(1+s.used)*core.BlockSize]
+		}
+		err = l.part.Write(t, l.segStart(s.seg), 1+s.used, data)
 	}
-	var data []byte
-	if s.data != nil {
-		data = s.data[:(1+s.used)*core.BlockSize]
-	}
-	err := l.part.Write(t, l.segStart(s.seg), 1+s.used, data)
 	if err != nil {
 		return err
 	}

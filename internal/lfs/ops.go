@@ -319,6 +319,55 @@ func (l *LFS) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, 
 	return run, l.part.Read(t, addr, run, data)
 }
 
+// ReadRunVec implements layout.VecRunReader: ReadRun with the run
+// scattered directly into per-block buffers. Pending and hole blocks
+// still cover exactly one block, served into bufs[0].
+func (l *LFS) ReadRunVec(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, bufs [][]byte) (int, error) {
+	if lim := l.ClusterRun(); n > lim {
+		n = lim
+	}
+	if n > len(bufs) {
+		n = len(bufs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock(t)
+	addr := ino.BlockAddr(blk)
+	if addr < 0 {
+		l.mu.Unlock(t)
+		for i := range bufs[0][:core.BlockSize] {
+			bufs[0][i] = 0
+		}
+		return 1, nil
+	}
+	if buf, ok := l.pending[addr]; ok {
+		copy(bufs[0][:core.BlockSize], buf)
+		l.mu.Unlock(t)
+		return 1, nil
+	}
+	run := 1
+	for run < n {
+		next := addr + int64(run)
+		if ino.BlockAddr(blk+core.BlockNo(run)) != next {
+			break
+		}
+		if _, pend := l.pending[next]; pend {
+			break
+		}
+		run++
+	}
+	l.mu.Unlock(t)
+	if run == 1 {
+		return 1, l.part.Read(t, addr, 1, bufs[0][:core.BlockSize])
+	}
+	vec := make([][]byte, run)
+	for i := 0; i < run; i++ {
+		vec[i] = bufs[i][:core.BlockSize]
+	}
+	return run, l.part.ReadVec(t, addr, run, vec)
+}
+
 // readLogBlock reads one metadata block, honoring the pending map.
 func (l *LFS) readLogBlock(t sched.Task, addr int64, data []byte) error {
 	if buf, ok := l.pending[addr]; ok {
@@ -331,12 +380,20 @@ func (l *LFS) readLogBlock(t sched.Task, addr int64, data []byte) error {
 // WriteBlocks appends the file's dirty blocks to the log
 // contiguously, replacing any older versions, and marks the inode
 // dirty. This is the path every cache flush takes.
-func (l *LFS) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.BlockWrite) error {
+func (l *LFS) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.BlockWrite) (err error) {
 	l.mu.Lock(t)
 	defer l.mu.Unlock(t)
 	if !l.mounted {
 		return fmt.Errorf("lfs %s: not mounted", l.name)
 	}
+	// Any error return leaves this job's frame aliases staged past
+	// their Flushing window — copy them out first (see
+	// materializeCur).
+	defer func() {
+		if err != nil {
+			l.materializeCur()
+		}
+	}()
 	for _, w := range writes {
 		if old := ino.BlockAddr(w.Blk); old >= 0 {
 			l.deadBlock(old)
@@ -349,7 +406,10 @@ func (l *LFS) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.Block
 	}
 	ino.MTime = int64(l.k.Now())
 	l.dirtyInodes[ino.ID] = true
-	return nil
+	// Vectored slots alias this job's cache frames; push them to the
+	// device while the frames are still Flushing-stable (no-op on the
+	// flat and simulated paths).
+	return l.writeThrough(t)
 }
 
 // Truncate drops blocks past newSize.

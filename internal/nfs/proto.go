@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 
 	"repro/internal/core"
 	"repro/internal/fsys"
@@ -255,6 +256,31 @@ func writeFrame(w io.Writer, payload []byte) error {
 		return err
 	}
 	_, err := w.Write(payload)
+	return err
+}
+
+// writeFrameVec sends one record-marked message whose payload is a
+// list of segments, in a single vectored write: net.Buffers turns
+// into writev on a TCP connection, so segments borrowed from cache
+// frames reach the wire without ever being copied into a contiguous
+// reply buffer.
+func writeFrameVec(w io.Writer, parts [][]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > MaxFrame {
+		return fmt.Errorf("nfs: frame of %d bytes exceeds maximum", total)
+	}
+	bufs := make(net.Buffers, 0, len(parts)+1)
+	hdr := []byte{byte(total >> 24), byte(total >> 16), byte(total >> 8), byte(total)}
+	bufs = append(bufs, hdr)
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 

@@ -31,6 +31,11 @@ type Server struct {
 	st     *ServerStats
 	tracer *telemetry.Tracer // nil = untraced
 
+	// vectored enables zero-copy read replies: ProcRead borrows the
+	// cache frames (fsys.ReadBorrowAt) and writev's them straight to
+	// the socket instead of copying into a reply buffer.
+	vectored bool
+
 	mu        sync.Mutex
 	closed    bool
 	draining  bool
@@ -93,6 +98,15 @@ func ServeOpts(k sched.Kernel, fs *fsys.FS, addr string, o Options) (*Server, er
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetVectored enables zero-copy read replies (see the vectored
+// field). Takes effect for subsequent calls; set it before serving
+// traffic. The front-end must have vectoring on too, or ProcRead
+// falls back to the copying path.
+func (s *Server) SetVectored(on bool) { s.vectored = on }
+
+// VectoredIO reports whether zero-copy read replies are enabled.
+func (s *Server) VectoredIO() bool { return s.vectored }
 
 // ServerStats returns the statistics plug-in.
 func (s *Server) ServerStats() *ServerStats { return s.st }
@@ -280,7 +294,8 @@ func (s *Server) execute(t sched.Task, conn net.Conn, c call) bool {
 	e := xdr.NewEncoder()
 	e.Uint32(xid)
 	e.Uint32(MsgReply)
-	status := s.dispatch(t, proc, d, e)
+	var release func(sched.Task)
+	status := s.dispatch(t, proc, d, e, &release)
 	if op != nil {
 		s.tracer.Unbind(t)
 	}
@@ -293,14 +308,23 @@ func (s *Server) execute(t sched.Task, conn net.Conn, c call) bool {
 	if status != OK {
 		s.st.Errors.Inc()
 	}
-	// Splice the status in after (xid, MsgReply): rebuild with the
-	// final status word.
-	out := xdr.NewEncoder()
-	out.Uint32(xid)
-	out.Uint32(MsgReply)
-	out.Uint32(status)
-	outBytes := append(out.Bytes(), e.Bytes()[8:]...)
-	return writeFrame(conn, outBytes) == nil
+	// Splice the status in after (xid, MsgReply): emit a fresh head
+	// with the final status word and strip the placeholder from the
+	// body. The body may carry segments borrowed from cache frames
+	// (a zero-copy read reply); one vectored write sends head, owned
+	// pieces and frames alike, then the loans are returned.
+	head := xdr.NewEncoder()
+	head.Uint32(xid)
+	head.Uint32(MsgReply)
+	head.Uint32(status)
+	body := e.Parts()
+	body[0] = body[0][8:] // drop the placeholder (xid, MsgReply)
+	parts := append([][]byte{head.Bytes()}, body...)
+	err = writeFrameVec(conn, parts)
+	if release != nil {
+		release(t)
+	}
+	return err == nil
 }
 
 // finishCall settles one admitted call's accounting; a draining
@@ -344,8 +368,10 @@ func (s *Server) resolve(t sched.Task, fh FH) (*fsys.Volume, uint32) {
 
 // dispatch decodes args from d, performs the procedure, encodes
 // results into e (after an 8-byte placeholder the caller strips),
-// and returns the status.
-func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Encoder) uint32 {
+// and returns the status. A procedure that lends resources into the
+// reply (a zero-copy read borrowing cache frames) stores a cleanup
+// in *rel; the caller runs it after the reply is on the wire.
+func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Encoder, rel *func(sched.Task)) uint32 {
 	switch proc {
 	case ProcNull:
 		return OK
@@ -448,6 +474,25 @@ func (s *Server) dispatch(t sched.Task, proc uint32, d *xdr.Decoder, e *xdr.Enco
 		h, err := v.OpenByID(t, fh.File)
 		if err != nil {
 			return StatusOf(err)
+		}
+		if s.vectored {
+			segs, n, release, ok, rerr := v.ReadBorrowAt(t, h, off, int64(count))
+			if ok {
+				if rerr != nil {
+					v.Close(t, h)
+					return StatusOf(rerr)
+				}
+				// The frames stay borrowed until the reply is written;
+				// the handle stays open until then too, so its close
+				// (which may destroy an unlinked file and wait for the
+				// pins) runs strictly after the loans are returned.
+				*rel = func(rt sched.Task) {
+					release(rt)
+					v.Close(rt, h)
+				}
+				e.OpaqueVec(segs, int(n))
+				return OK
+			}
 		}
 		buf := make([]byte, count)
 		n, err := v.ReadAt(t, h, off, buf, int64(count))

@@ -76,6 +76,25 @@ func NewRegistry(o Observables) *telemetry.Registry {
 	if rs := o.Recovery; rs != nil {
 		registerRecovery(reg, rs)
 	}
+	if o.FS != nil || o.Array != nil {
+		// Staging copies are counted wherever a data path falls back
+		// from scatter-gather to a bounce buffer (layout gathers,
+		// readahead scratch, short blocks); with vectoring on and
+		// clustered transfers this stays ~0.
+		fs, arr := o.FS, o.Array
+		reg.AddCounterFunc("pfs_io_staging_copy_bytes_total",
+			"Bytes bounced through staging buffers on the data paths (flat fallbacks of the zero-copy vectored I/O).", nil,
+			func() float64 {
+				var n int64
+				if fs != nil {
+					n += fs.FSStats().StagedCopy.Value()
+				}
+				if arr != nil {
+					n += arr.StagedCopyBytes()
+				}
+				return float64(n)
+			})
+	}
 	o.Tracer.Register(reg)
 	return reg
 }
@@ -131,6 +150,8 @@ func registerFS(reg *telemetry.Registry, fs *fsys.FS) {
 	reg.AddCounter("pfs_readahead_stream_verdicts_total", "Sequential-stream verdicts by the readahead detector.", nil, st.RAStreams)
 	reg.AddCounter("pfs_readahead_random_verdicts_total", "Broken-sequence (random) verdicts by the readahead detector.", nil, st.RARandoms)
 	reg.AddCounter("pfs_intent_forced_syncs_total", "Syncs forced by intent-ring pressure.", nil, st.IntentSyncs)
+	reg.AddGaugeFunc("pfs_io_vectored", "1 when the zero-copy vectored I/O path is enabled.", nil,
+		func() float64 { return boolGauge(fs.VectoredIO()) })
 }
 
 func registerNFS(reg *telemetry.Registry, n *nfs.Server) {
@@ -189,6 +210,8 @@ func registerDriver(reg *telemetry.Registry, member string, ds *device.DriverSta
 	reg.AddCounter("pfs_device_read_blocks_total", "Blocks read by the disk driver.", lbl, ds.BlocksRead)
 	reg.AddCounter("pfs_device_written_blocks_total", "Blocks written by the disk driver.", lbl, ds.BlocksWritten)
 	reg.AddCounter("pfs_device_disk_cache_hits_total", "Requests absorbed by the on-disk cache model.", lbl, ds.DiskCacheHits)
+	reg.AddCounter("pfs_device_vectored_reads_total", "Scatter-gather (preadv-style) read requests completed.", lbl, ds.VecReads)
+	reg.AddCounter("pfs_device_vectored_writes_total", "Gather (pwritev-style) write requests completed.", lbl, ds.VecWrites)
 	reg.AddIntHistogram("pfs_device_queue_depth", "Driver queue depth sampled at each request arrival.", lbl, ds.QueueHist)
 	reg.AddMoments("pfs_device_wait_seconds", "Time requests spent queued in the driver.", lbl, ds.WaitMS, 1e-3)
 	reg.AddMoments("pfs_device_service_seconds", "Device service time per request.", lbl, ds.ServiceMS, 1e-3)

@@ -57,6 +57,8 @@ var goldenSimFamilies = map[string]string{
 	"pfs_readahead_batches_total":         "counter",
 	"pfs_readahead_stream_verdicts_total": "counter",
 	"pfs_readahead_random_verdicts_total": "counter",
+	"pfs_io_vectored":                     "gauge",
+	"pfs_io_staging_copy_bytes_total":     "counter",
 	"pfs_volume_width":                    "gauge",
 	"pfs_volume_read_blocks_total":        "counter",
 	"pfs_volume_write_blocks_total":       "counter",
@@ -66,6 +68,8 @@ var goldenSimFamilies = map[string]string{
 	"pfs_device_read_blocks_total":        "counter",
 	"pfs_device_written_blocks_total":     "counter",
 	"pfs_device_disk_cache_hits_total":    "counter",
+	"pfs_device_vectored_reads_total":     "counter",
+	"pfs_device_vectored_writes_total":    "counter",
 	"pfs_device_queue_depth":              "histogram",
 	"pfs_device_wait_seconds":             "summary",
 	"pfs_device_service_seconds":          "summary",
@@ -206,6 +210,14 @@ func TestMetricsGoldenFamilies(t *testing.T) {
 	if v := metricValue(t, body, "pfs_volume_width"); v != 2 {
 		t.Errorf("width = %v", v)
 	}
+	// The simulator never vectorizes; its flat staging paths move no
+	// real bytes either, so both zero-copy families read zero.
+	if v := metricValue(t, body, "pfs_io_vectored"); v != 0 {
+		t.Errorf("pfs_io_vectored = %v in the simulator, want 0", v)
+	}
+	if v := metricValue(t, body, "pfs_io_staging_copy_bytes_total"); v != 0 {
+		t.Errorf("pfs_io_staging_copy_bytes_total = %v in the simulator, want 0", v)
+	}
 	var b2 strings.Builder
 	if err := reg.WritePrometheus(&b2); err != nil {
 		t.Fatal(err)
@@ -313,6 +325,10 @@ func TestAdminEndpointEndToEnd(t *testing.T) {
 		"pfs_fault_power_cut 0",
 		"pfs_uptime_seconds",
 		"pfs_intent_recorded_total 1",
+		"pfs_io_vectored 1",
+		"pfs_io_staging_copy_bytes_total",
+		`pfs_device_vectored_reads_total{member="d0"}`,
+		`pfs_device_vectored_writes_total{member="d0"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("missing %q in /metrics", want)

@@ -70,39 +70,108 @@ type pplKey struct {
 	s, o int64
 }
 
+// pentry is one filed record plus its retirement state. Issuing a
+// column's fan does NOT make it safe to drop the record: log-
+// structured members commit independently (a segment fill on one, not
+// the other), so after a cut one member may serve the update while
+// its column peer rolls back. The record stays pending until a whole-
+// array write barrier that STARTED after the fan completed — only
+// then has every member durably committed the column, and parity and
+// data are known to agree on the media.
+type pentry struct {
+	rec      *ParityRecord
+	inflight int    // fans currently updating the column
+	armed    bool   // some fan fully issued since the record was filed
+	armedSeq uint64 // parityLog.seq at the latest arming
+}
+
 // parityLog is the array's battery-backed record set. A plain mutex
 // (not a kernel one): the crash harness snapshots the records after
 // the kernel has stopped, the way it dumps NVRAM survivors.
 type parityLog struct {
 	mu   sync.Mutex
-	recs map[pplKey]*ParityRecord
+	seq  uint64 // barrier-start counter, orders armings against barriers
+	recs map[pplKey]*pentry
 }
 
-// recordParity files rec unless the column already has a pending
-// record: a retry after a failed (possibly torn) attempt reads torn
-// cells, so the first attempt's pp — computed against consistent
-// state — is the one that preserves the dead chunk.
+// recordParity files rec for its column. An unarmed existing record
+// marks a failed (possibly torn) earlier attempt: its pp — computed
+// against pre-tear content — is the one that preserves the dead
+// chunk, so a retry keeps it. An armed record's fan fully issued, and
+// rec's pp was read from the column that fan left behind: rec
+// supersedes it.
 func (a *Array) recordParity(rec *ParityRecord) {
 	a.ppl.mu.Lock()
 	if a.ppl.recs == nil {
-		a.ppl.recs = make(map[pplKey]*ParityRecord)
+		a.ppl.recs = make(map[pplKey]*pentry)
 	}
 	key := pplKey{rec.File, rec.Stripe, rec.Offset}
-	if _, ok := a.ppl.recs[key]; !ok {
-		a.ppl.recs[key] = rec
+	e := a.ppl.recs[key]
+	if e == nil || (e.armed && e.inflight == 0) {
+		a.ppl.recs[key] = &pentry{rec: rec, inflight: 1}
+	} else {
+		e.inflight++
 	}
 	a.ppl.mu.Unlock()
 }
 
-// clearParity retires records once their column update is fully on
-// the media (the column is consistent again).
-func (a *Array) clearParity(keys []pplKey) {
+// armParity marks the columns' fans fully issued. The records remain
+// pending — the members have the writes but may not have committed
+// them — and retire at the end of the next whole-array barrier.
+func (a *Array) armParity(keys []pplKey) {
 	if len(keys) == 0 {
 		return
 	}
 	a.ppl.mu.Lock()
 	for _, k := range keys {
-		delete(a.ppl.recs, k)
+		if e := a.ppl.recs[k]; e != nil {
+			e.inflight--
+			e.armed = true
+			e.armedSeq = a.ppl.seq
+		}
+	}
+	a.ppl.mu.Unlock()
+}
+
+// disarmParity backs out a failed fan's in-flight count without
+// arming: the column may be torn on the media, so its record stays
+// pending until a successful retry (or crash recovery's ReplayParity)
+// makes the column consistent again.
+func (a *Array) disarmParity(keys []pplKey) {
+	if len(keys) == 0 {
+		return
+	}
+	a.ppl.mu.Lock()
+	for _, k := range keys {
+		if e := a.ppl.recs[k]; e != nil {
+			e.inflight--
+		}
+	}
+	a.ppl.mu.Unlock()
+}
+
+// parityBarrierStart opens a barrier window: records armed before
+// this point cover writes the member barriers about to run will
+// commit.
+func (a *Array) parityBarrierStart() uint64 {
+	a.ppl.mu.Lock()
+	a.ppl.seq++
+	s := a.ppl.seq
+	a.ppl.mu.Unlock()
+	return s
+}
+
+// parityBarrierDone retires records whose fan completed before the
+// barrier began: every member has now committed those column
+// updates, so parity and data agree on the media and the guard has
+// nothing left to preserve. Records armed mid-barrier (or with a fan
+// still in flight) wait for the next one.
+func (a *Array) parityBarrierDone(s uint64) {
+	a.ppl.mu.Lock()
+	for k, e := range a.ppl.recs {
+		if e.armed && e.inflight == 0 && e.armedSeq < s {
+			delete(a.ppl.recs, k)
+		}
 	}
 	a.ppl.mu.Unlock()
 }
@@ -114,10 +183,10 @@ func (a *Array) PendingParity() []ParityRecord {
 	a.ppl.mu.Lock()
 	defer a.ppl.mu.Unlock()
 	out := make([]ParityRecord, 0, len(a.ppl.recs))
-	for _, r := range a.ppl.recs {
-		cp := *r
-		cp.Slots = append([]ParitySlot(nil), r.Slots...)
-		cp.PP = append([]byte(nil), r.PP...)
+	for _, e := range a.ppl.recs {
+		cp := *e.rec
+		cp.Slots = append([]ParitySlot(nil), e.rec.Slots...)
+		cp.PP = append([]byte(nil), e.rec.PP...)
 		out = append(out, cp)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -146,6 +146,7 @@ func (a *Array) WriteBarrier(t sched.Task) error {
 		}
 		return nil
 	}
+	s := a.parityBarrierStart()
 	for i := range a.subs {
 		if !a.writeAlive(i) {
 			continue
@@ -156,6 +157,10 @@ func (a *Array) WriteBarrier(t sched.Task) error {
 			}
 		}
 	}
+	// Every member committed the writes it held when the barrier
+	// began, so partial-parity records armed before it are fully on
+	// the media — on every member — and can retire.
+	a.parityBarrierDone(s)
 	return nil
 }
 

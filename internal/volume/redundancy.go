@@ -416,9 +416,15 @@ func (a *Array) writeRedundant(t sched.Task, af *afile, writes []layout.BlockWri
 		// A failed fan may have torn the guarded columns on the media;
 		// their records stay pending until a retry (or the crash
 		// recovery's ReplayParity) makes the columns consistent again.
+		a.disarmParity(guarded)
 		return err
 	}
-	a.clearParity(guarded)
+	// The fan is issued, but log-structured members commit it
+	// independently (a segment fill here, a barrier there) — until
+	// every member has, a cut can roll back one side of a column and
+	// not the other. Arm the records; the next whole-array barrier
+	// retires them.
+	a.armParity(guarded)
 	return nil
 }
 
@@ -763,15 +769,22 @@ func (a *Array) carrierFor(home int) int {
 // member's lock) — a real-mode remount recovers the size from
 // whichever carrier survives.
 func (a *Array) mirrorCarrierSizes(t sched.Task, af *afile) error {
+	// Caller holds af.mu, the global size's publication lock. Each
+	// shadow's size moves under its member's inode lock instead (the
+	// member's packer encodes it concurrently), so it is snapshotted
+	// through mutateShadow before the compare.
+	size := af.global.Size
 	for _, s := range []int{af.home, (af.home + 1) % len(a.subs)} {
 		if !a.writeAlive(s) {
 			continue
 		}
 		h := af.shadows[s]
-		if h.Size == af.global.Size {
+		cur := int64(-1)
+		a.mutateShadow(t, s, h, func() { cur = h.Size })
+		if cur == size {
 			continue
 		}
-		if err := a.sub(s).Truncate(t, h, af.global.Size); err != nil {
+		if err := a.sub(s).Truncate(t, h, size); err != nil {
 			return fmt.Errorf("volume %s: mirror size on carrier %d: %w", a.name, s, err)
 		}
 	}

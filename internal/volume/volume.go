@@ -241,6 +241,32 @@ func (a *Array) ClusterRun() int {
 	return 1
 }
 
+// SetVectored implements layout.Vectored by forwarding the
+// scatter-gather switch to every member.
+func (a *Array) SetVectored(on bool) {
+	for _, sub := range a.subs {
+		layout.SetVectored(sub, on)
+	}
+}
+
+// VectoredIO implements layout.Vectored (the members share the flag).
+func (a *Array) VectoredIO() bool {
+	if v, ok := a.subs[0].(layout.Vectored); ok {
+		return v.VectoredIO()
+	}
+	return false
+}
+
+// StagedCopyBytes implements layout.StagedCopy as the sum over the
+// effective members.
+func (a *Array) StagedCopyBytes() int64 {
+	var n int64
+	for _, sub := range a.effSubs() {
+		n += layout.StagedCopyBytes(sub)
+	}
+	return n
+}
+
 // Placement returns the placement policy in effect.
 func (a *Array) Placement() string { return a.cfg.Placement }
 
@@ -571,6 +597,14 @@ func (a *Array) UpdateInode(t sched.Task, ino *layout.Inode) error {
 	if !a.arrayOwned() {
 		return a.subs[af.home].UpdateInode(t, ino)
 	}
+	// Snapshot the front inode's scalars under its own publication
+	// lock (af.mu): mutateIno-routed writers hold that lock, not the
+	// member locks the shadow closures below run under.
+	var snap layout.Inode
+	a.WithInode(t, ino, func() {
+		snap.Type, snap.Nlink, snap.Mode = ino.Type, ino.Nlink, ino.Mode
+		snap.MTime, snap.CTime, snap.ATime = ino.MTime, ino.CTime, ino.ATime
+	})
 	if a.red != nil {
 		// Metadata rides on both carriers so it survives either.
 		for _, s := range []int{af.home, (af.home + 1) % len(a.subs)} {
@@ -579,11 +613,18 @@ func (a *Array) UpdateInode(t sched.Task, ino *layout.Inode) error {
 			}
 			h := af.shadows[s]
 			a.mutateShadow(t, s, h, func() {
-				h.Type, h.Nlink, h.Mode = ino.Type, ino.Nlink, ino.Mode
-				h.MTime, h.CTime, h.ATime = ino.MTime, ino.CTime, ino.ATime
+				h.Type, h.Nlink, h.Mode = snap.Type, snap.Nlink, snap.Mode
+				h.MTime, h.CTime, h.ATime = snap.MTime, snap.CTime, snap.ATime
 			})
 		}
-		if err := a.mirrorCarrierSizes(t, af); err != nil {
+		// The mirror helpers expect af.mu held (it publishes the
+		// global size); the WithInode snapshot above already released
+		// it, so take it here — af.mu before member locks, the order
+		// every write path uses.
+		af.mu.Lock(t)
+		err := a.mirrorCarrierSizes(t, af)
+		af.mu.Unlock(t)
+		if err != nil {
 			return err
 		}
 		for _, s := range []int{af.home, (af.home + 1) % len(a.subs)} {
@@ -598,11 +639,15 @@ func (a *Array) UpdateInode(t sched.Task, ino *layout.Inode) error {
 	}
 	h := af.shadows[af.home]
 	a.mutateShadow(t, af.home, h, func() {
-		h.Type, h.Nlink, h.Mode = ino.Type, ino.Nlink, ino.Mode
-		h.MTime, h.CTime, h.ATime = ino.MTime, ino.CTime, ino.ATime
+		h.Type, h.Nlink, h.Mode = snap.Type, snap.Nlink, snap.Mode
+		h.MTime, h.CTime, h.ATime = snap.MTime, snap.CTime, snap.ATime
 	})
-	// The global size rides in the home shadow; see mirrorHomeSize.
-	if err := a.mirrorHomeSize(t, af); err != nil {
+	// The global size rides in the home shadow; see mirrorHomeSize
+	// (which expects af.mu, its publication lock, held).
+	af.mu.Lock(t)
+	err := a.mirrorHomeSize(t, af)
+	af.mu.Unlock(t)
+	if err != nil {
 		return err
 	}
 	return a.subs[af.home].UpdateInode(t, h)
@@ -729,6 +774,71 @@ func (a *Array) ReadRun(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int
 	return got, err
 }
 
+// ReadRunVec implements layout.VecRunReader with ReadRun's exact
+// routing — stripe- and redundancy-chunk clamping, dead-member
+// degradation — but scattering into per-block buffers. A member
+// without a vectored path degrades to a single-block read into
+// bufs[0] (still no staging copy).
+func (a *Array) ReadRunVec(t sched.Task, ino *layout.Inode, blk core.BlockNo, n int, bufs [][]byte) (int, error) {
+	if n > len(bufs) {
+		n = len(bufs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if a.single != nil {
+		if got, ok, err := layout.ReadRunVec(t, a.single, ino, blk, n, bufs); ok {
+			return got, err
+		}
+		return 1, a.single.ReadBlock(t, ino, blk, bufs[0][:core.BlockSize])
+	}
+	af := a.lookup(t, ino.ID)
+	if af == nil {
+		return 0, core.ErrStale
+	}
+	if a.red != nil {
+		g := a.red
+		if rem := g.w - int(int64(blk)%int64(g.w)); n > rem {
+			n = rem
+		}
+		s, lb := g.primaryLoc(af.home, blk)
+		if g.parity {
+			s, lb = g.dataLoc(af.home, blk)
+		}
+		if a.readAlive(af, s) {
+			got, ok, err := layout.ReadRunVec(t, a.sub(s), af.shadows[s], lb, n, bufs)
+			if !ok {
+				got, err = 1, a.sub(s).ReadBlock(t, af.shadows[s], lb, bufs[0][:core.BlockSize])
+			}
+			if got > 0 {
+				a.reads.Add(s, int64(got))
+			}
+			if err == nil || !a.noteDeadErr(s, err) {
+				return got, err
+			}
+		}
+		if err := a.readRedundant(t, af, blk, bufs[0][:core.BlockSize]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	s, lb := af.home, blk
+	if a.striped {
+		s, lb = a.stripe.locate(af.home, blk)
+		if rem := a.stripe.w - int(int64(blk)%int64(a.stripe.w)); n > rem {
+			n = rem
+		}
+	}
+	got, ok, err := layout.ReadRunVec(t, a.subs[s], af.shadows[s], lb, n, bufs)
+	if !ok {
+		got, err = 1, a.subs[s].ReadBlock(t, af.shadows[s], lb, bufs[0][:core.BlockSize])
+	}
+	if got > 0 {
+		a.reads.Add(s, int64(got))
+	}
+	return got, err
+}
+
 // firstBlock clips a run buffer to its first block (nil stays nil for
 // simulated stacks).
 func firstBlock(data []byte) []byte {
@@ -831,11 +941,17 @@ func (a *Array) WriteBlocks(t sched.Task, ino *layout.Inode, writes []layout.Blo
 // home sub-layout's Truncate, so the write happens under its lock)
 // — that is what a real-mode remount recovers the size from.
 func (a *Array) mirrorHomeSize(t sched.Task, af *afile) error {
+	// Same locking discipline as mirrorCarrierSizes: caller holds
+	// af.mu (the global size's publication lock); the shadow's size
+	// is snapshotted under the home member's inode lock.
+	size := af.global.Size
 	h := af.shadows[af.home]
-	if h.Size == af.global.Size {
+	cur := int64(-1)
+	a.mutateShadow(t, af.home, h, func() { cur = h.Size })
+	if cur == size {
 		return nil
 	}
-	if err := a.subs[af.home].Truncate(t, h, af.global.Size); err != nil {
+	if err := a.subs[af.home].Truncate(t, h, size); err != nil {
 		return fmt.Errorf("volume %s: mirror size on home %d: %w", a.name, af.home, err)
 	}
 	return nil

@@ -11,16 +11,33 @@ import (
 // Encoder appends XDR-encoded values to a buffer.
 type Encoder struct {
 	buf []byte
+	// Borrowed segments spliced into the stream without copying
+	// (OpaqueVec): cuts[i] is the owned-buffer offset after which
+	// borrowed[i] appears on the wire. blen caches their total.
+	cuts     []int
+	borrowed [][]byte
+	blen     int
 }
 
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
 
-// Bytes returns the encoded buffer.
-func (e *Encoder) Bytes() []byte { return e.buf }
+// Bytes returns the encoded buffer. With borrowed segments present
+// it flattens the stream into a fresh contiguous copy; use Parts to
+// transmit without that copy.
+func (e *Encoder) Bytes() []byte {
+	if len(e.borrowed) == 0 {
+		return e.buf
+	}
+	out := make([]byte, 0, e.Len())
+	for _, p := range e.Parts() {
+		out = append(out, p...)
+	}
+	return out
+}
 
-// Len returns the encoded size so far.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Len returns the encoded size so far, borrowed segments included.
+func (e *Encoder) Len() int { return len(e.buf) + e.blen }
 
 // Uint32 encodes a 32-bit unsigned integer.
 func (e *Encoder) Uint32(v uint32) {
@@ -69,6 +86,54 @@ func (e *Encoder) FixedOpaque(p []byte) {
 
 // String encodes an XDR string.
 func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// OpaqueVec encodes variable-length opaque data whose payload is
+// supplied as segments borrowed from the caller (typically cache
+// frames): the length header and trailing padding land in the owned
+// buffer while the segments are recorded by reference, so Parts can
+// hand the whole message to a vectored socket write without the
+// payload ever being copied. n must equal the segments' total
+// length. The caller must keep the segments resident and unmodified
+// until the message has been transmitted or flattened with Bytes —
+// the encode side of the OpaqueBorrow contract.
+func (e *Encoder) OpaqueVec(segs [][]byte, n int) {
+	e.Uint32(uint32(n))
+	for _, s := range segs {
+		if len(s) == 0 {
+			continue
+		}
+		e.cuts = append(e.cuts, len(e.buf))
+		e.borrowed = append(e.borrowed, s)
+		e.blen += len(s)
+	}
+	for e.Len()%4 != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Parts returns the encoded message as an ordered list of segments:
+// the owned buffer split at each borrow point with the borrowed
+// segments spliced in, suitable for writev. With no borrows it is
+// the single owned buffer. The view aliases the encoder's state and
+// goes stale if more values are encoded.
+func (e *Encoder) Parts() [][]byte {
+	if len(e.borrowed) == 0 {
+		return [][]byte{e.buf}
+	}
+	parts := make([][]byte, 0, 2*len(e.borrowed)+1)
+	prev := 0
+	for i, cut := range e.cuts {
+		if cut > prev {
+			parts = append(parts, e.buf[prev:cut])
+			prev = cut
+		}
+		parts = append(parts, e.borrowed[i])
+	}
+	if prev < len(e.buf) {
+		parts = append(parts, e.buf[prev:])
+	}
+	return parts
+}
 
 // Decoder consumes XDR-encoded values from a buffer.
 type Decoder struct {
