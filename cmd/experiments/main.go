@@ -56,6 +56,11 @@ func main() {
 		degPlace   = flag.String("degplacements", "mirrored,parity", "redundant placements for the degraded study")
 		degWidth   = flag.Int("degwidth", 3, "array width for the degraded study")
 		degOut     = flag.String("degout", "BENCH_8.json", "write the degraded study as JSON here (empty = don't)")
+		selfheal   = flag.Bool("selfheal", false, "run the self-heal study (healthy baseline vs supervised repair per redundant placement, real kernel) instead of figures")
+		shPlace    = flag.String("shplacements", "mirrored,parity", "redundant placements for the self-heal study")
+		shWidth    = flag.Int("shwidth", 3, "array width for the self-heal study")
+		shOut      = flag.String("shout", "BENCH_10.json", "write the self-heal study as JSON here (empty = don't)")
+		shDir      = flag.String("shdir", "", "directory for the self-heal study's image files (default TMPDIR)")
 	)
 	flag.Parse()
 
@@ -122,6 +127,31 @@ func main() {
 			die(err)
 			die(os.WriteFile(*degOut, out, 0o644))
 			fmt.Printf("(wrote %s)\n", *degOut)
+		}
+		fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *selfheal {
+		var placements []string
+		for _, p := range strings.Split(*shPlace, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				placements = append(placements, p)
+			}
+		}
+		dir := *shDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		start := time.Now()
+		st, err := experiments.RunSelfHealStudy(dir, *seed, placements, *shWidth)
+		die(err)
+		fmt.Println(experiments.SelfHealTable(st))
+		if *shOut != "" {
+			out, err := experiments.SelfHealJSON(st)
+			die(err)
+			die(os.WriteFile(*shOut, out, 0o644))
+			fmt.Printf("(wrote %s)\n", *shOut)
 		}
 		fmt.Printf("(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 		return

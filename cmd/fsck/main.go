@@ -42,6 +42,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -60,6 +62,7 @@ type volReport struct {
 	FreeBlocks int64    `json:"free_blocks"`
 	Layout     string   `json:"layout"`
 	Dead       bool     `json:"dead,omitempty"`
+	Origin     *int     `json:"origin,omitempty"`
 	Repairs    []string `json:"repairs,omitempty"`
 	Errors     []string `json:"errors"`
 }
@@ -72,8 +75,30 @@ type report struct {
 	Degraded   bool        `json:"degraded,omitempty"`
 	DeadMember *int        `json:"dead_member,omitempty"`
 	Scrub      *scrubInfo  `json:"scrub,omitempty"`
+	Spares     *spareInfo  `json:"spares,omitempty"`
+	Health     *healthInfo `json:"health,omitempty"`
 	Clean      bool        `json:"clean"`
 	ErrorText  string      `json:"error,omitempty"`
+}
+
+// spareInfo reports the hot-spare images found next to the member set
+// ("<image>.s<j>") — idle replacements a self-healing server promotes.
+type spareInfo struct {
+	Count  int      `json:"count"`
+	Images []string `json:"images"`
+}
+
+// healthInfo is the set's self-heal provenance: members whose
+// geometry label records spare lineage were rebuilt onto a hot spare
+// by a supervised repair.
+type healthInfo struct {
+	Promoted []promotion `json:"promoted,omitempty"`
+}
+
+// promotion records that a member was rebuilt onto spare slot Spare.
+type promotion struct {
+	Member int `json:"member"`
+	Spare  int `json:"spare"`
 }
 
 // scrubInfo is the redundancy cross-check result: every file's data
@@ -319,20 +344,20 @@ func recoverArray(k *sched.RKernel, o options, rep *report) bool {
 			fatal = fail(0, "recover: %v", err)
 			return
 		}
-		nsubs, placement, stripe, found, err := volume.ReadLabel(t, probe)
+		li, found, err := volume.ReadLabel(t, probe)
 		if err != nil {
 			fatal = fail(0, "array label: %v", err)
 			return
 		}
 		cfg := volume.Config{}
 		if found {
-			rep.Label = &labelInfo{Volumes: nsubs, Placement: placement, StripeBlocks: stripe}
-			if nsubs != o.volumes {
-				fail(0, "array label says %d volumes, recovering %d", nsubs, o.volumes)
+			rep.Label = &labelInfo{Volumes: li.Volumes, Placement: li.Placement, StripeBlocks: li.StripeBlocks}
+			if li.Volumes != o.volumes {
+				fail(0, "array label says %d volumes, recovering %d", li.Volumes, o.volumes)
 				return
 			}
-			cfg.Placement = placement
-			cfg.StripeBlocks = stripe
+			cfg.Placement = li.Placement
+			cfg.StripeBlocks = li.StripeBlocks
 		} else {
 			vrs[0].Repairs = append(vrs[0].Repairs,
 				"no geometry label found; recovering with default (affinity) routing")
@@ -363,6 +388,10 @@ func recoverArray(k *sched.RKernel, o options, rep *report) bool {
 			vrs[i].FreeBlocks = sub.FreeBlocks()
 			for _, e := range checkFn(sub)(t) {
 				vrs[i].Errors = append(vrs[i].Errors, e.Error())
+			}
+			if mi, ok, err := volume.ReadLabel(t, sub); err == nil && ok && mi.Origin >= 0 {
+				org := mi.Origin
+				vrs[i].Origin = &org
 			}
 		}
 	})
@@ -523,12 +552,20 @@ func checkVolume(k *sched.RKernel, path string, o options, wantLabel bool, rep *
 		for _, e := range check(t) {
 			vr.Errors = append(vr.Errors, e.Error())
 		}
-		if wantLabel {
-			n, pl, sw, found, err := volume.ReadLabel(t, lay)
+		if o.volumes > 1 {
+			li, found, err := volume.ReadLabel(t, lay)
 			if err != nil {
 				vr.Errors = append(vr.Errors, fmt.Sprintf("array label: %v", err))
 			} else if found {
-				rep.Label = &labelInfo{Volumes: n, Placement: pl, StripeBlocks: sw}
+				// Lineage: a promoted member's label names the spare
+				// slot it was rebuilt onto.
+				if li.Origin >= 0 {
+					org := li.Origin
+					vr.Origin = &org
+				}
+				if wantLabel {
+					rep.Label = &labelInfo{Volumes: li.Volumes, Placement: li.Placement, StripeBlocks: li.StripeBlocks}
+				}
 			}
 		}
 	})
@@ -543,6 +580,22 @@ func emit(rep *report, o options, stdout, stderr io.Writer, fatal bool) int {
 		rep.Clean = false
 		rep.ErrorText = fmt.Sprintf("array label says %d volumes, checked %d",
 			rep.Label.Volumes, len(rep.Volumes))
+	}
+	// Spare pool and self-heal provenance: informative, never dirty.
+	if o.volumes > 1 {
+		if sp, _ := filepath.Glob(o.image + ".s*"); len(sp) > 0 {
+			sort.Strings(sp)
+			rep.Spares = &spareInfo{Count: len(sp), Images: sp}
+		}
+		var promos []promotion
+		for i, vr := range rep.Volumes {
+			if vr.Origin != nil {
+				promos = append(promos, promotion{Member: i, Spare: *vr.Origin})
+			}
+		}
+		if len(promos) > 0 {
+			rep.Health = &healthInfo{Promoted: promos}
+		}
 	}
 	if o.jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -582,6 +635,14 @@ func emit(rep *report, o options, stdout, stderr io.Writer, fatal bool) int {
 		if rep.Scrub != nil {
 			fmt.Fprintf(stdout, "redundancy cross-check: %d files, %d blocks, %d skipped (dead member), %d mismatches\n",
 				rep.Scrub.Files, rep.Scrub.Blocks, rep.Scrub.Skipped, rep.Scrub.Mismatches)
+		}
+		if rep.Spares != nil {
+			fmt.Fprintf(stdout, "spare pool: %d idle image(s)\n", rep.Spares.Count)
+		}
+		if rep.Health != nil {
+			for _, p := range rep.Health.Promoted {
+				fmt.Fprintf(stdout, "member %d: promoted from spare slot %d (self-heal rebuild)\n", p.Member, p.Spare)
+			}
 		}
 		if rep.ErrorText != "" {
 			fmt.Fprintln(stdout, "fsck:", rep.ErrorText)

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -128,6 +129,94 @@ func mkRedundantImage(t *testing.T, dir, placement string) string {
 	return path
 }
 
+// mkSparedImage builds a mirrored array with one idle hot spare
+// pre-provisioned next to the member set and closes it cleanly: the
+// "<image>.s0" file is what fsck's spare-pool report must find.
+func mkSparedImage(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "img")
+	srv, err := pfs.Open(pfs.Config{
+		Path:         path,
+		Blocks:       2048,
+		Volumes:      3,
+		Layout:       "lfs",
+		SegBlocks:    32,
+		CacheBlocks:  96,
+		Flush:        cache.UPS(),
+		Placement:    "mirrored",
+		StripeBlocks: 2,
+		Spares:       1,
+	})
+	if err != nil {
+		t.Fatalf("pfs.Open(spared): %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+// mkHealedImage drives a supervised repair to completion — member 1
+// marked dead, the spare promoted, rebuilt and scrub-verified — then
+// shuts down. The surviving set carries the self-heal provenance fsck
+// must surface: member 1's label records spare slot 0 as its origin,
+// and the pool is empty.
+func mkHealedImage(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "img")
+	srv, err := pfs.Open(pfs.Config{
+		Path:           path,
+		Blocks:         2048,
+		Volumes:        3,
+		Layout:         "lfs",
+		SegBlocks:      32,
+		CacheBlocks:    96,
+		Flush:          cache.UPS(),
+		Placement:      "mirrored",
+		StripeBlocks:   2,
+		Spares:         1,
+		SelfHeal:       true,
+		HealthInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("pfs.Open(healed): %v", err)
+	}
+	err = srv.Do(func(tk sched.Task) error {
+		v := srv.Vol
+		h, err := v.Create(tk, "/a", core.TypeRegular)
+		if err != nil {
+			return err
+		}
+		buf := bytes.Repeat([]byte{0x3C}, core.BlockSize)
+		for b := 0; b < 6; b++ {
+			if err := v.WriteAt(tk, h, int64(b)*core.BlockSize, buf, core.BlockSize); err != nil {
+				return err
+			}
+		}
+		return v.Close(tk, h)
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	if err := srv.MarkMemberDead(1); err != nil {
+		t.Fatalf("MarkMemberDead: %v", err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(srv.HealEvents()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no supervised repair within 20s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ev := srv.HealEvents()[0]; ev.Err != "" || ev.Spare != 0 {
+		t.Fatalf("heal event %+v, want clean promotion of spare 0", ev)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	return path
+}
+
 // flipDataByte corrupts one byte inside a data block of the image
 // set: it scans the members for a block-aligned run holding the test
 // file's fill byte and flips its first byte. The per-member check
@@ -182,6 +271,8 @@ func TestExitCodeTable(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	spared := mkSparedImage(t, t.TempDir())
+	healed := mkHealedImage(t, t.TempDir())
 	affinityLost := mkImage(t, t.TempDir(), "lfs", 3, "close")
 	if err := os.Remove(affinityLost + ".v2"); err != nil {
 		t.Fatal(err)
@@ -225,6 +316,8 @@ func TestExitCodeTable(t *testing.T) {
 		{"mirrored-array-clean", []string{"-image", mirror3, "-volumes", "3"}, 0, "redundancy cross-check:"},
 		{"parity-array-clean", []string{"-image", parity3, "-volumes", "3"}, 0, "0 mismatches"},
 		{"parity-member-dead", []string{"-image", degraded, "-volumes", "3"}, 0, "member dead"},
+		{"spare-pool-idle", []string{"-image", spared, "-volumes", "3"}, 0, "spare pool: 1 idle image(s)"},
+		{"healed-lineage", []string{"-image", healed, "-volumes", "3"}, 0, "member 1: promoted from spare slot 0 (self-heal rebuild)"},
 		{"two-members-missing", []string{"-image", lost2, "-volumes", "3"}, 2, ""},
 		{"nonredundant-member-missing", []string{"-image", affinityLost, "-volumes", "3"}, 2, "not redundant"},
 		{"array-rollforward", []string{"-image", array3, "-volumes", "3", "-rollforward"}, 0, "array label: 3 volumes"},
@@ -277,6 +370,51 @@ func TestExitCodeTable(t *testing.T) {
 		t.Fatalf("dead member not reported: %+v", rep)
 	case rep.Scrub == nil || rep.Scrub.Skipped == 0 || rep.Scrub.Mismatches != 0:
 		t.Fatalf("cross-check stats: %+v", rep.Scrub)
+	}
+
+	// The spare-pool JSON shape: the idle image is counted and listed,
+	// and a pool is informative — never dirties a clean set.
+	out.Reset()
+	if got := run([]string{"-image", spared, "-volumes", "3", "-json"}, &out, &out); got != 0 {
+		t.Fatalf("spared set not clean (exit %d):\n%s", got, out.String())
+	}
+	rep = report{}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	switch {
+	case !rep.Clean || rep.Degraded:
+		t.Fatalf("spared set: clean=%v degraded=%v", rep.Clean, rep.Degraded)
+	case rep.Spares == nil || rep.Spares.Count != 1 || len(rep.Spares.Images) != 1:
+		t.Fatalf("spare pool not reported: %+v", rep.Spares)
+	case rep.Spares.Images[0] != spared+".s0":
+		t.Fatalf("spare image %q, want %q", rep.Spares.Images[0], spared+".s0")
+	case rep.Health != nil:
+		t.Fatalf("untouched set reports promotions: %+v", rep.Health)
+	}
+
+	// The healed JSON shape: lineage on the rebuilt member, the pool
+	// consumed, the set clean and fully redundant again.
+	out.Reset()
+	if got := run([]string{"-image", healed, "-volumes", "3", "-json"}, &out, &out); got != 0 {
+		t.Fatalf("healed set not clean (exit %d):\n%s", got, out.String())
+	}
+	rep = report{}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	switch {
+	case !rep.Clean || rep.Degraded:
+		t.Fatalf("healed set: clean=%v degraded=%v", rep.Clean, rep.Degraded)
+	case rep.Volumes[1].Origin == nil || *rep.Volumes[1].Origin != 0:
+		t.Fatalf("member 1 lineage missing: %+v", rep.Volumes[1])
+	case rep.Health == nil || len(rep.Health.Promoted) != 1 ||
+		rep.Health.Promoted[0] != (promotion{Member: 1, Spare: 0}):
+		t.Fatalf("promotion not reported: %+v", rep.Health)
+	case rep.Spares != nil:
+		t.Fatalf("consumed pool still reported: %+v", rep.Spares)
+	case rep.Scrub == nil || rep.Scrub.Mismatches != 0 || rep.Scrub.Skipped != 0:
+		t.Fatalf("healed cross-check: %+v", rep.Scrub)
 	}
 
 	// A silently diverged copy: the per-member checks pass, but the

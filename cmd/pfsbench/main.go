@@ -54,6 +54,7 @@ func main() {
 		degraded  = flag.Bool("degraded", false, "kill a member after the prefill so cells measure degraded serving (needs -placement)")
 		degMember = flag.Int("degmember", 1, "which member -degraded kills")
 		rebuild   = flag.Bool("rebuild", false, "run the online rebuild concurrently with the measurement (implies -degraded)")
+		selfheal  = flag.Bool("selfheal", false, "kill a member at the fault seam mid-measurement and serve through the supervised repair — detection, spare promotion, online rebuild, scrub verify (real kernel only; implies -placement mirrored when unset)")
 		redundant = flag.Bool("redundant", false, "append the redundant-serving cells (mirrored+parity x healthy+degraded, 4 clients) to the matrix — the CI gate's degraded coverage")
 		out       = flag.String("out", "", "write the JSON result file here (default stdout)")
 		dir       = flag.String("dir", "", "directory for real-kernel image files (default TMPDIR)")
@@ -106,10 +107,11 @@ func main() {
 			cfg.Degrade = *degraded
 			cfg.DegradeMember = *degMember
 			cfg.Rebuild = *rebuild
+			cfg.SelfHeal = *selfheal
 			if *ops > 0 {
 				cfg.Ops = *ops
 			}
-			if *kernel == "virtual" || *kernel == "both" {
+			if (*kernel == "virtual" || *kernel == "both") && !cfg.SelfHeal {
 				start := time.Now()
 				res, err := bench.RunSim(cfg)
 				die(err)

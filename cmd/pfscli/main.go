@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -74,7 +75,7 @@ func main() {
 		dfh, _, err := walk(cl, root, dir)
 		die(err)
 		fh, _, err := cl.Create(dfh, name)
-		if err == core.ErrExists {
+		if errors.Is(err, core.ErrExists) {
 			fh, _, err = cl.Lookup(dfh, name)
 			if err == nil {
 				_, err = cl.SetSize(fh, 0)

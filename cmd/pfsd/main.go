@@ -47,6 +47,9 @@ func main() {
 		policy    = flag.String("policy", "ups", "flush policy: writedelay, ups, nvram-whole, nvram-partial")
 		nvramKB   = flag.Int("nvram", 4096, "NVRAM size in KB for nvram policies")
 		noIntents = flag.Bool("nointentlog", false, "disable the metadata intent log (exposes the historical create+write+crash drop)")
+		spares    = flag.Int("spares", 0, "hot-spare pool size: idle replacement member stacks pre-provisioned for promotion (redundant placements)")
+		selfHeal  = flag.Bool("selfheal", false, "supervised self-healing: health monitor + automatic spare promotion and online rebuild on member death")
+		healthInt = flag.Duration("healthint", 0, "health monitor sweep interval (0 = default)")
 		statsOut  = flag.Bool("stats", false, "print statistics on shutdown")
 	)
 	flag.Parse()
@@ -80,6 +83,9 @@ func main() {
 		Flush:            fc,
 		SlowOpThreshold:  *slowOp,
 		NoIntentLog:      *noIntents,
+		Spares:           *spares,
+		SelfHeal:         *selfHeal,
+		HealthInterval:   *healthInt,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

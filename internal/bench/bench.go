@@ -93,6 +93,15 @@ type Config struct {
 	Degrade       bool
 	DegradeMember int
 	Rebuild       bool
+	// SelfHeal (real kernel, redundant placements only) runs the cell
+	// through a supervised repair: the server boots with one hot spare
+	// and the health supervisor on, DegradeMember is killed at the
+	// fault seam shortly after the measurement starts, and the clients
+	// — riding the transient-fault retry transport — serve through
+	// detection, spare promotion, online rebuild and scrub-verify. The
+	// result records the supervisor's detection latency and MTTR
+	// alongside the serving numbers.
+	SelfHeal bool
 }
 
 // Quick is the CI smoke cell: a working set twice the cache (8 MB
@@ -184,6 +193,13 @@ type Result struct {
 	// RebuildMS is the online rebuild's duration in the rebuilding
 	// cell (simulated ms on the virtual kernel).
 	RebuildMS float64 `json:"rebuild_ms,omitempty"`
+	// SelfHeal marks a supervised-repair cell; DetectMS is the time
+	// from the kill to the monitor's confirmed verdict, MTTRMS the
+	// time from the kill to the scrub-verified rebuilt array (both
+	// wall-clock: the repair races real client load).
+	SelfHeal bool    `json:"self_heal,omitempty"`
+	DetectMS float64 `json:"detect_ms,omitempty"`
+	MTTRMS   float64 `json:"mttr_ms,omitempty"`
 }
 
 // Key identifies a cell for baseline comparison. Redundant-array
@@ -205,6 +221,8 @@ func (r Result) Key() string {
 	if r.Placement != "" {
 		k += fmt.Sprintf("/%s%d", r.Placement, r.Width)
 		switch {
+		case r.SelfHeal:
+			k += "/selfheal"
 		case r.Rebuild:
 			k += "/rebuilding"
 		case r.Degraded:
@@ -358,6 +376,15 @@ func (c *Config) fill() {
 	}
 	if c.CacheBlocks <= 0 {
 		c.CacheBlocks = 1024
+	}
+	if c.SelfHeal {
+		// The supervised-repair cell owns the whole kill→rebuild arc:
+		// the pre-kill and manual-rebuild knobs would double up.
+		if c.Placement == "" {
+			c.Placement = "mirrored"
+		}
+		c.Degrade = false
+		c.Rebuild = false
 	}
 	if c.Placement != "" && c.Width <= 0 {
 		c.Width = 3

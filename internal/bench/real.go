@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/nfs"
 	"repro/internal/pfs"
 	"repro/internal/stats"
@@ -26,6 +27,9 @@ func RunReal(dir string, cfg Config) (Result, error) {
 	}
 	if cfg.Workload != "" {
 		vecTag += "-" + cfg.Workload
+	}
+	if cfg.SelfHeal {
+		vecTag += "-selfheal"
 	}
 	img := filepath.Join(dir, fmt.Sprintf("bench-c%d-s%d-p%d-ra%d-cl%d%s%s.img",
 		cfg.Clients, cfg.Shards, cfg.Pipeline, cfg.Readahead, cfg.Cluster, placementTag(cfg), vecTag))
@@ -46,10 +50,17 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		pcfg.Placement = cfg.Placement
 		pcfg.StripeBlocks = cfg.StripeBlocks
 	}
+	if cfg.SelfHeal {
+		pcfg.Spares = 1
+		pcfg.SelfHeal = true
+		pcfg.HealthInterval = 10 * time.Millisecond
+		pcfg.Fault = &device.FaultConfig{Seed: cfg.Seed}
+	}
 	removeImages := func() {
 		os.Remove(img)
 		for i := 0; i < cfg.Width; i++ {
 			os.Remove(fmt.Sprintf("%s.v%d", img, i))
+			os.Remove(fmt.Sprintf("%s.s%d", img, i))
 		}
 	}
 	removeImages()
@@ -117,7 +128,7 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		}
 	}
 	base := cacheCounters(srv.Cache.CacheStats())
-	baseVol := volumeCounters(srv.Drivers)
+	baseVol := volumeCounters(srv.AllDrivers())
 	baseStaged := srv.StagedCopyBytes()
 	var adminAddr string
 	var baseScrape map[string]float64
@@ -137,13 +148,30 @@ func RunReal(dir string, cfg Config) (Result, error) {
 	errc := make(chan error, cfg.Clients*cfg.Depth)
 	clients := make([]*nfs.Client, cfg.Clients)
 	for i := range clients {
-		clients[i], err = nfs.DialPipeline(addr, cfg.Depth)
+		if cfg.SelfHeal {
+			// Repair-window realism: the clients ride the transient-fault
+			// retry transport, the way a deployment serving through a
+			// member death would.
+			clients[i], err = nfs.DialRetry(addr, nfs.RetryConfig{
+				Attempts: 6, Window: cfg.Depth, Seed: cfg.Seed + int64(i) + 1,
+			})
+		} else {
+			clients[i], err = nfs.DialPipeline(addr, cfg.Depth)
+		}
 		if err != nil {
 			return Result{}, err
 		}
 		defer clients[i].Close()
 	}
 	start := time.Now()
+	if cfg.SelfHeal {
+		// Kill the member at the fault seam shortly into the measurement:
+		// the supervisor must detect, promote and rebuild under this load.
+		go func() {
+			time.Sleep(25 * time.Millisecond)
+			srv.Fault.Kill(cfg.DegradeMember)
+		}()
+	}
 	var rebuildDur time.Duration
 	rebuildErr := make(chan error, 1)
 	if cfg.Rebuild {
@@ -206,6 +234,28 @@ func RunReal(dir string, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("bench: rebuild: %w", err)
 		}
 	}
+	var healEv pfs.HealEvent
+	if cfg.SelfHeal {
+		// The repair may still be running when the clients drain; wait
+		// for the supervisor to close the incident.
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if evs := srv.HealEvents(); len(evs) > 0 {
+				healEv = evs[0]
+				break
+			}
+			if time.Now().After(deadline) {
+				return Result{}, fmt.Errorf("bench: no supervised repair within 60s of the kill")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if healEv.Err != "" {
+			return Result{}, fmt.Errorf("bench: supervised repair failed: %s", healEv.Err)
+		}
+		if srv.Array.Degraded() {
+			return Result{}, fmt.Errorf("bench: array still degraded after supervised repair")
+		}
+	}
 
 	pipeline := cfg.Pipeline
 	if pipeline == 0 {
@@ -227,7 +277,7 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		NoVector:        cfg.NoVector,
 		Workload:        cfg.Workload,
 		Cache:           cacheCounters(srv.Cache.CacheStats()).sub(base),
-		Volume:          volumeCounters(srv.Drivers).sub(baseVol),
+		Volume:          volumeCounters(srv.AllDrivers()).sub(baseVol),
 	}
 	if cfg.Placement != "" {
 		res.Placement = cfg.Placement
@@ -235,6 +285,11 @@ func RunReal(dir string, cfg Config) (Result, error) {
 		res.Degraded = cfg.Degrade
 		res.Rebuild = cfg.Rebuild
 		res.RebuildMS = float64(rebuildDur) / float64(time.Millisecond)
+	}
+	if cfg.SelfHeal {
+		res.SelfHeal = true
+		res.DetectMS = healEv.DetectMS
+		res.MTTRMS = healEv.MTTRMS
 	}
 	res.MeanMS, res.P50MS, res.P95MS, res.P99MS = quantilesMS(lat)
 	if cfg.Scrape {

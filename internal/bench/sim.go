@@ -21,6 +21,11 @@ import (
 // and 0.
 func RunSim(cfg Config) (Result, error) {
 	cfg.fill()
+	if cfg.SelfHeal {
+		// The supervised-repair arc (health supervisor, wall-clock
+		// timers, fault seam) lives on the real kernel only.
+		return Result{}, fmt.Errorf("bench: SelfHeal cells require the real kernel")
+	}
 	cluster := cfg.Cluster
 	if cluster < 2 {
 		cluster = 0 // virtual default: clustering off (0 and -1 alike)

@@ -1,9 +1,11 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -54,6 +56,16 @@ type DriverStats struct {
 	WaitMS        *stats.Moments
 	ServiceMS     *stats.Moments
 	DiskCacheHits *stats.Counter
+	// Health evidence, accumulated at request completion: transient
+	// I/O errors, permanent dead-member rejections, and completions
+	// over the latency SLO. A health monitor polls these cumulative
+	// counters to build its evidence window; everything here is an
+	// atomic so a sampler never touches kernel state.
+	IOErrors   *stats.Counter
+	DeadErrors *stats.Counter
+	SlowIOs    *stats.Counter
+	consecErrs atomic.Int64
+	sloMicros  atomic.Int64
 }
 
 func newDriverStats(name string) *DriverStats {
@@ -68,6 +80,40 @@ func newDriverStats(name string) *DriverStats {
 		WaitMS:        stats.NewMoments(name + ".wait_ms"),
 		ServiceMS:     stats.NewMoments(name + ".service_ms"),
 		DiskCacheHits: stats.NewCounter(name + ".disk_cache_hits"),
+		IOErrors:      stats.NewCounter(name + ".io_errors"),
+		DeadErrors:    stats.NewCounter(name + ".dead_errors"),
+		SlowIOs:       stats.NewCounter(name + ".slow_ios"),
+	}
+}
+
+// SetLatencySLO arms the slow-I/O counter: completions whose service
+// time exceeds d count as SLO breaches. Zero disables (the default —
+// the simulator's modeled latencies should not trip it accidentally).
+func (s *DriverStats) SetLatencySLO(d time.Duration) {
+	s.sloMicros.Store(d.Microseconds())
+}
+
+// ConsecutiveErrors returns the current run of back-to-back failed
+// requests; any success resets it to zero.
+func (s *DriverStats) ConsecutiveErrors() int64 { return s.consecErrs.Load() }
+
+// noteCompletion folds one completed request into the health
+// evidence. Power-cut errors are excluded: a cut is a whole-system
+// event, not evidence against one member.
+func (s *DriverStats) noteCompletion(err error, serviceMS float64) {
+	if slo := s.sloMicros.Load(); slo > 0 && serviceMS*1000 > float64(slo) {
+		s.SlowIOs.Inc()
+	}
+	switch {
+	case err == nil:
+		s.consecErrs.Store(0)
+	case errors.Is(err, ErrPowerCut):
+	case errors.Is(err, ErrDiskDead):
+		s.DeadErrors.Inc()
+		s.consecErrs.Add(1)
+	default:
+		s.IOErrors.Inc()
+		s.consecErrs.Add(1)
 	}
 }
 
@@ -100,6 +146,9 @@ func (s *DriverStats) Register(set *stats.Set) {
 	set.Add(s.WaitMS)
 	set.Add(s.ServiceMS)
 	set.Add(s.DiskCacheHits)
+	set.Add(s.IOErrors)
+	set.Add(s.DeadErrors)
+	set.Add(s.SlowIOs)
 }
 
 // backend performs one request synchronously; the generic driver
@@ -264,7 +313,9 @@ func (d *driver) workerLoop(t sched.Task) {
 		d.st.WaitMS.Observe(float64(r.Started.Sub(r.Enqueued)) / 1e6)
 		d.perform(t, r)
 		r.Completed = d.k.Now()
-		d.st.ServiceMS.Observe(float64(r.Completed.Sub(r.Started)) / 1e6)
+		serviceMS := float64(r.Completed.Sub(r.Started)) / 1e6
+		d.st.ServiceMS.Observe(serviceMS)
+		d.st.noteCompletion(r.Err, serviceMS)
 		if r.Op == OpRead {
 			d.st.Reads.Inc()
 			d.st.BlocksRead.Add(int64(r.Blocks))

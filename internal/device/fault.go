@@ -209,6 +209,20 @@ func (p *FaultPlan) Cut() {
 	}
 }
 
+// ArmCut arms (or re-arms) the I/O-count cut trigger n device I/Os
+// from now, so a cut can target a phase that starts mid-run — e.g.
+// the I/Os of a supervised repair, not the baseline traffic that
+// preceded it. n <= 0 disarms.
+func (p *FaultPlan) ArmCut(n int64) {
+	p.mu.Lock()
+	if n > 0 {
+		p.cfg.CutAfterIO = p.ios + n
+	} else {
+		p.cfg.CutAfterIO = 0
+	}
+	p.mu.Unlock()
+}
+
 // Restore turns the power back on: requests flow to the media again.
 // Simulated recovery reuses the crashed stack this way; a real
 // recovery would reopen the devices instead.

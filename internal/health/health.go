@@ -1,0 +1,343 @@
+// Package health turns raw per-member I/O evidence into verdicts a
+// repair supervisor can act on. The device layer accumulates
+// cumulative error and latency-SLO counters (device.DriverStats); a
+// Monitor samples them periodically and runs a small hysteresis state
+// machine per member:
+//
+//	Healthy ─evidence─▶ Suspect ─sustained─▶ Probation
+//	   ▲                   │                     │
+//	   └──── clean window ──┴──── clean window ───┘
+//
+//	any state ─(dead-member rejection | consecutive-error run)─▶ Dead
+//
+// Transient evidence (injected read/write errors, slow completions)
+// can only raise a member to Suspect or Probation — states it decays
+// back out of after a clean window. Only hard evidence confirms Dead:
+// a permanent dead-member rejection (device.ErrDiskDead) or an
+// unbroken run of failures longer than KillConsec. An intermittently
+// flaky member therefore oscillates between Suspect and Probation
+// forever without being flapped to death, while a genuinely dead one
+// is confirmed within a single evidence sample of its first rejected
+// I/O.
+//
+// The Monitor holds only plain mutexes and atomics, so verdicts and
+// state snapshots are safe to read from metric scrapers and admin
+// handlers without touching kernel state.
+package health
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Verdict is a member's current health classification.
+type Verdict int
+
+const (
+	Healthy Verdict = iota
+	Suspect
+	Probation
+	Dead
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Probation:
+		return "probation"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Evidence is one cumulative sample of a member's health counters.
+// All fields are monotonic totals; the Monitor differences successive
+// samples itself.
+type Evidence struct {
+	Errors     int64 // transient I/O errors
+	DeadErrors int64 // permanent dead-member rejections
+	SlowIOs    int64 // completions over the latency SLO
+	Consec     int64 // current run of back-to-back failures
+}
+
+// Source supplies evidence for one member.
+type Source interface {
+	Name() string
+	HealthEvidence() Evidence
+}
+
+// Config tunes the state machine. Zero values select the defaults.
+type Config struct {
+	// Window is the number of samples in the sliding evidence window.
+	Window int
+	// SuspectScore is the windowed evidence (errors + SLO breaches)
+	// that raises Healthy to Suspect.
+	SuspectScore int64
+	// ProbationAfter is the number of consecutive evidence-bearing
+	// samples that escalates Suspect to Probation.
+	ProbationAfter int
+	// ClearAfter is the number of consecutive clean samples (with an
+	// empty window) that steps a member back down one state.
+	ClearAfter int
+	// KillConsec is the unbroken failure run that confirms Dead even
+	// without a permanent rejection.
+	KillConsec int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.SuspectScore <= 0 {
+		c.SuspectScore = 3
+	}
+	if c.ProbationAfter <= 0 {
+		c.ProbationAfter = 2
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = c.Window
+	}
+	if c.KillConsec <= 0 {
+		c.KillConsec = 12
+	}
+	return c
+}
+
+// MemberState is a point-in-time snapshot for admin surfaces.
+type MemberState struct {
+	Name        string
+	Verdict     Verdict
+	WindowErrs  int64 // transient errors in the evidence window
+	WindowSlow  int64 // SLO breaches in the evidence window
+	Consec      int64 // current back-to-back failure run
+	DeadErrors  int64 // cumulative permanent rejections
+	Samples     int64 // evidence samples taken
+	Transitions int64 // verdict changes since attach
+}
+
+type sampleDelta struct {
+	errs, slow int64
+}
+
+type memberFSM struct {
+	src     Source
+	prev    Evidence
+	primed  bool // prev is valid (first sample only establishes a baseline)
+	ring    []sampleDelta
+	idx     int
+	verdict Verdict
+	hot     int // consecutive evidence-bearing samples
+	cool    int // consecutive clean samples
+	samples int64
+	trans   int64
+}
+
+func (f *memberFSM) windowScore() (errs, slow int64) {
+	for _, d := range f.ring {
+		errs += d.errs
+		slow += d.slow
+	}
+	return
+}
+
+// Monitor runs one state machine per member over sampled evidence.
+type Monitor struct {
+	cfg    Config
+	mu     sync.Mutex
+	fsm    []*memberFSM
+	onDead []func(member int)
+	deaths atomic.Int64
+}
+
+// NewMonitor builds a monitor over the given member sources.
+func NewMonitor(cfg Config, members []Source) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{cfg: cfg}
+	for _, s := range members {
+		m.fsm = append(m.fsm, &memberFSM{src: s, ring: make([]sampleDelta, cfg.Window)})
+	}
+	return m
+}
+
+// OnDead registers fn to run (on the Observe caller's goroutine,
+// outside the monitor lock) once per confirmed death.
+func (m *Monitor) OnDead(fn func(member int)) {
+	m.mu.Lock()
+	m.onDead = append(m.onDead, fn)
+	m.mu.Unlock()
+}
+
+// Members returns the number of members under watch.
+func (m *Monitor) Members() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.fsm)
+}
+
+// Observe takes one evidence sample from every member, advances the
+// state machines, and returns the verdicts. Deaths confirmed by this
+// sample fire the OnDead callbacks after the lock is released.
+func (m *Monitor) Observe() []Verdict {
+	m.mu.Lock()
+	verdicts := make([]Verdict, len(m.fsm))
+	var died []int
+	for i, f := range m.fsm {
+		was := f.verdict
+		m.step(f)
+		verdicts[i] = f.verdict
+		if f.verdict != was {
+			f.trans++
+			if f.verdict == Dead {
+				m.deaths.Add(1)
+				died = append(died, i)
+			}
+		}
+	}
+	callbacks := m.onDead
+	m.mu.Unlock()
+	for _, i := range died {
+		for _, fn := range callbacks {
+			fn(i)
+		}
+	}
+	return verdicts
+}
+
+func (m *Monitor) step(f *memberFSM) {
+	ev := f.src.HealthEvidence()
+	f.samples++
+	if !f.primed {
+		// First contact: adopt the counters as the baseline so
+		// pre-attach history is not charged against the member, but
+		// still honor hard evidence already on the books.
+		f.prev, f.primed = ev, true
+		if ev.DeadErrors > 0 || ev.Consec >= m.cfg.KillConsec {
+			f.verdict = Dead
+		}
+		return
+	}
+	d := sampleDelta{
+		errs: ev.Errors - f.prev.Errors,
+		slow: ev.SlowIOs - f.prev.SlowIOs,
+	}
+	newDead := ev.DeadErrors - f.prev.DeadErrors
+	f.prev = ev
+	f.ring[f.idx] = d
+	f.idx = (f.idx + 1) % len(f.ring)
+
+	if f.verdict == Dead {
+		return // sticky until Replace
+	}
+	// Hard evidence: a permanent rejection or an unbroken failure run.
+	if newDead > 0 || ev.Consec >= m.cfg.KillConsec {
+		f.verdict = Dead
+		return
+	}
+	if d.errs+d.slow > 0 {
+		f.hot++
+		f.cool = 0
+	} else {
+		f.cool++
+		if f.cool >= m.cfg.ClearAfter {
+			f.hot = 0
+		}
+	}
+	errs, slow := f.windowScore()
+	score := errs + slow
+	switch f.verdict {
+	case Healthy:
+		if score >= m.cfg.SuspectScore {
+			f.verdict = Suspect
+		}
+	case Suspect:
+		if f.hot >= m.cfg.ProbationAfter {
+			f.verdict = Probation
+		} else if score == 0 && f.cool >= m.cfg.ClearAfter {
+			f.verdict = Healthy
+		}
+	case Probation:
+		if score == 0 && f.cool >= m.cfg.ClearAfter {
+			f.verdict = Suspect
+			f.hot = 0
+		}
+	}
+}
+
+// Verdict returns member i's current verdict.
+func (m *Monitor) Verdict(i int) Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fsm[i].verdict
+}
+
+// MarkDead is the manual override: it forces member i's verdict to
+// Dead and fires the usual callbacks, exactly as if the evidence had
+// confirmed the death.
+func (m *Monitor) MarkDead(i int) {
+	m.mu.Lock()
+	f := m.fsm[i]
+	already := f.verdict == Dead
+	if !already {
+		f.verdict = Dead
+		f.trans++
+		m.deaths.Add(1)
+	}
+	callbacks := m.onDead
+	m.mu.Unlock()
+	if already {
+		return
+	}
+	for _, fn := range callbacks {
+		fn(i)
+	}
+}
+
+// Replace points member i at a fresh source (a promoted spare) and
+// resets its state machine to Healthy with an empty window.
+func (m *Monitor) Replace(i int, s Source) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fsm[i] = &memberFSM{src: s, ring: make([]sampleDelta, m.cfg.Window)}
+}
+
+// State snapshots member i for admin surfaces.
+func (m *Monitor) State(i int) MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stateLocked(i)
+}
+
+// States snapshots every member.
+func (m *Monitor) States() []MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberState, len(m.fsm))
+	for i := range m.fsm {
+		out[i] = m.stateLocked(i)
+	}
+	return out
+}
+
+func (m *Monitor) stateLocked(i int) MemberState {
+	f := m.fsm[i]
+	errs, slow := f.windowScore()
+	return MemberState{
+		Name:        f.src.Name(),
+		Verdict:     f.verdict,
+		WindowErrs:  errs,
+		WindowSlow:  slow,
+		Consec:      f.prev.Consec,
+		DeadErrors:  f.prev.DeadErrors,
+		Samples:     f.samples,
+		Transitions: f.trans,
+	}
+}
+
+// ConfirmedDeaths returns the number of deaths the monitor has
+// confirmed (including manual overrides). Safe for scrapers.
+func (m *Monitor) ConfirmedDeaths() int64 { return m.deaths.Load() }

@@ -1,0 +1,268 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeSource is a hand-cranked evidence counter set.
+type fakeSource struct {
+	mu   sync.Mutex
+	name string
+	ev   Evidence
+}
+
+func (f *fakeSource) Name() string { return f.name }
+
+func (f *fakeSource) HealthEvidence() Evidence {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ev
+}
+
+// fail records n transient failures, extending the back-to-back run.
+func (f *fakeSource) fail(n int64) {
+	f.mu.Lock()
+	f.ev.Errors += n
+	f.ev.Consec += n
+	f.mu.Unlock()
+}
+
+func (f *fakeSource) slow(n int64) {
+	f.mu.Lock()
+	f.ev.SlowIOs += n
+	f.mu.Unlock()
+}
+
+func (f *fakeSource) succeed() {
+	f.mu.Lock()
+	f.ev.Consec = 0
+	f.mu.Unlock()
+}
+
+func (f *fakeSource) dead() {
+	f.mu.Lock()
+	f.ev.DeadErrors++
+	f.ev.Consec++
+	f.mu.Unlock()
+}
+
+func newTestMonitor(n int) (*Monitor, []*fakeSource) {
+	srcs := make([]*fakeSource, n)
+	members := make([]Source, n)
+	for i := range srcs {
+		srcs[i] = &fakeSource{name: fmt.Sprintf("d%d", i)}
+		members[i] = srcs[i]
+	}
+	return NewMonitor(Config{}, members), srcs
+}
+
+// TestEscalationAndDecay walks one member up the ladder with
+// transient evidence and back down with clean samples: transient
+// evidence must never confirm Dead.
+func TestEscalationAndDecay(t *testing.T) {
+	m, srcs := newTestMonitor(1)
+	s := srcs[0]
+	cfg := Config{}.withDefaults()
+
+	m.Observe() // prime the baseline
+	if v := m.Verdict(0); v != Healthy {
+		t.Fatalf("baseline verdict %v, want healthy", v)
+	}
+
+	// Enough windowed evidence raises Suspect...
+	s.fail(cfg.SuspectScore)
+	s.succeed()
+	m.Observe()
+	if v := m.Verdict(0); v != Suspect {
+		t.Fatalf("after %d errors: %v, want suspect", cfg.SuspectScore, v)
+	}
+	// ...and sustained evidence-bearing samples escalate to Probation.
+	for i := 0; i < cfg.ProbationAfter; i++ {
+		s.fail(1)
+		s.succeed()
+		m.Observe()
+	}
+	if v := m.Verdict(0); v != Probation {
+		t.Fatalf("after sustained evidence: %v, want probation", v)
+	}
+
+	// Clean samples decay one state at a time: the verdict must pass
+	// back through Suspect on its way down, never jump straight home.
+	var seen []Verdict
+	last := Probation
+	for i := 0; i < 4*(cfg.Window+cfg.ClearAfter); i++ {
+		m.Observe()
+		if v := m.Verdict(0); v != last {
+			seen = append(seen, v)
+			last = v
+		}
+		if last == Healthy {
+			break
+		}
+	}
+	if len(seen) != 2 || seen[0] != Suspect || seen[1] != Healthy {
+		t.Fatalf("decay path %v, want [suspect healthy]", seen)
+	}
+	if n := m.ConfirmedDeaths(); n != 0 {
+		t.Fatalf("transient evidence confirmed %d deaths", n)
+	}
+}
+
+// TestIntermittentNeverDies is the anti-flapping guarantee: a member
+// that errors intermittently forever — every error run broken by a
+// success before KillConsec — oscillates below Dead for thousands of
+// samples.
+func TestIntermittentNeverDies(t *testing.T) {
+	m, srcs := newTestMonitor(2)
+	flaky := srcs[0]
+	cfg := Config{}.withDefaults()
+	var died int
+	m.OnDead(func(int) { died++ })
+	for i := 0; i < 5000; i++ {
+		// A nasty rhythm: bursts just under the consecutive-failure
+		// bound, then a single success, repeatedly.
+		flaky.fail(cfg.KillConsec - 1)
+		flaky.succeed()
+		flaky.slow(2)
+		m.Observe()
+		if v := m.Verdict(0); v == Dead {
+			t.Fatalf("intermittent member confirmed dead at sample %d", i)
+		}
+	}
+	if v := m.Verdict(0); v != Suspect && v != Probation {
+		t.Fatalf("persistently flaky member settled at %v, want suspect/probation", v)
+	}
+	if v := m.Verdict(1); v != Healthy {
+		t.Fatalf("quiet member dragged to %v by its neighbor", v)
+	}
+	if died != 0 || m.ConfirmedDeaths() != 0 {
+		t.Fatalf("OnDead fired %d times for transient evidence", died)
+	}
+}
+
+// TestHardEvidenceConfirmsDead pins the two hard paths: a permanent
+// dead-member rejection confirms within one sample, as does an
+// unbroken failure run reaching KillConsec. The verdict is sticky
+// until Replace, and OnDead fires exactly once per death.
+func TestHardEvidenceConfirmsDead(t *testing.T) {
+	m, srcs := newTestMonitor(2)
+	cfg := Config{}.withDefaults()
+	var mu sync.Mutex
+	var deaths []int
+	m.OnDead(func(i int) { mu.Lock(); deaths = append(deaths, i); mu.Unlock() })
+	m.Observe() // prime
+
+	srcs[0].dead()
+	m.Observe()
+	if v := m.Verdict(0); v != Dead {
+		t.Fatalf("dead rejection sampled as %v, want dead", v)
+	}
+
+	srcs[1].fail(cfg.KillConsec)
+	m.Observe()
+	if v := m.Verdict(1); v != Dead {
+		t.Fatalf("unbroken run of %d sampled as %v, want dead", cfg.KillConsec, v)
+	}
+
+	// Sticky: clean samples do not resurrect a confirmed death.
+	srcs[0].succeed()
+	srcs[1].succeed()
+	for i := 0; i < 3*cfg.Window; i++ {
+		m.Observe()
+	}
+	if m.Verdict(0) != Dead || m.Verdict(1) != Dead {
+		t.Fatal("confirmed death decayed without Replace")
+	}
+	mu.Lock()
+	n := len(deaths)
+	mu.Unlock()
+	if n != 2 || m.ConfirmedDeaths() != 2 {
+		t.Fatalf("OnDead fired %d times (counter %d), want 2", n, m.ConfirmedDeaths())
+	}
+
+	// Replace resets the slot to a fresh healthy machine.
+	m.Replace(0, &fakeSource{name: "s0"})
+	m.Observe()
+	if v := m.Verdict(0); v != Healthy {
+		t.Fatalf("replaced member starts %v, want healthy", v)
+	}
+	if st := m.State(0); st.Name != "s0" || st.Transitions != 0 {
+		t.Fatalf("replaced state %+v, want fresh s0", st)
+	}
+}
+
+// TestFirstSamplePrimesBaseline ensures pre-attach history is not
+// charged against a member — except hard evidence already on the
+// books, which must confirm immediately.
+func TestFirstSamplePrimesBaseline(t *testing.T) {
+	noisy := &fakeSource{name: "noisy", ev: Evidence{Errors: 500, SlowIOs: 200}}
+	corpse := &fakeSource{name: "corpse", ev: Evidence{DeadErrors: 1}}
+	m := NewMonitor(Config{}, []Source{noisy, corpse})
+	m.Observe()
+	if v := m.Verdict(0); v != Healthy {
+		t.Fatalf("historic counters charged at attach: %v", v)
+	}
+	if v := m.Verdict(1); v != Dead {
+		t.Fatalf("pre-existing dead rejection ignored at attach: %v", v)
+	}
+}
+
+// TestMarkDeadManualOverride checks the operator path: the verdict
+// flips, callbacks fire once, and a second override is a no-op.
+func TestMarkDeadManualOverride(t *testing.T) {
+	m, _ := newTestMonitor(1)
+	var fired int
+	m.OnDead(func(int) { fired++ })
+	m.MarkDead(0)
+	m.MarkDead(0)
+	if v := m.Verdict(0); v != Dead {
+		t.Fatalf("verdict %v after MarkDead", v)
+	}
+	if fired != 1 || m.ConfirmedDeaths() != 1 {
+		t.Fatalf("override fired %d callbacks (counter %d), want 1", fired, m.ConfirmedDeaths())
+	}
+}
+
+// TestConcurrentObserveAndScrape hammers Observe against the
+// scrape-side accessors under -race.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	m, srcs := newTestMonitor(3)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srcs[i%3].fail(1)
+			if i%5 == 0 {
+				srcs[i%3].succeed()
+			}
+			m.Observe()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = m.States()
+			_ = m.Verdict(1)
+			_ = m.ConfirmedDeaths()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = m.State(i % 3)
+	}
+	close(stop)
+	wg.Wait()
+}

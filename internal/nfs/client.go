@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -62,7 +63,15 @@ func DialPipeline(addr string, window int) (*Client, error) {
 func (c *Client) Close() error { return c.tr.close() }
 
 func (c *Client) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder, error) {
-	return c.tr.call(proc, args)
+	d, err := c.tr.call(proc, args)
+	// The statusError marker only matters inside the transport stack
+	// (a retrying transport must not reissue a call the server
+	// answered); callers get the bare sentinel.
+	var se statusError
+	if errors.As(err, &se) {
+		return d, se.err
+	}
+	return d, err
 }
 
 // syncTransport performs one RPC at a time under a lock.
@@ -110,7 +119,7 @@ func (c *syncTransport) call(proc uint32, args func(*xdr.Encoder)) (*xdr.Decoder
 		return nil, err
 	}
 	if status != OK {
-		return nil, ErrorOf(status)
+		return nil, statusError{ErrorOf(status)}
 	}
 	return d, nil
 }
@@ -214,7 +223,7 @@ func (p *pipeTransport) readLoop() {
 			return
 		}
 		if status != OK {
-			ch <- pipeResult{err: ErrorOf(status)}
+			ch <- pipeResult{err: statusError{ErrorOf(status)}}
 		} else {
 			ch <- pipeResult{d: d}
 		}

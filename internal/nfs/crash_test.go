@@ -2,6 +2,7 @@ package nfs_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -257,7 +258,7 @@ func TestNFSCrashSemantics(t *testing.T) {
 					t.Fatalf("%s: old handle valid but file renumbered (gen %d vs %d)",
 						f.name, f.fh.Gen, attr.Gen)
 				}
-			case gerr == core.ErrStale || gerr == core.ErrNotFound:
+			case errors.Is(gerr, core.ErrStale) || errors.Is(gerr, core.ErrNotFound):
 				if attr.Gen == f.fh.Gen && fh.File == f.fh.File {
 					t.Fatalf("%s: handle stale but inode unchanged", f.name)
 				}

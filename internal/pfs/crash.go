@@ -834,6 +834,244 @@ func RunRebuildCrash(spec RebuildCrashSpec) (*RebuildCrashResult, error) {
 	return res, nil
 }
 
+// AutoRebuildCrashSpec configures one crash-during-supervised-repair
+// exercise: a self-healing server (hot spare attached, supervisor on)
+// loses a member at the fault seam, serves a degraded update, then
+// runs the supervised repair — isolate, promote the spare, rebuild,
+// scrub-verify — with a power cut armed at an arbitrary device I/O of
+// the repair itself.
+type AutoRebuildCrashSpec struct {
+	Dir       string
+	Layout    string
+	Volumes   int
+	Placement string
+	// StripeBlocks is the redundant chunk width (0 = default).
+	StripeBlocks int
+	// KillMember is the member killed at the fault seam.
+	KillMember int
+	// CutAfterIO trips the power cut at the Nth device I/O after the
+	// supervised repair is triggered (0 = never: the control run,
+	// which must heal and converge without a crash).
+	CutAfterIO int64
+	// Files sizes the dataset (default 4, crashFileBlocks blocks each).
+	Files int
+	Seed  int64
+}
+
+// AutoRebuildCrashResult is what one exercise observed.
+type AutoRebuildCrashResult struct {
+	// CutIO is the I/O ordinal the cut tripped at (0: the repair
+	// outran the cut point).
+	CutIO int64
+	// Interrupted reports whether the power cut tripped mid-repair.
+	Interrupted bool
+	// Heal is the supervised repair's event: Err carries the repair's
+	// failure when the cut interrupted it.
+	Heal HealEvent
+	// Scrub is the final full-array consistency scan: Mismatches and
+	// Skipped must be zero on the converged array.
+	Scrub volume.ScrubStats
+	// FsckErrors holds post-convergence violations (must be empty).
+	FsckErrors []string
+}
+
+// RunAutoRebuildCrash drives the crash-during-supervised-repair cell.
+// Unlike RunRebuildCrash, the repair here is the server's own: the
+// spare was pre-provisioned at Open, the kill lands at the fault seam
+// (so the array self-isolates from live evidence), and the rebuild
+// target is the promoted spare — whose image adoption (the rename
+// onto the member path) is itself exposed to the cut. Whatever state
+// the cut leaves — a half-rebuilt spare still at its pool path, or an
+// adopted member image mid-copy — recovery must reopen (degraded if
+// the repair had not completed), rebuild from the survivors, and
+// converge to an fsck-clean, scrub-clean array holding exactly the
+// acknowledged data.
+func RunAutoRebuildCrash(spec AutoRebuildCrashSpec) (*AutoRebuildCrashResult, error) {
+	if spec.Files <= 0 {
+		spec.Files = 4
+	}
+	if spec.Volumes <= 0 {
+		spec.Volumes = 3
+	}
+	cfg := Config{
+		Path:         filepath.Join(spec.Dir, "autorebuild.img"),
+		Blocks:       2048,
+		Volumes:      spec.Volumes,
+		Placement:    spec.Placement,
+		StripeBlocks: spec.StripeBlocks,
+		CacheBlocks:  96,
+		CacheShards:  1,
+		SegBlocks:    64,
+		Layout:       spec.Layout,
+		Seed:         spec.Seed,
+		Spares:       1,
+		SelfHeal:     true,
+		// The sweep drives the repair synchronously through the manual
+		// override; an hour-long tick keeps the background Observe from
+		// racing the cut arming.
+		HealthInterval: time.Hour,
+		Fault:          &device.FaultConfig{Seed: spec.Seed, CutTearsWrite: true},
+	}
+	srv, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Versioned dataset: v1 everywhere, synced durable.
+	want := make(map[[2]int]byte)
+	err = srv.Do(func(t sched.Task) error {
+		v := srv.Vol
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Create(t, crashPath(f), core.TypeRegular)
+			if err != nil {
+				return err
+			}
+			for b := 0; b < crashFileBlocks; b++ {
+				if err := v.WriteAt(t, h, int64(b)*core.BlockSize, crashBlock(f, b, 1), core.BlockSize); err != nil {
+					return err
+				}
+				want[[2]int{f, b}] = 1
+			}
+			if err := v.Close(t, h); err != nil {
+				return err
+			}
+		}
+		return srv.FS.SyncAll(t)
+	})
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("autorebuild baseline: %w", err)
+	}
+
+	// The member dies at the fault seam; the degraded update lands on
+	// the survivors (the array self-isolates on the first dead error),
+	// synced durable — so the dead member is genuinely stale and the
+	// armed cut counts repair I/Os only.
+	srv.Fault.Kill(spec.KillMember)
+	err = srv.Do(func(t sched.Task) error {
+		v := srv.Vol
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Open(t, crashPath(f))
+			if err != nil {
+				return err
+			}
+			for b := 0; b < crashFileBlocks; b += 2 {
+				if err := v.WriteAt(t, h, int64(b)*core.BlockSize, crashBlock(f, b, 2), core.BlockSize); err != nil {
+					return err
+				}
+				want[[2]int{f, b}] = 2
+			}
+			if err := v.Close(t, h); err != nil {
+				return err
+			}
+		}
+		return srv.FS.SyncAll(t)
+	})
+	if err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("degraded update: %w", err)
+	}
+
+	// Arm the cut and run the supervised repair to its end (success or
+	// the cut's interruption — MarkMemberDead drives the heal inline).
+	srv.Fault.ArmCut(spec.CutAfterIO)
+	res := &AutoRebuildCrashResult{}
+	if err := srv.MarkMemberDead(spec.KillMember); err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("mark dead: %w", err)
+	}
+	if evs := srv.HealEvents(); len(evs) > 0 {
+		res.Heal = evs[len(evs)-1]
+	}
+	res.CutIO = srv.Fault.CutIO()
+	res.Interrupted = srv.Fault.HasCut()
+	degraded := srv.Array.Degraded()
+	rep := srv.Crash()
+	precs := srv.Array.PendingParity()
+
+	// Power restored: the self-heal machinery stays off for the
+	// converging pass — the question is whether the images recover.
+	cfg.Fault = nil
+	cfg.SelfHeal = false
+	cfg.Spares = 0
+	cfg.Recover = true
+	if degraded {
+		cfg.Dead = []int{spec.KillMember}
+	}
+	srv2, err := Open(cfg)
+	if err != nil {
+		return res, fmt.Errorf("recovery mount: %w", err)
+	}
+	defer srv2.Close()
+	err = srv2.Do(func(t sched.Task) error {
+		if _, err := srv2.Array.ReplayParity(t, precs); err != nil {
+			return err
+		}
+		if _, err := srv2.FS.ReplayNVRAM(t, rep.Survivors, rep.Intents); err != nil {
+			return err
+		}
+		return srv2.FS.SyncAll(t)
+	})
+	if err != nil {
+		return res, fmt.Errorf("recovery replay: %w", err)
+	}
+	if srv2.Array.Degraded() {
+		if err := srv2.RebuildMember(spec.KillMember); err != nil {
+			return res, fmt.Errorf("converging rebuild: %w", err)
+		}
+	}
+
+	// The converged array must be healthy, fsck-clean, scrub-clean and
+	// hold exactly the acknowledged versions.
+	err = srv2.Do(func(t sched.Task) error {
+		for _, sub := range srv2.Array.Subs() {
+			switch l := sub.(type) {
+			case *lfs.LFS:
+				for _, e := range l.Check(t) {
+					res.FsckErrors = append(res.FsckErrors, e.Error())
+				}
+			case *ffs.FFS:
+				for _, e := range l.Check(t) {
+					res.FsckErrors = append(res.FsckErrors, e.Error())
+				}
+			}
+		}
+		st, err := srv2.Array.Scrub(t, false)
+		if err != nil {
+			return err
+		}
+		res.Scrub = st
+		if st.Mismatches > 0 || st.Skipped > 0 {
+			res.FsckErrors = append(res.FsckErrors, fmt.Sprintf(
+				"scrub after auto-rebuild: %d mismatch(es), %d block(s) unverifiable", st.Mismatches, st.Skipped))
+		}
+		v := srv2.Vol
+		buf := make([]byte, core.BlockSize)
+		for f := 0; f < spec.Files; f++ {
+			h, err := v.Open(t, crashPath(f))
+			if err != nil {
+				return fmt.Errorf("file %d lost after auto-rebuild: %w", f, err)
+			}
+			for b := 0; b < crashFileBlocks; b++ {
+				if _, err := v.ReadAt(t, h, int64(b)*core.BlockSize, buf, core.BlockSize); err != nil {
+					return fmt.Errorf("read f%d/b%d: %w", f, b, err)
+				}
+				wantv := want[[2]int{f, b}]
+				if buf[0] != byte(f) || buf[1] != byte(b) || buf[2] != wantv {
+					res.FsckErrors = append(res.FsckErrors, fmt.Sprintf(
+						"f%d/b%d: want v%d, have tags %d/%d v%d", f, b, wantv, buf[0], buf[1], buf[2]))
+				}
+			}
+			v.Close(t, h)
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
 // verifyNamespace checks every journaled namespace operation against
 // the recovered tree. Acknowledged state must be exactly present: a
 // created file exists with its full tagged body, a removed or

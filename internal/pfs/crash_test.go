@@ -449,6 +449,58 @@ func TestCrashDuringRebuild(t *testing.T) {
 	}
 }
 
+// TestCrashAutoRebuild sweeps the power cut across the SUPERVISED
+// repair: the server's own self-heal — isolate, promote the hot
+// spare, rebuild onto it, scrub-verify — interrupted at arbitrary
+// device I/Os. Whatever the cut leaves (a half-rebuilt spare still in
+// the pool, an adopted image mid-copy), recovery must reopen degraded
+// and converge to a healthy, fsck-clean, scrub-clean array holding
+// exactly the acknowledged versions. Cut 0 is the control run: the
+// heal must complete and the healed images must reopen clean.
+func TestCrashAutoRebuild(t *testing.T) {
+	cuts := []int64{0, 1, 4, 12, 40, 120}
+	placements := []string{"mirrored", "parity"}
+	if testing.Short() {
+		cuts = []int64{0, 4, 40}
+		placements = []string{"mirrored"}
+	}
+	for _, pl := range placements {
+		for _, cut := range cuts {
+			res, err := RunAutoRebuildCrash(AutoRebuildCrashSpec{
+				Dir:          t.TempDir(),
+				Layout:       "lfs",
+				Volumes:      3,
+				StripeBlocks: 2,
+				Placement:    pl,
+				KillMember:   1,
+				CutAfterIO:   cut,
+				Seed:         4000 + cut,
+			})
+			name := fmt.Sprintf("%s cut=%d", pl, cut)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if cut == 0 {
+				if res.Interrupted || res.Heal.Err != "" {
+					t.Fatalf("%s: control run crashed: interrupted=%v heal=%+v", name, res.Interrupted, res.Heal)
+				}
+				if res.Heal.Spare != 0 || res.Heal.Member != 1 {
+					t.Fatalf("%s: control heal event %+v, want member 1 onto spare 0", name, res.Heal)
+				}
+			}
+			if res.Interrupted && res.Heal.Err == "" && res.Heal.Spare != 0 {
+				t.Fatalf("%s: cut tripped but the heal neither completed nor failed: %+v", name, res.Heal)
+			}
+			if len(res.FsckErrors) != 0 {
+				t.Fatalf("%s: did not converge: %v", name, res.FsckErrors)
+			}
+			if res.Scrub.Mismatches != 0 || res.Scrub.Skipped != 0 {
+				t.Fatalf("%s: scrub after convergence: %+v", name, res.Scrub)
+			}
+		}
+	}
+}
+
 // TestCrashTornMetadataWrite aims the cut at FFS's synchronous
 // metadata writes: the cut request tears its single block to a random
 // byte prefix, splicing half an inode-table or bitmap update onto

@@ -18,6 +18,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/ffs"
 	"repro/internal/fsys"
+	"repro/internal/health"
 	"repro/internal/layout"
 	"repro/internal/lfs"
 	"repro/internal/nfs"
@@ -109,6 +110,29 @@ type Config struct {
 	// this switch restores the flat staging-buffer paths for A/B
 	// runs. Simulated assemblies never vectorize either way.
 	NoVectorIO bool
+	// Spares sizes the hot-spare pool: that many idle, pre-built
+	// member stacks backed by "<Path>.s<j>", attached to the array
+	// and promoted automatically (SelfHeal) or via PromoteSpare.
+	Spares int
+	// SelfHeal runs the repair supervisor: a health monitor samples
+	// per-member driver evidence, and a confirmed death is isolated,
+	// rebuilt onto a spare and scrub-verified with no operator call.
+	// It also unhooks the fault plan's instant OnKill → KillMember
+	// shortcut so deaths are detected from the evidence (the array's
+	// own lazy ErrDiskDead detection keeps it serving meanwhile).
+	SelfHeal bool
+	// HealthInterval paces the supervisor's evidence sampling
+	// (0 = 25ms).
+	HealthInterval time.Duration
+	// Health tunes the monitor's hysteresis state machine.
+	Health health.Config
+	// LatencySLO, when positive, counts device completions slower
+	// than this as health evidence (suspect/probation, never death).
+	LatencySLO time.Duration
+	// RebuildBatchDelay throttles online rebuilds: the copy task
+	// pauses this long after each batch, yielding the members to
+	// foreground traffic (0 = full speed).
+	RebuildBatchDelay time.Duration
 }
 
 // Server is a running PFS.
@@ -130,6 +154,9 @@ type Server struct {
 	// Tracer carries per-operation latency breakdowns from the NFS
 	// executor down through the cache and disk paths.
 	Tracer *telemetry.Tracer
+	// Monitor is the health monitor driving the self-heal supervisor
+	// (nil unless Config.SelfHeal).
+	Monitor *health.Monitor
 
 	cfg      Config
 	pipeline int
@@ -137,12 +164,24 @@ type Server struct {
 	net      *nfs.Server
 	admin    *telemetry.Server
 
-	// drvMu guards Drivers and retired against a concurrent
-	// RebuildMember swapping in a replacement driver.
+	// drvMu guards Drivers, spareDrvs and retired against a
+	// concurrent rebuild/promotion swapping in a replacement driver.
 	drvMu sync.Mutex
-	// retired holds drivers of members replaced by RebuildMember;
-	// their unlinked images are released with the server.
+	// spareDrvs holds the spare pool's drivers by slot (nil once the
+	// slot's spare is consumed by a promotion).
+	spareDrvs []device.Driver
+	// retired holds drivers of members replaced by RebuildMember or a
+	// spare promotion; their images are released with the server.
 	retired []device.Driver
+
+	// Self-heal supervisor state (see selfheal.go).
+	healMu       sync.Mutex
+	healStop     chan struct{}
+	healDone     chan struct{}
+	healStopOnce sync.Once
+	evMu         sync.Mutex
+	healEvents   []HealEvent
+	killTimes    map[int]time.Time
 }
 
 // ClusterRun reports the effective run-size cap (1 = clustering off).
@@ -235,13 +274,36 @@ func Open(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	if plan != nil {
+	if plan != nil && !cfg.SelfHeal {
 		// A death fault at the driver seam marks the member dead in the
 		// volume manager the instant it trips, so the very next I/O is
 		// already served from redundancy (the array would also notice
 		// lazily from the first ErrDiskDead). Non-redundant placements
 		// refuse the kill and keep surfacing raw I/O errors.
+		//
+		// Self-heal mode skips this shortcut on purpose: isolating the
+		// member instantly would starve the drivers of the ErrDiskDead
+		// evidence the health monitor detects deaths from. The array's
+		// lazy detection (first dead error from live traffic) keeps the
+		// window to a handful of failed requests.
 		plan.OnKill(func(m int) { _ = lay.KillMember(m) })
+	}
+	spareDrvs := make([]device.Driver, 0, cfg.Spares)
+	for j := 0; j < cfg.Spares; j++ {
+		drv, sub, err := newSpare(k, cfg, lcfg, plan, j)
+		if err != nil {
+			return nil, err
+		}
+		lay.AttachSpare(sub)
+		spareDrvs = append(spareDrvs, drv)
+	}
+	if cfg.RebuildBatchDelay > 0 {
+		lay.SetRebuildBudget(cfg.RebuildBatchDelay)
+	}
+	if cfg.LatencySLO > 0 {
+		for _, drv := range drvs {
+			drv.DriverStats().SetLatencySLO(cfg.LatencySLO)
+		}
 	}
 
 	if cfg.CacheShards == 0 {
@@ -290,7 +352,7 @@ func Open(cfg Config) (*Server, error) {
 	tr := telemetry.NewTracer(k, cfg.SlowOpThreshold)
 	fs.SetTracer(tr)
 
-	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, Fault: plan, Tracer: tr, cfg: cfg, pipeline: cfg.Pipeline, cluster: cfg.ClusterRunBlocks}
+	srv := &Server{K: k, FS: fs, Cache: c, Array: lay, Set: stats.NewSet(), Drivers: drvs, spareDrvs: spareDrvs, Fault: plan, Tracer: tr, cfg: cfg, pipeline: cfg.Pipeline, cluster: cfg.ClusterRunBlocks}
 	if plan != nil {
 		// The instant the cut trips, the cache stops issuing flushes:
 		// a dead machine writes nothing more.
@@ -300,6 +362,9 @@ func Open(cfg Config) (*Server, error) {
 	fs.Stats(srv.Set)
 	lay.Stats(srv.Set)
 	for _, drv := range drvs {
+		drv.DriverStats().Register(srv.Set)
+	}
+	for _, drv := range spareDrvs {
 		drv.DriverStats().Register(srv.Set)
 	}
 
@@ -337,6 +402,9 @@ func Open(cfg Config) (*Server, error) {
 	if err := <-errc; err != nil {
 		return nil, err
 	}
+	if cfg.SelfHeal {
+		srv.startSupervisor()
+	}
 	return srv, nil
 }
 
@@ -366,11 +434,34 @@ func memberPath(cfg Config, i int) (path, name string) {
 	return path, name
 }
 
+// sparePath names spare slot j's backing image and component prefix.
+func sparePath(cfg Config, j int) (path, name string) {
+	return fmt.Sprintf("%s.s%d", cfg.Path, j), fmt.Sprintf("pfs.s%d", j)
+}
+
 // newMember builds one array member's driver + layout stack over its
 // backing image (created and sized if absent). RebuildMember reuses
 // it to stand up a replacement member.
 func newMember(k *sched.RKernel, cfg Config, lcfg lfs.Config, plan *device.FaultPlan, i int) (device.Driver, layout.Layout, error) {
 	path, name := memberPath(cfg, i)
+	return newStack(k, cfg, lcfg, plan, path, name, i)
+}
+
+// newSpare builds one idle spare stack over a fresh image (a stale
+// spare image from an interrupted promotion is dropped first: a spare
+// must be unformatted). Its partition claims a disk address beyond
+// the array (Volumes+j) so the fault plan's member addressing never
+// confuses a spare with the member it replaces.
+func newSpare(k *sched.RKernel, cfg Config, lcfg lfs.Config, plan *device.FaultPlan, j int) (device.Driver, layout.Layout, error) {
+	path, name := sparePath(cfg, j)
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("pfs: drop stale spare image %s: %w", path, err)
+	}
+	return newStack(k, cfg, lcfg, plan, path, name, cfg.Volumes+j)
+}
+
+// newStack assembles a driver + layout stack over one backing image.
+func newStack(k *sched.RKernel, cfg Config, lcfg lfs.Config, plan *device.FaultPlan, path, name string, disk int) (device.Driver, layout.Layout, error) {
 	q, ok := device.NewScheduler(orDefault(cfg.QueueSched, "clook"))
 	if !ok {
 		return nil, nil, fmt.Errorf("pfs: unknown queue scheduler %q", cfg.QueueSched)
@@ -382,7 +473,7 @@ func newMember(k *sched.RKernel, cfg Config, lcfg lfs.Config, plan *device.Fault
 	if plan != nil {
 		drv.SetInjector(plan)
 	}
-	part := layout.NewPartition(drv, i, 0, cfg.Blocks, false)
+	part := layout.NewPartition(drv, disk, 0, cfg.Blocks, false)
 	var sub layout.Layout
 	switch orDefault(cfg.Layout, "lfs") {
 	case "lfs":
@@ -451,6 +542,7 @@ func (s *Server) Sync() error {
 // Close syncs, stops the network front-end and the kernel. Open
 // connections are cut; use Shutdown for a graceful exit.
 func (s *Server) Close() error {
+	s.stopSupervisor()
 	err := s.Sync()
 	s.closeAdmin()
 	if s.net != nil {
@@ -467,11 +559,26 @@ func (s *Server) closeAdmin() {
 	}
 }
 
+// AllDrivers snapshots the member drivers plus any retired by a
+// supervised repair, under the swap lock: counter aggregation over
+// the snapshot stays monotonic across a mid-run driver swap.
+func (s *Server) AllDrivers() []device.Driver {
+	s.drvMu.Lock()
+	defer s.drvMu.Unlock()
+	out := append([]device.Driver(nil), s.Drivers...)
+	return append(out, s.retired...)
+}
+
 func (s *Server) closeDrivers() {
 	s.drvMu.Lock()
 	defer s.drvMu.Unlock()
 	for _, drv := range s.Drivers {
 		drv.Close()
+	}
+	for _, drv := range s.spareDrvs {
+		if drv != nil {
+			drv.Close()
+		}
 	}
 	for _, drv := range s.retired {
 		drv.Close()
@@ -489,6 +596,10 @@ func (s *Server) Crash() *cache.CrashReport {
 	if s.Fault != nil {
 		s.Fault.Cut()
 	}
+	// With the power out, an in-flight supervised rebuild fails fast
+	// (every I/O is an ErrPowerCut rejection); wait it out so nothing
+	// races the teardown.
+	s.stopSupervisor()
 	s.Cache.PowerOff()
 	repc := make(chan *cache.CrashReport, 1)
 	s.K.Go("pfs.crash", func(t sched.Task) {
@@ -509,6 +620,7 @@ func (s *Server) Crash() *cache.CrashReport {
 // then sync all volumes (the array fans the final flush out over its
 // members concurrently) and stop the kernel.
 func (s *Server) Shutdown() error {
+	s.stopSupervisor()
 	if s.net != nil {
 		s.net.Drain()
 	}

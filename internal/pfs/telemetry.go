@@ -25,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/fsys"
+	"repro/internal/health"
 	"repro/internal/layout"
 	"repro/internal/nfs"
 	"repro/internal/sched"
@@ -43,6 +44,7 @@ type Observables struct {
 	Fault    *device.FaultPlan
 	Recovery *layout.RecoveryStats
 	Tracer   *telemetry.Tracer
+	Monitor  *health.Monitor
 }
 
 // NewRegistry builds the PFS metrics registry over o. Family names
@@ -72,6 +74,12 @@ func NewRegistry(o Observables) *telemetry.Registry {
 	}
 	if p := o.Fault; p != nil {
 		registerFault(reg, p)
+	}
+	if m := o.Monitor; m != nil {
+		registerHealth(reg, m)
+	}
+	if a := o.Array; a != nil && a.SpareSlots() > 0 {
+		registerSpares(reg, a)
 	}
 	if rs := o.Recovery; rs != nil {
 		registerRecovery(reg, rs)
@@ -217,6 +225,37 @@ func registerDriver(reg *telemetry.Registry, member string, ds *device.DriverSta
 	reg.AddMoments("pfs_device_service_seconds", "Device service time per request.", lbl, ds.ServiceMS, 1e-3)
 	reg.AddGaugeFunc("pfs_device_blocks_per_request", "Mean transfer size in blocks — the I/O clustering yield.", lbl,
 		ds.BlocksPerRequest)
+	reg.AddCounter("pfs_device_io_errors_total", "Requests failed with a transient I/O error.", lbl, ds.IOErrors)
+	reg.AddCounter("pfs_device_dead_errors_total", "Requests rejected because the member's disk is dead.", lbl, ds.DeadErrors)
+	reg.AddCounter("pfs_device_slow_ios_total", "Completions over the configured latency SLO.", lbl, ds.SlowIOs)
+}
+
+// registerHealth exports the health monitor's per-member verdicts and
+// evidence windows. Present only on self-healing servers.
+func registerHealth(reg *telemetry.Registry, m *health.Monitor) {
+	for i := 0; i < m.Members(); i++ {
+		i := i
+		lbl := telemetry.Labels{"member": fmt.Sprintf("d%d", i)}
+		reg.AddGaugeFunc("pfs_health_state", "Member health verdict (0 healthy, 1 suspect, 2 probation, 3 dead).", lbl,
+			func() float64 { return float64(m.Verdict(i)) })
+		reg.AddGaugeFunc("pfs_health_window_errors", "Transient I/O errors in the member's evidence window.", lbl,
+			func() float64 { return float64(m.State(i).WindowErrs) })
+		reg.AddGaugeFunc("pfs_health_window_slow", "Latency-SLO breaches in the member's evidence window.", lbl,
+			func() float64 { return float64(m.State(i).WindowSlow) })
+	}
+	reg.AddCounterFunc("pfs_health_confirmed_deaths_total", "Member deaths confirmed by the health monitor (manual overrides included).", nil,
+		func() float64 { return float64(m.ConfirmedDeaths()) })
+}
+
+// registerSpares exports the hot-spare pool. Present only when the
+// server attached spares.
+func registerSpares(reg *telemetry.Registry, a *volume.Array) {
+	reg.AddGaugeFunc("pfs_spare_pool_size", "Idle spares in the hot-spare pool.", nil,
+		func() float64 { return float64(a.SpareCount()) })
+	reg.AddCounterFunc("pfs_spare_promotions_total", "Spares consumed by promotions (auto or manual).", nil,
+		func() float64 { return float64(a.SparePromotions()) })
+	reg.AddCounterFunc("pfs_spare_refusals_total", "Promotions refused: empty pool, concurrent maintenance, or a second fault.", nil,
+		func() float64 { return float64(a.SpareRefusals()) })
 }
 
 func registerFault(reg *telemetry.Registry, p *device.FaultPlan) {
@@ -280,6 +319,7 @@ func (s *Server) Registry() *telemetry.Registry {
 		Fault:    s.Fault,
 		Recovery: s.Recovery,
 		Tracer:   s.Tracer,
+		Monitor:  s.Monitor,
 	})
 }
 
@@ -293,6 +333,9 @@ func (s *Server) ServeAdmin(addr string) (string, error) {
 	reg.AddGaugeFunc("pfs_uptime_seconds", "Seconds since the admin endpoint started.", nil,
 		func() float64 { return time.Since(start).Seconds() })
 	adm := telemetry.NewServer(reg, s.Tracer, s.Health, s.renderStatusz)
+	if s.Monitor != nil {
+		adm.SetHealthDetail(s.healthDetail)
+	}
 	bound, err := adm.Start(addr)
 	if err != nil {
 		return "", err
@@ -354,6 +397,25 @@ func (s *Server) renderStatusz() string {
 		done, total := s.Array.RebuildProgress()
 		fmt.Fprintf(&b, "  DEGRADED: member %d dead, degraded_reads=%d rebuild=%d/%d\n",
 			s.Array.DeadMember(), s.Array.DegradedReads(), done, total)
+	}
+	if mnt := s.Array.Maintenance(); mnt != "" {
+		fmt.Fprintf(&b, "  maintenance: %s\n", mnt)
+	}
+	if s.Monitor != nil {
+		b.WriteString("  health:")
+		for _, ms := range s.Monitor.States() {
+			fmt.Fprintf(&b, " %s=%s(errs=%d slow=%d consec=%d)",
+				ms.Name, ms.Verdict, ms.WindowErrs, ms.WindowSlow, ms.Consec)
+		}
+		fmt.Fprintf(&b, " deaths=%d\n", s.Monitor.ConfirmedDeaths())
+	}
+	if s.Array.SpareSlots() > 0 {
+		fmt.Fprintf(&b, "  spares: idle=%d promoted=%d refused=%d origins=%v\n",
+			s.Array.SpareCount(), s.Array.SparePromotions(), s.Array.SpareRefusals(), s.Array.Origins())
+	}
+	for _, ev := range s.HealEvents() {
+		fmt.Fprintf(&b, "  heal: member=%d spare=%d detect_ms=%.1f mttr_ms=%.1f mismatches=%d err=%q\n",
+			ev.Member, ev.Spare, ev.DetectMS, ev.MTTRMS, ev.ScrubMismatches, ev.Err)
 	}
 	fmt.Fprintf(&b, "  cache: blocks=%d shards=%d dirty=%d nvram_limit=%d off=%v\n",
 		s.Cache.Capacity(), s.Cache.Shards(), s.Cache.DirtyCount(), s.Cache.MaxDirtyBlocks(), s.Cache.Off())

@@ -74,6 +74,9 @@ var goldenSimFamilies = map[string]string{
 	"pfs_device_wait_seconds":             "summary",
 	"pfs_device_service_seconds":          "summary",
 	"pfs_device_blocks_per_request":       "gauge",
+	"pfs_device_io_errors_total":          "counter",
+	"pfs_device_dead_errors_total":        "counter",
+	"pfs_device_slow_ios_total":           "counter",
 }
 
 // parseFamilies extracts name -> type from # TYPE lines.

@@ -17,6 +17,7 @@ type Server struct {
 	reg     *Registry
 	tracer  *Tracer
 	health  func() error
+	detail  func() string
 	statusz func() string
 
 	ln   net.Listener
@@ -31,6 +32,11 @@ type Server struct {
 func NewServer(reg *Registry, tracer *Tracer, health func() error, statusz func() string) *Server {
 	return &Server{reg: reg, tracer: tracer, health: health, statusz: statusz}
 }
+
+// SetHealthDetail appends fn's text to the /healthz body after the
+// liveness verdict — per-member health, repair state. Call before
+// Start.
+func (s *Server) SetHealthDetail(fn func() string) { s.detail = fn }
 
 // Start listens on addr (host:port; :0 picks a free port) and serves
 // in the background. It returns the bound address.
@@ -52,6 +58,9 @@ func (s *Server) Start(addr string) (string, error) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		if s.detail != nil {
+			fmt.Fprint(w, s.detail())
+		}
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

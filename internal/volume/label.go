@@ -71,6 +71,11 @@ func (a *Array) writeMemberLabel(t sched.Task, i int) error {
 	le.PutUint32(buf[12:], a.placementCode())
 	le.PutUint32(buf[16:], uint32(a.cfg.StripeBlocks))
 	le.PutUint32(buf[20:], uint32(i))
+	// Lineage rides in the label's reserved tail (version unchanged:
+	// older labels read back as 0 = "original member"): a promoted
+	// spare records which spare slot it came from, so fsck can report
+	// the member's provenance offline.
+	le.PutUint32(buf[24:], uint32(a.originOf(i)+1))
 	if err := sub.Truncate(t, a.labels[i], labelBytes); err != nil {
 		return fmt.Errorf("volume %s: size label on member %d: %w", a.name, i, err)
 	}
@@ -150,6 +155,7 @@ func (a *Array) readLabel(t sched.Task) error {
 		} else if g.nsubs != want.nsubs || g.placement != want.placement || g.stripe != want.stripe {
 			return fmt.Errorf("volume %s: member %d label disagrees with member %d", a.name, i, firstAlive)
 		}
+		a.setOrigin(i, g.origin)
 		labels[i] = ino
 	}
 	if empty > 0 {
@@ -172,6 +178,7 @@ type labelGeom struct {
 	placement uint32
 	stripe    int
 	member    int
+	origin    int // spare slot the member was promoted from, -1 original
 }
 
 // decodeLabel parses a label block.
@@ -188,6 +195,7 @@ func decodeLabel(buf []byte) (labelGeom, error) {
 		placement: le.Uint32(buf[12:]),
 		stripe:    int(le.Uint32(buf[16:])),
 		member:    int(le.Uint32(buf[20:])),
+		origin:    int(le.Uint32(buf[24:])) - 1,
 	}, nil
 }
 
@@ -203,25 +211,43 @@ func placementName(code uint32) string {
 	return PlacementAffinity
 }
 
+// LabelInfo is the geometry an on-image label records, as exposed to
+// offline tools.
+type LabelInfo struct {
+	Volumes      int
+	Placement    string
+	StripeBlocks int
+	Member       int
+	// Origin is the spare slot this member was promoted from by a
+	// self-heal rebuild, -1 for an original member.
+	Origin int
+}
+
 // ReadLabel inspects an already-mounted sub-layout for an array
 // label and returns the recorded geometry; found is false when the
 // reserved inode is absent or carries no label. fsck uses it to
-// cross-check a multi-volume image set.
-func ReadLabel(t sched.Task, sub layout.Layout) (nsubs int, placement string, stripeBlocks int, found bool, err error) {
+// cross-check a multi-volume image set and report member lineage.
+func ReadLabel(t sched.Task, sub layout.Layout) (info LabelInfo, found bool, err error) {
 	ino, err := sub.GetInode(t, labelFileID)
 	if err == core.ErrNotFound {
-		return 0, "", 0, false, nil
+		return LabelInfo{}, false, nil
 	}
 	if err != nil {
-		return 0, "", 0, false, err
+		return LabelInfo{}, false, err
 	}
 	buf := make([]byte, core.BlockSize)
 	if err := sub.ReadBlock(t, ino, 0, buf); err != nil {
-		return 0, "", 0, false, err
+		return LabelInfo{}, false, err
 	}
 	g, err := decodeLabel(buf)
 	if err != nil {
-		return 0, "", 0, false, nil
+		return LabelInfo{}, false, nil
 	}
-	return g.nsubs, placementName(g.placement), g.stripe, true, nil
+	return LabelInfo{
+		Volumes:      g.nsubs,
+		Placement:    placementName(g.placement),
+		StripeBlocks: g.stripe,
+		Member:       g.member,
+		Origin:       g.origin,
+	}, true, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/layout"
@@ -42,6 +43,43 @@ import (
 // copyBatch bounds the rebuild's write batches (blocks per fan-out).
 const copyBatch = 64
 
+// Maintenance gate states. Rebuild and Scrub are whole-array passes
+// over the same per-file state; exactly one may run at a time. Both
+// take the gate with a CAS and refuse with ErrBusy when it is held —
+// the supervisor and a concurrent admin override serialize here
+// instead of racing.
+const (
+	maintIdle = int32(iota)
+	maintRebuild
+	maintScrub
+)
+
+// ErrBusy reports that a rebuild or scrub is already running; callers
+// should retry after the running pass completes.
+var ErrBusy = errors.New("maintenance pass already in progress")
+
+// Maintenance names the running maintenance pass ("" when idle).
+func (a *Array) Maintenance() string {
+	switch a.maint.Load() {
+	case maintRebuild:
+		return "rebuild"
+	case maintScrub:
+		return "scrub"
+	}
+	return ""
+}
+
+// SetRebuildBudget bounds the rebuild's I/O rate against live
+// traffic: after each copy batch (copyBatch blocks) the rebuild task
+// pauses for batchDelay, leaving the members free for foreground
+// requests. Zero restores full speed.
+func (a *Array) SetRebuildBudget(batchDelay time.Duration) {
+	if batchDelay < 0 {
+		batchDelay = 0
+	}
+	a.rebuildDelay.Store(int64(batchDelay))
+}
+
 // Rebuild reconstructs the dead member's contents onto replacement, a
 // freshly constructed (unformatted) layout over a new disk stack, while
 // the array keeps serving. On success the array is healthy again with
@@ -54,10 +92,10 @@ func (a *Array) Rebuild(t sched.Task, replacement layout.Layout) error {
 	if dead < 0 {
 		return fmt.Errorf("volume %s: no dead member to rebuild", a.name)
 	}
-	if !a.rebuilding.CompareAndSwap(false, true) {
-		return fmt.Errorf("volume %s: rebuild already in progress", a.name)
+	if !a.maint.CompareAndSwap(maintIdle, maintRebuild) {
+		return fmt.Errorf("volume %s: rebuild: %w (%s)", a.name, ErrBusy, a.Maintenance())
 	}
-	defer a.rebuilding.Store(false)
+	defer a.maint.Store(maintIdle)
 
 	if err := replacement.Format(t); err != nil {
 		return fmt.Errorf("volume %s: format replacement for member %d: %w", a.name, dead, err)
@@ -99,7 +137,17 @@ func (a *Array) Rebuild(t sched.Task, replacement layout.Layout) error {
 	a.deadIdx.Store(-1)
 	a.attachIdx.Store(-1)
 	// Durable completion: the replacement checkpoints with the rest.
-	return a.Sync(t)
+	// If the checkpoint does not land (a power cut mid-sync, say) the
+	// on-disk state is still degraded, and claiming health would make
+	// a crash recovery trust the stale member image — restore the
+	// marks so the caller (and a post-crash mount decision) sees the
+	// truth: attached replacement, member still dead.
+	if err := a.Sync(t); err != nil {
+		a.attachIdx.Store(int32(dead))
+		a.deadIdx.Store(int32(dead))
+		return fmt.Errorf("volume %s: rebuild completion sync: %w", a.name, err)
+	}
+	return nil
 }
 
 // attachReplacement is rebuild phase 1: replay the inode space, swap
@@ -223,6 +271,13 @@ func (a *Array) rebuildFile(t sched.Task, id core.FileID, dead int) error {
 		a.writes.Add(dead, int64(len(batch)))
 		err := a.sub(dead).WriteBlocks(t, af.shadows[dead], batch)
 		batch = batch[:0]
+		if err == nil {
+			// The I/O budget: yield the members to foreground traffic
+			// between copy batches (holding no locks but the file's).
+			if d := a.rebuildDelay.Load(); d > 0 {
+				t.Sleep(time.Duration(d))
+			}
+		}
 		return err
 	}
 	emit := func(lb core.BlockNo, data []byte) error {
@@ -394,6 +449,10 @@ func (a *Array) Scrub(t sched.Task, repair bool) (ScrubStats, error) {
 	if a.red == nil {
 		return st, fmt.Errorf("volume %s: scrub needs a redundant placement (have %s)", a.name, a.cfg.Placement)
 	}
+	if !a.maint.CompareAndSwap(maintIdle, maintScrub) {
+		return st, fmt.Errorf("volume %s: scrub: %w (%s)", a.name, ErrBusy, a.Maintenance())
+	}
+	defer a.maint.Store(maintIdle)
 	src := -1
 	for i := range a.subs {
 		if int(a.deadIdx.Load()) != i {

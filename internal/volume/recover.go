@@ -153,6 +153,14 @@ func (a *Array) WriteBarrier(t sched.Task) error {
 		}
 		if b, ok := a.sub(i).(layout.Barrier); ok {
 			if err := b.WriteBarrier(t); err != nil {
+				// Lazy fault detection, like the read and write paths: a
+				// member whose log push dies at the hardware is marked
+				// dead and skipped — its staged writes die with it, and
+				// the copies/parity on the surviving members (whose own
+				// barriers still run) carry the data until the rebuild.
+				if a.noteDeadErr(i, err) {
+					continue
+				}
 				return fmt.Errorf("volume %s: barrier sub %d: %w", a.name, i, err)
 			}
 		}

@@ -385,10 +385,38 @@ func (a *Array) reconstructData(t sched.Task, af *afile, blk core.BlockNo, data 
 
 // --- redundant write path ---
 
+// memberIOError tags an I/O failure with the member it came from, so
+// the write path can tell a member death apart from a software error
+// without parsing message strings.
+type memberIOError struct {
+	member int
+	err    error
+}
+
+func (e *memberIOError) Error() string { return e.err.Error() }
+func (e *memberIOError) Unwrap() error { return e.err }
+
 // writeRedundant applies one file's dirty-block batch under a
-// redundant placement, keeping the mirror copies / parity columns
-// consistent. Caller holds af.mu.
+// redundant placement. Fault detection on the write path is lazy,
+// symmetric with the read path: a member that died at the hardware
+// since the last health sweep fails its leg of the fan with
+// ErrDiskDead. Note the death (degrading the array) and re-plan the
+// batch once — the retry routes around the dead member instead of the
+// flusher re-issuing a doomed fan forever. A second fault, or any
+// non-death error, propagates. Caller holds af.mu.
 func (a *Array) writeRedundant(t sched.Task, af *afile, writes []layout.BlockWrite) error {
+	err := a.writeRedundantOnce(t, af, writes)
+	if err == nil {
+		return nil
+	}
+	var me *memberIOError
+	if errors.As(err, &me) && a.noteDeadErr(me.member, me.err) {
+		return a.writeRedundantOnce(t, af, writes)
+	}
+	return err
+}
+
+func (a *Array) writeRedundantOnce(t sched.Task, af *afile, writes []layout.BlockWrite) error {
 	g := a.red
 	per := make([][]layout.BlockWrite, len(a.subs))
 	deadm := a.degradedFor(af)
@@ -615,7 +643,7 @@ func (a *Array) planParityWrites(t sched.Task, af *afile, writes []layout.BlockW
 				}
 				a.reads.Add(sl.member, 1)
 				if err := a.sub(sl.member).ReadBlock(t, af.shadows[sl.member], sl.local, scratch); err != nil {
-					return nil, err
+					return nil, &memberIOError{sl.member, err}
 				}
 				xorInto(parity, scratch)
 				if guard {
@@ -643,7 +671,7 @@ func (a *Array) planParityWrites(t sched.Task, af *afile, writes []layout.BlockW
 			}
 			a.reads.Add(pmem, 1)
 			if err := a.sub(pmem).ReadBlock(t, af.shadows[pmem], plb, scratch); err != nil {
-				return nil, err
+				return nil, &memberIOError{pmem, err}
 			}
 			xorInto(parity, scratch)
 			xorInto(pp, scratch)
@@ -654,7 +682,7 @@ func (a *Array) planParityWrites(t sched.Task, af *afile, writes []layout.BlockW
 				}
 				a.reads.Add(sl.member, 1)
 				if err := a.sub(sl.member).ReadBlock(t, af.shadows[sl.member], sl.local, scratch); err != nil {
-					return nil, err
+					return nil, &memberIOError{sl.member, err}
 				}
 				xorInto(parity, scratch)
 				xorInto(pp, scratch)
@@ -698,13 +726,13 @@ func (a *Array) issueRedundant(t sched.Task, af *afile, per [][]layout.BlockWrit
 		if !a.isCarrier(af.home, s) {
 			if end := localExtent(per[s]); end > af.shadows[s].Size {
 				if err := a.sub(s).Truncate(st, af.shadows[s], end); err != nil {
-					return fmt.Errorf("volume %s: grow sub %d shadow: %w", a.name, s, err)
+					return &memberIOError{s, fmt.Errorf("volume %s: grow sub %d shadow: %w", a.name, s, err)}
 				}
 			}
 		}
 		a.writes.Add(s, int64(len(per[s])))
 		if err := a.sub(s).WriteBlocks(st, af.shadows[s], per[s]); err != nil {
-			return fmt.Errorf("volume %s: write sub %d: %w", a.name, s, err)
+			return &memberIOError{s, fmt.Errorf("volume %s: write sub %d: %w", a.name, s, err)}
 		}
 		return nil
 	}
@@ -785,7 +813,7 @@ func (a *Array) mirrorCarrierSizes(t sched.Task, af *afile) error {
 			continue
 		}
 		if err := a.sub(s).Truncate(t, h, size); err != nil {
-			return fmt.Errorf("volume %s: mirror size on carrier %d: %w", a.name, s, err)
+			return &memberIOError{s, fmt.Errorf("volume %s: mirror size on carrier %d: %w", a.name, s, err)}
 		}
 	}
 	return nil

@@ -51,6 +51,7 @@ package volume
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -139,11 +140,30 @@ type Array struct {
 	attachIdx atomic.Int32
 	eff       atomic.Pointer[[]layout.Layout]
 
-	// Rebuild/scrub progress, exported to telemetry. rebuilding
-	// excludes concurrent Rebuild calls.
-	rebuilding   atomic.Bool
+	// maint is the single maintenance gate: Rebuild and Scrub each
+	// CAS it from idle and refuse (ErrBusy) when the other holds it,
+	// so a supervisor and an admin override can never run two repair
+	// passes over the same files at once. Progress counters export to
+	// telemetry.
+	maint        atomic.Int32
 	rebuildDone  atomic.Int64
 	rebuildTotal atomic.Int64
+
+	// rebuildDelay is the rebuild's I/O budget against live traffic:
+	// a pause (ns) inserted after every copy batch. Zero = full speed.
+	rebuildDelay atomic.Int64
+
+	// Hot-spare pool: idle pre-constructed member stacks a confirmed
+	// death promotes onto (spare.go). origin records each member's
+	// lineage (the spare index it was promoted from, -1 = original),
+	// persisted in the geometry label. All under spareMu — a plain
+	// mutex, so admin scrapers may read pool state without kernel
+	// involvement.
+	spareMu       sync.Mutex
+	spares        []layout.Layout
+	origin        []int32
+	promotions    atomic.Int64
+	spareRefusals atomic.Int64
 
 	// ppl is the battery-backed partial-parity log guarding in-flight
 	// degraded column updates against the RAID-5 write hole (see
@@ -197,6 +217,10 @@ func New(k sched.Kernel, name string, subs []layout.Layout, cfg Config) (*Array,
 	}
 	a.deadIdx.Store(-1)
 	a.attachIdx.Store(-1)
+	a.origin = make([]int32, len(subs))
+	for i := range a.origin {
+		a.origin[i] = -1
+	}
 	if cfg.Placement == PlacementMirrored || cfg.Placement == PlacementParity {
 		a.red = &rgeom{n: len(subs), w: cfg.StripeBlocks, parity: cfg.Placement == PlacementParity}
 	}
@@ -371,6 +395,9 @@ func (a *Array) Sync(t sched.Task) error {
 				continue // dead member with no replacement attached
 			}
 			if err := a.sub(i).Sync(t); err != nil {
+				if a.noteDeadErr(i, err) {
+					continue // died at the hardware; redundancy carries its share
+				}
 				return fmt.Errorf("volume %s: sync sub %d: %w", a.name, i, err)
 			}
 		}
@@ -395,6 +422,9 @@ func (a *Array) Sync(t sched.Task) error {
 	}
 	for i, err := range errs {
 		if err != nil {
+			if a.noteDeadErr(i, err) {
+				continue // died at the hardware; redundancy carries its share
+			}
 			return fmt.Errorf("volume %s: sync sub %d: %w", a.name, i, err)
 		}
 	}
